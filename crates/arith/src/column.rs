@@ -1,0 +1,349 @@
+//! Bit-column profiles of multi-operand additions.
+//!
+//! A [`ColumnProfile`] records, for every bit position (column) of a
+//! multi-operand addition, how many *potentially non-zero* bits must be
+//! summed there. It is the single abstraction consumed both by the fast
+//! FA-count area estimator ([`crate::estimator`]) and by the netlist
+//! elaborator in `pe-hw`, which guarantees the estimate and the
+//! "synthesized" circuit cannot drift structurally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArithError;
+use crate::fixed::unsigned_width;
+use crate::summand::{constant_bit_pattern, Summand};
+
+/// Per-column count of potentially non-zero bits in a multi-operand
+/// addition.
+///
+/// Column `c` corresponds to bit weight `2^c`. Every hard-wired `0`
+/// (a masked-out activation bit, or a zero bit of a constant) simply
+/// does not appear in the profile — which is exactly how bespoke
+/// hardware saves full adders (paper §III-B: "for every three constant
+/// '0' in a column, one FA is eliminated from that column").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    heights: Vec<u32>,
+}
+
+impl ColumnProfile {
+    /// Create an empty profile (an addition with no operands).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a profile from explicit column heights (column 0 first).
+    ///
+    /// ```
+    /// let p = pe_arith::ColumnProfile::from_heights(vec![3, 1, 2]);
+    /// assert_eq!(p.height(0), 3);
+    /// assert_eq!(p.height(5), 0);
+    /// ```
+    #[must_use]
+    pub fn from_heights(heights: Vec<u32>) -> Self {
+        let mut p = Self { heights };
+        p.trim();
+        p
+    }
+
+    /// Build the profile of a complete bespoke accumulation.
+    ///
+    /// Negative summands are handled exactly as the bespoke netlist
+    /// does: their variable bits stay in place (inverted by NOT gates,
+    /// which do not affect column heights), and the two's-complement
+    /// constant corrections are folded, together with all explicit
+    /// [`Summand::Constant`]s, into a single constant whose set bits are
+    /// then added to the profile.
+    ///
+    /// `acc_bits` is the accumulator width; use
+    /// [`ColumnProfile::accumulator_width`] to derive it from the
+    /// summands themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from malformed summands and
+    /// out-of-range constants.
+    pub fn from_summands(summands: &[Summand], acc_bits: u32) -> Result<Self, ArithError> {
+        let mut heights = vec![0u32; acc_bits as usize];
+        let modulus_mask = (1u64 << acc_bits) - 1;
+        let mut folded_constant: u64 = 0;
+
+        for s in summands {
+            s.validate()?;
+            if s.is_zero() {
+                continue;
+            }
+            match s {
+                Summand::MaskedInput { .. } => {
+                    for pos in s.active_bit_positions() {
+                        if pos >= acc_bits {
+                            return Err(ArithError::ShiftTooLarge { shift: pos });
+                        }
+                        heights[pos as usize] += 1;
+                    }
+                    if let Some(k) = s.negation_constant(acc_bits)? {
+                        folded_constant = folded_constant.wrapping_add(k) & modulus_mask;
+                    }
+                }
+                Summand::Constant(c) => {
+                    let pattern = constant_bit_pattern(*c, acc_bits)?;
+                    folded_constant = folded_constant.wrapping_add(pattern) & modulus_mask;
+                }
+            }
+        }
+
+        for b in 0..acc_bits {
+            if folded_constant >> b & 1 == 1 {
+                heights[b as usize] += 1;
+            }
+        }
+
+        let mut p = Self { heights };
+        p.trim();
+        Ok(p)
+    }
+
+    /// Accumulator width (in bits) that safely holds any runtime value of
+    /// the given summands, interpreting the result in two's complement.
+    ///
+    /// The width covers `[-Σ neg_max − |bias⁻|, Σ pos_max + bias⁺]` with
+    /// one sign bit.
+    #[must_use]
+    pub fn accumulator_width(summands: &[Summand]) -> u32 {
+        let mut pos: u64 = 0;
+        let mut neg: u64 = 0;
+        for s in summands {
+            match s {
+                Summand::MaskedInput { negative, .. } => {
+                    if *negative {
+                        neg += s.max_magnitude();
+                    } else {
+                        pos += s.max_magnitude();
+                    }
+                }
+                Summand::Constant(c) => {
+                    if *c >= 0 {
+                        pos += c.unsigned_abs();
+                    } else {
+                        neg += c.unsigned_abs();
+                    }
+                }
+            }
+        }
+        let magnitude = pos.max(neg).max(1);
+        unsigned_width(magnitude) + 1
+    }
+
+    /// Number of columns in the profile (index of the highest non-empty
+    /// column plus one).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.heights.len() as u32
+    }
+
+    /// Height (bit count) of column `c`; columns beyond the profile are 0.
+    #[must_use]
+    pub fn height(&self, c: u32) -> u32 {
+        self.heights.get(c as usize).copied().unwrap_or(0)
+    }
+
+    /// Total number of bits across all columns.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.heights.iter().sum()
+    }
+
+    /// Tallest column height, or 0 for an empty profile.
+    #[must_use]
+    pub fn max_height(&self) -> u32 {
+        self.heights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the profile has no bits at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heights.iter().all(|&h| h == 0)
+    }
+
+    /// Add `count` bits to column `c`, growing the profile as needed.
+    pub fn add_bits(&mut self, c: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if c as usize >= self.heights.len() {
+            self.heights.resize(c as usize + 1, 0);
+        }
+        self.heights[c as usize] += count;
+    }
+
+    /// Merge another profile into this one column-wise.
+    pub fn merge(&mut self, other: &ColumnProfile) {
+        for (c, &h) in other.heights.iter().enumerate() {
+            self.add_bits(c as u32, h);
+        }
+    }
+
+    /// Iterate over `(column, height)` pairs for non-empty columns.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.heights.iter().enumerate().filter(|(_, &h)| h > 0).map(|(c, &h)| (c as u32, h))
+    }
+
+    /// Column heights as a slice (column 0 first).
+    #[must_use]
+    pub fn as_heights(&self) -> &[u32] {
+        &self.heights
+    }
+
+    fn trim(&mut self) {
+        while self.heights.last() == Some(&0) {
+            self.heights.pop();
+        }
+    }
+}
+
+impl FromIterator<u32> for ColumnProfile {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::from_heights(iter.into_iter().collect())
+    }
+}
+
+impl Extend<(u32, u32)> for ColumnProfile {
+    fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (c, h) in iter {
+            self.add_bits(c, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(mask: u64, shift: u32, negative: bool) -> Summand {
+        Summand::MaskedInput { input_bits: 4, mask, shift, negative }
+    }
+
+    #[test]
+    fn profile_from_positive_summands_counts_mask_bits() {
+        let summands = vec![masked(0b1111, 0, false), masked(0b1010, 1, false)];
+        let acc = ColumnProfile::accumulator_width(&summands);
+        let p = ColumnProfile::from_summands(&summands, acc).unwrap();
+        // Columns: c0: x bit; c1: x bit + mask bit1<<1; etc.
+        assert_eq!(p.height(0), 1);
+        assert_eq!(p.height(1), 1); // 0b1010 bit1 -> col 2 actually
+        assert_eq!(p.height(2), 2); // x bit2 + masked bit1<<1
+        assert_eq!(p.height(4), 1); // masked bit3<<1
+        assert_eq!(p.total_bits(), 4 + 2);
+    }
+
+    #[test]
+    fn paper_example_mask_101101() {
+        // §III-B example: A' = a5 0 a3 a2 0 a0 with mask 101101 on a
+        // 6-bit signal: three bits survive... (mask has 4 set bits:
+        // 101101 -> bits 0,2,3,5).
+        let s = Summand::MaskedInput { input_bits: 6, mask: 0b101101, shift: 0, negative: false };
+        let p = ColumnProfile::from_summands(std::slice::from_ref(&s), 8).unwrap();
+        assert_eq!(p.height(0), 1);
+        assert_eq!(p.height(1), 0);
+        assert_eq!(p.height(2), 1);
+        assert_eq!(p.height(3), 1);
+        assert_eq!(p.height(4), 0);
+        assert_eq!(p.height(5), 1);
+    }
+
+    #[test]
+    fn constants_fold_together() {
+        // Two constants 0b0101 and 0b0011 fold to 0b1000: only one column.
+        let p = ColumnProfile::from_summands(&[Summand::Constant(5), Summand::Constant(3)], 8)
+            .unwrap();
+        assert_eq!(p.height(3), 1);
+        assert_eq!(p.total_bits(), 1);
+    }
+
+    #[test]
+    fn negative_summand_adds_folded_constant_bits() {
+        let summands = vec![masked(0b1111, 0, false), masked(0b0001, 0, true)];
+        let acc = ColumnProfile::accumulator_width(&summands);
+        let p = ColumnProfile::from_summands(&summands, acc).unwrap();
+        // The negated bit stays in column 0 (inverted), the fold constant
+        // occupies the remaining columns.
+        assert!(p.height(0) >= 2);
+        assert!(p.total_bits() > 5);
+    }
+
+    /// Exactness check: simulate the bespoke structure (inverted bits +
+    /// folded constant, modulo 2^W) against plain signed arithmetic.
+    #[test]
+    fn folded_semantics_match_signed_sum() {
+        let summands = vec![
+            masked(0b1101, 1, false),
+            masked(0b0111, 0, true),
+            masked(0b1011, 2, true),
+            Summand::Constant(-5),
+        ];
+        let acc = ColumnProfile::accumulator_width(&summands);
+        let modulus = 1i128 << acc;
+        for x0 in 0..16u64 {
+            for x1 in 0..16u64 {
+                for x2 in 0..16u64 {
+                    let exact: i64 = summands[0].evaluate(x0)
+                        + summands[1].evaluate(x1)
+                        + summands[2].evaluate(x2)
+                        + summands[3].evaluate(0);
+                    let wrapped = ((exact as i128) % modulus + modulus) % modulus;
+                    // Structural recomputation: variable bits and constants.
+                    let mut acc_val: u64 = 0;
+                    let mask_mod = (1u64 << acc) - 1;
+                    for (s, x) in summands.iter().zip([x0, x1, x2, 0]) {
+                        match s {
+                            Summand::MaskedInput { mask, shift, negative, .. } => {
+                                let v = (x & mask) << shift;
+                                if *negative {
+                                    let inv = (!v) & (mask << shift);
+                                    let k = s.negation_constant(acc).unwrap().unwrap();
+                                    acc_val = acc_val.wrapping_add(inv).wrapping_add(k) & mask_mod;
+                                } else {
+                                    acc_val = acc_val.wrapping_add(v) & mask_mod;
+                                }
+                            }
+                            Summand::Constant(c) => {
+                                let pat = constant_bit_pattern(*c, acc).unwrap();
+                                acc_val = acc_val.wrapping_add(pat) & mask_mod;
+                            }
+                        }
+                    }
+                    assert_eq!(acc_val as i128, wrapped, "x=({x0},{x1},{x2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_width_has_headroom() {
+        let summands = vec![masked(0b1111, 3, false); 8];
+        let w = ColumnProfile::accumulator_width(&summands);
+        // 8 * (15<<3) = 960, needs 10 bits + sign.
+        assert_eq!(w, 11);
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let p = ColumnProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.width(), 0);
+        assert_eq!(p.max_height(), 0);
+        let from_zero = ColumnProfile::from_heights(vec![0, 0, 0]);
+        assert_eq!(from_zero.width(), 0);
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let mut a = ColumnProfile::from_heights(vec![1, 2]);
+        let b = ColumnProfile::from_heights(vec![0, 1, 4]);
+        a.merge(&b);
+        assert_eq!(a.as_heights(), &[1, 3, 4]);
+        a.extend([(0u32, 2u32)]);
+        assert_eq!(a.height(0), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Canonical signed-digit (CSD) decomposition of constants.
+//!
+//! The *exact* bespoke baseline (MICRO'20 style, paper §I/Table I) hard-
+//! wires full-precision coefficients: each constant multiplier becomes a
+//! network of shifted adds/subtracts of the input, one per non-zero digit
+//! of the coefficient. CSD recoding minimizes the number of non-zero
+//! digits (no two adjacent digits are non-zero), which is the standard
+//! way synthesis tools implement bespoke constant multipliers — so we use
+//! it to cost the baseline fairly.
+
+use serde::{Deserialize, Serialize};
+
+/// One digit of a canonical signed-digit representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CsdDigit {
+    /// Digit value −1 at this power of two.
+    MinusOne,
+    /// Digit value +1 at this power of two.
+    PlusOne,
+}
+
+impl CsdDigit {
+    /// Numeric value of the digit.
+    #[must_use]
+    pub fn value(self) -> i64 {
+        match self {
+            CsdDigit::MinusOne => -1,
+            CsdDigit::PlusOne => 1,
+        }
+    }
+}
+
+/// Decompose `value` into canonical signed digits.
+///
+/// Returns `(position, digit)` pairs, least-significant first; positions
+/// are powers of two. The representation satisfies the CSD property: no
+/// two returned positions are adjacent.
+///
+/// ```
+/// use pe_arith::{csd_digits, CsdDigit};
+///
+/// // 7 = 8 - 1, two digits instead of three.
+/// let d = csd_digits(7);
+/// assert_eq!(d, vec![(0, CsdDigit::MinusOne), (3, CsdDigit::PlusOne)]);
+///
+/// // The decomposition always reconstructs the value.
+/// let v: i64 = d.iter().map(|&(p, dig)| dig.value() << p).sum();
+/// assert_eq!(v, 7);
+/// ```
+#[must_use]
+pub fn csd_digits(value: i64) -> Vec<(u32, CsdDigit)> {
+    let mut digits = Vec::new();
+    let mut v = i128::from(value);
+    let mut pos = 0u32;
+    while v != 0 {
+        if v & 1 == 1 {
+            // Choose digit in {-1, +1} so the remainder is divisible by 4
+            // (guaranteeing the next digit is zero).
+            let rem4 = ((v % 4) + 4) % 4;
+            let digit = if rem4 == 1 { 1 } else { -1 };
+            digits.push((
+                pos,
+                if digit == 1 { CsdDigit::PlusOne } else { CsdDigit::MinusOne },
+            ));
+            v -= digit;
+        }
+        v >>= 1;
+        pos += 1;
+    }
+    digits
+}
+
+/// Number of non-zero digits in the CSD representation of `value`.
+///
+/// This is the number of shifted partial products a bespoke constant
+/// multiplier for `value` feeds into its adder tree.
+///
+/// ```
+/// assert_eq!(pe_arith::csd::csd_nonzero_digits(0), 0);
+/// assert_eq!(pe_arith::csd::csd_nonzero_digits(-96), 2); // -128 + 32
+/// ```
+#[must_use]
+pub fn csd_nonzero_digits(value: i64) -> u32 {
+    csd_digits(value).len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(digits: &[(u32, CsdDigit)]) -> i64 {
+        digits.iter().map(|&(p, d)| d.value().checked_shl(p).unwrap()).sum()
+    }
+
+    #[test]
+    fn reconstructs_all_small_values() {
+        for v in -1000i64..=1000 {
+            assert_eq!(reconstruct(&csd_digits(v)), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn no_adjacent_nonzero_digits() {
+        for v in -1000i64..=1000 {
+            let d = csd_digits(v);
+            for w in d.windows(2) {
+                assert!(w[1].0 >= w[0].0 + 2, "adjacent digits for {v}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_never_more_digits_than_binary() {
+        for v in 1i64..=4096 {
+            assert!(
+                csd_nonzero_digits(v) <= v.count_ones(),
+                "v={v}: csd {} vs binary {}",
+                csd_nonzero_digits(v),
+                v.count_ones()
+            );
+        }
+    }
+
+    #[test]
+    fn known_recodings() {
+        assert_eq!(csd_nonzero_digits(15), 2); // 16 - 1
+        assert_eq!(csd_nonzero_digits(85), 4); // 64+16+4+1 alternating, already CSD
+        assert_eq!(csd_nonzero_digits(-1), 1);
+        assert_eq!(csd_nonzero_digits(0), 0);
+        assert_eq!(csd_nonzero_digits(1 << 20), 1);
+    }
+
+    #[test]
+    fn negative_values_mirror_positive() {
+        for v in 1i64..=512 {
+            assert_eq!(csd_nonzero_digits(v), csd_nonzero_digits(-v));
+        }
+    }
+}

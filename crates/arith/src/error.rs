@@ -1,0 +1,84 @@
+//! Error type shared by the arithmetic substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or evaluating bit-level arithmetic
+/// models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArithError {
+    /// A bit width of zero or above the supported maximum was requested.
+    ///
+    /// Bespoke printed datapaths in this workspace are at most 64 bits
+    /// wide; widths outside `1..=64` are rejected.
+    InvalidWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// A mask had bits set above the declared input width.
+    MaskExceedsWidth {
+        /// The offending mask value.
+        mask: u64,
+        /// The declared input width in bits.
+        width: u32,
+    },
+    /// A shift exponent would move bits beyond the supported accumulator.
+    ShiftTooLarge {
+        /// The offending shift.
+        shift: u32,
+    },
+    /// A value does not fit in the requested representation.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The width it was supposed to fit in.
+        width: u32,
+    },
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::InvalidWidth { width } => {
+                write!(f, "invalid bit width {width}, expected 1..=64")
+            }
+            ArithError::MaskExceedsWidth { mask, width } => {
+                write!(f, "mask {mask:#b} has bits above declared width {width}")
+            }
+            ArithError::ShiftTooLarge { shift } => {
+                write!(f, "shift {shift} exceeds supported accumulator width")
+            }
+            ArithError::ValueOutOfRange { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            ArithError::InvalidWidth { width: 0 }.to_string(),
+            ArithError::MaskExceedsWidth { mask: 0b10000, width: 4 }.to_string(),
+            ArithError::ShiftTooLarge { shift: 99 }.to_string(),
+            ArithError::ValueOutOfRange { value: 300, width: 8 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ArithError>();
+    }
+}

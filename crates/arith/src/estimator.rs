@@ -1,0 +1,274 @@
+//! The DATE'24 `AdderArea` estimator (§III-C).
+//!
+//! The paper trains against a fast area proxy: the number of full adders
+//! needed by each neuron's multi-operand adder tree, computed from the
+//! neuron's masks, signs, shift exponents, and bias by counting the
+//! non-zero bits in each column and "recursively comput\[ing\] the number
+//! of required FAs". [`AdderAreaEstimator`] is that function — the paper
+//! implements it in Python; this is the Rust equivalent, built on
+//! [`ColumnProfile`] and [`Reducer`] so that the estimate and the
+//! netlist elaborated by `pe-hw` share one structural model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::ColumnProfile;
+use crate::reduce::{ReductionKind, ReductionStats, Reducer};
+use crate::summand::Summand;
+
+/// Arithmetic description of one weight of an approximate neuron: the
+/// triple `(m, s, k)` of paper Eq. (1)/(4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightArith {
+    /// Pruning mask over the input activation bits (`1` keeps the bit).
+    /// A zero mask removes the summand entirely (hardware-equivalent to
+    /// a zero weight, §III-B).
+    pub mask: u64,
+    /// Power-of-two exponent `k` of the weight magnitude `2^k`.
+    pub shift: u32,
+    /// Sign `s`: `true` for −1, `false` for +1.
+    pub negative: bool,
+}
+
+/// Arithmetic description of one approximate neuron `θ_j^(l)`:
+/// everything the area estimate depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronArithSpec {
+    /// Width of each input activation in bits (4 for first-layer inputs,
+    /// 8 for hidden QReLU activations in the paper's setup).
+    pub input_bits: u32,
+    /// Per-input weight descriptions.
+    pub weights: Vec<WeightArith>,
+    /// Quantized bias `b_j^(l)`.
+    pub bias: i64,
+}
+
+impl NeuronArithSpec {
+    /// Lower the neuron to the [`Summand`] list of its accumulation.
+    ///
+    /// Zero-mask weights are dropped (they are wired out of the design),
+    /// and the bias becomes a constant summand.
+    #[must_use]
+    pub fn summands(&self) -> Vec<Summand> {
+        let mut out: Vec<Summand> = self
+            .weights
+            .iter()
+            .filter(|w| w.mask != 0)
+            .map(|w| Summand::MaskedInput {
+                input_bits: self.input_bits,
+                mask: w.mask,
+                shift: w.shift,
+                negative: w.negative,
+            })
+            .collect();
+        if self.bias != 0 {
+            out.push(Summand::Constant(self.bias));
+        }
+        out
+    }
+
+    /// Number of active (non-pruned) connections.
+    #[must_use]
+    pub fn active_inputs(&self) -> usize {
+        self.weights.iter().filter(|w| w.mask != 0).count()
+    }
+
+    /// Total number of variable bits entering the adder tree.
+    #[must_use]
+    pub fn active_bits(&self) -> u32 {
+        self.weights.iter().map(|w| w.mask.count_ones()).sum()
+    }
+}
+
+/// Result of estimating one neuron's adder area.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdderAreaReport {
+    /// Full adders (compression tree + final carry-propagate adder).
+    pub full_adders: u32,
+    /// Half adders (only non-zero under [`ReductionKind::FaHa`]).
+    pub half_adders: u32,
+    /// NOT gates for subtracted summands' inverted bits.
+    pub not_gates: u32,
+    /// Reduction depth in compressor stages.
+    pub stages: u32,
+    /// Accumulator width used for sign folding.
+    pub accumulator_bits: u32,
+    /// The column profile the estimate was computed from.
+    pub profile: ColumnProfile,
+}
+
+impl AdderAreaReport {
+    /// Scalar cost used as the GA's area objective: FA count with HAs at
+    /// half weight.
+    #[must_use]
+    pub fn fa_equivalent(&self) -> f64 {
+        f64::from(self.full_adders) + 0.5 * f64::from(self.half_adders)
+    }
+}
+
+/// Fast FA-count area estimator for approximate bespoke neurons.
+///
+/// ```
+/// use pe_arith::estimator::{AdderAreaEstimator, NeuronArithSpec, WeightArith};
+///
+/// let full = NeuronArithSpec {
+///     input_bits: 4,
+///     weights: vec![WeightArith { mask: 0b1111, shift: 0, negative: false }; 6],
+///     bias: 0,
+/// };
+/// let mut pruned = full.clone();
+/// for w in &mut pruned.weights {
+///     w.mask = 0b1000; // keep only the MSB of each input
+/// }
+/// let est = AdderAreaEstimator::paper();
+/// assert!(est.estimate(&pruned).full_adders < est.estimate(&full).full_adders);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderAreaEstimator {
+    reducer: Reducer,
+}
+
+impl AdderAreaEstimator {
+    /// The paper's estimator: FA-only 3:2 reduction.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { reducer: Reducer::new(ReductionKind::FaOnly) }
+    }
+
+    /// Estimator with an explicit compressor policy (used by the
+    /// `fa_vs_netlist` ablation).
+    #[must_use]
+    pub fn with_kind(kind: ReductionKind) -> Self {
+        Self { reducer: Reducer::new(kind) }
+    }
+
+    /// Estimate the adder area of one neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron specification is malformed (masks wider than
+    /// `input_bits`); specifications produced by the `printed-axc` genome
+    /// decoder are always well-formed.
+    #[must_use]
+    pub fn estimate(&self, spec: &NeuronArithSpec) -> AdderAreaReport {
+        let summands = spec.summands();
+        let acc_bits = ColumnProfile::accumulator_width(&summands);
+        let profile = ColumnProfile::from_summands(&summands, acc_bits)
+            .expect("neuron spec must be well-formed");
+        let stats: ReductionStats = self.reducer.reduce(&profile);
+        let not_gates = summands
+            .iter()
+            .filter(|s| s.is_negative())
+            .map(Summand::active_bit_count)
+            .sum();
+        AdderAreaReport {
+            full_adders: stats.full_adders(),
+            half_adders: stats.half_adders(),
+            not_gates,
+            stages: stats.stages,
+            accumulator_bits: acc_bits,
+            profile,
+        }
+    }
+
+    /// Estimate a whole layer / MLP: the sum of per-neuron FA-equivalents
+    /// (paper Eq. (2): `Area(θ) = Σ AdderArea(θ_j^(l))`).
+    #[must_use]
+    pub fn estimate_total<'a, I>(&self, neurons: I) -> f64
+    where
+        I: IntoIterator<Item = &'a NeuronArithSpec>,
+    {
+        neurons.into_iter().map(|n| self.estimate(n).fa_equivalent()).sum()
+    }
+}
+
+impl Default for AdderAreaEstimator {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(weights: Vec<WeightArith>, bias: i64) -> NeuronArithSpec {
+        NeuronArithSpec { input_bits: 4, weights, bias }
+    }
+
+    #[test]
+    fn empty_neuron_costs_nothing() {
+        let s = spec(vec![], 0);
+        let r = AdderAreaEstimator::paper().estimate(&s);
+        assert_eq!(r.full_adders, 0);
+        assert_eq!(r.not_gates, 0);
+    }
+
+    #[test]
+    fn zero_masks_remove_summands_entirely() {
+        let s = spec(
+            vec![WeightArith { mask: 0, shift: 3, negative: true }; 10],
+            0,
+        );
+        let r = AdderAreaEstimator::paper().estimate(&s);
+        assert_eq!(r.full_adders, 0);
+        assert_eq!(r.profile.total_bits(), 0);
+    }
+
+    #[test]
+    fn masking_bits_monotonically_reduces_area() {
+        let est = AdderAreaEstimator::paper();
+        let masks = [0b1111u64, 0b1110, 0b1100, 0b1000, 0b0000];
+        let mut last = u32::MAX;
+        for m in masks {
+            let s = spec(vec![WeightArith { mask: m, shift: 0, negative: false }; 8], 5);
+            let fa = est.estimate(&s).full_adders;
+            assert!(fa <= last, "mask {m:#b}: {fa} > {last}");
+            last = fa;
+        }
+    }
+
+    #[test]
+    fn more_inputs_cost_more() {
+        let est = AdderAreaEstimator::paper();
+        let w = WeightArith { mask: 0b1111, shift: 0, negative: false };
+        let small = est.estimate(&spec(vec![w; 3], 0)).full_adders;
+        let large = est.estimate(&spec(vec![w; 12], 0)).full_adders;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn not_gates_counted_per_negative_bit() {
+        let s = spec(
+            vec![
+                WeightArith { mask: 0b1011, shift: 0, negative: true },
+                WeightArith { mask: 0b1111, shift: 1, negative: false },
+                WeightArith { mask: 0b0001, shift: 2, negative: true },
+            ],
+            -7,
+        );
+        let r = AdderAreaEstimator::paper().estimate(&s);
+        assert_eq!(r.not_gates, 3 + 1);
+    }
+
+    #[test]
+    fn layer_total_is_sum_of_neurons() {
+        let est = AdderAreaEstimator::paper();
+        let a = spec(vec![WeightArith { mask: 0b1111, shift: 1, negative: false }; 5], 3);
+        let b = spec(vec![WeightArith { mask: 0b0110, shift: 0, negative: true }; 5], -2);
+        let total = est.estimate_total([&a, &b]);
+        let expected = est.estimate(&a).fa_equivalent() + est.estimate(&b).fa_equivalent();
+        assert!((total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_moves_bits_but_keeps_count() {
+        let est = AdderAreaEstimator::paper();
+        let s0 = spec(vec![WeightArith { mask: 0b1111, shift: 0, negative: false }; 4], 0);
+        let s3 = spec(vec![WeightArith { mask: 0b1111, shift: 3, negative: false }; 4], 0);
+        let r0 = est.estimate(&s0);
+        let r3 = est.estimate(&s3);
+        assert_eq!(r0.profile.total_bits(), r3.profile.total_bits());
+        // Same column shape shifted: identical tree cost.
+        assert_eq!(r0.full_adders, r3.full_adders);
+    }
+}

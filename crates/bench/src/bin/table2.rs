@@ -1,0 +1,22 @@
+//! Regenerate Table II: our approximate MLPs at ≤5% accuracy loss.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin table2` (set
+//! `PE_BUDGET=quick` for a fast pass).
+
+use pe_bench::format::write_json;
+use pe_bench::study::run_all_studies;
+use pe_bench::{table2, BudgetPreset};
+
+fn main() {
+    let budget = BudgetPreset::from_env(BudgetPreset::Full);
+    let studies = run_all_studies(budget, 0);
+    let rows = table2::rows(&studies);
+    println!("{}", table2::render(&rows));
+    let (ga, gp) = table2::geomean_reductions(&rows);
+    println!(
+        "Geomean reductions: area {}  power {}   (paper averages: 181x / 203x)",
+        ga.map_or("-".into(), |v| format!("{v:.1}x")),
+        gp.map_or("-".into(), |v| format!("{v:.1}x")),
+    );
+    write_json("table2", &rows);
+}

@@ -1,0 +1,180 @@
+//! Fig. 4 — normalized area/power of ours vs the state of the art.
+//!
+//! The paper plots, per dataset and on a log axis, area and power
+//! normalized to the exact baseline for: ours, TC'23 \[5\], TCAD'23 \[7\]
+//! and the stochastic DATE'21 \[10\]. All methods share the same 5%
+//! accuracy-loss budget except SC, which cannot reach it.
+
+use serde::{Deserialize, Serialize};
+
+use pe_baselines::{approximate_tc23, approximate_tcad23, ScConfig, ScMlp, Tc23Config, Tcad23Config};
+use pe_datasets::{generate, stratified_split, Dataset};
+use pe_hw::{Elaborator, TechLibrary, VddModel};
+use pe_mlp::Topology;
+use printed_axc::DatasetStudy;
+
+use crate::format::render_table;
+
+/// Normalized results of one method on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodPoint {
+    /// Area normalized to the exact baseline (lower is better).
+    pub norm_area: f64,
+    /// Power normalized to the exact baseline.
+    pub norm_power: f64,
+    /// Test accuracy of the compared design.
+    pub accuracy: f64,
+}
+
+/// One Fig. 4 group (one dataset, four methods).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Two-letter dataset code (BC, Ca, PD, RW, WW).
+    pub dataset: String,
+    /// Our GA-trained design.
+    pub ours: Option<MethodPoint>,
+    /// TC'23 post-training co-design.
+    pub tc23: MethodPoint,
+    /// TCAD'23 VOS design.
+    pub tcad23: MethodPoint,
+    /// DATE'21 stochastic computing.
+    pub sc: MethodPoint,
+}
+
+/// Build one Fig. 4 row from a completed study (reusing its baseline
+/// and float network lineage by retraining the float MLP at the same
+/// seed — cheap relative to the GA).
+#[must_use]
+pub fn row(study: &DatasetStudy, study_config: &printed_axc::StudyConfig, seed: u64) -> Fig4Row {
+    let dataset: Dataset = study.dataset;
+    let spec = dataset.spec();
+    let tech = TechLibrary::egfet();
+    let elab = Elaborator::new(tech.clone());
+    let vdd = VddModel::egfet();
+    let base_area = study.baseline_report.area_cm2;
+    let base_power = study.baseline_report.power_mw;
+
+    // Float network for the SC conversion (same lineage as the study:
+    // identical data, split, and best-of-3 training).
+    let data = generate(dataset, seed);
+    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
+    let sgd_cfg = study_config.sgd_for(&spec);
+    let (float_mlp, _) = pe_mlp::train::train_best_of(
+        &Topology::new(spec.topology()),
+        &split.train.features,
+        &split.train.labels,
+        &sgd_cfg,
+        3,
+    );
+
+    // TC'23.
+    let tc = approximate_tc23(
+        &study.baseline,
+        &study.train.features,
+        &study.train.labels,
+        &Tc23Config::default(),
+    );
+    let tc_report = tc.hardware_report(&elab, "tc23");
+    let tc_acc = tc.accuracy(&study.test.features, &study.test.labels);
+
+    // TCAD'23 (VOS).
+    let tcad = approximate_tcad23(
+        &study.baseline,
+        &study.train.features,
+        &study.train.labels,
+        spec.classes,
+        &Tcad23Config::default(),
+        &elab,
+        &vdd,
+    );
+    let tcad_report = tcad.hardware_report(&elab, &vdd, "tcad23");
+    let tcad_acc = tcad.vos_accuracy(
+        tcad.design.accuracy(&study.test.features, &study.test.labels),
+        spec.classes,
+    );
+
+    // DATE'21 SC.
+    let sc = ScMlp::from_dense(&float_mlp, &split.train.features, &ScConfig::default());
+    let sc_report = sc.hardware_report(&tech, "sc");
+    let sc_acc = sc.accuracy(&split.test.features, &split.test.labels);
+
+    Fig4Row {
+        dataset: spec.short_name.to_owned(),
+        ours: study.selected.as_ref().map(|d| MethodPoint {
+            norm_area: d.report.area_cm2 / base_area,
+            norm_power: d.report.power_mw / base_power,
+            accuracy: d.test_accuracy,
+        }),
+        tc23: MethodPoint {
+            norm_area: tc_report.area_cm2 / base_area,
+            norm_power: tc_report.power_mw / base_power,
+            accuracy: tc_acc,
+        },
+        tcad23: MethodPoint {
+            norm_area: tcad_report.area_cm2 / base_area,
+            norm_power: tcad_report.power_mw / base_power,
+            accuracy: tcad_acc,
+        },
+        sc: MethodPoint {
+            norm_area: sc_report.area_cm2 / base_area,
+            norm_power: sc_report.power_mw / base_power,
+            accuracy: sc_acc,
+        },
+    }
+}
+
+/// Render both panels of Fig. 4 as tables (normalized, log-scale data).
+#[must_use]
+pub fn render(rows: &[Fig4Row]) -> String {
+    let fmt = |p: &MethodPoint| format!("{:.4}", p.norm_area);
+    let fmt_p = |p: &MethodPoint| format!("{:.4}", p.norm_power);
+    let area = render_table(
+        "Fig. 4a: Normalized area (vs exact baseline; lower is better)",
+        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.ours.as_ref().map_or("-".into(), fmt),
+                    fmt(&r.tc23),
+                    fmt(&r.tcad23),
+                    fmt(&r.sc),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let power = render_table(
+        "Fig. 4b: Normalized power (vs exact baseline; lower is better)",
+        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.ours.as_ref().map_or("-".into(), fmt_p),
+                    fmt_p(&r.tc23),
+                    fmt_p(&r.tcad23),
+                    fmt_p(&r.sc),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let acc = render_table(
+        "Fig. 4 (context): test accuracies of the compared designs",
+        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.ours.as_ref().map_or("-".into(), |p| format!("{:.3}", p.accuracy)),
+                    format!("{:.3}", r.tc23.accuracy),
+                    format!("{:.3}", r.tcad23.accuracy),
+                    format!("{:.3}", r.sc.accuracy),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!("{area}\n{power}\n{acc}")
+}

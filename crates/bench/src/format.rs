@@ -1,0 +1,92 @@
+//! Table rendering and JSON artifact output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Render an ASCII table with a title, header and rows.
+#[must_use]
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let _ = writeln!(out, "+{line}+");
+    let hdr: Vec<String> =
+        header.iter().zip(&widths).map(|(h, w)| format!(" {h:<w$} ")).collect();
+    let _ = writeln!(out, "|{}|", hdr.join("|"));
+    let _ = writeln!(out, "+{line}+");
+    for row in rows {
+        let cells: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!(" {c:<w$} ")).collect();
+        let _ = writeln!(out, "|{}|", cells.join("|"));
+    }
+    let _ = writeln!(out, "+{line}+");
+    out
+}
+
+/// Write a serializable artifact as pretty JSON under `target/experiments/`.
+///
+/// Errors are reported to stderr but never fail the experiment (the
+/// printed table is the primary artifact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a reduction factor the way the paper prints them (`288x`).
+#[must_use]
+pub fn fmt_reduction(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v >= 100.0 => format!("{v:.0}x"),
+        Some(v) if v >= 10.0 => format!("{v:.1}x"),
+        Some(v) => format!("{v:.2}x"),
+        None => "-".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("| a   | long_header |"));
+        assert!(t.contains("| 333 | 4           |"));
+    }
+
+    #[test]
+    fn reductions_format_like_the_paper() {
+        assert_eq!(fmt_reduction(Some(288.4)), "288x");
+        assert_eq!(fmt_reduction(Some(19.33)), "19.3x");
+        assert_eq!(fmt_reduction(Some(5.3)), "5.30x");
+        assert_eq!(fmt_reduction(None), "-");
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of the
+//! DATE'24 paper.
+//!
+//! Each experiment is a plain function returning serializable rows, so
+//! it can be driven three ways:
+//!
+//! * `cargo run -p pe-bench --release --bin <experiment>` — full-budget
+//!   reproduction, printing the paper-format table and writing JSON
+//!   next to it;
+//! * `cargo bench -p pe-bench --bench <experiment>` — a scaled-budget
+//!   run that prints the same table plus Criterion timings of the
+//!   underlying kernels;
+//! * library calls from the integration tests.
+//!
+//! Experiment index (see DESIGN.md §4): [`table1`] baselines,
+//! [`table2`] our approximate MLPs, [`table3`] training times,
+//! [`fig4`] state-of-the-art comparison, [`fig5`] power-source
+//! feasibility, plus the [`ablation`] studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod format;
+pub mod study;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use study::{study_config, BudgetPreset};

@@ -1,0 +1,94 @@
+//! Shared study execution and budget presets.
+
+use pe_datasets::Dataset;
+use pe_hw::TechLibrary;
+use pe_nsga::NsgaConfig;
+use printed_axc::{AxTrainConfig, DatasetStudy, StudyConfig};
+
+/// How much compute an experiment run may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPreset {
+    /// Seconds per dataset: for `cargo bench` smoke runs and CI.
+    Quick,
+    /// A couple of minutes per dataset: the default for `--bin` runs;
+    /// Pareto fronts are close to saturated at this budget.
+    Full,
+}
+
+impl BudgetPreset {
+    /// Parse from the `PE_BUDGET` environment variable (`quick`/`full`),
+    /// defaulting to the given preset.
+    #[must_use]
+    pub fn from_env(default: BudgetPreset) -> Self {
+        match std::env::var("PE_BUDGET").ok().as_deref() {
+            Some("quick") => BudgetPreset::Quick,
+            Some("full") => BudgetPreset::Full,
+            _ => default,
+        }
+    }
+}
+
+/// The study configuration used by every experiment at the given
+/// budget. One seed governs the whole flow, so tables regenerate
+/// bit-identically.
+#[must_use]
+pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
+    match budget {
+        BudgetPreset::Quick => StudyConfig {
+            seed,
+            ga: AxTrainConfig {
+                fitness_subsample: Some(500),
+                nsga: NsgaConfig {
+                    population: 32,
+                    generations: 24,
+                    mutation_prob: 0.03,
+                    seed,
+                    ..NsgaConfig::default()
+                },
+                ..AxTrainConfig::default()
+            },
+            sgd_epochs_scale: 0.3,
+            accuracy_loss_budget: 0.05,
+        },
+        BudgetPreset::Full => StudyConfig {
+            seed,
+            ga: AxTrainConfig {
+                fitness_subsample: Some(2000),
+                nsga: NsgaConfig {
+                    population: 150,
+                    generations: 700,
+                    mutation_prob: 0.015,
+                    creep_fraction: 0.6,
+                    seed,
+                    ..NsgaConfig::default()
+                },
+                ..AxTrainConfig::default()
+            },
+            sgd_epochs_scale: 1.0,
+            accuracy_loss_budget: 0.05,
+        },
+    }
+}
+
+/// Run studies for all five datasets at the given budget.
+#[must_use]
+pub fn run_all_studies(budget: BudgetPreset, seed: u64) -> Vec<DatasetStudy> {
+    let tech = TechLibrary::egfet();
+    Dataset::ALL
+        .iter()
+        .map(|&d| printed_axc::run_study(d, &study_config(budget, seed), &tech))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_budget() {
+        let q = study_config(BudgetPreset::Quick, 0);
+        let f = study_config(BudgetPreset::Full, 0);
+        assert!(q.ga.nsga.generations < f.ga.nsga.generations);
+        assert!(q.sgd_epochs_scale < f.sgd_epochs_scale);
+    }
+}

@@ -1,0 +1,86 @@
+//! Table I — evaluation of the exact bespoke baseline printed MLPs.
+//!
+//! Paper columns: MLP, Topology, Parameters, Accuracy, Area (cm²),
+//! Power (mW). Our baselines are trained/quantized in-process and
+//! costed by the `pe-hw` EGFET model.
+
+use serde::{Deserialize, Serialize};
+
+use printed_axc::DatasetStudy;
+
+use crate::format::render_table;
+
+/// One Table I row: ours next to the paper's reported numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset display name.
+    pub mlp: String,
+    /// Topology string, e.g. `(10,3,2)`.
+    pub topology: String,
+    /// Weight+bias parameter count.
+    pub parameters: usize,
+    /// Measured baseline test accuracy.
+    pub accuracy: f64,
+    /// Measured baseline area in cm².
+    pub area_cm2: f64,
+    /// Measured baseline power in mW.
+    pub power_mw: f64,
+    /// Paper-reported accuracy.
+    pub paper_accuracy: f64,
+    /// Paper-reported area.
+    pub paper_area_cm2: f64,
+    /// Paper-reported power.
+    pub paper_power_mw: f64,
+}
+
+/// Build Table I rows from completed studies.
+#[must_use]
+pub fn rows(studies: &[DatasetStudy]) -> Vec<Table1Row> {
+    studies
+        .iter()
+        .map(|s| {
+            let spec = s.dataset.spec();
+            let topo: Vec<String> = spec.topology().iter().map(ToString::to_string).collect();
+            Table1Row {
+                mlp: spec.name.to_owned(),
+                topology: format!("({})", topo.join(",")),
+                parameters: spec.parameter_count(),
+                accuracy: s.baseline_test_accuracy,
+                area_cm2: s.baseline_report.area_cm2,
+                power_mw: s.baseline_report.power_mw,
+                paper_accuracy: spec.paper.accuracy,
+                paper_area_cm2: spec.paper.area_cm2,
+                paper_power_mw: spec.paper.power_mw,
+            }
+        })
+        .collect()
+}
+
+/// Render the table in the paper's layout (with paper-reported values
+/// alongside for the reproduction record).
+#[must_use]
+pub fn render(rows: &[Table1Row]) -> String {
+    render_table(
+        "Table I: Evaluation of the baseline printed MLPs (measured vs paper)",
+        &[
+            "MLP", "Topology", "Params", "Acc", "Area(cm2)", "Power(mW)", "Acc*", "Area*",
+            "Power*",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mlp.clone(),
+                    r.topology.clone(),
+                    r.parameters.to_string(),
+                    format!("{:.3}", r.accuracy),
+                    format!("{:.1}", r.area_cm2),
+                    format!("{:.1}", r.power_mw),
+                    format!("{:.3}", r.paper_accuracy),
+                    format!("{:.1}", r.paper_area_cm2),
+                    format!("{:.1}", r.paper_power_mw),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}

@@ -1,0 +1,149 @@
+//! Table II — our approximate printed MLPs at up to 5% accuracy loss.
+//!
+//! Paper columns: MLP, Accuracy, Area (cm²), Power (mW), Area
+//! Reduction, Power Reduction (both vs the exact baseline).
+
+use serde::{Deserialize, Serialize};
+
+use printed_axc::DatasetStudy;
+
+use crate::format::{fmt_reduction, render_table};
+
+/// One Table II row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Dataset display name.
+    pub mlp: String,
+    /// Selected design's test accuracy.
+    pub accuracy: Option<f64>,
+    /// Selected design's area in cm².
+    pub area_cm2: Option<f64>,
+    /// Selected design's power in mW.
+    pub power_mw: Option<f64>,
+    /// Area reduction vs baseline.
+    pub area_reduction: Option<f64>,
+    /// Power reduction vs baseline.
+    pub power_reduction: Option<f64>,
+    /// Paper-reported reductions for the record.
+    pub paper_area_reduction: f64,
+    /// Paper-reported power reduction.
+    pub paper_power_reduction: f64,
+}
+
+/// Paper-reported Table II reduction factors (for the side-by-side
+/// record in EXPERIMENTS.md).
+#[must_use]
+pub fn paper_reductions(dataset: pe_datasets::Dataset) -> (f64, f64) {
+    use pe_datasets::Dataset as D;
+    match dataset {
+        D::BreastCancer => (288.0, 274.0),
+        D::Cardio => (19.3, 19.0),
+        D::Pendigits => (5.3, 5.3),
+        D::RedWine => (470.0, 579.0),
+        D::WhiteWine => (122.0, 137.0),
+    }
+}
+
+/// Build Table II rows from completed studies.
+#[must_use]
+pub fn rows(studies: &[DatasetStudy]) -> Vec<Table2Row> {
+    studies
+        .iter()
+        .map(|s| {
+            let spec = s.dataset.spec();
+            let (pa, pp) = paper_reductions(s.dataset);
+            Table2Row {
+                mlp: spec.name.to_owned(),
+                accuracy: s.selected.as_ref().map(|d| d.test_accuracy),
+                area_cm2: s.selected.as_ref().map(|d| d.report.area_cm2),
+                power_mw: s.selected.as_ref().map(|d| d.report.power_mw),
+                area_reduction: s.area_reduction(),
+                power_reduction: s.power_reduction(),
+                paper_area_reduction: pa,
+                paper_power_reduction: pp,
+            }
+        })
+        .collect()
+}
+
+/// Render the table in the paper's layout.
+#[must_use]
+pub fn render(rows: &[Table2Row]) -> String {
+    render_table(
+        "Table II: Our printed MLPs for up to 5% accuracy loss (measured vs paper reductions)",
+        &["MLP", "Acc", "Area(cm2)", "Power(mW)", "AreaRed", "PowerRed", "AreaRed*", "PowerRed*"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mlp.clone(),
+                    r.accuracy.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.area_cm2.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.power_mw.map_or("-".into(), |v| format!("{v:.3}")),
+                    fmt_reduction(r.area_reduction),
+                    fmt_reduction(r.power_reduction),
+                    fmt_reduction(Some(r.paper_area_reduction)),
+                    fmt_reduction(Some(r.paper_power_reduction)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Geometric-mean reduction across rows (the paper quotes averages of
+/// 181× area / 203× power; a geometric mean is the fair aggregate for
+/// ratios and is reported alongside).
+#[must_use]
+pub fn geomean_reductions(rows: &[Table2Row]) -> (Option<f64>, Option<f64>) {
+    fn geomean(v: &[f64]) -> Option<f64> {
+        if v.is_empty() {
+            return None;
+        }
+        Some((v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp())
+    }
+    let areas: Vec<f64> = rows.iter().filter_map(|r| r.area_reduction).collect();
+    let powers: Vec<f64> = rows.iter().filter_map(|r| r.power_reduction).collect();
+    (geomean(&areas), geomean(&powers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_datasets::Dataset;
+
+    fn row(area: Option<f64>, power: Option<f64>) -> Table2Row {
+        Table2Row {
+            mlp: "X".into(),
+            accuracy: Some(0.9),
+            area_cm2: Some(1.0),
+            power_mw: Some(1.0),
+            area_reduction: area,
+            power_reduction: power,
+            paper_area_reduction: 100.0,
+            paper_power_reduction: 100.0,
+        }
+    }
+
+    #[test]
+    fn geomean_ignores_missing_rows() {
+        let rows = vec![row(Some(10.0), Some(10.0)), row(None, None), row(Some(1000.0), Some(10.0))];
+        let (a, p) = geomean_reductions(&rows);
+        assert!((a.unwrap() - 100.0).abs() < 1e-9);
+        assert!((p.unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_reductions(&[row(None, None)]), (None, None));
+    }
+
+    #[test]
+    fn paper_reductions_match_table_ii() {
+        assert_eq!(paper_reductions(Dataset::BreastCancer), (288.0, 274.0));
+        assert_eq!(paper_reductions(Dataset::Pendigits), (5.3, 5.3));
+        assert_eq!(paper_reductions(Dataset::RedWine), (470.0, 579.0));
+    }
+
+    #[test]
+    fn render_handles_missing_selection() {
+        let out = render(&[row(None, None)]);
+        assert!(out.contains('-'));
+        assert!(out.contains("Table II"));
+    }
+}

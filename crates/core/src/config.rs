@@ -1,0 +1,82 @@
+//! Configuration of the hardware-aware GA training flow.
+
+use serde::{Deserialize, Serialize};
+
+use pe_nsga::NsgaConfig;
+
+/// Hyperparameters of the DATE'24 training framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxTrainConfig {
+    /// Weight representation width `n`: pow2 exponents range over
+    /// `[0, n-1)` (Eq. (1); `n = 8` gives `k ∈ 0..=6`).
+    pub weight_bits: u32,
+    /// Width of the quantized bias genes in bits (two's complement).
+    pub bias_bits: u32,
+    /// Primary-input width in bits (4 in the paper).
+    pub input_bits: u32,
+    /// Hidden QReLU activation width in bits (8 in the paper).
+    pub activation_bits: u32,
+    /// Training-time accuracy-loss bound relative to the exact baseline
+    /// (the paper imposes 10%, §IV-A); candidates below
+    /// `baseline − bound` are treated as constraint violators.
+    pub max_accuracy_loss: f64,
+    /// Fraction of the initial population doped with nearly
+    /// non-approximate solutions (~10% in the paper, §IV-A).
+    pub doping_fraction: f64,
+    /// Upper bound on training samples used per fitness evaluation
+    /// (`None` = all). Deterministically subsampled; keeps Pendigits-
+    /// scale fitness affordable exactly as large-scale GA practice does.
+    pub fitness_subsample: Option<usize>,
+    /// NSGA-II settings (population, generations, operator rates, seed).
+    pub nsga: NsgaConfig,
+}
+
+impl Default for AxTrainConfig {
+    fn default() -> Self {
+        Self {
+            weight_bits: 8,
+            bias_bits: 12,
+            input_bits: 4,
+            activation_bits: 8,
+            max_accuracy_loss: 0.10,
+            doping_fraction: 0.10,
+            fitness_subsample: Some(2000),
+            nsga: NsgaConfig::default(),
+        }
+    }
+}
+
+impl AxTrainConfig {
+    /// Largest pow2 exponent a weight gene may take (`n − 2`).
+    #[must_use]
+    pub fn max_shift(&self) -> u8 {
+        (self.weight_bits - 2) as u8
+    }
+
+    /// A scaled-down budget for tests and CI-speed benches.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            fitness_subsample: Some(400),
+            nsga: NsgaConfig { population: 24, generations: 20, seed, ..NsgaConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = AxTrainConfig::default();
+        assert_eq!(c.weight_bits, 8);
+        assert_eq!(c.input_bits, 4);
+        assert_eq!(c.activation_bits, 8);
+        assert_eq!(c.max_shift(), 6);
+        assert!((c.max_accuracy_loss - 0.10).abs() < 1e-12);
+        assert!((c.doping_fraction - 0.10).abs() < 1e-12);
+        assert!((c.nsga.crossover_prob - 0.7).abs() < 1e-12);
+    }
+}

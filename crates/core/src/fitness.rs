@@ -1,0 +1,277 @@
+//! The multi-objective fitness of Eq. (3):
+//! `min [1 − Accuracy(θ, D), Area(θ)]`.
+//!
+//! Accuracy is the integer-exact inference of Eq. (4) on the training
+//! split; area is the fast FA-count estimate of Eq. (2). The paper's
+//! 10% accuracy-loss bound (§IV-A) is enforced through Deb's
+//! constrained domination rather than a penalty term, so infeasible
+//! chromosomes are still ordered by how close to feasibility they are.
+
+use pe_arith::AdderAreaEstimator;
+use pe_hw::{argmax_gate_counts, qrelu_gate_counts, TechLibrary};
+use pe_nsga::{Evaluation, IntProblem};
+use serde::{Deserialize, Serialize};
+
+use crate::genome::GenomeSpec;
+
+/// Which area model the GA minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AreaObjective {
+    /// The paper's Eq. (2): per-neuron FA count of the adder trees.
+    /// Blind to accumulator width downstream of the trees (QReLU and
+    /// argmax comparators), which the paper's far larger GA budget
+    /// compensates for.
+    FaCount,
+    /// Full analytic gate-equivalent estimate: adder trees plus NOT
+    /// gates, QReLU saturation units and the argmax comparator tree —
+    /// the same formulas the netlist elaborator instantiates, so the
+    /// GA's view and the synthesized cost cannot diverge. Default for
+    /// this reproduction; the `ablation_objective` bench compares both.
+    GateEquivalents,
+}
+
+/// The GA training problem: genomes decode to approximate MLPs which
+/// are scored on (training error, estimated area).
+#[derive(Debug, Clone)]
+pub struct AxTrainProblem {
+    spec: GenomeSpec,
+    rows: Vec<Vec<u8>>,
+    labels: Vec<usize>,
+    estimator: AdderAreaEstimator,
+    objective: AreaObjective,
+    tech: TechLibrary,
+    /// Exact-baseline accuracy on the same rows.
+    baseline_accuracy: f64,
+    /// Maximum tolerated accuracy loss during training (0.10).
+    max_loss: f64,
+}
+
+impl AxTrainProblem {
+    /// Create a training problem.
+    ///
+    /// `rows`/`labels` are the (possibly subsampled) quantized training
+    /// split; `baseline_accuracy` is the exact baseline's accuracy used
+    /// for the feasibility bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows and labels differ in length or are empty.
+    #[must_use]
+    pub fn new(
+        spec: GenomeSpec,
+        rows: Vec<Vec<u8>>,
+        labels: Vec<usize>,
+        baseline_accuracy: f64,
+        max_loss: f64,
+    ) -> Self {
+        assert_eq!(rows.len(), labels.len());
+        assert!(!rows.is_empty(), "fitness data must be non-empty");
+        Self {
+            spec,
+            rows,
+            labels,
+            estimator: AdderAreaEstimator::paper(),
+            objective: AreaObjective::GateEquivalents,
+            tech: TechLibrary::egfet(),
+            baseline_accuracy,
+            max_loss,
+        }
+    }
+
+    /// Override the area objective (see [`AreaObjective`]).
+    #[must_use]
+    pub fn with_objective(mut self, objective: AreaObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The genome layout being optimized.
+    #[must_use]
+    pub fn genome_spec(&self) -> &GenomeSpec {
+        &self.spec
+    }
+
+    /// Number of fitness samples.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The feasibility threshold: training accuracies below
+    /// `baseline − max_loss` violate the constraint.
+    #[must_use]
+    pub fn accuracy_floor(&self) -> f64 {
+        (self.baseline_accuracy - self.max_loss).max(0.0)
+    }
+
+    /// Score a decoded network directly (shared by the GA and the
+    /// ablation benches). Returns `(accuracy, estimated area)` in the
+    /// units of the configured [`AreaObjective`].
+    #[must_use]
+    pub fn score(&self, mlp: &pe_mlp::AxMlp) -> (f64, f64) {
+        let accuracy = mlp.accuracy(&self.rows, &self.labels);
+        let area = match self.objective {
+            AreaObjective::FaCount => self
+                .estimator
+                .estimate_total(mlp.arith_specs().iter().flatten()),
+            AreaObjective::GateEquivalents => self.gate_equivalents(mlp),
+        };
+        (accuracy, area)
+    }
+
+    /// Analytic gate-equivalent area of a decoded network, mirroring
+    /// the netlist elaborator: adder-tree FAs/HAs, sign-inversion NOTs,
+    /// QReLU units, and the argmax comparator over bias-normalized
+    /// output accumulators.
+    #[must_use]
+    pub fn gate_equivalents(&self, mlp: &pe_mlp::AxMlp) -> f64 {
+        let mlp = &pe_mlp::fold_constants(mlp);
+        let mut ge = 0.0f64;
+        let last = mlp.layers.len().saturating_sub(1);
+        for (li, layer) in mlp.layers.iter().enumerate() {
+            let bias_shift = if li == last {
+                layer.neurons.iter().map(|n| n.bias).min().unwrap_or(0)
+            } else {
+                0
+            };
+            let mut max_width = 1u32;
+            for n in &layer.neurons {
+                let mut spec = n.to_arith_spec(layer.input_bits);
+                spec.bias -= i64::from(bias_shift);
+                let report = self.estimator.estimate(&spec);
+                ge += f64::from(report.full_adders) * self.tech.ge(pe_hw::Cell::Fa)
+                    + f64::from(report.half_adders) * self.tech.ge(pe_hw::Cell::Ha)
+                    + f64::from(report.not_gates) * self.tech.ge(pe_hw::Cell::Not);
+                max_width = max_width.max(report.accumulator_bits);
+                if let Some(q) = layer.qrelu {
+                    let gates =
+                        qrelu_gate_counts(report.accumulator_bits, q.out_bits, q.shift);
+                    ge += self.counts_ge(&gates);
+                }
+            }
+            if layer.qrelu.is_none() {
+                let gates = argmax_gate_counts(layer.neurons.len(), max_width);
+                ge += self.counts_ge(&gates);
+            }
+        }
+        ge
+    }
+
+    fn counts_ge(&self, counts: &pe_hw::CellCounts) -> f64 {
+        pe_hw::Cell::ALL
+            .iter()
+            .map(|&c| f64::from(counts.get(c)) * self.tech.ge(c))
+            .sum()
+    }
+}
+
+impl IntProblem for AxTrainProblem {
+    fn bounds(&self) -> &[u32] {
+        self.spec.bounds()
+    }
+
+    fn evaluate(&self, genes: &[u32]) -> Evaluation {
+        let mlp = self.spec.decode(genes);
+        let (accuracy, area) = self.score(&mlp);
+        let objectives = vec![1.0 - accuracy, area];
+        let floor = self.accuracy_floor();
+        if accuracy + 1e-12 >= floor {
+            Evaluation::feasible(objectives)
+        } else {
+            Evaluation::infeasible(objectives, floor - accuracy)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::LayerGenomeSpec;
+
+    /// A threshold problem a single masked neuron can solve: class 1
+    /// iff x > 7.
+    fn threshold_problem(max_loss: f64) -> AxTrainProblem {
+        let spec = GenomeSpec::new(
+            vec![LayerGenomeSpec { fan_in: 1, neurons: 2, input_bits: 4, qrelu: None }],
+            8,
+            8,
+        );
+        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
+        AxTrainProblem::new(spec, rows, labels, 1.0, max_loss)
+    }
+
+    /// Genome: neuron0 = const 0 (zero mask, bias 0), neuron1 = x − 7,
+    /// so the argmax (ties to neuron0) flips to class 1 exactly at
+    /// x = 8.
+    fn good_genes(problem: &AxTrainProblem) -> Vec<u32> {
+        let spec = problem.genome_spec();
+        let mut genes = vec![0u32; spec.gene_count()];
+        // Layout: n0: m,s,k,b  n1: m,s,k,b with bias offset 128.
+        genes[3] = 128; // n0 bias = 0
+        genes[4] = 0b1111; // n1 mask full
+        genes[5] = 0; // positive
+        genes[6] = 0; // k = 0
+        genes[7] = 128 - 7; // n1 bias = -7
+        genes
+    }
+
+    #[test]
+    fn perfect_classifier_scores_zero_error() {
+        let p = threshold_problem(0.10);
+        let e = p.evaluate(&good_genes(&p));
+        assert!(e.is_feasible());
+        assert!(e.objectives[0] < 1e-9, "error {}", e.objectives[0]);
+        assert!(e.objectives[1] > 0.0, "area must be positive");
+    }
+
+    #[test]
+    fn empty_network_is_infeasible_under_tight_bound() {
+        let p = threshold_problem(0.10);
+        let genes = vec![0u32; p.genome_spec().gene_count()];
+        let e = p.evaluate(&genes);
+        // All-zero masks with huge negative biases: ~50% accuracy at
+        // best, violating the 90% floor.
+        assert!(!e.is_feasible());
+        assert!(e.violation > 0.0);
+    }
+
+    #[test]
+    fn area_objective_rewards_pruning() {
+        // Three inputs per neuron so kept mask bits stack into 3-high
+        // columns (real FAs) and pruning visibly reduces the objective.
+        let spec = GenomeSpec::new(
+            vec![LayerGenomeSpec { fan_in: 3, neurons: 2, input_bits: 4, qrelu: None }],
+            8,
+            8,
+        );
+        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v, v, v]).collect();
+        let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
+        let p = AxTrainProblem::new(spec, rows, labels, 1.0, 1.0);
+        // Neuron 0: three full-mask positive weights; neuron 1 inactive.
+        let mut full = vec![0u32; p.genome_spec().gene_count()];
+        for w in 0..3 {
+            full[w * 3] = 0b1111; // mask
+        }
+        full[9] = 128; // n0 bias = 0
+        full[19] = 128; // n1 bias = 0
+        let mut pruned = full.clone();
+        for w in 0..3 {
+            pruned[w * 3] = 0b1000;
+        }
+        let e_full = p.evaluate(&full);
+        let e_pruned = p.evaluate(&pruned);
+        assert!(
+            e_pruned.objectives[1] < e_full.objectives[1],
+            "pruned {} vs full {}",
+            e_pruned.objectives[1],
+            e_full.objectives[1]
+        );
+    }
+
+    #[test]
+    fn floor_clamps_at_zero() {
+        let p = threshold_problem(5.0);
+        assert_eq!(p.accuracy_floor(), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end per-dataset study: the complete pipeline of the paper's
+//! evaluation, from raw data to the Table II row.
+//!
+//! Steps (matching §V-A): generate/load the dataset → stratified 70/30
+//! split → backprop-train the float MLP at the paper's topology →
+//! quantize to the exact bespoke baseline (8-bit weights, 4-bit inputs)
+//! → elaborate and cost the baseline circuit (the Table I row) → run
+//! the hardware-aware GA → hardware-analyse the front → select the
+//! smallest design within the 5% accuracy-loss budget (the Table II
+//! row).
+
+use serde::{Deserialize, Serialize};
+
+use pe_datasets::{generate, quantize, stratified_split, Dataset, DatasetSpec, QuantizedData};
+use pe_hw::{Elaborator, HardwareReport, TechLibrary};
+use pe_mlp::{fixed_to_hardware, FixedMlp, QuantConfig, Topology, TrainConfig};
+
+use crate::config::AxTrainConfig;
+use crate::pareto::{select_within_loss, DesignPoint};
+use crate::train::{HwAwareTrainer, TrainingOutcome};
+
+/// Configuration of a full study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Master seed (data generation, split, SGD, GA).
+    pub seed: u64,
+    /// GA training configuration.
+    pub ga: AxTrainConfig,
+    /// Scale on each dataset's recommended SGD epoch budget
+    /// ([`pe_datasets::SgdHint`]); 1.0 = full, smaller = quicker.
+    pub sgd_epochs_scale: f64,
+    /// Reporting accuracy-loss budget (5% in Tables II / Fig. 4-5).
+    pub accuracy_loss_budget: f64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            ga: AxTrainConfig::default(),
+            sgd_epochs_scale: 1.0,
+            accuracy_loss_budget: 0.05,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A scaled-down configuration for tests and smoke benches.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            ga: AxTrainConfig::quick(seed),
+            sgd_epochs_scale: 0.3,
+            accuracy_loss_budget: 0.05,
+        }
+    }
+
+    /// The SGD configuration this study uses for a given dataset.
+    #[must_use]
+    pub fn sgd_for(&self, spec: &DatasetSpec) -> TrainConfig {
+        TrainConfig {
+            learning_rate: spec.sgd.learning_rate,
+            epochs: ((spec.sgd.epochs as f64 * self.sgd_epochs_scale).round() as usize).max(10),
+            seed: self.seed,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// All artifacts of one dataset's evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStudy {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// Float baseline accuracy on the test split.
+    pub float_test_accuracy: f64,
+    /// The exact bespoke baseline network.
+    pub baseline: FixedMlp,
+    /// Baseline accuracy on the (full) training split.
+    pub baseline_train_accuracy: f64,
+    /// Baseline accuracy on the test split (the Table I "Acc" column).
+    pub baseline_test_accuracy: f64,
+    /// Baseline circuit evaluation (the Table I area/power columns).
+    pub baseline_report: HardwareReport,
+    /// GA outcome: fronts, history, timings.
+    pub outcome: TrainingOutcome,
+    /// The Table II design: smallest area within the loss budget.
+    pub selected: Option<DesignPoint>,
+    /// The quantized training split (kept for follow-up experiments).
+    pub train: QuantizedData,
+    /// The quantized test split.
+    pub test: QuantizedData,
+}
+
+impl DatasetStudy {
+    /// Area reduction factor of the selected design vs the baseline
+    /// (the Table II "Area Reduction" column).
+    #[must_use]
+    pub fn area_reduction(&self) -> Option<f64> {
+        self.selected
+            .as_ref()
+            .map(|d| self.baseline_report.area_cm2 / d.report.area_cm2.max(f64::MIN_POSITIVE))
+    }
+
+    /// Power reduction factor of the selected design vs the baseline.
+    #[must_use]
+    pub fn power_reduction(&self) -> Option<f64> {
+        self.selected
+            .as_ref()
+            .map(|d| self.baseline_report.power_mw / d.report.power_mw.max(f64::MIN_POSITIVE))
+    }
+}
+
+/// Run the full pipeline for one dataset.
+///
+/// Deterministic in `config.seed`. The `tech` library is used for both
+/// baseline and approximate circuit evaluation, so reduction factors
+/// are internally consistent.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (all inputs are
+/// generated in-process).
+#[must_use]
+pub fn run_study(dataset: Dataset, config: &StudyConfig, tech: &TechLibrary) -> DatasetStudy {
+    let spec: DatasetSpec = dataset.spec();
+    let data = generate(dataset, config.seed);
+    let split = stratified_split(&data, 0.7, config.seed).expect("0.7 is a valid fraction");
+
+    // Float baseline at the paper's topology (best-of-3 restarts: the
+    // tiny hidden layers occasionally hit dead-ReLU initializations).
+    let topology = Topology::new(spec.topology());
+    let sgd = config.sgd_for(&spec);
+    let (float_mlp, _) = pe_mlp::train::train_best_of(
+        &topology,
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        3,
+    );
+    let float_test_accuracy = float_mlp.accuracy(&split.test.features, &split.test.labels);
+
+    // Exact bespoke baseline.
+    let baseline = FixedMlp::quantize(
+        &float_mlp,
+        QuantConfig {
+            weight_bits: config.ga.weight_bits,
+            input_bits: config.ga.input_bits,
+            activation_bits: config.ga.activation_bits,
+        },
+        &split.train.features,
+    );
+    let train = quantize(&split.train, config.ga.input_bits);
+    let test = quantize(&split.test, config.ga.input_bits);
+    let baseline_train_accuracy = baseline.accuracy(&train.features, &train.labels);
+    let baseline_test_accuracy = baseline.accuracy(&test.features, &test.labels);
+
+    let elaborator = Elaborator::new(tech.clone());
+    let baseline_report =
+        elaborator.elaborate(&fixed_to_hardware(&baseline, spec.name)).report;
+
+    // Hardware-aware GA training + Pareto analysis.
+    let trainer = HwAwareTrainer::new(config.ga.clone());
+    let outcome =
+        trainer.train(&baseline, baseline_train_accuracy, &train, &test, &elaborator, spec.name);
+
+    let selected = select_within_loss(
+        &outcome.front,
+        baseline_test_accuracy,
+        config.accuracy_loss_budget,
+    )
+    .cloned();
+
+    DatasetStudy {
+        dataset,
+        float_test_accuracy,
+        baseline,
+        baseline_train_accuracy,
+        baseline_test_accuracy,
+        baseline_report,
+        outcome,
+        selected,
+        train,
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_on_breast_cancer_end_to_end() {
+        let study = run_study(
+            Dataset::BreastCancer,
+            &StudyConfig::quick(1),
+            &TechLibrary::egfet(),
+        );
+        // The synthetic BC dataset is easy: the float baseline should be
+        // strong even with a quick budget.
+        assert!(study.float_test_accuracy > 0.85, "float {}", study.float_test_accuracy);
+        assert!(
+            study.baseline_test_accuracy > 0.80,
+            "baseline {}",
+            study.baseline_test_accuracy
+        );
+        assert!(study.baseline_report.area_cm2 > 1.0, "baseline should be cm2-scale");
+        assert!(!study.outcome.front.is_empty());
+        if let Some(sel) = &study.selected {
+            assert!(sel.test_accuracy >= study.baseline_test_accuracy - 0.05 - 1e-9);
+            let reduction = study.area_reduction().expect("selected exists");
+            assert!(reduction > 1.0, "area reduction {reduction}");
+        }
+    }
+
+    #[test]
+    fn studies_are_reproducible() {
+        let cfg = StudyConfig::quick(7);
+        let tech = TechLibrary::egfet();
+        let a = run_study(Dataset::RedWine, &cfg, &tech);
+        let b = run_study(Dataset::RedWine, &cfg, &tech);
+        assert_eq!(a.baseline, b.baseline);
+        assert_eq!(a.baseline_test_accuracy, b.baseline_test_accuracy);
+        assert_eq!(a.outcome.front.len(), b.outcome.front.len());
+        assert_eq!(a.outcome.evaluations, b.outcome.evaluations);
+    }
+}

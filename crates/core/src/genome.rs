@@ -1,0 +1,285 @@
+//! Chromosome encoding of the approximate MLP (paper Fig. 3).
+//!
+//! Genes are grouped by weight — `(m, s, k)` triples — then by neuron
+//! (with a trailing bias gene), then by layer, exactly as the paper's
+//! encoding figure shows. Each gene is a bounded integer:
+//!
+//! | gene | meaning | bound |
+//! |------|---------|-------|
+//! | `m`  | pruning mask over the input's bits | `2^input_bits` |
+//! | `s`  | sign (0 = +1, 1 = −1) | `2` |
+//! | `k`  | pow2 exponent | `weight_bits − 1` (i.e. `k ∈ [0, n−1)`) |
+//! | `b`  | biased-encoded quantized bias | `2^bias_bits` |
+
+use serde::{Deserialize, Serialize};
+
+use pe_mlp::{AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+
+/// Shape information for one layer's genes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerGenomeSpec {
+    /// Fan-in of each neuron in this layer.
+    pub fan_in: usize,
+    /// Number of neurons.
+    pub neurons: usize,
+    /// Width of this layer's input activations in bits.
+    pub input_bits: u32,
+    /// QReLU of this layer (`None` for the argmax output layer).
+    pub qrelu: Option<QReluCfg>,
+}
+
+/// Complete genome shape: decodes gene vectors into [`AxMlp`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenomeSpec {
+    layers: Vec<LayerGenomeSpec>,
+    weight_bits: u32,
+    bias_bits: u32,
+    bounds: Vec<u32>,
+}
+
+impl GenomeSpec {
+    /// Build a genome spec from layer shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are degenerate (no layers, zero fan-in/neurons)
+    /// or widths are out of the supported ranges.
+    #[must_use]
+    pub fn new(layers: Vec<LayerGenomeSpec>, weight_bits: u32, bias_bits: u32) -> Self {
+        assert!(!layers.is_empty(), "at least one layer required");
+        assert!((2..=16).contains(&weight_bits), "weight bits out of range");
+        assert!((2..=24).contains(&bias_bits), "bias bits out of range");
+        for l in &layers {
+            assert!(l.fan_in > 0 && l.neurons > 0, "degenerate layer");
+            assert!((1..=12).contains(&l.input_bits), "input bits out of range");
+        }
+        let mut bounds = Vec::new();
+        for l in &layers {
+            let mask_bound = 1u32 << l.input_bits;
+            for _ in 0..l.neurons {
+                for _ in 0..l.fan_in {
+                    bounds.push(mask_bound); // m
+                    bounds.push(2); // s
+                    bounds.push(weight_bits - 1); // k in [0, n-1)
+                }
+                bounds.push(1u32 << bias_bits); // b (biased encoding)
+            }
+        }
+        Self { layers, weight_bits, bias_bits, bounds }
+    }
+
+    /// Per-gene exclusive bounds (the NSGA-II search space).
+    #[must_use]
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Layer shapes.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerGenomeSpec] {
+        &self.layers
+    }
+
+    /// Total number of genes.
+    #[must_use]
+    pub fn gene_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of trainable parameters in the paper's sense: one mask,
+    /// one sign and one exponent per connection plus one bias per
+    /// neuron. (Table III notes that adding masks "doubles the
+    /// trainable parameters" versus plain GA training.)
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.neurons * (3 * l.fan_in) + l.neurons).sum()
+    }
+
+    /// Decode a gene vector into the approximate MLP it represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes` has the wrong length or violates the bounds.
+    #[must_use]
+    pub fn decode(&self, genes: &[u32]) -> AxMlp {
+        assert_eq!(genes.len(), self.bounds.len(), "genome length mismatch");
+        let bias_offset = 1i64 << (self.bias_bits - 1);
+        let mut cursor = 0usize;
+        let mut take = |bound: u32| -> u32 {
+            let g = genes[cursor];
+            debug_assert!(g < bound, "gene {cursor} = {g} out of bound {bound}");
+            cursor += 1;
+            g
+        };
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let mask_bound = 1u32 << l.input_bits;
+                let neurons = (0..l.neurons)
+                    .map(|_| {
+                        let weights = (0..l.fan_in)
+                            .map(|_| {
+                                let mask = take(mask_bound) as u16;
+                                let negative = take(2) == 1;
+                                let shift = take(self.weight_bits - 1) as u8;
+                                AxWeight { mask, shift, negative }
+                            })
+                            .collect();
+                        let bias_gene = i64::from(take(1u32 << self.bias_bits));
+                        AxNeuron { weights, bias: (bias_gene - bias_offset) as i32 }
+                    })
+                    .collect();
+                AxLayer { input_bits: l.input_bits, neurons, qrelu: l.qrelu }
+            })
+            .collect();
+        AxMlp { layers }
+    }
+
+    /// Encode an approximate MLP back into genes (inverse of
+    /// [`GenomeSpec::decode`]); out-of-range values are clamped into the
+    /// gene bounds — this is how doped seeds derived from the exact
+    /// baseline enter the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp`'s shape disagrees with the spec.
+    #[must_use]
+    pub fn encode(&self, mlp: &AxMlp) -> Vec<u32> {
+        assert_eq!(mlp.layers.len(), self.layers.len(), "layer count mismatch");
+        let bias_offset = 1i64 << (self.bias_bits - 1);
+        let bias_max = (1i64 << self.bias_bits) - 1;
+        let mut genes = Vec::with_capacity(self.bounds.len());
+        for (l, spec) in mlp.layers.iter().zip(&self.layers) {
+            assert_eq!(l.neurons.len(), spec.neurons, "neuron count mismatch");
+            let mask_max = (1u32 << spec.input_bits) - 1;
+            for n in &l.neurons {
+                assert_eq!(n.weights.len(), spec.fan_in, "fan-in mismatch");
+                for w in &n.weights {
+                    genes.push(u32::from(w.mask).min(mask_max));
+                    genes.push(u32::from(w.negative));
+                    genes.push(u32::from(w.shift).min(self.weight_bits - 2));
+                }
+                let b = (i64::from(n.bias) + bias_offset).clamp(0, bias_max);
+                genes.push(b as u32);
+            }
+        }
+        genes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer_spec() -> GenomeSpec {
+        GenomeSpec::new(
+            vec![
+                LayerGenomeSpec {
+                    fan_in: 3,
+                    neurons: 2,
+                    input_bits: 4,
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: 3 }),
+                },
+                LayerGenomeSpec { fan_in: 2, neurons: 2, input_bits: 8, qrelu: None },
+            ],
+            8,
+            12,
+        )
+    }
+
+    #[test]
+    fn gene_count_matches_figure_3_layout() {
+        let spec = two_layer_spec();
+        // Layer 1: 2 neurons x (3 weights x 3 genes + 1 bias) = 20
+        // Layer 2: 2 neurons x (2 weights x 3 genes + 1 bias) = 14
+        assert_eq!(spec.gene_count(), 34);
+        assert_eq!(spec.bounds().len(), 34);
+    }
+
+    #[test]
+    fn bounds_follow_the_encoding_table() {
+        let spec = two_layer_spec();
+        let b = spec.bounds();
+        // First weight triple of layer 1: mask 2^4, sign 2, k bound 7.
+        assert_eq!(b[0], 16);
+        assert_eq!(b[1], 2);
+        assert_eq!(b[2], 7);
+        // First neuron's bias gene.
+        assert_eq!(b[9], 1 << 12);
+        // Layer 2 masks cover 8-bit activations.
+        assert_eq!(b[20], 256);
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let spec = two_layer_spec();
+        // A deterministic pseudo-random in-bounds genome.
+        let genes: Vec<u32> =
+            spec.bounds().iter().enumerate().map(|(i, &b)| (i as u32 * 7 + 3) % b).collect();
+        let mlp = spec.decode(&genes);
+        let back = spec.encode(&mlp);
+        assert_eq!(genes, back);
+    }
+
+    #[test]
+    fn decode_produces_consistent_structure() {
+        let spec = two_layer_spec();
+        let genes = vec![0u32; spec.gene_count()];
+        let mlp = spec.decode(&genes);
+        assert_eq!(mlp.layers.len(), 2);
+        assert_eq!(mlp.layers[0].neurons.len(), 2);
+        assert_eq!(mlp.layers[0].neurons[0].weights.len(), 3);
+        assert_eq!(mlp.layers[1].input_bits, 8);
+        // All-zero genes: zero masks, bias = -2^(bias_bits-1).
+        assert_eq!(mlp.layers[0].neurons[0].bias, -(1 << 11));
+    }
+
+    #[test]
+    fn bias_encoding_is_offset_binary() {
+        let spec = GenomeSpec::new(
+            vec![LayerGenomeSpec { fan_in: 1, neurons: 1, input_bits: 4, qrelu: None }],
+            8,
+            8,
+        );
+        let mut genes = vec![0u32; spec.gene_count()];
+        genes[3] = 128; // bias gene at offset 3 (after one m,s,k triple)
+        assert_eq!(spec.decode(&genes).layers[0].neurons[0].bias, 0);
+        genes[3] = 255;
+        assert_eq!(spec.decode(&genes).layers[0].neurons[0].bias, 127);
+        genes[3] = 0;
+        assert_eq!(spec.decode(&genes).layers[0].neurons[0].bias, -128);
+    }
+
+    #[test]
+    fn parameter_count_reports_trainables() {
+        let spec = two_layer_spec();
+        // (2*(3*3)+2) + (2*(2*3)+2) = 20 + 14 = 34... parameters in the
+        // paper's sense: 3 per connection + 1 per neuron.
+        assert_eq!(spec.parameter_count(), 2 * 9 + 2 + 2 * 6 + 2);
+    }
+
+    #[test]
+    fn encode_clamps_out_of_range_values() {
+        use pe_mlp::{AxLayer, AxNeuron, AxWeight};
+        let spec = GenomeSpec::new(
+            vec![LayerGenomeSpec { fan_in: 1, neurons: 1, input_bits: 4, qrelu: None }],
+            8,
+            8,
+        );
+        let mlp = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![AxNeuron {
+                    weights: vec![AxWeight { mask: 0xFFFF, shift: 30, negative: true }],
+                    bias: 100_000,
+                }],
+                qrelu: None,
+            }],
+        };
+        let genes = spec.encode(&mlp);
+        assert_eq!(genes[0], 15); // mask clamped to 4 bits
+        assert_eq!(genes[2], 6); // shift clamped to n-2
+        assert_eq!(genes[3], 255); // bias clamped to top of range
+    }
+}

@@ -1,0 +1,65 @@
+//! `printed-axc` — GA-based, hardware-approximation-aware training for
+//! bespoke printed MLPs.
+//!
+//! This crate is the reproduction of the DATE'24 paper's primary
+//! contribution: a discrete, genetic (NSGA-II) training framework that
+//! embeds two hardware approximations *into* training —
+//!
+//! 1. **power-of-two weights** `s·2^k` (multiplier-less neurons), and
+//! 2. **fine-grained unstructured pruning** via per-weight bit masks
+//!    `m` (hard-wired zeros that delete full adders),
+//!
+//! and optimizes `min [1 − Accuracy(θ,D), Area(θ)]` (Eq. (3)) where
+//! `Area` is the fast FA-count estimate of Eq. (2).
+//!
+//! Modules follow the paper's Fig. 2 flow:
+//!
+//! * [`genome`] — the chromosome encoding of Fig. 3 (`m, s, k, b` genes
+//!   grouped by weight, neuron, layer).
+//! * [`fitness`] — the two-objective evaluation with the 10% accuracy
+//!   feasibility bound as a constrained-domination violation.
+//! * [`init`] — semi-random initial populations doped with ~10% nearly
+//!   non-approximate (baseline-derived) chromosomes.
+//! * [`train`] — the NSGA-II training loop ([`HwAwareTrainer`]) and the
+//!   hardware-unaware plain-GA reference of Table III.
+//! * [`pareto`] — hardware analysis of the estimated front and
+//!   extraction of the true area/accuracy Pareto front.
+//! * [`flow`] — the end-to-end per-dataset pipeline ([`run_study`])
+//!   producing Table I and Table II rows in one call.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pe_datasets::Dataset;
+//! use pe_hw::TechLibrary;
+//! use printed_axc::{run_study, StudyConfig};
+//!
+//! let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(42), &TechLibrary::egfet());
+//! if let Some(best) = &study.selected {
+//!     println!(
+//!         "area {:.3} cm² ({}x smaller), accuracy {:.3}",
+//!         best.report.area_cm2,
+//!         study.area_reduction().unwrap_or(1.0),
+//!         best.test_accuracy,
+//!     );
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fitness;
+pub mod flow;
+pub mod genome;
+pub mod init;
+pub mod pareto;
+pub mod train;
+
+pub use config::AxTrainConfig;
+pub use fitness::{AreaObjective, AxTrainProblem};
+pub use flow::{run_study, DatasetStudy, StudyConfig};
+pub use genome::{GenomeSpec, LayerGenomeSpec};
+pub use init::{doped_seeds, doped_seeds_calibrated, doped_seeds_refined, refine_doped};
+pub use pareto::{select_within_loss, true_pareto_front, DesignCandidate, DesignPoint};
+pub use train::{HwAwareTrainer, PlainGaProblem, TrainingOutcome};

@@ -1,0 +1,203 @@
+//! Pareto analysis: from the GA's estimated front to the true
+//! hardware-evaluated front (paper Fig. 2, right half).
+//!
+//! The GA optimizes against the fast FA-count area estimate; the flow
+//! then pushes every front member through the hardware model (our
+//! stand-in for synthesis + power analysis) and re-evaluates accuracy
+//! on the held-out test split, keeping only the designs that remain
+//! non-dominated in (test error, synthesized area).
+
+use serde::{Deserialize, Serialize};
+
+use pe_hw::{Elaborator, HardwareReport};
+use pe_mlp::{ax_to_hardware, AxMlp};
+
+/// One fully evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The approximate network.
+    pub mlp: AxMlp,
+    /// Accuracy on the training split (the GA's view).
+    pub train_accuracy: f64,
+    /// Accuracy on the held-out test split (reported, as in the paper).
+    pub test_accuracy: f64,
+    /// GA-time area estimate, in the units of the configured
+    /// [`crate::fitness::AreaObjective`] (gate equivalents by default).
+    pub estimated_area: f64,
+    /// Hardware evaluation at nominal supply.
+    pub report: HardwareReport,
+}
+
+impl DesignPoint {
+    /// `true` if `self` Pareto-dominates `other` in
+    /// (test error, synthesized area).
+    #[must_use]
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let (e1, a1) = (1.0 - self.test_accuracy, self.report.area_cm2);
+        let (e2, a2) = (1.0 - other.test_accuracy, other.report.area_cm2);
+        (e1 <= e2 && a1 <= a2) && (e1 < e2 || a1 < a2)
+    }
+}
+
+/// Evaluate a set of candidate networks in hardware and keep the true
+/// Pareto front.
+///
+/// Returns the front sorted by ascending area. `name_prefix` labels the
+/// elaborated circuits (e.g. the dataset name).
+#[must_use]
+pub fn true_pareto_front(
+    candidates: Vec<DesignCandidate>,
+    elaborator: &Elaborator,
+    name_prefix: &str,
+) -> Vec<DesignPoint> {
+    let mut points: Vec<DesignPoint> = candidates
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let spec = ax_to_hardware(&c.mlp, format!("{name_prefix}_p{i}"));
+            let report = elaborator.elaborate(&spec).report;
+            DesignPoint {
+                mlp: c.mlp,
+                train_accuracy: c.train_accuracy,
+                test_accuracy: c.test_accuracy,
+                estimated_area: c.estimated_area,
+                report,
+            }
+        })
+        .collect();
+
+    let keep: Vec<bool> = points
+        .iter()
+        .map(|p| !points.iter().any(|q| q.dominates(p)))
+        .collect();
+    let mut front: Vec<DesignPoint> = points
+        .drain(..)
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect();
+    front.sort_by(|a, b| {
+        a.report
+            .area_cm2
+            .partial_cmp(&b.report.area_cm2)
+            .expect("areas are finite")
+    });
+    front.dedup_by(|a, b| {
+        (a.report.area_cm2 - b.report.area_cm2).abs() < 1e-12
+            && (a.test_accuracy - b.test_accuracy).abs() < 1e-12
+    });
+    front
+}
+
+/// A candidate entering hardware analysis (accuracies already known).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignCandidate {
+    /// The approximate network.
+    pub mlp: AxMlp,
+    /// Training-split accuracy.
+    pub train_accuracy: f64,
+    /// Test-split accuracy.
+    pub test_accuracy: f64,
+    /// GA-time area estimate (objective units).
+    pub estimated_area: f64,
+}
+
+/// Pick the design the paper reports in Table II: the smallest-area
+/// front member whose test accuracy is within `max_loss` of
+/// `baseline_accuracy`.
+///
+/// Returns `None` if no front member meets the bound.
+#[must_use]
+pub fn select_within_loss<'a>(
+    front: &'a [DesignPoint],
+    baseline_accuracy: f64,
+    max_loss: f64,
+) -> Option<&'a DesignPoint> {
+    front
+        .iter()
+        .filter(|p| p.test_accuracy + 1e-12 >= baseline_accuracy - max_loss)
+        .min_by(|a, b| {
+            a.report
+                .area_cm2
+                .partial_cmp(&b.report.area_cm2)
+                .expect("areas are finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_hw::TechLibrary;
+    use pe_mlp::{AxLayer, AxNeuron, AxWeight};
+
+    fn tiny_mlp(mask: u16) -> AxMlp {
+        // Three identical summands: every kept mask bit forms a 3-high
+        // column, so area strictly grows with the mask's popcount.
+        AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![AxWeight { mask, shift: 0, negative: false }; 3],
+                        bias: 0,
+                    },
+                    AxNeuron {
+                        weights: vec![AxWeight { mask: 0, shift: 0, negative: false }; 3],
+                        bias: 5,
+                    },
+                ],
+                qrelu: None,
+            }],
+        }
+    }
+
+    fn candidate(mask: u16, test_acc: f64) -> DesignCandidate {
+        DesignCandidate {
+            mlp: tiny_mlp(mask),
+            train_accuracy: test_acc,
+            test_accuracy: test_acc,
+            estimated_area: f64::from(mask.count_ones()),
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_filtered() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        // Full mask with *lower* accuracy is dominated by the cheaper,
+        // more accurate pruned design.
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.80), candidate(0b0011, 0.90)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 1);
+        assert!((front[0].test_accuracy - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trade_off_points_both_survive() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.95), candidate(0b0001, 0.85)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 2);
+        // Sorted by ascending area.
+        assert!(front[0].report.area_cm2 <= front[1].report.area_cm2);
+        assert!(front[0].test_accuracy < front[1].test_accuracy);
+    }
+
+    #[test]
+    fn selection_honors_the_loss_budget() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.95), candidate(0b0011, 0.92), candidate(0b0001, 0.70)],
+            &elab,
+            "t",
+        );
+        let pick = select_within_loss(&front, 0.95, 0.05).expect("a design qualifies");
+        assert!((pick.test_accuracy - 0.92).abs() < 1e-12, "picked {}", pick.test_accuracy);
+        assert!(select_within_loss(&front, 0.95, 0.001).is_some()); // the 0.95 one
+        assert!(select_within_loss(&front, 2.0, 0.0).is_none());
+    }
+}

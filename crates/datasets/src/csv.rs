@@ -1,0 +1,183 @@
+//! Minimal CSV loading for real UCI data files.
+//!
+//! The synthetic generators in [`crate::synth`] are the default data
+//! source, but if the real UCI CSVs are available they can be loaded
+//! here: numeric feature columns followed by an integer class label in
+//! the last column. A non-numeric first line is treated as a header and
+//! skipped. No external CSV crate is needed for this fixed format.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::data::TabularData;
+use crate::error::DatasetError;
+
+/// Errors from [`load_csv`]: I/O or parse failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Structural/parse error with location information.
+    Parse(DatasetError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "cannot read csv: {e}"),
+            CsvError::Parse(e) => write!(f, "cannot parse csv: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<DatasetError> for CsvError {
+    fn from(e: DatasetError) -> Self {
+        CsvError::Parse(e)
+    }
+}
+
+/// Load a `features...,label` CSV file.
+///
+/// Labels may be arbitrary integers; they are re-indexed densely to
+/// `0..classes` in order of first appearance of the sorted distinct
+/// values, so `{3,5,6,7,8}`-style wine-quality labels work directly.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on filesystem problems and
+/// [`CsvError::Parse`] on malformed content.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<TabularData, CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text).map_err(CsvError::from)
+}
+
+/// Parse CSV text in the `features...,label` format (see [`load_csv`]).
+///
+/// # Errors
+///
+/// Returns [`DatasetError`] describing the first malformed cell or row.
+pub fn parse_csv(text: &str) -> Result<TabularData, DatasetError> {
+    let mut features: Vec<Vec<f32>> = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split([',', ';']).map(str::trim).collect();
+        if cells.is_empty() || cells.iter().all(|c| c.is_empty()) {
+            return Err(DatasetError::EmptyLine { line: lineno + 1 });
+        }
+        let parsed: Result<Vec<f64>, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| c.parse::<f64>().map_err(|_| ci))
+            .collect();
+        match parsed {
+            Err(col) if lineno == 0 => {
+                // Non-numeric first row: header, skip silently.
+                let _ = col;
+                continue;
+            }
+            Err(column) => {
+                return Err(DatasetError::ParseCell {
+                    line: lineno + 1,
+                    column,
+                    cell: cells[column].to_owned(),
+                });
+            }
+            Ok(values) => {
+                if values.len() < 2 {
+                    return Err(DatasetError::RaggedRow {
+                        row: features.len(),
+                        expected: 2,
+                        found: values.len(),
+                    });
+                }
+                let (label, feats) = values.split_last().expect("length checked");
+                features.push(feats.iter().map(|&v| v as f32).collect());
+                raw_labels.push(label.round() as i64);
+            }
+        }
+    }
+
+    // Dense re-indexing of labels.
+    let mut distinct: Vec<i64> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<usize> = raw_labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present"))
+        .collect();
+
+    TabularData::new(features, labels, distinct.len().max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numeric_csv() {
+        let d = parse_csv("1.0,2.0,0\n3.0,4.0,1\n").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.feature_count(), 2);
+        assert_eq!(d.classes, 2);
+        assert_eq!(d.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn skips_header_row() {
+        let d = parse_csv("f1,f2,quality\n0.5,0.1,5\n0.2,0.9,7\n").unwrap();
+        assert_eq!(d.len(), 2);
+        // Labels 5 and 7 re-indexed densely.
+        assert_eq!(d.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn reindexes_sparse_labels() {
+        let d = parse_csv("0,3\n0,8\n0,5\n0,3\n").unwrap();
+        assert_eq!(d.classes, 3);
+        assert_eq!(d.labels, vec![0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_location() {
+        let err = parse_csv("1,2,0\n1,x,1\n").unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::ParseCell { line: 2, column: 1, cell: "x".into() }
+        );
+    }
+
+    #[test]
+    fn semicolon_separated_wine_format() {
+        let d = parse_csv("7.4;0.7;5\n7.8;0.88;6\n").unwrap();
+        assert_eq!(d.feature_count(), 2);
+        assert_eq!(d.classes, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let d = parse_csv("1,0\n\n2,1\n\n").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

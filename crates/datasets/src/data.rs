@@ -1,0 +1,225 @@
+//! Tabular labelled data containers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DatasetError;
+
+/// A labelled tabular dataset with `f32` features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabularData {
+    /// One row per sample; all rows have the same length.
+    pub features: Vec<Vec<f32>>,
+    /// Class label per sample, in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl TabularData {
+    /// Construct and validate a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if rows are ragged, labels are out of
+    /// range, or the feature/label counts disagree.
+    pub fn new(
+        features: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if features.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                features: features.len(),
+                labels: labels.len(),
+            });
+        }
+        if classes == 0 {
+            return Err(DatasetError::NoClasses);
+        }
+        let width = features.first().map_or(0, Vec::len);
+        for (i, row) in features.iter().enumerate() {
+            if row.len() != width {
+                return Err(DatasetError::RaggedRow { row: i, expected: width, found: row.len() });
+            }
+        }
+        if let Some((i, &l)) = labels.iter().enumerate().find(|&(_, &l)| l >= classes) {
+            return Err(DatasetError::LabelOutOfRange { row: i, label: l, classes });
+        }
+        Ok(Self { features, labels, classes })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample (0 for an empty dataset).
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Min-max normalize every feature column into `[0, 1]`, in place,
+    /// as the paper does before quantization (§V-A). Constant columns
+    /// become all-zeros.
+    pub fn normalize_unit(&mut self) {
+        let width = self.feature_count();
+        for c in 0..width {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for row in &self.features {
+                lo = lo.min(row[c]);
+                hi = hi.max(row[c]);
+            }
+            let span = hi - lo;
+            for row in &mut self.features {
+                row[c] = if span > 0.0 { (row[c] - lo) / span } else { 0.0 };
+            }
+        }
+    }
+
+    /// Extract a subset by sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        Self {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+}
+
+/// A dataset quantized for bespoke hardware: unsigned integer features
+/// of `input_bits` each (the paper uses 4-bit inputs, §III-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedData {
+    /// One row per sample, each value in `0 .. 2^input_bits`.
+    pub features: Vec<Vec<u8>>,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Bits per feature.
+    pub input_bits: u32,
+}
+
+impl QuantizedData {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+}
+
+/// Quantize `[0,1]`-normalized features to unsigned `input_bits`-bit
+/// integers by uniform rounding.
+///
+/// Values outside `[0,1]` are clamped first, so the function is safe on
+/// un-normalized data (though lossy).
+///
+/// ```
+/// use pe_datasets::data::{quantize, TabularData};
+///
+/// let data = TabularData::new(vec![vec![0.0, 0.5, 1.0]], vec![0], 1).unwrap();
+/// let q = quantize(&data, 4);
+/// assert_eq!(q.features[0], vec![0, 8, 15]);
+/// ```
+#[must_use]
+pub fn quantize(data: &TabularData, input_bits: u32) -> QuantizedData {
+    let max = ((1u32 << input_bits) - 1) as f32;
+    QuantizedData {
+        features: data
+            .features
+            .iter()
+            .map(|row| {
+                row.iter().map(|&v| (v.clamp(0.0, 1.0) * max).round() as u8).collect()
+            })
+            .collect(),
+        labels: data.labels.clone(),
+        classes: data.classes,
+        input_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(TabularData::new(vec![vec![1.0], vec![2.0]], vec![0], 1).is_err());
+        assert!(TabularData::new(vec![vec![1.0], vec![2.0, 3.0]], vec![0, 0], 1).is_err());
+        assert!(TabularData::new(vec![vec![1.0]], vec![5], 2).is_err());
+        assert!(TabularData::new(vec![vec![1.0]], vec![0], 0).is_err());
+        assert!(TabularData::new(vec![vec![1.0]], vec![0], 1).is_ok());
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let mut d = TabularData::new(
+            vec![vec![-5.0, 100.0], vec![5.0, 100.0], vec![0.0, 100.0]],
+            vec![0, 0, 0],
+            1,
+        )
+        .unwrap();
+        d.normalize_unit();
+        assert_eq!(d.features[0], vec![0.0, 0.0]);
+        assert_eq!(d.features[1], vec![1.0, 0.0]);
+        assert_eq!(d.features[2], vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn quantization_covers_full_range() {
+        let d = TabularData::new(vec![vec![0.0, 1.0, 0.49, 2.0, -1.0]], vec![0], 1).unwrap();
+        let q = quantize(&d, 4);
+        assert_eq!(q.features[0], vec![0, 15, 7, 15, 0]);
+        assert_eq!(q.input_bits, 4);
+    }
+
+    #[test]
+    fn class_counts_and_subset() {
+        let d = TabularData::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 1, 1, 0],
+            2,
+        )
+        .unwrap();
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        let s = d.subset(&[1, 3]);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.features[0], vec![1.0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmark datasets for printed-MLP experiments.
+//!
+//! The paper evaluates on five UCI datasets (Breast Cancer, Cardio,
+//! Pendigits, RedWine, WhiteWine — §V-A). This crate provides:
+//!
+//! * [`spec`] — each dataset's dimensions, paper topology and Table I
+//!   baseline figures.
+//! * [`synth`] — deterministic synthetic stand-ins (Gaussian mixtures
+//!   with per-dataset separability) used when the real UCI files are
+//!   unavailable, as in this reproduction (DESIGN.md §2).
+//! * [`csv`] — a loader for the real UCI CSVs, drop-in compatible.
+//! * [`split`] — the paper's stratified 70/30 train/test split.
+//! * [`data`] — tabular containers, `[0,1]` normalization and the
+//!   4-bit input quantization of §III-B.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_datasets::{Dataset, synth::generate, split::stratified_split, data::quantize};
+//!
+//! let data = generate(Dataset::BreastCancer, 42);
+//! let split = stratified_split(&data, 0.7, 42)?;
+//! let train = quantize(&split.train, 4);
+//! assert_eq!(train.feature_count(), 10);
+//! # Ok::<(), pe_datasets::DatasetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod data;
+pub mod error;
+pub mod spec;
+pub mod split;
+pub mod synth;
+
+pub use csv::{load_csv, parse_csv, CsvError};
+pub use data::{quantize, QuantizedData, TabularData};
+pub use error::DatasetError;
+pub use spec::{ClassArrangement, Dataset, DatasetSpec, PaperBaseline, SgdHint, SynthParams};
+pub use split::{stratified_split, Split};
+pub use synth::{generate, generate_from_spec};

@@ -1,0 +1,114 @@
+//! Stratified train/test splitting.
+//!
+//! The paper splits every dataset 70%/30% train/test, stratified so each
+//! class keeps its proportion in both sets (§V-A).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::TabularData;
+use crate::error::DatasetError;
+
+/// A train/test partition of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Training portion.
+    pub train: TabularData,
+    /// Held-out test portion.
+    pub test: TabularData,
+}
+
+/// Stratified split: `train_fraction` of each class goes to the training
+/// set (rounded), the rest to the test set; order is shuffled
+/// deterministically by `seed`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::BadSplitFraction`] unless
+/// `0 < train_fraction < 1`.
+///
+/// ```
+/// use pe_datasets::{split::stratified_split, synth::generate, Dataset};
+///
+/// let data = generate(Dataset::BreastCancer, 1);
+/// let split = stratified_split(&data, 0.7, 99)?;
+/// assert_eq!(split.train.len() + split.test.len(), data.len());
+/// # Ok::<(), pe_datasets::DatasetError>(())
+/// ```
+pub fn stratified_split(
+    data: &TabularData,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<Split, DatasetError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DatasetError::BadSplitFraction { fraction: train_fraction });
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in 0..data.classes {
+        let mut members: Vec<usize> =
+            (0..data.len()).filter(|&i| data.labels[i] == class).collect();
+        members.shuffle(&mut rng);
+        let n_train = (members.len() as f64 * train_fraction).round() as usize;
+        let n_train = n_train.min(members.len());
+        train_idx.extend_from_slice(&members[..n_train]);
+        test_idx.extend_from_slice(&members[n_train..]);
+    }
+    train_idx.shuffle(&mut rng);
+    test_idx.shuffle(&mut rng);
+
+    Ok(Split { train: data.subset(&train_idx), test: data.subset(&test_idx) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Dataset;
+    use crate::synth::generate;
+
+    #[test]
+    fn split_is_exhaustive_and_disjoint_in_size() {
+        let data = generate(Dataset::Cardio, 5);
+        let s = stratified_split(&data, 0.7, 1).unwrap();
+        assert_eq!(s.train.len() + s.test.len(), data.len());
+        let frac = s.train.len() as f64 / data.len() as f64;
+        assert!((frac - 0.7).abs() < 0.02, "train fraction {frac}");
+    }
+
+    #[test]
+    fn stratification_preserves_class_balance() {
+        let data = generate(Dataset::Pendigits, 5);
+        let s = stratified_split(&data, 0.7, 1).unwrap();
+        let total = data.class_counts();
+        let train = s.train.class_counts();
+        for c in 0..data.classes {
+            let expected = total[c] as f64 * 0.7;
+            assert!(
+                (train[c] as f64 - expected).abs() <= 1.0,
+                "class {c}: {} vs {expected}",
+                train[c]
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let data = generate(Dataset::RedWine, 5);
+        let a = stratified_split(&data, 0.7, 9).unwrap();
+        let b = stratified_split(&data, 0.7, 9).unwrap();
+        assert_eq!(a.train, b.train);
+        let c = stratified_split(&data, 0.7, 10).unwrap();
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn bad_fractions_are_rejected() {
+        let data = generate(Dataset::RedWine, 5);
+        for f in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
+            assert!(stratified_split(&data, f, 0).is_err(), "{f}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Bit-exact elaboration of multi-operand adder trees.
+//!
+//! [`TreeBuilder`] wires real full/half adders over per-column bit
+//! queues, following *exactly* the same stage policy as
+//! [`pe_arith::Reducer`]. This is the load-bearing invariant of the
+//! whole hardware model: the FA/HA counts of the elaborated netlist are
+//! identical to the counts of the fast estimator the GA trains against
+//! (verified by property tests in this module and in `tests/`), so the
+//! "synthesis" step can only rescale costs, never reorder designs
+//! structurally.
+
+use std::collections::VecDeque;
+
+use pe_arith::{ColumnProfile, ReductionKind, Reducer};
+
+use crate::netlist::{NetId, Netlist};
+
+/// The two rows produced by a compression tree, ready for the final
+/// carry-propagate addition, plus the resulting sum bits.
+#[derive(Debug, Clone)]
+pub struct TreeSum {
+    /// Final sum bits, least significant first (one net per column).
+    pub sum_bits: Vec<NetId>,
+    /// Number of compressor stages the tree needed.
+    pub stages: u32,
+}
+
+/// Builds adder trees inside a [`Netlist`] from per-column bit queues.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeBuilder {
+    kind: ReductionKind,
+}
+
+impl TreeBuilder {
+    /// Builder using the given compressor policy.
+    #[must_use]
+    pub fn new(kind: ReductionKind) -> Self {
+        Self { kind }
+    }
+
+    /// Reduce `columns` (a queue of nets per bit position) to a final sum.
+    ///
+    /// Mirrors [`pe_arith::Reducer::reduce`] stage by stage: every column
+    /// of height ≥ 3 feeds `⌊h/3⌋` FAs; under [`ReductionKind::FaHa`], a
+    /// leftover pair in a still-too-tall column feeds an HA. Once every
+    /// column is at most two nets high, a ripple carry-propagate pass
+    /// produces one sum bit per column.
+    ///
+    /// Returns the sum bits (LSB first). Empty columns yield constant-0
+    /// sum bits.
+    pub fn reduce(&self, netlist: &mut Netlist, mut columns: Vec<VecDeque<NetId>>) -> TreeSum {
+        let mut stages = 0u32;
+        while columns.iter().any(|c| c.len() > 2) {
+            stages += 1;
+            let mut next: Vec<VecDeque<NetId>> = vec![VecDeque::new(); columns.len() + 1];
+            for (ci, col) in columns.iter_mut().enumerate() {
+                let h = col.len();
+                let fas = h / 3;
+                for _ in 0..fas {
+                    let a = col.pop_front().expect("height accounted");
+                    let b = col.pop_front().expect("height accounted");
+                    let c = col.pop_front().expect("height accounted");
+                    let (sum, carry) = netlist.full_adder(a, b, c);
+                    next[ci].push_back(sum);
+                    next[ci + 1].push_back(carry);
+                }
+                if self.kind == ReductionKind::FaHa && col.len() == 2 && h > 2 {
+                    let a = col.pop_front().expect("pair present");
+                    let b = col.pop_front().expect("pair present");
+                    let (sum, carry) = netlist.half_adder(a, b);
+                    next[ci].push_back(sum);
+                    next[ci + 1].push_back(carry);
+                }
+                while let Some(bit) = col.pop_front() {
+                    next[ci].push_back(bit);
+                }
+            }
+            while next.last().is_some_and(VecDeque::is_empty) {
+                next.pop();
+            }
+            columns = next;
+        }
+
+        // Final ripple carry-propagate pass, mirroring the Reducer's CPA
+        // walk. Under FaOnly the (1 bit + carry) and (2 bits, no carry)
+        // cases still instantiate an FA (third input tied low), matching
+        // the paper's FA-only assumption.
+        let mut sum_bits = Vec::with_capacity(columns.len());
+        let mut carry: Option<NetId> = None;
+        for col in &mut columns {
+            let h = col.len();
+            match (h, carry) {
+                (0, None) => sum_bits.push(netlist.const_zero()),
+                (0, Some(c)) => {
+                    sum_bits.push(c);
+                    carry = None;
+                }
+                (1, None) => {
+                    let bit = col.pop_front().expect("height 1");
+                    sum_bits.push(bit);
+                }
+                (1, Some(c)) => {
+                    let a = col.pop_front().expect("height 1");
+                    let (s, co) = if self.kind == ReductionKind::FaHa {
+                        netlist.half_adder(a, c)
+                    } else {
+                        let zero = netlist.const_zero();
+                        netlist.full_adder(a, c, zero)
+                    };
+                    sum_bits.push(s);
+                    carry = Some(co);
+                }
+                (2, None) => {
+                    let a = col.pop_front().expect("height 2");
+                    let b = col.pop_front().expect("height 2");
+                    let (s, co) = if self.kind == ReductionKind::FaHa {
+                        netlist.half_adder(a, b)
+                    } else {
+                        let zero = netlist.const_zero();
+                        netlist.full_adder(a, b, zero)
+                    };
+                    sum_bits.push(s);
+                    carry = Some(co);
+                }
+                (2, Some(c)) => {
+                    let a = col.pop_front().expect("height 2");
+                    let b = col.pop_front().expect("height 2");
+                    let (s, co) = netlist.full_adder(a, b, c);
+                    sum_bits.push(s);
+                    carry = Some(co);
+                }
+                _ => unreachable!("columns are at most 2 high after reduction"),
+            }
+        }
+        if let Some(c) = carry {
+            sum_bits.push(c);
+        }
+
+        TreeSum { sum_bits, stages }
+    }
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new(ReductionKind::FaOnly)
+    }
+}
+
+/// Verify that the netlist elaboration of `profile` instantiates exactly
+/// the FA/HA counts predicted by [`pe_arith::Reducer`] — the structural-
+/// consistency invariant of the hardware model.
+///
+/// Returns `(netlist_fa, netlist_ha, predicted_fa, predicted_ha)`.
+#[must_use]
+pub fn consistency_probe(profile: &ColumnProfile, kind: ReductionKind) -> (u32, u32, u32, u32) {
+    let mut netlist = Netlist::new();
+    let mut columns: Vec<VecDeque<NetId>> = Vec::new();
+    for (c, h) in profile.iter() {
+        if columns.len() <= c as usize {
+            columns.resize(c as usize + 1, VecDeque::new());
+        }
+        for _ in 0..h {
+            let n = netlist.net();
+            columns[c as usize].push_back(n);
+        }
+    }
+    let _ = TreeBuilder::new(kind).reduce(&mut netlist, columns);
+    let counts = netlist.cell_counts();
+    let stats = Reducer::new(kind).reduce(profile);
+    (counts.fa, counts.ha, stats.full_adders(), stats.half_adders())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_arith::ColumnProfile;
+
+    #[test]
+    fn netlist_counts_match_reducer_for_known_shapes() {
+        for heights in [
+            vec![3u32],
+            vec![2, 2, 2],
+            vec![9, 3, 17, 2, 5],
+            vec![6, 6, 6, 6, 6, 6],
+            vec![1],
+            vec![0, 0, 4],
+        ] {
+            for kind in [ReductionKind::FaOnly, ReductionKind::FaHa] {
+                let p = ColumnProfile::from_heights(heights.clone());
+                let (nfa, nha, rfa, rha) = consistency_probe(&p, kind);
+                assert_eq!(nfa, rfa, "FA mismatch for {heights:?} {kind:?}");
+                assert_eq!(nha, rha, "HA mismatch for {heights:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_width_covers_max_value() {
+        // Reducing columns representing value capacity must produce
+        // enough sum bits for the maximum representable total.
+        let p = ColumnProfile::from_heights(vec![5, 5, 5]);
+        let max: u64 = p.iter().map(|(c, h)| u64::from(h) << c).sum();
+        let mut netlist = Netlist::new();
+        let mut columns: Vec<VecDeque<NetId>> = vec![VecDeque::new(); 3];
+        for (c, h) in p.iter() {
+            for _ in 0..h {
+                let n = netlist.net();
+                columns[c as usize].push_back(n);
+            }
+        }
+        let tree = TreeBuilder::default().reduce(&mut netlist, columns);
+        let capacity = (1u64 << tree.sum_bits.len()) - 1;
+        assert!(capacity >= max, "sum bits {} max {max}", tree.sum_bits.len());
+    }
+
+    #[test]
+    fn empty_tree_yields_no_cells() {
+        let mut netlist = Netlist::new();
+        let tree = TreeBuilder::default().reduce(&mut netlist, Vec::new());
+        assert!(tree.sum_bits.is_empty());
+        assert_eq!(netlist.cell_counts().total(), 0);
+    }
+
+    #[test]
+    fn single_bit_is_wiring_only() {
+        let mut netlist = Netlist::new();
+        let n = netlist.net();
+        let tree = TreeBuilder::default().reduce(&mut netlist, vec![VecDeque::from([n])]);
+        assert_eq!(tree.sum_bits, vec![n]);
+        assert_eq!(netlist.cell_counts().total(), 0);
+    }
+}

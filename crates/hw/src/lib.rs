@@ -1,0 +1,70 @@
+//! Printed EGFET hardware model for bespoke MLP classifiers.
+//!
+//! This crate is the reproduction's stand-in for the paper's EDA flow
+//! (Synopsys DC synthesis against a printed EGFET library, VCS/PrimeTime
+//! power analysis — §V-A). It provides:
+//!
+//! * [`tech`] — the calibrated EGFET cell library ([`TechLibrary`]) with
+//!   per-cell area/power and millisecond-scale gate delays.
+//! * [`spec`] — technology-independent descriptions of bespoke MLPs
+//!   ([`MlpHardwareSpec`]), with exact (CSD constant-multiplier) and
+//!   approximate (pow2 + mask) neurons.
+//! * [`neuron`] / [`adder_tree`] — gate-exact elaboration of every
+//!   accumulation into full/half adders, *guaranteed* to instantiate the
+//!   same FA counts the fast [`pe_arith::AdderAreaEstimator`] predicts.
+//! * [`circuit`] — whole-MLP elaboration to a [`HardwareReport`]
+//!   (area cm², power mW, delay ms).
+//! * [`vdd`] — supply-voltage scaling (1 V → 0.6 V operation, §V-C).
+//! * [`power_source`] — printed batteries / harvester classes and the
+//!   Fig. 5 feasibility zones.
+//! * [`verilog`] — structural Verilog emission of the bespoke netlists.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_hw::{Elaborator, TechLibrary};
+//! use pe_hw::spec::{ExactNeuronSpec, LayerActivation, LayerSpec, MlpHardwareSpec, NeuronSpec};
+//!
+//! let spec = MlpHardwareSpec {
+//!     name: "demo".into(),
+//!     inputs: 2,
+//!     input_bits: 4,
+//!     layers: vec![LayerSpec {
+//!         neurons: vec![NeuronSpec::Exact(ExactNeuronSpec {
+//!             input_bits: 4,
+//!             weights: vec![3, -5],
+//!             bias: 1,
+//!             trunc_bits: 0,
+//!             csd_multipliers: false,
+//!         }); 2],
+//!         activation: LayerActivation::Argmax,
+//!     }],
+//! };
+//! let report = Elaborator::new(TechLibrary::egfet()).elaborate(&spec).report;
+//! assert!(report.area_cm2 > 0.0 && report.power_mw > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder_tree;
+pub mod circuit;
+pub mod netlist;
+pub mod neuron;
+pub mod power_source;
+pub mod report;
+pub mod spec;
+pub mod tech;
+pub mod vdd;
+pub mod verilog;
+
+pub use circuit::{
+    argmax_gate_counts, qrelu_gate_counts, ElaboratedMlp, Elaborator, NeuronStats,
+};
+pub use netlist::{Instance, MacroBlock, NetId, Netlist, Port};
+pub use power_source::{Feasibility, FeasibilityZones, PowerSource};
+pub use report::HardwareReport;
+pub use spec::{ExactNeuronSpec, LayerActivation, LayerSpec, MlpHardwareSpec, NeuronSpec};
+pub use tech::{Cell, CellCounts, TechLibrary};
+pub use vdd::VddModel;
+pub use verilog::emit_verilog;

@@ -1,0 +1,155 @@
+//! Printed power sources and the Fig. 5 feasibility classification.
+//!
+//! The paper classifies each MLP circuit by the weakest printed power
+//! source able to drive it — printed energy harvester, Blue Spark 5 mW,
+//! Zinergy 15 mW, Molex 30 mW — with a "no adequate power supply" red
+//! zone beyond 30 mW and an "unsustainable area" red zone for circuits
+//! too large for realistic printed applications.
+
+use serde::{Deserialize, Serialize};
+
+/// A printed power source class, ordered from weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerSource {
+    /// A printed energy harvester (body heat / RF / photovoltaic),
+    /// budgeted at ~2 mW — the paper's green "self-powered" zone.
+    Harvester,
+    /// Blue Spark printed battery, 5 mW.
+    BlueSpark,
+    /// Zinergy printed battery, 15 mW.
+    Zinergy,
+    /// Molex printed battery, 30 mW.
+    Molex,
+}
+
+impl PowerSource {
+    /// All sources, weakest first.
+    pub const ALL: [PowerSource; 4] =
+        [PowerSource::Harvester, PowerSource::BlueSpark, PowerSource::Zinergy, PowerSource::Molex];
+
+    /// Maximum continuous power the source can supply, in mW.
+    #[must_use]
+    pub fn budget_mw(self) -> f64 {
+        match self {
+            PowerSource::Harvester => 2.0,
+            PowerSource::BlueSpark => 5.0,
+            PowerSource::Zinergy => 15.0,
+            PowerSource::Molex => 30.0,
+        }
+    }
+
+    /// Display name matching the paper's Fig. 5 legend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerSource::Harvester => "Harvester",
+            PowerSource::BlueSpark => "Blue Spark",
+            PowerSource::Zinergy => "Zinergy",
+            PowerSource::Molex => "Molex",
+        }
+    }
+}
+
+/// Feasibility verdict for one circuit (one point of Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Feasibility {
+    /// Powered by the given source and within the sustainable-area zone.
+    Powered(PowerSource),
+    /// No printed power source can supply the circuit (power > 30 mW).
+    NoAdequatePowerSupply,
+    /// Area exceeds what printed applications can accommodate.
+    UnsustainableArea,
+}
+
+impl Feasibility {
+    /// Whether the circuit is deployable at all (green/battery zones).
+    #[must_use]
+    pub fn is_deployable(self) -> bool {
+        matches!(self, Feasibility::Powered(_))
+    }
+}
+
+/// The Fig. 5 zone classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityZones {
+    /// Area above which a printed circuit is deemed unsustainable, cm².
+    ///
+    /// Table I notes baseline areas "above 12 cm²" are unsuitable for
+    /// most printed applications; the paper's Fig. 5 red zone also
+    /// absorbs its own 12.7 cm² Pendigits point, so we default to a
+    /// 30 cm² hard limit with the caveat reported separately.
+    pub max_area_cm2: f64,
+}
+
+impl FeasibilityZones {
+    /// Default zones matching the paper's Fig. 5 axes.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { max_area_cm2: 30.0 }
+    }
+
+    /// Classify a circuit by area (cm²) and power (mW).
+    ///
+    /// Area is checked first: an oversized circuit is unsustainable even
+    /// if its power fits a battery, matching the paper's treatment of
+    /// the baseline designs.
+    #[must_use]
+    pub fn classify(&self, area_cm2: f64, power_mw: f64) -> Feasibility {
+        if area_cm2 > self.max_area_cm2 {
+            return Feasibility::UnsustainableArea;
+        }
+        for src in PowerSource::ALL {
+            if power_mw <= src.budget_mw() {
+                return Feasibility::Powered(src);
+            }
+        }
+        Feasibility::NoAdequatePowerSupply
+    }
+}
+
+impl Default for FeasibilityZones {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_ordered_by_budget() {
+        for w in PowerSource::ALL.windows(2) {
+            assert!(w[0].budget_mw() < w[1].budget_mw());
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn classification_picks_weakest_sufficient_source() {
+        let zones = FeasibilityZones::paper();
+        assert_eq!(zones.classify(1.0, 0.5), Feasibility::Powered(PowerSource::Harvester));
+        assert_eq!(zones.classify(1.0, 4.0), Feasibility::Powered(PowerSource::BlueSpark));
+        assert_eq!(zones.classify(1.0, 14.0), Feasibility::Powered(PowerSource::Zinergy));
+        assert_eq!(zones.classify(1.0, 29.0), Feasibility::Powered(PowerSource::Molex));
+        assert_eq!(zones.classify(1.0, 31.0), Feasibility::NoAdequatePowerSupply);
+    }
+
+    #[test]
+    fn oversized_circuits_are_red_even_if_low_power() {
+        let zones = FeasibilityZones::paper();
+        assert_eq!(zones.classify(50.0, 0.1), Feasibility::UnsustainableArea);
+        assert!(!zones.classify(50.0, 0.1).is_deployable());
+    }
+
+    #[test]
+    fn paper_table_i_baselines_all_infeasible() {
+        // Table I: every exact baseline draws >= 40 mW — none can be
+        // powered by any printed source.
+        let zones = FeasibilityZones::paper();
+        for (area, power) in [(12.0, 40.0), (33.4, 124.0), (67.0, 213.0), (17.6, 73.5), (31.2, 126.0)]
+        {
+            assert!(!zones.classify(area, power).is_deployable(), "{area} {power}");
+        }
+    }
+}

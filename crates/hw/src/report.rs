@@ -1,0 +1,108 @@
+//! Hardware evaluation reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tech::{CellCounts, TechLibrary};
+use crate::vdd::VddModel;
+
+/// Area/power/timing evaluation of one bespoke MLP circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareReport {
+    /// Design name.
+    pub name: String,
+    /// Supply voltage the report is evaluated at, in volts.
+    pub vdd: f64,
+    /// Total area in cm² (area is voltage-independent).
+    pub area_cm2: f64,
+    /// Total power in mW at `vdd`.
+    pub power_mw: f64,
+    /// Critical-path delay in milliseconds at `vdd`.
+    pub delay_ms: f64,
+    /// Primitive cell content (including macro gate content).
+    pub cells: CellCounts,
+    /// Critical path length in full-adder-delay units at nominal supply.
+    pub critical_fa_depth: u32,
+}
+
+impl HardwareReport {
+    /// Build a report at the technology's nominal supply.
+    #[must_use]
+    pub fn at_nominal(
+        name: impl Into<String>,
+        tech: &TechLibrary,
+        cells: CellCounts,
+        critical_fa_depth: u32,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            vdd: tech.nominal_vdd,
+            area_cm2: tech.area_cm2(&cells),
+            power_mw: tech.power_mw(&cells),
+            delay_ms: f64::from(critical_fa_depth) * tech.fa_delay_ms,
+            cells,
+            critical_fa_depth,
+        }
+    }
+
+    /// Re-evaluate this report at a different supply voltage.
+    ///
+    /// Area is unchanged; power and delay scale per the [`VddModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below the model's minimum operating voltage.
+    #[must_use]
+    pub fn at_vdd(&self, model: &VddModel, vdd: f64) -> Self {
+        let power = self.power_mw / model.power_scale(self.vdd)
+            * model.power_scale(vdd);
+        let delay = self.delay_ms / model.delay_scale(self.vdd) * model.delay_scale(vdd);
+        Self {
+            name: self.name.clone(),
+            vdd,
+            area_cm2: self.area_cm2,
+            power_mw: power,
+            delay_ms: delay,
+            cells: self.cells,
+            critical_fa_depth: self.critical_fa_depth,
+        }
+    }
+
+    /// Whether the circuit meets a clock period (in ms) at its report
+    /// voltage.
+    #[must_use]
+    pub fn meets_period(&self, period_ms: f64) -> bool {
+        self.delay_ms <= period_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Cell;
+
+    #[test]
+    fn nominal_report_rolls_up_costs() {
+        let tech = TechLibrary::egfet();
+        let mut cells = CellCounts::new();
+        cells.add(Cell::Fa, 100);
+        let r = HardwareReport::at_nominal("toy", &tech, cells, 10);
+        assert!(r.area_cm2 > 0.0);
+        assert!(r.power_mw > 0.0);
+        assert!((r.delay_ms - 40.0).abs() < 1e-9);
+        assert!(r.meets_period(200.0));
+        assert!(!r.meets_period(39.0));
+    }
+
+    #[test]
+    fn vdd_rescale_preserves_area() {
+        let tech = TechLibrary::egfet();
+        let mut cells = CellCounts::new();
+        cells.add(Cell::Fa, 50);
+        let r = HardwareReport::at_nominal("toy", &tech, cells, 5);
+        let low = r.at_vdd(&VddModel::egfet(), 0.6);
+        assert!((low.area_cm2 - r.area_cm2).abs() < 1e-12);
+        assert!(low.power_mw < r.power_mw);
+        assert!(low.delay_ms > r.delay_ms);
+        assert_eq!(low.vdd, 0.6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Technology-independent hardware descriptions of bespoke MLPs.
+//!
+//! `pe-mlp` (and the GA in `printed-axc`) lower their networks into
+//! these specs; [`crate::circuit`] elaborates them into netlists and
+//! costs. Two neuron flavours exist:
+//!
+//! * [`NeuronSpec::Exact`] — the MICRO'20-style baseline: full-precision
+//!   two's-complement coefficients, implemented as CSD shift-add
+//!   constant multipliers feeding the accumulation tree.
+//! * [`NeuronSpec::Approximate`] — the DATE'24 neuron: power-of-two
+//!   weights (wiring), bit masks (hard-wired zeros) and folded signs.
+
+use serde::{Deserialize, Serialize};
+
+use pe_arith::NeuronArithSpec;
+
+/// An exact bespoke neuron: hard-wired integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactNeuronSpec {
+    /// Width of each input activation in bits.
+    pub input_bits: u32,
+    /// Full-precision quantized weights (two's complement integers).
+    pub weights: Vec<i64>,
+    /// Quantized bias.
+    pub bias: i64,
+    /// Accumulation truncation: adder-tree columns below this bit
+    /// position are dropped (TC'23-style approximation; 0 = exact).
+    #[serde(default)]
+    pub trunc_bits: u32,
+    /// Multiplier decomposition: `false` (default) uses plain binary
+    /// shift-add partial products, as synthesis derives from a
+    /// hard-wired `a * W` (the MICRO'20 baseline style); `true` uses
+    /// optimal CSD recoding, as methods that explicitly construct
+    /// shift-add replacements (TC'23) do.
+    #[serde(default)]
+    pub csd_multipliers: bool,
+}
+
+impl ExactNeuronSpec {
+    /// Number of non-zero weights (a zero weight is wired out).
+    #[must_use]
+    pub fn active_inputs(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0).count()
+    }
+}
+
+/// A bespoke neuron, exact or approximate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NeuronSpec {
+    /// Full-precision baseline neuron.
+    Exact(ExactNeuronSpec),
+    /// DATE'24 approximate neuron (pow2 weights + masks).
+    Approximate(NeuronArithSpec),
+}
+
+impl NeuronSpec {
+    /// Input activation width in bits.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        match self {
+            NeuronSpec::Exact(e) => e.input_bits,
+            NeuronSpec::Approximate(a) => a.input_bits,
+        }
+    }
+
+    /// Number of inputs (fan-in before pruning).
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        match self {
+            NeuronSpec::Exact(e) => e.weights.len(),
+            NeuronSpec::Approximate(a) => a.weights.len(),
+        }
+    }
+}
+
+/// What happens after a layer's accumulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerActivation {
+    /// Quantized ReLU: clamp the (right-shifted) accumulator into an
+    /// unsigned `out_bits` range. The paper uses 8-bit QReLU outputs.
+    QRelu {
+        /// Output width in bits.
+        out_bits: u32,
+        /// Static right-shift applied before clamping (requantization).
+        shift: u32,
+    },
+    /// Output layer: an argmax comparator tree picks the class index.
+    Argmax,
+}
+
+/// One layer of a bespoke MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// The layer's neurons (all share the same inputs).
+    pub neurons: Vec<NeuronSpec>,
+    /// Activation applied to every neuron's accumulator.
+    pub activation: LayerActivation,
+}
+
+/// A complete bespoke MLP circuit description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpHardwareSpec {
+    /// Identifying name (dataset / design point), used in reports and
+    /// emitted module names.
+    pub name: String,
+    /// Number of primary inputs (first-layer fan-in).
+    pub inputs: usize,
+    /// Width of each primary input in bits (4 in the paper).
+    pub input_bits: u32,
+    /// Layers, first hidden layer first.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl MlpHardwareSpec {
+    /// Number of classes (fan-out of the last layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no layers.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.layers.last().expect("spec must have layers").neurons.len()
+    }
+
+    /// Total number of neurons.
+    #[must_use]
+    pub fn neuron_count(&self) -> usize {
+        self.layers.iter().map(|l| l.neurons.len()).sum()
+    }
+
+    /// Total number of connections (parameters excluding biases).
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.layers.iter().flat_map(|l| l.neurons.iter().map(NeuronSpec::fan_in)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_neuron_counts_active_inputs() {
+        let n = ExactNeuronSpec { input_bits: 4, weights: vec![3, 0, -7, 0, 1], bias: 2 ,
+                    trunc_bits: 0,
+                    csd_multipliers: false,};
+        assert_eq!(n.active_inputs(), 3);
+    }
+
+    #[test]
+    fn spec_level_counters() {
+        let hidden = LayerSpec {
+            neurons: vec![
+                NeuronSpec::Exact(ExactNeuronSpec {
+                    input_bits: 4,
+                    weights: vec![1, 2, 3],
+                    bias: 0,
+                    trunc_bits: 0,
+                    csd_multipliers: false,
+                });
+                2
+            ],
+            activation: LayerActivation::QRelu { out_bits: 8, shift: 2 },
+        };
+        let out = LayerSpec {
+            neurons: vec![
+                NeuronSpec::Exact(ExactNeuronSpec {
+                    input_bits: 8,
+                    weights: vec![1, -1],
+                    bias: 0,
+                    trunc_bits: 0,
+                    csd_multipliers: false,
+                });
+                4
+            ],
+            activation: LayerActivation::Argmax,
+        };
+        let spec = MlpHardwareSpec {
+            name: "toy".into(),
+            inputs: 3,
+            input_bits: 4,
+            layers: vec![hidden, out],
+        };
+        assert_eq!(spec.classes(), 4);
+        assert_eq!(spec.neuron_count(), 6);
+        assert_eq!(spec.connection_count(), 2 * 3 + 4 * 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! EGFET printed-technology cell library and cost model.
+//!
+//! The paper synthesizes its bespoke MLPs with Synopsys Design Compiler
+//! against the printed EGFET library of Bleier et al. (ISCA'20) and
+//! measures power with PrimeTime. We replace that proprietary flow with
+//! an analytical cell-cost model: every netlist cell has an area and a
+//! power figure (at the nominal 1 V supply), expressed through
+//! *gate equivalents* (GE, 1 GE = one NAND2) times per-GE constants
+//! calibrated once against the paper's Table I baselines — and never
+//! retuned afterwards, so all reported reduction factors are genuine
+//! model outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive cells available in the printed EGFET library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Cell {
+    /// Full adder (3:2 compressor).
+    Fa,
+    /// Half adder (2:2 compressor).
+    Ha,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// Constant logic-1 tie cell.
+    TieHi,
+    /// Constant logic-0 tie cell.
+    TieLo,
+    /// D flip-flop (input/output registers).
+    Dff,
+}
+
+impl Cell {
+    /// All cell kinds, for iteration in reports.
+    pub const ALL: [Cell; 10] = [
+        Cell::Fa,
+        Cell::Ha,
+        Cell::Not,
+        Cell::And2,
+        Cell::Or2,
+        Cell::Xor2,
+        Cell::Mux2,
+        Cell::TieHi,
+        Cell::TieLo,
+        Cell::Dff,
+    ];
+
+    /// Human-readable library name of the cell.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Cell::Fa => "FA",
+            Cell::Ha => "HA",
+            Cell::Not => "NOT",
+            Cell::And2 => "AND2",
+            Cell::Or2 => "OR2",
+            Cell::Xor2 => "XOR2",
+            Cell::Mux2 => "MUX2",
+            Cell::TieHi => "TIEHI",
+            Cell::TieLo => "TIELO",
+            Cell::Dff => "DFF",
+        }
+    }
+}
+
+/// Per-cell-kind instance counts; the currency of area/power roll-ups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCounts {
+    /// Full adders.
+    pub fa: u32,
+    /// Half adders.
+    pub ha: u32,
+    /// Inverters.
+    pub not: u32,
+    /// 2-input ANDs.
+    pub and2: u32,
+    /// 2-input ORs.
+    pub or2: u32,
+    /// 2-input XORs.
+    pub xor2: u32,
+    /// 2:1 muxes.
+    pub mux2: u32,
+    /// Constant-1 ties.
+    pub tie_hi: u32,
+    /// Constant-0 ties.
+    pub tie_lo: u32,
+    /// Flip-flops.
+    pub dff: u32,
+}
+
+impl CellCounts {
+    /// Empty counts.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count of a given cell kind.
+    #[must_use]
+    pub fn get(&self, cell: Cell) -> u32 {
+        match cell {
+            Cell::Fa => self.fa,
+            Cell::Ha => self.ha,
+            Cell::Not => self.not,
+            Cell::And2 => self.and2,
+            Cell::Or2 => self.or2,
+            Cell::Xor2 => self.xor2,
+            Cell::Mux2 => self.mux2,
+            Cell::TieHi => self.tie_hi,
+            Cell::TieLo => self.tie_lo,
+            Cell::Dff => self.dff,
+        }
+    }
+
+    /// Add `n` instances of `cell`.
+    pub fn add(&mut self, cell: Cell, n: u32) {
+        let slot = match cell {
+            Cell::Fa => &mut self.fa,
+            Cell::Ha => &mut self.ha,
+            Cell::Not => &mut self.not,
+            Cell::And2 => &mut self.and2,
+            Cell::Or2 => &mut self.or2,
+            Cell::Xor2 => &mut self.xor2,
+            Cell::Mux2 => &mut self.mux2,
+            Cell::TieHi => &mut self.tie_hi,
+            Cell::TieLo => &mut self.tie_lo,
+            Cell::Dff => &mut self.dff,
+        };
+        *slot += n;
+    }
+
+    /// Merge another set of counts into this one.
+    pub fn merge(&mut self, other: &CellCounts) {
+        for cell in Cell::ALL {
+            self.add(cell, other.get(cell));
+        }
+    }
+
+    /// Total number of cell instances.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        Cell::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+}
+
+/// A printed technology library: per-cell costs and electrical limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechLibrary {
+    /// Library name (e.g. `"egfet-1v"`).
+    pub name: String,
+    /// Area of one gate equivalent in cm².
+    pub area_per_ge_cm2: f64,
+    /// Power of one gate equivalent in mW at the nominal supply.
+    pub power_per_ge_mw: f64,
+    /// Propagation delay of one full adder in milliseconds at nominal
+    /// supply (printed EGFET logic switches in the millisecond range —
+    /// circuits run at a few Hz, paper §I).
+    pub fa_delay_ms: f64,
+    /// Nominal supply voltage in volts.
+    pub nominal_vdd: f64,
+    /// Minimum operational supply voltage in volts (EGFET circuits work
+    /// down to 0.6 V, paper §V-C).
+    pub min_vdd: f64,
+}
+
+impl TechLibrary {
+    /// The calibrated printed EGFET library used throughout the
+    /// reproduction.
+    ///
+    /// Calibration (done once, against Table I of the paper):
+    /// gate-equivalent weights follow standard static-CMOS transistor
+    /// counts; the per-GE area/power constants are chosen so the five
+    /// exact bespoke baseline MLPs land in the neighbourhood of the
+    /// paper's reported 12–67 cm² and 40–213 mW.
+    #[must_use]
+    pub fn egfet() -> Self {
+        Self {
+            name: "egfet-1v".to_owned(),
+            area_per_ge_cm2: 3.05e-3,
+            power_per_ge_mw: 1.12e-2,
+            fa_delay_ms: 4.0,
+            nominal_vdd: 1.0,
+            min_vdd: 0.6,
+        }
+    }
+
+    /// Gate-equivalent weight of a cell (NAND2 = 1 GE).
+    #[must_use]
+    pub fn ge(&self, cell: Cell) -> f64 {
+        match cell {
+            Cell::Fa => 9.0,
+            Cell::Ha => 5.0,
+            Cell::Not => 0.67,
+            Cell::And2 => 1.33,
+            Cell::Or2 => 1.33,
+            Cell::Xor2 => 3.0,
+            Cell::Mux2 => 3.0,
+            Cell::TieHi | Cell::TieLo => 0.33,
+            Cell::Dff => 6.0,
+        }
+    }
+
+    /// Area of one instance of `cell` in cm².
+    #[must_use]
+    pub fn cell_area_cm2(&self, cell: Cell) -> f64 {
+        self.ge(cell) * self.area_per_ge_cm2
+    }
+
+    /// Power of one instance of `cell` in mW at the nominal supply.
+    #[must_use]
+    pub fn cell_power_mw(&self, cell: Cell) -> f64 {
+        self.ge(cell) * self.power_per_ge_mw
+    }
+
+    /// Total area in cm² of a set of cell counts.
+    #[must_use]
+    pub fn area_cm2(&self, counts: &CellCounts) -> f64 {
+        Cell::ALL
+            .iter()
+            .map(|&c| f64::from(counts.get(c)) * self.cell_area_cm2(c))
+            .sum()
+    }
+
+    /// Total power in mW (at nominal supply) of a set of cell counts.
+    #[must_use]
+    pub fn power_mw(&self, counts: &CellCounts) -> f64 {
+        Cell::ALL
+            .iter()
+            .map(|&c| f64::from(counts.get(c)) * self.cell_power_mw(c))
+            .sum()
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> Self {
+        Self::egfet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_and_merge() {
+        let mut a = CellCounts::new();
+        a.add(Cell::Fa, 3);
+        a.add(Cell::Not, 2);
+        let mut b = CellCounts::new();
+        b.add(Cell::Fa, 1);
+        b.add(Cell::Mux2, 4);
+        a.merge(&b);
+        assert_eq!(a.get(Cell::Fa), 4);
+        assert_eq!(a.get(Cell::Not), 2);
+        assert_eq!(a.get(Cell::Mux2), 4);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn fa_dominates_cost_as_in_printed_designs() {
+        let lib = TechLibrary::egfet();
+        assert!(lib.cell_area_cm2(Cell::Fa) > lib.cell_area_cm2(Cell::Ha));
+        assert!(lib.cell_area_cm2(Cell::Ha) > lib.cell_area_cm2(Cell::Not));
+        assert!(lib.cell_power_mw(Cell::Fa) > 4.0 * lib.cell_power_mw(Cell::Not));
+    }
+
+    #[test]
+    fn area_power_roll_up_is_linear() {
+        let lib = TechLibrary::egfet();
+        let mut one = CellCounts::new();
+        one.add(Cell::Fa, 1);
+        let mut ten = CellCounts::new();
+        ten.add(Cell::Fa, 10);
+        assert!((lib.area_cm2(&ten) - 10.0 * lib.area_cm2(&one)).abs() < 1e-12);
+        assert!((lib.power_mw(&ten) - 10.0 * lib.power_mw(&one)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn egfet_magnitudes_are_printed_scale() {
+        // One FA in printed EGFET occupies ~0.015 cm² and burns ~50 µW:
+        // three orders of magnitude above silicon, as the paper stresses.
+        let lib = TechLibrary::egfet();
+        let fa_area = lib.cell_area_cm2(Cell::Fa);
+        let fa_power = lib.cell_power_mw(Cell::Fa);
+        assert!((0.005..0.05).contains(&fa_area), "{fa_area}");
+        assert!((0.01..0.2).contains(&fa_power), "{fa_power}");
+        assert!(lib.min_vdd < lib.nominal_vdd);
+    }
+}

@@ -1,0 +1,127 @@
+//! Supply-voltage scaling model for printed EGFET logic.
+//!
+//! EGFET circuits operate from 0.6 V to about 1 V (paper §V-C, citing
+//! Marques et al.). Near threshold, drive current collapses faster than
+//! the square law, so power falls super-quadratically with the supply
+//! while delay grows. We model both with calibrated power laws:
+//!
+//! * `power(V) ∝ V^γ` with `γ ≈ 2.95`, fitted so that a 1 V → 0.6 V
+//!   scale-down yields the ~4.5× extra power gain the paper reports
+//!   (203× average at 1 V vs 912× at 0.6 V).
+//! * `delay(V) ∝ ((Vnom − Vt)/(V − Vt))^α` with `Vt = 0.3 V`, `α = 1.3`:
+//!   roughly 3× slower at 0.6 V, which the paper's approximate MLPs
+//!   absorb because their adder trees are much shallower than the
+//!   baselines' multiplier trees.
+
+use serde::{Deserialize, Serialize};
+
+/// Voltage scaling laws for a printed technology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VddModel {
+    /// Nominal supply voltage in volts.
+    pub nominal_vdd: f64,
+    /// Minimum operating voltage in volts.
+    pub min_vdd: f64,
+    /// Power-law exponent for power scaling.
+    pub power_exponent: f64,
+    /// Effective threshold voltage for the delay model, in volts.
+    pub threshold_v: f64,
+    /// Delay power-law exponent.
+    pub delay_exponent: f64,
+}
+
+impl VddModel {
+    /// Calibrated EGFET model (see module docs).
+    #[must_use]
+    pub fn egfet() -> Self {
+        Self {
+            nominal_vdd: 1.0,
+            min_vdd: 0.6,
+            power_exponent: 2.95,
+            threshold_v: 0.3,
+            delay_exponent: 1.3,
+        }
+    }
+
+    /// Relative power at `vdd` (1.0 at the nominal supply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below the minimum operating voltage or not
+    /// finite.
+    #[must_use]
+    pub fn power_scale(&self, vdd: f64) -> f64 {
+        self.check(vdd);
+        (vdd / self.nominal_vdd).powf(self.power_exponent)
+    }
+
+    /// Relative delay at `vdd` (1.0 at the nominal supply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below the minimum operating voltage or not
+    /// finite.
+    #[must_use]
+    pub fn delay_scale(&self, vdd: f64) -> f64 {
+        self.check(vdd);
+        ((self.nominal_vdd - self.threshold_v) / (vdd - self.threshold_v))
+            .powf(self.delay_exponent)
+    }
+
+    fn check(&self, vdd: f64) {
+        assert!(
+            vdd.is_finite() && vdd >= self.min_vdd - 1e-9,
+            "vdd {vdd} below the minimum operating voltage {}",
+            self.min_vdd
+        );
+    }
+}
+
+impl Default for VddModel {
+    fn default() -> Self {
+        Self::egfet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_scales_are_unity() {
+        let m = VddModel::egfet();
+        assert!((m.power_scale(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.delay_scale(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_voltage_saves_power_costs_delay() {
+        let m = VddModel::egfet();
+        let p = m.power_scale(0.6);
+        let d = m.delay_scale(0.6);
+        // ~4.5x power saving, ~3x slower, per the calibration targets.
+        assert!((0.18..0.26).contains(&p), "power scale {p}");
+        assert!((2.0..4.5).contains(&d), "delay scale {d}");
+    }
+
+    #[test]
+    fn scaling_is_monotonic() {
+        let m = VddModel::egfet();
+        let mut last_p = f64::INFINITY;
+        let mut last_d = 0.0f64;
+        for v in [1.0, 0.9, 0.8, 0.7, 0.6] {
+            let p = m.power_scale(v);
+            let d = m.delay_scale(v);
+            assert!(p < last_p);
+            assert!(d > last_d);
+            last_p = p;
+            last_d = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the minimum")]
+    fn undervolting_panics() {
+        let _ = VddModel::egfet().power_scale(0.4);
+    }
+}

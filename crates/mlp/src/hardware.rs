@@ -1,0 +1,158 @@
+//! Lowering of integer MLPs to bespoke hardware descriptions.
+//!
+//! Closes the loop of the paper's Fig. 2: trained coefficient sets
+//! (exact [`FixedMlp`] baselines or approximate [`AxMlp`] designs) are
+//! "automatically translated into an HDL description" — here, into a
+//! [`MlpHardwareSpec`] that `pe-hw` elaborates, costs, and can emit as
+//! Verilog.
+
+use pe_hw::{ExactNeuronSpec, LayerActivation, LayerSpec, MlpHardwareSpec, NeuronSpec};
+
+use crate::axmlp::AxMlp;
+use crate::quant::FixedMlp;
+
+/// Lower an exact baseline MLP to its bespoke hardware description.
+///
+/// Output-layer biases are normalized by subtracting their minimum —
+/// an argmax-invariant shift that narrows the class accumulators and
+/// the comparator tree, as a bespoke synthesis flow would do.
+#[must_use]
+pub fn fixed_to_hardware(fixed: &FixedMlp, name: impl Into<String>) -> MlpHardwareSpec {
+    let mut input_bits = fixed.input_bits;
+    let inputs = fixed.layers.first().map_or(0, |l| l.weights[0].len());
+    let mut layers = Vec::with_capacity(fixed.layers.len());
+    let last = fixed.layers.len().saturating_sub(1);
+    for (li, layer) in fixed.layers.iter().enumerate() {
+        let bias_shift = if li == last {
+            layer.biases.iter().copied().min().unwrap_or(0)
+        } else {
+            0
+        };
+        let neurons: Vec<NeuronSpec> = layer
+            .weights
+            .iter()
+            .zip(&layer.biases)
+            .map(|(row, &b)| {
+                NeuronSpec::Exact(ExactNeuronSpec {
+                    input_bits,
+                    weights: row.iter().map(|&w| i64::from(w)).collect(),
+                    bias: i64::from(b - bias_shift),
+                    trunc_bits: 0,
+                    csd_multipliers: false,
+                })
+            })
+            .collect();
+        let activation = match layer.qrelu {
+            Some(q) => LayerActivation::QRelu { out_bits: q.out_bits, shift: q.shift },
+            None => LayerActivation::Argmax,
+        };
+        if let Some(q) = layer.qrelu {
+            input_bits = q.out_bits;
+        }
+        layers.push(LayerSpec { neurons, activation });
+    }
+    MlpHardwareSpec { name: name.into(), inputs, input_bits: fixed.input_bits, layers }
+}
+
+/// Lower an approximate MLP to its bespoke hardware description.
+///
+/// Applies constant folding ([`crate::axmlp::fold_constants`]) and the
+/// same argmax-invariant output-bias normalization as
+/// [`fixed_to_hardware`].
+#[must_use]
+pub fn ax_to_hardware(ax: &AxMlp, name: impl Into<String>) -> MlpHardwareSpec {
+    let ax = &crate::axmlp::fold_constants(ax);
+    let inputs = ax.layers.first().map_or(0, |l| {
+        l.neurons.first().map_or(0, |n| n.weights.len())
+    });
+    let input_bits = ax.layers.first().map_or(4, |l| l.input_bits);
+    let last = ax.layers.len().saturating_sub(1);
+    let layers = ax
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, layer)| {
+            let bias_shift = if li == last {
+                layer.neurons.iter().map(|n| n.bias).min().unwrap_or(0)
+            } else {
+                0
+            };
+            LayerSpec {
+                neurons: layer
+                    .neurons
+                    .iter()
+                    .map(|n| {
+                        let mut spec = n.to_arith_spec(layer.input_bits);
+                        spec.bias -= i64::from(bias_shift);
+                        NeuronSpec::Approximate(spec)
+                    })
+                    .collect(),
+                activation: match layer.qrelu {
+                    Some(q) => LayerActivation::QRelu { out_bits: q.out_bits, shift: q.shift },
+                    None => LayerActivation::Argmax,
+                },
+            }
+        })
+        .collect();
+    MlpHardwareSpec { name: name.into(), inputs, input_bits, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axmlp::{AxLayer, AxNeuron, AxWeight};
+    use crate::quant::{FixedLayer, QReluCfg};
+    use pe_hw::{Elaborator, TechLibrary};
+
+    fn small_fixed() -> FixedMlp {
+        FixedMlp {
+            input_bits: 4,
+            layers: vec![
+                FixedLayer {
+                    weights: vec![vec![33, -72], vec![-5, 19]],
+                    biases: vec![10, -4],
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                },
+                FixedLayer {
+                    weights: vec![vec![7, -7], vec![-3, 3]],
+                    biases: vec![0, 1],
+                    qrelu: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fixed_lowering_preserves_shape_and_widths() {
+        let spec = fixed_to_hardware(&small_fixed(), "t");
+        assert_eq!(spec.inputs, 2);
+        assert_eq!(spec.input_bits, 4);
+        assert_eq!(spec.layers.len(), 2);
+        assert_eq!(spec.layers[0].neurons[0].input_bits(), 4);
+        assert_eq!(spec.layers[1].neurons[0].input_bits(), 8);
+        assert_eq!(spec.classes(), 2);
+    }
+
+    #[test]
+    fn ax_lowering_elaborates_end_to_end() {
+        let ax = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![AxWeight { mask: 0b1111, shift: 1, negative: false }],
+                        bias: 1,
+                    },
+                    AxNeuron {
+                        weights: vec![AxWeight { mask: 0b1100, shift: 0, negative: true }],
+                        bias: 9,
+                    },
+                ],
+                qrelu: None,
+            }],
+        };
+        let spec = ax_to_hardware(&ax, "ax");
+        let report = Elaborator::new(TechLibrary::egfet()).elaborate(&spec).report;
+        assert!(report.area_cm2 > 0.0);
+    }
+}

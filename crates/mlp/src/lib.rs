@@ -1,0 +1,49 @@
+//! MLP substrate for printed-electronics classifiers.
+//!
+//! Three network representations, in decreasing precision:
+//!
+//! * [`DenseMlp`] — `f32` MLP with ReLU hidden layers, trained by the
+//!   from-scratch backprop in [`train`] (the paper's conventional
+//!   gradient baseline, Table III "Grad.").
+//! * [`FixedMlp`] — the exact bespoke baseline: 8-bit weights, 4-bit
+//!   inputs, 8-bit QReLU activations, integer argmax (§V-A, Table I).
+//! * [`AxMlp`] — the paper's approximate MLP: power-of-two weights,
+//!   per-weight bit masks, folded signs; evaluates Eq. (4) integer-
+//!   exactly, so software accuracy equals circuit accuracy.
+//!
+//! [`hardware`] lowers the integer networks into `pe-hw` circuit
+//! descriptions; [`metrics`] provides accuracy/confusion helpers.
+//!
+//! # Example: train, quantize, approximate
+//!
+//! ```
+//! use pe_mlp::{DenseMlp, FixedMlp, AxMlp, QuantConfig, Topology};
+//! use pe_mlp::train::{SgdTrainer, TrainConfig};
+//!
+//! let rows = vec![vec![0.1, 0.2], vec![0.9, 0.8]];
+//! let labels = vec![0, 1];
+//! let mut mlp = DenseMlp::random(Topology::new(vec![2, 3, 2]), 1);
+//! let _ = SgdTrainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() })
+//!     .train(&mut mlp, &rows, &labels);
+//! let fixed = FixedMlp::quantize(&mlp, QuantConfig::default(), &rows);
+//! let doped = AxMlp::from_fixed(&fixed, 6, 12);
+//! assert_eq!(doped.layers.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axmlp;
+pub mod dense;
+pub mod hardware;
+pub mod metrics;
+pub mod quant;
+pub mod topology;
+pub mod train;
+
+pub use axmlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight};
+pub use dense::{argmax, DenseMlp};
+pub use hardware::{ax_to_hardware, fixed_to_hardware};
+pub use quant::{FixedLayer, FixedMlp, QReluCfg, QuantConfig};
+pub use topology::Topology;
+pub use train::{SgdTrainer, TrainConfig, TrainReport};

@@ -1,0 +1,113 @@
+//! Classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the labels.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// assert_eq!(pe_mlp::metrics::accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// A square confusion matrix (`rows = true class`, `cols = predicted`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or a value is `>= classes`.
+    #[must_use]
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len());
+        let mut counts = vec![0u64; classes * classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < classes && l < classes, "class out of range");
+            counts[l * classes + p] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true class `label` predicted as `pred`.
+    #[must_use]
+    pub fn count(&self, label: usize, pred: usize) -> u64 {
+        self.counts[label * self.classes + pred]
+    }
+
+    /// Overall accuracy (trace over total).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        trace as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` for absent
+    /// classes.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        (row > 0).then(|| self.count(class, class) as f64 / row as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 1], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts_and_recall() {
+        let preds = [0, 0, 1, 1, 1, 2];
+        let labels = [0, 1, 1, 1, 2, 2];
+        let m = ConfusionMatrix::from_predictions(&preds, &labels, 3);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(2, 1), 1);
+        assert_eq!(m.count(2, 2), 1);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(2).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_of_absent_class_is_none() {
+        let m = ConfusionMatrix::from_predictions(&[0], &[0], 2);
+        assert_eq!(m.recall(1), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! Post-training quantization: float MLP → integer bespoke baseline.
+//!
+//! The exact baseline circuits of the paper (§V-A, Table I) use 8-bit
+//! fixed-point weights and 4-bit inputs. [`FixedMlp`] is that integer
+//! network: weights quantized per layer to `[-127, 127]`, hidden
+//! activations re-quantized to unsigned 8 bits through the QReLU of
+//! §III-B (a right-shift followed by a clamp), and the output layer
+//! decided by an integer argmax — bit-for-bit what the bespoke hardware
+//! computes, so software accuracy equals circuit accuracy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::DenseMlp;
+
+/// Configuration of one QReLU stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QReluCfg {
+    /// Output width in bits (8 in the paper).
+    pub out_bits: u32,
+    /// Static right-shift applied to the accumulator before clamping.
+    pub shift: u32,
+}
+
+impl QReluCfg {
+    /// Apply the QReLU: `clamp(acc >> shift, 0, 2^out_bits − 1)`.
+    ///
+    /// ```
+    /// let q = pe_mlp::QReluCfg { out_bits: 8, shift: 2 };
+    /// assert_eq!(q.apply(-17), 0);
+    /// assert_eq!(q.apply(40), 10);
+    /// assert_eq!(q.apply(9999), 255);
+    /// ```
+    #[must_use]
+    pub fn apply(self, acc: i64) -> u8 {
+        let max = (1i64 << self.out_bits) - 1;
+        (acc >> self.shift).clamp(0, max) as u8
+    }
+}
+
+/// One integer layer of the exact baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedLayer {
+    /// `weights[j][i]`: quantized weight of input `i`, neuron `j`.
+    pub weights: Vec<Vec<i32>>,
+    /// Quantized biases, already in accumulator scale.
+    pub biases: Vec<i32>,
+    /// QReLU for hidden layers, `None` for the argmax output layer.
+    pub qrelu: Option<QReluCfg>,
+}
+
+/// The exact bespoke integer MLP (8-bit weights, 4-bit inputs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedMlp {
+    /// Width of the primary inputs in bits.
+    pub input_bits: u32,
+    /// Integer layers, first hidden layer first.
+    pub layers: Vec<FixedLayer>,
+}
+
+/// Quantization hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight width in bits (8 in the paper: values in `[-127, 127]`).
+    pub weight_bits: u32,
+    /// Primary-input width in bits (4 in the paper).
+    pub input_bits: u32,
+    /// Hidden-activation width in bits (8 in the paper).
+    pub activation_bits: u32,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self { weight_bits: 8, input_bits: 4, activation_bits: 8 }
+    }
+}
+
+impl FixedMlp {
+    /// Quantize a trained float network.
+    ///
+    /// `calibration_rows` (float features in `[0,1]`) drive the static
+    /// choice of each hidden layer's QReLU shift: the shift is the
+    /// smallest one mapping the largest observed accumulator into the
+    /// activation range, mirroring how the paper sizes its 8-bit QReLU
+    /// outputs "small enough \[to\] result in almost no accuracy
+    /// degradation".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_rows` is empty or widths mismatch.
+    #[must_use]
+    pub fn quantize(mlp: &DenseMlp, cfg: QuantConfig, calibration_rows: &[Vec<f32>]) -> Self {
+        assert!(!calibration_rows.is_empty(), "calibration data required");
+        let layer_count = mlp.topology().layer_count();
+        let w_max = f64::from((1i64 << (cfg.weight_bits - 1)) as i32 - 1);
+        let x_max = f64::from((1u32 << cfg.input_bits) - 1);
+        let a_max = f64::from((1u32 << cfg.activation_bits) - 1);
+
+        // Float activation traces for calibration of accumulator ranges.
+        let traces: Vec<Vec<Vec<f32>>> =
+            calibration_rows.iter().map(|r| mlp.forward_trace(r)).collect();
+
+        let mut layers = Vec::with_capacity(layer_count);
+        // Scale of the integer input of the current layer: x = q * s_x.
+        let mut s_x = 1.0 / x_max;
+
+        for l in 0..layer_count {
+            let max_w = mlp.weights()[l]
+                .iter()
+                .flatten()
+                .fold(0.0f64, |m, &w| m.max(f64::from(w.abs())));
+            let s_w = if max_w > 0.0 { max_w / w_max } else { 1.0 };
+
+            let weights: Vec<Vec<i32>> = mlp.weights()[l]
+                .iter()
+                .map(|row| {
+                    row.iter().map(|&w| (f64::from(w) / s_w).round() as i32).collect()
+                })
+                .collect();
+            let biases: Vec<i32> = mlp.biases()[l]
+                .iter()
+                .map(|&b| (f64::from(b) / (s_w * s_x)).round() as i32)
+                .collect();
+
+            let last = l + 1 == layer_count;
+            let qrelu = if last {
+                None
+            } else {
+                // Largest float pre-activation over calibration data
+                // (the trace stores post-ReLU values; pre-activation max
+                // for positive side equals post-ReLU max).
+                let max_act = traces
+                    .iter()
+                    .map(|t| t[l + 1].iter().fold(0.0f64, |m, &v| m.max(f64::from(v))))
+                    .fold(0.0f64, f64::max)
+                    .max(1e-9);
+                // Quantized-domain accumulator at that activation.
+                let acc_max = max_act / (s_w * s_x);
+                let shift = (acc_max / a_max).log2().ceil().max(0.0) as u32;
+                Some(QReluCfg { out_bits: cfg.activation_bits, shift })
+            };
+
+            if !last {
+                // Next layer consumes QReLU outputs: q_out = acc >> shift,
+                // so s_out = s_w * s_x * 2^shift.
+                let shift = qrelu.expect("hidden layer has qrelu").shift;
+                s_x = s_w * s_x * (1u64 << shift) as f64;
+            }
+
+            layers.push(FixedLayer { weights, biases, qrelu });
+        }
+
+        Self { input_bits: cfg.input_bits, layers }
+    }
+
+    /// Integer-exact forward pass; returns the output-layer accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    #[must_use]
+    pub fn accumulators(&self, x: &[u8]) -> Vec<i64> {
+        let mut current: Vec<i64> = x.iter().map(|&v| i64::from(v)).collect();
+        for layer in &self.layers {
+            assert_eq!(current.len(), layer.weights[0].len(), "width mismatch");
+            let accs: Vec<i64> = layer
+                .weights
+                .iter()
+                .zip(&layer.biases)
+                .map(|(row, &b)| {
+                    row.iter().zip(&current).map(|(&w, &v)| i64::from(w) * v).sum::<i64>()
+                        + i64::from(b)
+                })
+                .collect();
+            match layer.qrelu {
+                Some(q) => current = accs.iter().map(|&a| i64::from(q.apply(a))).collect(),
+                None => return accs,
+            }
+        }
+        current
+    }
+
+    /// Predicted class: integer argmax over the output accumulators.
+    #[must_use]
+    pub fn predict(&self, x: &[u8]) -> usize {
+        let accs = self.accumulators(x);
+        let mut best = 0;
+        for (i, &a) in accs.iter().enumerate().skip(1) {
+            if a > accs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Accuracy over quantized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `labels` differ in length.
+    #[must_use]
+    pub fn accuracy(&self, rows: &[Vec<u8>], labels: &[usize]) -> f64 {
+        assert_eq!(rows.len(), labels.len());
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let hits = rows.iter().zip(labels).filter(|&(r, &l)| self.predict(r) == l).count();
+        hits as f64 / rows.len() as f64
+    }
+
+    /// Number of weight layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn identityish_mlp() -> DenseMlp {
+        // 2 inputs, 2 outputs, weights picking each input.
+        DenseMlp::from_parameters(
+            Topology::new(vec![2, 2]),
+            vec![vec![vec![1.0, 0.0], vec![0.0, 1.0]]],
+            vec![vec![0.0, 0.0]],
+        )
+    }
+
+    #[test]
+    fn qrelu_clamps_and_shifts() {
+        let q = QReluCfg { out_bits: 8, shift: 3 };
+        assert_eq!(q.apply(-100), 0);
+        assert_eq!(q.apply(0), 0);
+        assert_eq!(q.apply(8), 1);
+        assert_eq!(q.apply(255 * 8), 255);
+        assert_eq!(q.apply(i64::MAX / 2), 255);
+    }
+
+    #[test]
+    fn quantized_single_layer_preserves_argmax() {
+        let mlp = identityish_mlp();
+        let cal = vec![vec![0.5, 0.5]];
+        let q = FixedMlp::quantize(&mlp, QuantConfig::default(), &cal);
+        assert_eq!(q.predict(&[12, 3]), 0);
+        assert_eq!(q.predict(&[3, 12]), 1);
+    }
+
+    #[test]
+    fn weights_fit_declared_width() {
+        let mlp = DenseMlp::random(Topology::new(vec![6, 4, 3]), 9);
+        let cal: Vec<Vec<f32>> = (0..8).map(|i| vec![(i as f32) / 8.0; 6]).collect();
+        let q = FixedMlp::quantize(&mlp, QuantConfig::default(), &cal);
+        for layer in &q.layers {
+            for row in &layer.weights {
+                for &w in row {
+                    assert!((-127..=127).contains(&w), "weight {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_layers_have_qrelu_output_does_not() {
+        let mlp = DenseMlp::random(Topology::new(vec![4, 3, 2]), 1);
+        let cal = vec![vec![0.3, 0.5, 0.7, 0.9]];
+        let q = FixedMlp::quantize(&mlp, QuantConfig::default(), &cal);
+        assert!(q.layers[0].qrelu.is_some());
+        assert!(q.layers[1].qrelu.is_none());
+    }
+
+    #[test]
+    fn quantization_tracks_float_accuracy_on_trained_net() {
+        // Train on two separable blobs, then check the 8-bit/4-bit
+        // quantized network agrees with the float one on most samples.
+        use crate::train::{SgdTrainer, TrainConfig};
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let t = (i % 30) as f32 / 30.0;
+            if i < 30 {
+                rows.push(vec![0.15 + 0.2 * t, 0.2 + 0.1 * t]);
+                labels.push(0);
+            } else {
+                rows.push(vec![0.65 + 0.2 * t, 0.75 + 0.1 * t]);
+                labels.push(1);
+            }
+        }
+        let mut mlp = DenseMlp::random(Topology::new(vec![2, 3, 2]), 4);
+        let _ = SgdTrainer::new(TrainConfig { epochs: 120, ..TrainConfig::default() })
+            .train(&mut mlp, &rows, &labels);
+        let q = FixedMlp::quantize(&mlp, QuantConfig::default(), &rows);
+        let q_rows: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| (v * 15.0).round() as u8).collect())
+            .collect();
+        let float_acc = mlp.accuracy(&rows, &labels);
+        let fixed_acc = q.accuracy(&q_rows, &labels);
+        assert!(float_acc > 0.95);
+        assert!(fixed_acc > float_acc - 0.1, "float {float_acc} fixed {fixed_acc}");
+    }
+}

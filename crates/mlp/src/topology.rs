@@ -1,0 +1,100 @@
+//! MLP topology description.
+
+use serde::{Deserialize, Serialize};
+
+/// Layer sizes of a multilayer perceptron, `(inputs, hidden..., outputs)`.
+///
+/// The paper's Table I notates topologies the same way, e.g.
+/// `(10,3,2)` for Breast Cancer.
+///
+/// ```
+/// let t = pe_mlp::Topology::new(vec![10, 3, 2]);
+/// assert_eq!(t.parameter_count(), 41); // 10·3+3 + 3·2+2
+/// assert_eq!(t.layer_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    sizes: Vec<usize>,
+}
+
+impl Topology {
+    /// Create a topology from layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: Vec<usize>) -> Self {
+        assert!(sizes.len() >= 2, "topology needs input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        Self { sizes }
+    }
+
+    /// All layer sizes including input and output.
+    #[must_use]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        *self.sizes.last().expect("at least two sizes")
+    }
+
+    /// Number of weight layers (connections between consecutive sizes).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.sizes.len() - 1
+    }
+
+    /// Fan-in and fan-out of weight layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= layer_count()`.
+    #[must_use]
+    pub fn layer_dims(&self, l: usize) -> (usize, usize) {
+        (self.sizes[l], self.sizes[l + 1])
+    }
+
+    /// Total number of parameters (weights and biases).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Topology::new(vec![16, 5, 10]);
+        assert_eq!(t.inputs(), 16);
+        assert_eq!(t.outputs(), 10);
+        assert_eq!(t.layer_count(), 2);
+        assert_eq!(t.layer_dims(0), (16, 5));
+        assert_eq!(t.layer_dims(1), (5, 10));
+        assert_eq!(t.parameter_count(), 16 * 5 + 5 + 5 * 10 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "input and output")]
+    fn rejects_single_layer() {
+        let _ = Topology::new(vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_width() {
+        let _ = Topology::new(vec![4, 0, 2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Individuals: genome + evaluation + NSGA-II bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::problem::Evaluation;
+
+/// One member of an NSGA-II population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Individual {
+    /// Integer genome.
+    pub genes: Vec<u32>,
+    /// Cached evaluation.
+    pub evaluation: Evaluation,
+    /// Non-domination rank (0 = first front), set by the sorter.
+    pub rank: usize,
+    /// Crowding distance within its front, set by the sorter.
+    pub crowding: f64,
+}
+
+impl Individual {
+    /// Wrap a freshly evaluated genome (rank/crowding unset).
+    #[must_use]
+    pub fn new(genes: Vec<u32>, evaluation: Evaluation) -> Self {
+        Self { genes, evaluation, rank: usize::MAX, crowding: 0.0 }
+    }
+
+    /// Tournament ordering: lower rank wins; ties break on larger
+    /// crowding distance (NSGA-II's crowded-comparison operator).
+    #[must_use]
+    pub fn beats(&self, other: &Individual) -> bool {
+        self.rank < other.rank || (self.rank == other.rank && self.crowding > other.crowding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowded_comparison() {
+        let mut a = Individual::new(vec![0], Evaluation::feasible(vec![0.0]));
+        let mut b = Individual::new(vec![1], Evaluation::feasible(vec![1.0]));
+        a.rank = 0;
+        b.rank = 1;
+        assert!(a.beats(&b));
+        b.rank = 0;
+        a.crowding = 2.0;
+        b.crowding = 1.0;
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+    }
+}

@@ -1,0 +1,183 @@
+//! Genetic operators over bounded integer genomes.
+//!
+//! The paper's GA updates weights through "mutation and crossover ...
+//! applied randomly during the training process" (§IV-A). We provide
+//! uniform and one-point crossover plus per-gene reset mutation, all
+//! respecting the per-gene bounds of the chromosome encoding.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Crossover flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossoverKind {
+    /// Each gene independently inherited from either parent.
+    Uniform,
+    /// A single cut point; prefix from one parent, suffix from the other.
+    OnePoint,
+}
+
+/// Produce two children by crossover.
+///
+/// # Panics
+///
+/// Panics if the parents differ in length or are empty.
+#[must_use]
+pub fn crossover(
+    kind: CrossoverKind,
+    a: &[u32],
+    b: &[u32],
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>) {
+    assert_eq!(a.len(), b.len(), "parents must have equal genome length");
+    assert!(!a.is_empty(), "genomes must be non-empty");
+    match kind {
+        CrossoverKind::Uniform => {
+            let mut c1 = Vec::with_capacity(a.len());
+            let mut c2 = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                if rng.gen_bool(0.5) {
+                    c1.push(x);
+                    c2.push(y);
+                } else {
+                    c1.push(y);
+                    c2.push(x);
+                }
+            }
+            (c1, c2)
+        }
+        CrossoverKind::OnePoint => {
+            let cut = rng.gen_range(1..a.len().max(2));
+            let cut = cut.min(a.len());
+            let mut c1 = a[..cut].to_vec();
+            c1.extend_from_slice(&b[cut..]);
+            let mut c2 = b[..cut].to_vec();
+            c2.extend_from_slice(&a[cut..]);
+            (c1, c2)
+        }
+    }
+}
+
+/// Mutate `genes` in place: each gene is independently re-drawn
+/// uniformly from its bound with probability `per_gene_prob`.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a bound is zero.
+pub fn mutate(genes: &mut [u32], bounds: &[u32], per_gene_prob: f64, rng: &mut StdRng) {
+    mutate_mixed(genes, bounds, per_gene_prob, 0.0, rng);
+}
+
+/// Mixed mutation: a mutating gene takes a ±1 *creep* step with
+/// probability `creep_fraction` (saturating at the bounds) and a
+/// uniform reset otherwise. Creep steps are what let the GA fine-tune
+/// pow2 exponents and biases near a good solution, while resets keep
+/// global exploration alive.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a bound is zero.
+pub fn mutate_mixed(
+    genes: &mut [u32],
+    bounds: &[u32],
+    per_gene_prob: f64,
+    creep_fraction: f64,
+    rng: &mut StdRng,
+) {
+    assert_eq!(genes.len(), bounds.len());
+    for (g, &b) in genes.iter_mut().zip(bounds) {
+        assert!(b > 0, "gene bound must be positive");
+        if rng.gen_bool(per_gene_prob.clamp(0.0, 1.0)) {
+            if rng.gen_bool(creep_fraction.clamp(0.0, 1.0)) {
+                let up = rng.gen_bool(0.5);
+                if up && *g + 1 < b {
+                    *g += 1;
+                } else if !up && *g > 0 {
+                    *g -= 1;
+                }
+            } else {
+                *g = rng.gen_range(0..b);
+            }
+        }
+    }
+}
+
+/// Draw a uniformly random genome within `bounds`.
+#[must_use]
+pub fn random_genome(bounds: &[u32], rng: &mut StdRng) -> Vec<u32> {
+    bounds.iter().map(|&b| rng.gen_range(0..b.max(1))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn uniform_crossover_preserves_multiset_per_position() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![5, 6, 7, 8];
+        let mut r = rng();
+        let (c1, c2) = crossover(CrossoverKind::Uniform, &a, &b, &mut r);
+        for i in 0..4 {
+            let mut pair = [c1[i], c2[i]];
+            pair.sort_unstable();
+            let mut orig = [a[i], b[i]];
+            orig.sort_unstable();
+            assert_eq!(pair, orig);
+        }
+    }
+
+    #[test]
+    fn one_point_crossover_swaps_a_suffix() {
+        let a = vec![1, 1, 1, 1, 1];
+        let b = vec![2, 2, 2, 2, 2];
+        let mut r = rng();
+        let (c1, c2) = crossover(CrossoverKind::OnePoint, &a, &b, &mut r);
+        // c1 is 1s then 2s; c2 the complement.
+        let switch = c1.iter().position(|&g| g == 2).expect("suffix from b");
+        assert!(c1[..switch].iter().all(|&g| g == 1));
+        assert!(c1[switch..].iter().all(|&g| g == 2));
+        assert!(c2[..switch].iter().all(|&g| g == 2));
+        assert!(c2[switch..].iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let bounds = vec![2, 4, 16, 256];
+        let mut genes = vec![0, 0, 0, 0];
+        let mut r = rng();
+        for _ in 0..200 {
+            mutate(&mut genes, &bounds, 1.0, &mut r);
+            for (g, b) in genes.iter().zip(&bounds) {
+                assert!(g < b);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_mutation_is_identity() {
+        let bounds = vec![8; 10];
+        let mut genes = vec![3; 10];
+        let mut r = rng();
+        mutate(&mut genes, &bounds, 0.0, &mut r);
+        assert_eq!(genes, vec![3; 10]);
+    }
+
+    #[test]
+    fn random_genomes_are_in_bounds_and_varied() {
+        let bounds = vec![2, 3, 100, 1000];
+        let mut r = rng();
+        let g1 = random_genome(&bounds, &mut r);
+        let g2 = random_genome(&bounds, &mut r);
+        for (g, b) in g1.iter().zip(&bounds) {
+            assert!(g < b);
+        }
+        assert_ne!(g1, g2);
+    }
+}

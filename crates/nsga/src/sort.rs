@@ -1,0 +1,157 @@
+//! Fast non-dominated sorting and crowding distance (Deb et al. 2002).
+
+use crate::individual::Individual;
+use crate::problem::constrained_dominates;
+
+/// Assign `rank` to every individual and return the fronts as index
+/// lists (front 0 first). Runs the O(MN²) fast non-dominated sort of
+/// the NSGA-II paper, with constrained domination.
+pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
+    let n = pop.len();
+    let mut dominates: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dominated_count = vec![0usize; n];
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut first = Vec::new();
+
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if constrained_dominates(&pop[p].evaluation, &pop[q].evaluation) {
+                dominates[p].push(q);
+                dominated_count[q] += 1;
+            } else if constrained_dominates(&pop[q].evaluation, &pop[p].evaluation) {
+                dominates[q].push(p);
+                dominated_count[p] += 1;
+            }
+        }
+        if dominated_count[p] == 0 {
+            // May be incremented by later comparisons; verified below.
+        }
+    }
+    for (p, &c) in dominated_count.iter().enumerate() {
+        if c == 0 {
+            pop[p].rank = 0;
+            first.push(p);
+        }
+    }
+    fronts.push(first);
+
+    let mut i = 0;
+    while !fronts[i].is_empty() {
+        let mut next = Vec::new();
+        for &p in &fronts[i] {
+            for &q in &dominates[p] {
+                dominated_count[q] -= 1;
+                if dominated_count[q] == 0 {
+                    pop[q].rank = i + 1;
+                    next.push(q);
+                }
+            }
+        }
+        i += 1;
+        fronts.push(next);
+    }
+    fronts.pop();
+    fronts
+}
+
+/// Assign crowding distances to the individuals of one front.
+pub fn assign_crowding(pop: &mut [Individual], front: &[usize]) {
+    for &i in front {
+        pop[i].crowding = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            pop[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let m = pop[front[0]].evaluation.objectives.len();
+    for obj in 0..m {
+        let mut order: Vec<usize> = front.to_vec();
+        order.sort_by(|&a, &b| {
+            pop[a].evaluation.objectives[obj]
+                .partial_cmp(&pop[b].evaluation.objectives[obj])
+                .expect("objectives must be finite")
+        });
+        let lo = pop[order[0]].evaluation.objectives[obj];
+        let hi = pop[*order.last().expect("front non-empty")].evaluation.objectives[obj];
+        let span = hi - lo;
+        pop[order[0]].crowding = f64::INFINITY;
+        pop[*order.last().expect("front non-empty")].crowding = f64::INFINITY;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in order.windows(3) {
+            let (prev, mid, next) = (w[0], w[1], w[2]);
+            let delta = (pop[next].evaluation.objectives[obj]
+                - pop[prev].evaluation.objectives[obj])
+                / span;
+            if pop[mid].crowding.is_finite() {
+                pop[mid].crowding += delta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    fn ind(objs: &[f64]) -> Individual {
+        Individual::new(vec![], Evaluation::feasible(objs.to_vec()))
+    }
+
+    #[test]
+    fn sorts_into_expected_fronts() {
+        // (1,1) dominates (2,2) dominates (3,3); (1,3) and (3,1) are on
+        // the first front with (1,1)? No: (1,1) dominates both.
+        let mut pop = vec![ind(&[1.0, 1.0]), ind(&[2.0, 2.0]), ind(&[3.0, 3.0]), ind(&[1.0, 3.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts[0], vec![0]);
+        assert!(fronts[1].contains(&1));
+        assert!(fronts[1].contains(&3));
+        assert_eq!(fronts[2], vec![2]);
+        assert_eq!(pop[0].rank, 0);
+        assert_eq!(pop[2].rank, 2);
+    }
+
+    #[test]
+    fn non_dominated_set_is_one_front() {
+        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[3.0, 2.0]), ind(&[4.0, 1.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 4);
+    }
+
+    #[test]
+    fn infeasible_individuals_rank_behind_feasible() {
+        let mut pop = vec![
+            Individual::new(vec![], Evaluation::infeasible(vec![0.0, 0.0], 1.0)),
+            ind(&[9.0, 9.0]),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts[0], vec![1]);
+        assert_eq!(fronts[1], vec![0]);
+    }
+
+    #[test]
+    fn crowding_rewards_boundary_and_spread() {
+        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[2.1, 2.9]), ind(&[4.0, 1.0])];
+        let front: Vec<usize> = vec![0, 1, 2, 3];
+        assign_crowding(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[3].crowding.is_infinite());
+        // Individual 1 sits in a sparser neighbourhood than 2.
+        assert!(pop[1].crowding > 0.0 && pop[2].crowding > 0.0);
+    }
+
+    #[test]
+    fn small_fronts_get_infinite_crowding() {
+        let mut pop = vec![ind(&[1.0, 2.0]), ind(&[2.0, 1.0])];
+        let front = vec![0, 1];
+        assign_crowding(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[1].crowding.is_infinite());
+    }
+}

@@ -1,0 +1,50 @@
+//! Which printed power source can drive each benchmark MLP?
+//! Reproduces the reasoning of the paper's Fig. 5 on two datasets:
+//! exact baselines are undeployable, GA-approximated circuits run off
+//! printed batteries or harvesters — especially at 0.6 V.
+//!
+//! Run with `cargo run --release --example battery_feasibility`.
+
+use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::{FeasibilityZones, TechLibrary, VddModel};
+
+fn main() {
+    let zones = FeasibilityZones::paper();
+    let tech = TechLibrary::egfet();
+    let vdd = VddModel::egfet();
+
+    for dataset in [Dataset::BreastCancer, Dataset::RedWine] {
+        let study = run_study(dataset, &StudyConfig::quick(7), &tech);
+        let spec = dataset.spec();
+        println!("{} ({:?} topology {:?})", spec.name, dataset, spec.topology());
+
+        let b = &study.baseline_report;
+        println!(
+            "  baseline @1.0V : {:6.2} cm2 {:7.2} mW -> {:?}",
+            b.area_cm2,
+            b.power_mw,
+            zones.classify(b.area_cm2, b.power_mw),
+        );
+
+        if let Some(best) = &study.selected {
+            let at_1v = &best.report;
+            println!(
+                "  ours     @1.0V : {:6.2} cm2 {:7.2} mW -> {:?}",
+                at_1v.area_cm2,
+                at_1v.power_mw,
+                zones.classify(at_1v.area_cm2, at_1v.power_mw),
+            );
+            let at_0v6 = at_1v.at_vdd(&vdd, 0.6);
+            println!(
+                "  ours     @0.6V : {:6.2} cm2 {:7.2} mW -> {:?}",
+                at_0v6.area_cm2,
+                at_0v6.power_mw,
+                zones.classify(at_0v6.area_cm2, at_0v6.power_mw),
+            );
+        } else {
+            println!("  (no design met the 5% budget at the quick GA budget)");
+        }
+        println!();
+    }
+}

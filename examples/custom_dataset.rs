@@ -1,0 +1,80 @@
+//! Hardware-aware training on user data: load a CSV (or fall back to a
+//! generated one), train the exact baseline, run the GA, and print the
+//! Pareto front — the workflow a downstream user of this library would
+//! follow for their own printed-classifier application.
+//!
+//! Run with `cargo run --release --example custom_dataset [data.csv]`.
+
+use std::error::Error;
+
+use printed_mlps::axc::{AxTrainConfig, HwAwareTrainer};
+use printed_mlps::datasets::{parse_csv, quantize, stratified_split, TabularData};
+use printed_mlps::hw::{Elaborator, TechLibrary};
+use printed_mlps::mlp::train::train_best_of;
+use printed_mlps::mlp::{FixedMlp, QuantConfig, Topology, TrainConfig};
+use printed_mlps::nsga::NsgaConfig;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Load user data, or synthesize a small two-class problem so the
+    // example always runs.
+    let mut data: TabularData = match std::env::args().nth(1) {
+        Some(path) => printed_mlps::datasets::load_csv(path)?,
+        None => {
+            let csv: String = (0..240)
+                .map(|i| {
+                    let t = f32::from(i as u16 % 120) / 120.0;
+                    if i < 120 {
+                        format!("{:.3},{:.3},0\n", 0.2 + 0.2 * t, 0.3)
+                    } else {
+                        format!("{:.3},{:.3},1\n", 0.6 + 0.2 * t, 0.8)
+                    }
+                })
+                .collect();
+            parse_csv(&csv)?
+        }
+    };
+    data.normalize_unit();
+    let split = stratified_split(&data, 0.7, 1)?;
+    let features = split.train.feature_count();
+    let classes = data.classes;
+    println!("{} samples, {features} features, {classes} classes", data.len());
+
+    // Exact baseline: float training + 8-bit/4-bit quantization.
+    let topology = Topology::new(vec![features, 3, classes]);
+    let sgd = TrainConfig { epochs: 80, seed: 1, ..TrainConfig::default() };
+    let (float_mlp, report) =
+        train_best_of(&topology, &split.train.features, &split.train.labels, &sgd, 3);
+    println!("float baseline: train accuracy {:.3}", report.train_accuracy);
+
+    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+    let train_q = quantize(&split.train, 4);
+    let test_q = quantize(&split.test, 4);
+    let baseline_train = baseline.accuracy(&train_q.features, &train_q.labels);
+    let baseline_test = baseline.accuracy(&test_q.features, &test_q.labels);
+    println!("exact bespoke baseline: train {baseline_train:.3}, test {baseline_test:.3}");
+
+    // Hardware-aware GA training.
+    let ga = AxTrainConfig {
+        fitness_subsample: Some(400),
+        nsga: NsgaConfig { population: 32, generations: 30, seed: 1, ..NsgaConfig::default() },
+        ..AxTrainConfig::default()
+    };
+    let elaborator = Elaborator::new(TechLibrary::egfet());
+    let outcome = HwAwareTrainer::new(ga).train(
+        &baseline,
+        baseline_train,
+        &train_q,
+        &test_q,
+        &elaborator,
+        "custom",
+    );
+
+    println!("Pareto front:");
+    for p in &outcome.front {
+        println!(
+            "  test accuracy {:.3}  area {:.3} cm2  power {:.3} mW",
+            p.test_accuracy, p.report.area_cm2, p.report.power_mw,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: train a hardware-aware approximate printed MLP on the
+//! Breast Cancer benchmark and print its accuracy/area/power trade-off.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::TechLibrary;
+
+fn main() {
+    // A scaled-down study finishes in seconds; `StudyConfig::default()`
+    // uses production budgets.
+    let config = StudyConfig::quick(42);
+    let tech = TechLibrary::egfet();
+    let study = run_study(Dataset::BreastCancer, &config, &tech);
+
+    println!("Breast Cancer, topology (10,3,2)");
+    println!(
+        "  exact baseline : accuracy {:.3}, {:.2} cm2, {:.2} mW",
+        study.baseline_test_accuracy,
+        study.baseline_report.area_cm2,
+        study.baseline_report.power_mw,
+    );
+    println!("  Pareto front ({} designs):", study.outcome.front.len());
+    for point in &study.outcome.front {
+        println!(
+            "    accuracy {:.3}  {:.3} cm2  {:.3} mW",
+            point.test_accuracy, point.report.area_cm2, point.report.power_mw,
+        );
+    }
+    match &study.selected {
+        Some(best) => println!(
+            "  selected (<=5% loss): accuracy {:.3}, {:.3} cm2 ({:.0}x smaller), {:.3} mW ({:.0}x lower)",
+            best.test_accuracy,
+            best.report.area_cm2,
+            study.area_reduction().unwrap_or(1.0),
+            best.report.power_mw,
+            study.power_reduction().unwrap_or(1.0),
+        ),
+        None => println!("  no design met the 5% loss budget at this (quick) GA budget"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Export a bespoke approximate-MLP netlist as structural Verilog —
+//! the "translated into an HDL description" step of the paper's flow
+//! (Fig. 2), here for a hand-built two-layer approximate network.
+//!
+//! Run with `cargo run --release --example verilog_export`.
+
+use printed_mlps::hw::{emit_verilog, Elaborator, TechLibrary};
+use printed_mlps::mlp::{ax_to_hardware, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+
+fn main() {
+    // A tiny approximate MLP: 3 four-bit inputs, 2 hidden neurons with
+    // masked pow2 weights, 2 output classes.
+    let mlp = AxMlp {
+        layers: vec![
+            AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0b1110, shift: 2, negative: false },
+                            AxWeight { mask: 0b1011, shift: 0, negative: true },
+                            AxWeight { mask: 0, shift: 0, negative: false }, // pruned
+                        ],
+                        bias: 9,
+                    },
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0b1000, shift: 1, negative: false },
+                            AxWeight { mask: 0b1111, shift: 3, negative: false },
+                            AxWeight { mask: 0b0110, shift: 0, negative: true },
+                        ],
+                        bias: -4,
+                    },
+                ],
+                qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+            },
+            AxLayer {
+                input_bits: 8,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0xF0, shift: 0, negative: false },
+                            AxWeight { mask: 0x0F, shift: 1, negative: true },
+                        ],
+                        bias: 15,
+                    },
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0xFF, shift: 1, negative: true },
+                            AxWeight { mask: 0x3C, shift: 0, negative: false },
+                        ],
+                        bias: 0,
+                    },
+                ],
+                qrelu: None,
+            },
+        ],
+    };
+
+    let spec = ax_to_hardware(&mlp, "ax_demo");
+    let elaborated = Elaborator::new(TechLibrary::egfet()).elaborate(&spec);
+    println!("// area  : {:.4} cm2", elaborated.report.area_cm2);
+    println!("// power : {:.4} mW", elaborated.report.power_mw);
+    println!("// delay : {:.1} ms", elaborated.report.delay_ms);
+    println!("// cells : {} total", elaborated.report.cells.total());
+    println!();
+    println!("{}", emit_verilog(&elaborated.netlist, "ax_demo"));
+}

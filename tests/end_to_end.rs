@@ -1,0 +1,68 @@
+//! Cross-crate integration: the complete Fig. 2 flow on real (synthetic)
+//! data, exercising datasets → float training → quantization → GA →
+//! hardware analysis → selection → Verilog.
+
+use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::{emit_verilog, Elaborator, TechLibrary};
+use printed_mlps::mlp::ax_to_hardware;
+
+#[test]
+fn breast_cancer_study_produces_usable_designs() {
+    let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(3), &TechLibrary::egfet());
+
+    // Baseline quality: the synthetic BC task is easy.
+    assert!(study.baseline_test_accuracy > 0.9, "baseline {}", study.baseline_test_accuracy);
+    // The baseline circuit must be infeasibly large, as in Table I.
+    assert!(study.baseline_report.area_cm2 > 1.0);
+    assert!(study.baseline_report.power_mw > 5.0);
+
+    // The front is non-empty, sorted by area, and all points carry
+    // consistent reports.
+    assert!(!study.outcome.front.is_empty());
+    for pair in study.outcome.front.windows(2) {
+        assert!(pair[0].report.area_cm2 <= pair[1].report.area_cm2);
+    }
+    for point in &study.outcome.front {
+        assert!(point.report.area_cm2 > 0.0);
+        assert!(point.report.power_mw > 0.0);
+        assert!((0.0..=1.0).contains(&point.test_accuracy));
+    }
+
+    // A design within the 5% budget exists even at the quick budget
+    // (BC is easy) and it beats the baseline on area.
+    let selected = study.selected.as_ref().expect("BC selects at quick budget");
+    assert!(selected.test_accuracy >= study.baseline_test_accuracy - 0.05 - 1e-9);
+    assert!(study.area_reduction().expect("selected") > 1.5);
+
+    // The selected design lowers to Verilog.
+    let spec = ax_to_hardware(&selected.mlp, "bc_selected");
+    let elaborated = Elaborator::new(TechLibrary::egfet()).elaborate(&spec);
+    let verilog = emit_verilog(&elaborated.netlist, "bc_selected");
+    assert!(verilog.contains("module bc_selected"));
+    assert!(verilog.contains("endmodule"));
+}
+
+#[test]
+fn selected_design_accuracy_is_reproducible_from_the_network() {
+    let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(5), &TechLibrary::egfet());
+    if let Some(selected) = &study.selected {
+        // Recomputing accuracy from the stored network must give the
+        // recorded value exactly (integer-exact inference).
+        let recomputed = selected.mlp.accuracy(&study.test.features, &study.test.labels);
+        assert!((recomputed - selected.test_accuracy).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn studies_are_bit_reproducible() {
+    let tech = TechLibrary::egfet();
+    let a = run_study(Dataset::RedWine, &StudyConfig::quick(11), &tech);
+    let b = run_study(Dataset::RedWine, &StudyConfig::quick(11), &tech);
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.outcome.front.len(), b.outcome.front.len());
+    for (x, y) in a.outcome.front.iter().zip(&b.outcome.front) {
+        assert_eq!(x.mlp, y.mlp);
+        assert_eq!(x.report.area_cm2, y.report.area_cm2);
+    }
+}

@@ -1,0 +1,59 @@
+//! The load-bearing invariant of the whole reproduction: the fast
+//! FA-count estimator the GA trains against instantiates *exactly* the
+//! FA/NOT counts the netlist elaborator produces, for arbitrary
+//! approximate neurons.
+
+use proptest::prelude::*;
+
+use printed_mlps::arith::{AdderAreaEstimator, NeuronArithSpec, WeightArith};
+use printed_mlps::hw::neuron::{bind_approximate, elaborate_accumulation};
+use printed_mlps::hw::{Cell, Netlist};
+
+fn weight_strategy(input_bits: u32) -> impl Strategy<Value = WeightArith> {
+    let mask_max = (1u64 << input_bits) - 1;
+    (0..=mask_max, 0u32..7, any::<bool>())
+        .prop_map(|(mask, shift, negative)| WeightArith { mask, shift, negative })
+}
+
+fn neuron_strategy() -> impl Strategy<Value = NeuronArithSpec> {
+    prop_oneof![Just(4u32), Just(8u32)].prop_flat_map(|input_bits| {
+        (
+            proptest::collection::vec(weight_strategy(input_bits), 1..12),
+            -2000i64..2000,
+        )
+            .prop_map(move |(weights, bias)| NeuronArithSpec { input_bits, weights, bias })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimator_matches_elaboration(spec in neuron_strategy()) {
+        let report = AdderAreaEstimator::paper().estimate(&spec);
+
+        let mut netlist = Netlist::new();
+        let inputs: Vec<Vec<_>> = (0..spec.weights.len())
+            .map(|_| netlist.nets(spec.input_bits as usize))
+            .collect();
+        let bound = bind_approximate(&spec, &inputs);
+        let acc = elaborate_accumulation(&mut netlist, &bound, printed_mlps::arith::ReductionKind::FaOnly);
+
+        prop_assert_eq!(netlist.cell_counts().get(Cell::Fa), report.full_adders);
+        prop_assert_eq!(netlist.cell_counts().get(Cell::Not), report.not_gates);
+        prop_assert_eq!(acc.accumulator_bits, report.accumulator_bits);
+    }
+
+    /// Pruning a mask bit never increases the estimated area.
+    #[test]
+    fn mask_pruning_is_monotone(spec in neuron_strategy(), wi in 0usize..12, bit in 0u32..8) {
+        let est = AdderAreaEstimator::paper();
+        let before = est.estimate(&spec).full_adders;
+        let mut pruned = spec.clone();
+        if let Some(w) = pruned.weights.get_mut(wi % spec.weights.len().max(1)) {
+            w.mask &= !(1u64 << (bit % pruned.input_bits));
+        }
+        let after = est.estimate(&pruned).full_adders;
+        prop_assert!(after <= before, "pruning increased FAs: {} -> {}", before, after);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests on the chromosome encoding and the GA wiring.
+
+use proptest::prelude::*;
+
+use printed_mlps::axc::{GenomeSpec, LayerGenomeSpec};
+use printed_mlps::mlp::QReluCfg;
+
+fn genome_spec_strategy() -> impl Strategy<Value = GenomeSpec> {
+    (1usize..6, 1usize..4, 1usize..5).prop_map(|(fan_in, hidden, classes)| {
+        GenomeSpec::new(
+            vec![
+                LayerGenomeSpec {
+                    fan_in,
+                    neurons: hidden,
+                    input_bits: 4,
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                },
+                LayerGenomeSpec { fan_in: hidden, neurons: classes, input_bits: 8, qrelu: None },
+            ],
+            8,
+            12,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode then encode is the identity on in-bounds genomes.
+    #[test]
+    fn decode_encode_round_trip(
+        spec in genome_spec_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genes = printed_mlps::nsga::random_genome(spec.bounds(), &mut rng);
+        let mlp = spec.decode(&genes);
+        prop_assert_eq!(spec.encode(&mlp), genes);
+    }
+
+    /// Decoded networks are structurally valid and evaluable.
+    #[test]
+    fn decoded_networks_infer_without_panic(
+        spec in genome_spec_strategy(),
+        seed in any::<u64>(),
+        x in proptest::collection::vec(0u8..16, 1..6),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genes = printed_mlps::nsga::random_genome(spec.bounds(), &mut rng);
+        let mlp = spec.decode(&genes);
+        let fan_in = mlp.layers[0].neurons[0].weights.len();
+        if x.len() >= fan_in {
+            let pred = mlp.predict(&x[..fan_in]);
+            prop_assert!(pred < mlp.layers.last().unwrap().neurons.len());
+        }
+    }
+
+    /// Gene bounds are positive and gene count matches the layout
+    /// formula of Fig. 3: (3·fan_in + 1) genes per neuron.
+    #[test]
+    fn bounds_match_figure_3_layout(spec in genome_spec_strategy()) {
+        prop_assert!(spec.bounds().iter().all(|&b| b > 0));
+        let expected: usize = spec
+            .layers()
+            .iter()
+            .map(|l| l.neurons * (3 * l.fan_in + 1))
+            .sum();
+        prop_assert_eq!(spec.gene_count(), expected);
+    }
+}

