@@ -186,7 +186,11 @@ impl ColumnProfile {
 
     /// Iterate over `(column, height)` pairs for non-empty columns.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.heights.iter().enumerate().filter(|(_, &h)| h > 0).map(|(c, &h)| (c as u32, h))
+        self.heights
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h > 0)
+            .map(|(c, &h)| (c as u32, h))
     }
 
     /// Column heights as a slice (column 0 first).
@@ -221,7 +225,12 @@ mod tests {
     use super::*;
 
     fn masked(mask: u64, shift: u32, negative: bool) -> Summand {
-        Summand::MaskedInput { input_bits: 4, mask, shift, negative }
+        Summand::MaskedInput {
+            input_bits: 4,
+            mask,
+            shift,
+            negative,
+        }
     }
 
     #[test]
@@ -242,7 +251,12 @@ mod tests {
         // §III-B example: A' = a5 0 a3 a2 0 a0 with mask 101101 on a
         // 6-bit signal: three bits survive... (mask has 4 set bits:
         // 101101 -> bits 0,2,3,5).
-        let s = Summand::MaskedInput { input_bits: 6, mask: 0b101101, shift: 0, negative: false };
+        let s = Summand::MaskedInput {
+            input_bits: 6,
+            mask: 0b101101,
+            shift: 0,
+            negative: false,
+        };
         let p = ColumnProfile::from_summands(std::slice::from_ref(&s), 8).unwrap();
         assert_eq!(p.height(0), 1);
         assert_eq!(p.height(1), 0);
@@ -255,8 +269,8 @@ mod tests {
     #[test]
     fn constants_fold_together() {
         // Two constants 0b0101 and 0b0011 fold to 0b1000: only one column.
-        let p = ColumnProfile::from_summands(&[Summand::Constant(5), Summand::Constant(3)], 8)
-            .unwrap();
+        let p =
+            ColumnProfile::from_summands(&[Summand::Constant(5), Summand::Constant(3)], 8).unwrap();
         assert_eq!(p.height(3), 1);
         assert_eq!(p.total_bits(), 1);
     }
@@ -297,7 +311,12 @@ mod tests {
                     let mask_mod = (1u64 << acc) - 1;
                     for (s, x) in summands.iter().zip([x0, x1, x2, 0]) {
                         match s {
-                            Summand::MaskedInput { mask, shift, negative, .. } => {
+                            Summand::MaskedInput {
+                                mask,
+                                shift,
+                                negative,
+                                ..
+                            } => {
                                 let v = (x & mask) << shift;
                                 if *negative {
                                     let inv = (!v) & (mask << shift);

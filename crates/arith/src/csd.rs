@@ -60,7 +60,11 @@ pub fn csd_digits(value: i64) -> Vec<(u32, CsdDigit)> {
             let digit = if rem4 == 1 { 1 } else { -1 };
             digits.push((
                 pos,
-                if digit == 1 { CsdDigit::PlusOne } else { CsdDigit::MinusOne },
+                if digit == 1 {
+                    CsdDigit::PlusOne
+                } else {
+                    CsdDigit::MinusOne
+                },
             ));
             v -= digit;
         }
@@ -89,7 +93,10 @@ mod tests {
     use super::*;
 
     fn reconstruct(digits: &[(u32, CsdDigit)]) -> i64 {
-        digits.iter().map(|&(p, d)| d.value().checked_shl(p).unwrap()).sum()
+        digits
+            .iter()
+            .map(|&(p, d)| d.value().checked_shl(p).unwrap())
+            .sum()
     }
 
     #[test]

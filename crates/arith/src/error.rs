@@ -65,9 +65,17 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let msgs = [
             ArithError::InvalidWidth { width: 0 }.to_string(),
-            ArithError::MaskExceedsWidth { mask: 0b10000, width: 4 }.to_string(),
+            ArithError::MaskExceedsWidth {
+                mask: 0b10000,
+                width: 4,
+            }
+            .to_string(),
             ArithError::ShiftTooLarge { shift: 99 }.to_string(),
-            ArithError::ValueOutOfRange { value: 300, width: 8 }.to_string(),
+            ArithError::ValueOutOfRange {
+                value: 300,
+                width: 8,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

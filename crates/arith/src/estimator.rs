@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::column::ColumnProfile;
-use crate::reduce::{ReductionKind, ReductionStats, Reducer};
+use crate::reduce::{Reducer, ReductionKind, ReductionStats};
 use crate::summand::Summand;
 
 /// Arithmetic description of one weight of an approximate neuron: the
@@ -131,14 +131,18 @@ impl AdderAreaEstimator {
     /// The paper's estimator: FA-only 3:2 reduction.
     #[must_use]
     pub fn paper() -> Self {
-        Self { reducer: Reducer::new(ReductionKind::FaOnly) }
+        Self {
+            reducer: Reducer::new(ReductionKind::FaOnly),
+        }
     }
 
     /// Estimator with an explicit compressor policy (used by the
     /// `fa_vs_netlist` ablation).
     #[must_use]
     pub fn with_kind(kind: ReductionKind) -> Self {
-        Self { reducer: Reducer::new(kind) }
+        Self {
+            reducer: Reducer::new(kind),
+        }
     }
 
     /// Estimate the adder area of one neuron.
@@ -177,7 +181,10 @@ impl AdderAreaEstimator {
     where
         I: IntoIterator<Item = &'a NeuronArithSpec>,
     {
-        neurons.into_iter().map(|n| self.estimate(n).fa_equivalent()).sum()
+        neurons
+            .into_iter()
+            .map(|n| self.estimate(n).fa_equivalent())
+            .sum()
     }
 }
 
@@ -192,7 +199,11 @@ mod tests {
     use super::*;
 
     fn spec(weights: Vec<WeightArith>, bias: i64) -> NeuronArithSpec {
-        NeuronArithSpec { input_bits: 4, weights, bias }
+        NeuronArithSpec {
+            input_bits: 4,
+            weights,
+            bias,
+        }
     }
 
     #[test]
@@ -206,7 +217,14 @@ mod tests {
     #[test]
     fn zero_masks_remove_summands_entirely() {
         let s = spec(
-            vec![WeightArith { mask: 0, shift: 3, negative: true }; 10],
+            vec![
+                WeightArith {
+                    mask: 0,
+                    shift: 3,
+                    negative: true
+                };
+                10
+            ],
             0,
         );
         let r = AdderAreaEstimator::paper().estimate(&s);
@@ -220,7 +238,17 @@ mod tests {
         let masks = [0b1111u64, 0b1110, 0b1100, 0b1000, 0b0000];
         let mut last = u32::MAX;
         for m in masks {
-            let s = spec(vec![WeightArith { mask: m, shift: 0, negative: false }; 8], 5);
+            let s = spec(
+                vec![
+                    WeightArith {
+                        mask: m,
+                        shift: 0,
+                        negative: false
+                    };
+                    8
+                ],
+                5,
+            );
             let fa = est.estimate(&s).full_adders;
             assert!(fa <= last, "mask {m:#b}: {fa} > {last}");
             last = fa;
@@ -230,7 +258,11 @@ mod tests {
     #[test]
     fn more_inputs_cost_more() {
         let est = AdderAreaEstimator::paper();
-        let w = WeightArith { mask: 0b1111, shift: 0, negative: false };
+        let w = WeightArith {
+            mask: 0b1111,
+            shift: 0,
+            negative: false,
+        };
         let small = est.estimate(&spec(vec![w; 3], 0)).full_adders;
         let large = est.estimate(&spec(vec![w; 12], 0)).full_adders;
         assert!(large > small);
@@ -240,9 +272,21 @@ mod tests {
     fn not_gates_counted_per_negative_bit() {
         let s = spec(
             vec![
-                WeightArith { mask: 0b1011, shift: 0, negative: true },
-                WeightArith { mask: 0b1111, shift: 1, negative: false },
-                WeightArith { mask: 0b0001, shift: 2, negative: true },
+                WeightArith {
+                    mask: 0b1011,
+                    shift: 0,
+                    negative: true,
+                },
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 1,
+                    negative: false,
+                },
+                WeightArith {
+                    mask: 0b0001,
+                    shift: 2,
+                    negative: true,
+                },
             ],
             -7,
         );
@@ -253,8 +297,28 @@ mod tests {
     #[test]
     fn layer_total_is_sum_of_neurons() {
         let est = AdderAreaEstimator::paper();
-        let a = spec(vec![WeightArith { mask: 0b1111, shift: 1, negative: false }; 5], 3);
-        let b = spec(vec![WeightArith { mask: 0b0110, shift: 0, negative: true }; 5], -2);
+        let a = spec(
+            vec![
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 1,
+                    negative: false
+                };
+                5
+            ],
+            3,
+        );
+        let b = spec(
+            vec![
+                WeightArith {
+                    mask: 0b0110,
+                    shift: 0,
+                    negative: true
+                };
+                5
+            ],
+            -2,
+        );
         let total = est.estimate_total([&a, &b]);
         let expected = est.estimate(&a).fa_equivalent() + est.estimate(&b).fa_equivalent();
         assert!((total - expected).abs() < 1e-12);
@@ -263,8 +327,28 @@ mod tests {
     #[test]
     fn shift_moves_bits_but_keeps_count() {
         let est = AdderAreaEstimator::paper();
-        let s0 = spec(vec![WeightArith { mask: 0b1111, shift: 0, negative: false }; 4], 0);
-        let s3 = spec(vec![WeightArith { mask: 0b1111, shift: 3, negative: false }; 4], 0);
+        let s0 = spec(
+            vec![
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 0,
+                    negative: false
+                };
+                4
+            ],
+            0,
+        );
+        let s3 = spec(
+            vec![
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 3,
+                    negative: false
+                };
+                4
+            ],
+            0,
+        );
         let r0 = est.estimate(&s0);
         let r3 = est.estimate(&s3);
         assert_eq!(r0.profile.total_bits(), r3.profile.total_bits());

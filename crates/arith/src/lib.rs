@@ -46,8 +46,8 @@
 
 pub mod column;
 pub mod csd;
-pub mod estimator;
 pub mod error;
+pub mod estimator;
 pub mod fixed;
 pub mod reduce;
 pub mod summand;
@@ -56,6 +56,8 @@ pub use column::ColumnProfile;
 pub use csd::{csd_digits, CsdDigit};
 pub use error::ArithError;
 pub use estimator::{AdderAreaEstimator, AdderAreaReport, NeuronArithSpec, WeightArith};
-pub use fixed::{clamp_to_bits, max_signed, max_unsigned, min_signed, signed_width, unsigned_width};
-pub use reduce::{ReductionKind, ReductionStats, Reducer};
+pub use fixed::{
+    clamp_to_bits, max_signed, max_unsigned, min_signed, signed_width, unsigned_width,
+};
+pub use reduce::{Reducer, ReductionKind, ReductionStats};
 pub use summand::Summand;

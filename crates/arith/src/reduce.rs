@@ -238,11 +238,13 @@ mod tests {
         // least that of the original (3:2 compression is value-preserving).
         for heights in [vec![4u32, 4, 4], vec![7, 1, 3], vec![10]] {
             let p = ColumnProfile::from_heights(heights);
-            let max_before: u64 =
-                p.iter().map(|(c, h)| u64::from(h) << c).sum();
+            let max_before: u64 = p.iter().map(|(c, h)| u64::from(h) << c).sum();
             let stats = Reducer::default().reduce(&p);
-            let max_after: u64 =
-                stats.final_profile.iter().map(|(c, h)| u64::from(h) << c).sum();
+            let max_after: u64 = stats
+                .final_profile
+                .iter()
+                .map(|(c, h)| u64::from(h) << c)
+                .sum();
             assert!(max_after >= max_before);
         }
     }

@@ -64,12 +64,20 @@ impl Summand {
     /// or [`ArithError::ShiftTooLarge`] on malformed summands.
     pub fn validate(&self) -> Result<(), ArithError> {
         match *self {
-            Summand::MaskedInput { input_bits, mask, shift, .. } => {
+            Summand::MaskedInput {
+                input_bits,
+                mask,
+                shift,
+                ..
+            } => {
                 if !(1..=32).contains(&input_bits) {
                     return Err(ArithError::InvalidWidth { width: input_bits });
                 }
                 if mask >> input_bits != 0 {
-                    return Err(ArithError::MaskExceedsWidth { mask, width: input_bits });
+                    return Err(ArithError::MaskExceedsWidth {
+                        mask,
+                        width: input_bits,
+                    });
                 }
                 if shift > 24 {
                     return Err(ArithError::ShiftTooLarge { shift });
@@ -88,9 +96,10 @@ impl Summand {
     #[must_use]
     pub fn active_bit_positions(&self) -> Vec<u32> {
         match *self {
-            Summand::MaskedInput { mask, shift, .. } => {
-                (0..64).filter(|b| mask >> b & 1 == 1).map(|b| b + shift).collect()
-            }
+            Summand::MaskedInput { mask, shift, .. } => (0..64)
+                .filter(|b| mask >> b & 1 == 1)
+                .map(|b| b + shift)
+                .collect(),
             Summand::Constant(_) => Vec::new(),
         }
     }
@@ -135,7 +144,12 @@ impl Summand {
     #[must_use]
     pub fn evaluate(&self, x: u64) -> i64 {
         match *self {
-            Summand::MaskedInput { mask, shift, negative, .. } => {
+            Summand::MaskedInput {
+                mask,
+                shift,
+                negative,
+                ..
+            } => {
                 let v = ((x & mask) << shift) as i64;
                 if negative {
                     -v
@@ -167,7 +181,12 @@ impl Summand {
     /// fit in `acc_bits`.
     pub fn negation_constant(&self, acc_bits: u32) -> Result<Option<u64>, ArithError> {
         match *self {
-            Summand::MaskedInput { mask, shift, negative: true, .. } => {
+            Summand::MaskedInput {
+                mask,
+                shift,
+                negative: true,
+                ..
+            } => {
                 let positions = mask << shift;
                 if acc_bits > 63 || positions >> acc_bits != 0 {
                     return Err(ArithError::ShiftTooLarge { shift });
@@ -199,14 +218,24 @@ mod tests {
 
     #[test]
     fn masked_positions_respect_shift() {
-        let s = Summand::MaskedInput { input_bits: 4, mask: 0b1011, shift: 2, negative: false };
+        let s = Summand::MaskedInput {
+            input_bits: 4,
+            mask: 0b1011,
+            shift: 2,
+            negative: false,
+        };
         assert_eq!(s.active_bit_positions(), vec![2, 3, 5]);
         assert_eq!(s.active_bit_count(), 3);
     }
 
     #[test]
     fn evaluate_applies_mask_shift_sign() {
-        let s = Summand::MaskedInput { input_bits: 4, mask: 0b1010, shift: 1, negative: true };
+        let s = Summand::MaskedInput {
+            input_bits: 4,
+            mask: 0b1010,
+            shift: 1,
+            negative: true,
+        };
         // x = 0b1111 -> masked 0b1010 = 10 -> <<1 = 20 -> negated.
         assert_eq!(s.evaluate(0b1111), -20);
         assert_eq!(Summand::Constant(-3).evaluate(123), -3);
@@ -214,15 +243,31 @@ mod tests {
 
     #[test]
     fn zero_mask_is_structurally_zero() {
-        let s = Summand::MaskedInput { input_bits: 4, mask: 0, shift: 3, negative: true };
+        let s = Summand::MaskedInput {
+            input_bits: 4,
+            mask: 0,
+            shift: 3,
+            negative: true,
+        };
         assert!(s.is_zero());
         assert_eq!(s.max_magnitude(), 0);
     }
 
     #[test]
     fn validation_rejects_bad_masks() {
-        let s = Summand::MaskedInput { input_bits: 4, mask: 0b10000, shift: 0, negative: false };
-        assert_eq!(s.validate(), Err(ArithError::MaskExceedsWidth { mask: 0b10000, width: 4 }));
+        let s = Summand::MaskedInput {
+            input_bits: 4,
+            mask: 0b10000,
+            shift: 0,
+            negative: false,
+        };
+        assert_eq!(
+            s.validate(),
+            Err(ArithError::MaskExceedsWidth {
+                mask: 0b10000,
+                width: 4
+            })
+        );
     }
 
     /// The algebra the paper relies on: over an accumulator of width W,
@@ -234,7 +279,12 @@ mod tests {
         let modulus = 1u64 << acc_bits;
         for mask in [0b1111u64, 0b1010, 0b0001, 0b1000] {
             for shift in 0..4u32 {
-                let s = Summand::MaskedInput { input_bits: 4, mask, shift, negative: true };
+                let s = Summand::MaskedInput {
+                    input_bits: 4,
+                    mask,
+                    shift,
+                    negative: true,
+                };
                 let k = s.negation_constant(acc_bits).unwrap().unwrap();
                 for x in 0..16u64 {
                     let v = (x & mask) << shift;

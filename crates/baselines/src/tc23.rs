@@ -35,7 +35,11 @@ pub struct Tc23Config {
 
 impl Default for Tc23Config {
     fn default() -> Self {
-        Self { loss_budget: 0.05, max_digits: 2, max_trunc: 8 }
+        Self {
+            loss_budget: 0.05,
+            max_digits: 2,
+            max_trunc: 8,
+        }
     }
 }
 
@@ -72,7 +76,7 @@ impl Tc23Design {
                 .map(|(row, &b)| {
                     let mut acc = (i64::from(b) >> t) << t;
                     for (&w, &v) in row.iter().zip(&current) {
-                        acc += (i64::from(w) * v >> t) << t;
+                        acc += ((i64::from(w) * v) >> t) << t;
                     }
                     acc
                 })
@@ -104,7 +108,11 @@ impl Tc23Design {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits = rows.iter().zip(labels).filter(|&(r, &l)| self.predict(r) == l).count();
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|&(r, &l)| self.predict(r) == l)
+            .count();
         hits as f64 / rows.len() as f64
     }
 
@@ -137,13 +145,19 @@ impl Tc23Design {
                     })
                     .collect();
                 let activation = match layer.qrelu {
-                    Some(q) => LayerActivation::QRelu { out_bits: q.out_bits, shift: q.shift },
+                    Some(q) => LayerActivation::QRelu {
+                        out_bits: q.out_bits,
+                        shift: q.shift,
+                    },
                     None => LayerActivation::Argmax,
                 };
                 if let Some(q) = layer.qrelu {
                     input_bits = q.out_bits;
                 }
-                LayerSpec { neurons, activation }
+                LayerSpec {
+                    neurons,
+                    activation,
+                }
             })
             .collect();
         let spec = MlpHardwareSpec {
@@ -194,14 +208,20 @@ pub fn approximate_tc23(
             }
         }
     }
-    let design0 = Tc23Design { mlp: mlp.clone(), trunc_bits: vec![0; mlp.layers.len()], tuning_accuracy: 0.0 };
+    let design0 = Tc23Design {
+        mlp: mlp.clone(),
+        trunc_bits: vec![0; mlp.layers.len()],
+        tuning_accuracy: 0.0,
+    };
     let mut acc = design0.accuracy(rows, labels);
 
     // Revert the largest-error replacements until the floor is met.
     replacements.sort_by_key(|&(_, _, _, _, err)| std::cmp::Reverse(err.abs()));
     let mut revert_iter = replacements.into_iter();
     while acc + 1e-12 < floor {
-        let Some((li, ni, wi, old, _)) = revert_iter.next() else { break };
+        let Some((li, ni, wi, old, _)) = revert_iter.next() else {
+            break;
+        };
         mlp.layers[li].weights[ni][wi] = old;
         let d = Tc23Design {
             mlp: mlp.clone(),
@@ -296,9 +316,19 @@ mod tests {
     #[test]
     fn truncated_prediction_matches_untruncated_on_wide_margins() {
         let (mlp, rows, labels) = threshold_baseline();
-        let no_trunc =
-            Tc23Design { mlp: mlp.clone(), trunc_bits: vec![0], tuning_accuracy: 0.0 };
-        let trunc = Tc23Design { mlp, trunc_bits: vec![3], tuning_accuracy: 0.0 };
-        assert_eq!(no_trunc.accuracy(&rows, &labels), trunc.accuracy(&rows, &labels));
+        let no_trunc = Tc23Design {
+            mlp: mlp.clone(),
+            trunc_bits: vec![0],
+            tuning_accuracy: 0.0,
+        };
+        let trunc = Tc23Design {
+            mlp,
+            trunc_bits: vec![3],
+            tuning_accuracy: 0.0,
+        };
+        assert_eq!(
+            no_trunc.accuracy(&rows, &labels),
+            trunc.accuracy(&rows, &labels)
+        );
     }
 }

@@ -36,7 +36,12 @@ pub struct Tcad23Config {
 
 impl Default for Tcad23Config {
     fn default() -> Self {
-        Self { loss_budget: 0.05, max_digits: 3, vos_vdd: 0.75, period_ms: 200.0 }
+        Self {
+            loss_budget: 0.05,
+            max_digits: 3,
+            vos_vdd: 0.75,
+            period_ms: 200.0,
+        }
     }
 }
 
@@ -62,7 +67,9 @@ impl Tcad23Design {
         vdd_model: &VddModel,
         name: &str,
     ) -> HardwareReport {
-        self.design.hardware_report(elaborator, name).at_vdd(vdd_model, self.vdd)
+        self.design
+            .hardware_report(elaborator, name)
+            .at_vdd(vdd_model, self.vdd)
     }
 
     /// Expected accuracy of a raw accuracy `a` under the timing-error
@@ -70,8 +77,7 @@ impl Tcad23Design {
     /// `classes`.
     #[must_use]
     pub fn vos_accuracy(&self, a: f64, classes: usize) -> f64 {
-        a * (1.0 - self.timing_error_rate)
-            + self.timing_error_rate / classes.max(1) as f64
+        a * (1.0 - self.timing_error_rate) + self.timing_error_rate / classes.max(1) as f64
     }
 }
 
@@ -167,8 +173,15 @@ mod tests {
         let (mlp, rows, labels) = setup();
         let elab = Elaborator::new(TechLibrary::egfet());
         let vdd = VddModel::egfet();
-        let design =
-            approximate_tcad23(&mlp, &rows, &labels, 2, &Tcad23Config::default(), &elab, &vdd);
+        let design = approximate_tcad23(
+            &mlp,
+            &rows,
+            &labels,
+            2,
+            &Tcad23Config::default(),
+            &elab,
+            &vdd,
+        );
         let at_vos = design.hardware_report(&elab, &vdd, "t");
         let at_nominal = design.design.hardware_report(&elab, "t");
         assert!(at_vos.power_mw < at_nominal.power_mw);
@@ -204,8 +217,15 @@ mod tests {
         let (mlp, rows, labels) = setup();
         let elab = Elaborator::new(TechLibrary::egfet());
         let vdd = VddModel::egfet();
-        let design =
-            approximate_tcad23(&mlp, &rows, &labels, 2, &Tcad23Config::default(), &elab, &vdd);
+        let design = approximate_tcad23(
+            &mlp,
+            &rows,
+            &labels,
+            2,
+            &Tcad23Config::default(),
+            &elab,
+            &vdd,
+        );
         for layer in &design.design.mlp.layers {
             for row in &layer.weights {
                 for &w in row {

@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     let spec = Dataset::Pendigits.spec();
     let data = generate(Dataset::Pendigits, 0);
     let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
-    let sgd = TrainConfig { epochs: 5, seed: 0, ..TrainConfig::default() };
+    let sgd = TrainConfig {
+        epochs: 5,
+        seed: 0,
+        ..TrainConfig::default()
+    };
     let (mlp, _) = pe_mlp::train::train_best_of(
         &Topology::new(spec.topology()),
         &split.train.features,

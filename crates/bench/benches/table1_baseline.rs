@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
     let spec = Dataset::BreastCancer.spec();
     let data = generate(Dataset::BreastCancer, 0);
     let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
-    let sgd = TrainConfig { epochs: 20, seed: 0, ..TrainConfig::default() };
+    let sgd = TrainConfig {
+        epochs: 20,
+        seed: 0,
+        ..TrainConfig::default()
+    };
     let (mlp, _) = pe_mlp::train::train_best_of(
         &Topology::new(spec.topology()),
         &split.train.features,
@@ -39,7 +43,11 @@ fn bench(c: &mut Criterion) {
     });
     let fixed = FixedMlp::quantize(&mlp, QuantConfig::default(), &split.train.features);
     c.bench_function("elaborate_bc_baseline", |b| {
-        b.iter(|| elab.elaborate(&fixed_to_hardware(&fixed, "bc")).report.area_cm2)
+        b.iter(|| {
+            elab.elaborate(&fixed_to_hardware(&fixed, "bc"))
+                .report
+                .area_cm2
+        })
     });
 }
 

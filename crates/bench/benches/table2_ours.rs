@@ -32,7 +32,11 @@ fn bench(c: &mut Criterion) {
     let spec = Dataset::BreastCancer.spec();
     let data = generate(Dataset::BreastCancer, 0);
     let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
-    let sgd = TrainConfig { epochs: 20, seed: 0, ..TrainConfig::default() };
+    let sgd = TrainConfig {
+        epochs: 20,
+        seed: 0,
+        ..TrainConfig::default()
+    };
     let (mlp, _) = pe_mlp::train::train_best_of(
         &Topology::new(spec.topology()),
         &split.train.features,
@@ -54,7 +58,9 @@ fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let genes = random_genome(genome.bounds(), &mut rng);
 
-    c.bench_function("ga_fitness_eval_bc", |b| b.iter(|| problem.evaluate(&genes)));
+    c.bench_function("ga_fitness_eval_bc", |b| {
+        b.iter(|| problem.evaluate(&genes))
+    });
 }
 
 criterion_group! {

@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     let spec = Dataset::BreastCancer.spec();
     let data = generate(Dataset::BreastCancer, 0);
     let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
-    let sgd = TrainConfig { epochs: 10, seed: 0, ..TrainConfig::default() };
+    let sgd = TrainConfig {
+        epochs: 10,
+        seed: 0,
+        ..TrainConfig::default()
+    };
     let (mlp, _) = pe_mlp::train::train_best_of(
         &Topology::new(spec.topology()),
         &split.train.features,

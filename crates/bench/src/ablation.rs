@@ -39,15 +39,24 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
     let data = generate(dataset, seed);
     let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
     let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
-    let _ = SgdTrainer::new(TrainConfig { epochs: 60, seed, ..TrainConfig::default() })
-        .train(&mut float_mlp, &split.train.features, &split.train.labels);
+    let _ = SgdTrainer::new(TrainConfig {
+        epochs: 60,
+        seed,
+        ..TrainConfig::default()
+    })
+    .train(&mut float_mlp, &split.train.features, &split.train.labels);
     let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
     let train = quantize(&split.train, 4);
     let baseline_acc = baseline.accuracy(&train.features, &train.labels);
 
     let cfg = AxTrainConfig {
         fitness_subsample: Some(500),
-        nsga: NsgaConfig { population, generations, seed, ..NsgaConfig::default() },
+        nsga: NsgaConfig {
+            population,
+            generations,
+            seed,
+            ..NsgaConfig::default()
+        },
         ..AxTrainConfig::default()
     };
     let trainer = HwAwareTrainer::new(cfg.clone());
@@ -77,8 +86,14 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
         (best, first_feasible)
     };
 
-    let doped =
-        run(doped_seeds(&genome, &baseline, cfg.max_shift(), cfg.bias_bits, population / 10 + 1, seed));
+    let doped = run(doped_seeds(
+        &genome,
+        &baseline,
+        cfg.max_shift(),
+        cfg.bias_bits,
+        population / 10 + 1,
+        seed,
+    ));
     let random = run(Vec::new());
 
     DopingResult {
@@ -95,7 +110,13 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
 pub fn render_doping(rows: &[DopingResult]) -> String {
     render_table(
         "Ablation: doped (~10% near-exact) vs random initialization",
-        &["Dataset", "doped best acc", "random best acc", "doped 1st feasible", "random 1st feasible"],
+        &[
+            "Dataset",
+            "doped best acc",
+            "random best acc",
+            "doped 1st feasible",
+            "random 1st feasible",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -103,8 +124,10 @@ pub fn render_doping(rows: &[DopingResult]) -> String {
                     r.dataset.clone(),
                     format!("{:.3}", r.doped_best_accuracy),
                     format!("{:.3}", r.random_best_accuracy),
-                    r.doped_first_feasible_gen.map_or("never".into(), |g| g.to_string()),
-                    r.random_first_feasible_gen.map_or("never".into(), |g| g.to_string()),
+                    r.doped_first_feasible_gen
+                        .map_or("never".into(), |g| g.to_string()),
+                    r.random_first_feasible_gen
+                        .map_or("never".into(), |g| g.to_string()),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -141,7 +164,11 @@ pub fn objective(
     let spec = dataset.spec();
     let data = generate(dataset, seed);
     let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
-    let mut sgd = TrainConfig { epochs: 80, seed, ..TrainConfig::default() };
+    let mut sgd = TrainConfig {
+        epochs: 80,
+        seed,
+        ..TrainConfig::default()
+    };
     sgd.learning_rate = spec.sgd.learning_rate;
     let (float_mlp, _) = pe_mlp::train::train_best_of(
         &Topology::new(spec.topology()),
@@ -158,7 +185,12 @@ pub fn objective(
 
     let cfg = AxTrainConfig {
         fitness_subsample: Some(800),
-        nsga: NsgaConfig { population, generations, seed, ..NsgaConfig::default() },
+        nsga: NsgaConfig {
+            population,
+            generations,
+            seed,
+            ..NsgaConfig::default()
+        },
         ..AxTrainConfig::default()
     };
     let trainer = HwAwareTrainer::new(cfg.clone());
@@ -212,7 +244,13 @@ pub fn objective(
 pub fn render_objective(rows: &[ObjectiveResult]) -> String {
     render_table(
         "Ablation: FA-count (paper Eq. 2) vs gate-equivalent area objective",
-        &["Dataset", "FA-count area", "GE area", "FA-count acc", "GE acc"],
+        &[
+            "Dataset",
+            "FA-count area",
+            "GE area",
+            "FA-count acc",
+            "GE acc",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -220,8 +258,10 @@ pub fn render_objective(rows: &[ObjectiveResult]) -> String {
                     r.dataset.clone(),
                     r.fa_count_area.map_or("-".into(), |v| format!("{v:.3}")),
                     r.gate_equiv_area.map_or("-".into(), |v| format!("{v:.3}")),
-                    r.fa_count_accuracy.map_or("-".into(), |v| format!("{v:.3}")),
-                    r.gate_equiv_accuracy.map_or("-".into(), |v| format!("{v:.3}")),
+                    r.fa_count_accuracy
+                        .map_or("-".into(), |v| format!("{v:.3}")),
+                    r.gate_equiv_accuracy
+                        .map_or("-".into(), |v| format!("{v:.3}")),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -252,8 +292,12 @@ pub fn fa_vs_netlist(dataset: Dataset, samples: usize, seed: u64) -> ProxyConcor
     let data = generate(dataset, seed);
     let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
     let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
-    let _ = SgdTrainer::new(TrainConfig { epochs: 20, seed, ..TrainConfig::default() })
-        .train(&mut float_mlp, &split.train.features, &split.train.labels);
+    let _ = SgdTrainer::new(TrainConfig {
+        epochs: 20,
+        seed,
+        ..TrainConfig::default()
+    })
+    .train(&mut float_mlp, &split.train.features, &split.train.labels);
     let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
 
     let trainer = HwAwareTrainer::new(AxTrainConfig::default());
@@ -267,8 +311,10 @@ pub fn fa_vs_netlist(dataset: Dataset, samples: usize, seed: u64) -> ProxyConcor
         let genes = pe_nsga::random_genome(genome.bounds(), &mut rng);
         let mlp = genome.decode(&genes);
         let proxy = estimator.estimate_total(mlp.arith_specs().iter().flatten());
-        let area =
-            elab.elaborate(&ax_to_hardware(&mlp, format!("probe{i}"))).report.area_cm2;
+        let area = elab
+            .elaborate(&ax_to_hardware(&mlp, format!("probe{i}")))
+            .report
+            .area_cm2;
         points.push((proxy, area));
     }
 
@@ -293,8 +339,16 @@ pub fn fa_vs_netlist(dataset: Dataset, samples: usize, seed: u64) -> ProxyConcor
     }
     ProxyConcordance {
         pairs,
-        concordant_fraction: if pairs == 0 { 1.0 } else { concordant as f64 / pairs as f64 },
-        mean_ratio_gap: if pairs == 0 { 0.0 } else { gap_sum / pairs as f64 },
+        concordant_fraction: if pairs == 0 {
+            1.0
+        } else {
+            concordant as f64 / pairs as f64
+        },
+        mean_ratio_gap: if pairs == 0 {
+            0.0
+        } else {
+            gap_sum / pairs as f64
+        },
     }
 }
 

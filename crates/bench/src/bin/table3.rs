@@ -13,8 +13,10 @@ fn main() {
         BudgetPreset::Quick => Table3Budget::quick(),
         BudgetPreset::Full => Table3Budget::full(),
     };
-    let rows: Vec<_> =
-        Dataset::ALL.iter().map(|&d| table3::measure(d, &budget, 0)).collect();
+    let rows: Vec<_> = Dataset::ALL
+        .iter()
+        .map(|&d| table3::measure(d, &budget, 0))
+        .collect();
     println!("{}", table3::render(&rows));
     println!("Reproduction target: grad << GA ~ GA-AxC (the paper's ratios, not minutes).");
     write_json("table3", &rows);

@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use pe_baselines::{approximate_tc23, approximate_tcad23, ScConfig, ScMlp, Tc23Config, Tcad23Config};
+use pe_baselines::{
+    approximate_tc23, approximate_tcad23, ScConfig, ScMlp, Tc23Config, Tcad23Config,
+};
 use pe_datasets::{generate, stratified_split, Dataset};
 use pe_hw::{Elaborator, TechLibrary, VddModel};
 use pe_mlp::Topology;
@@ -89,7 +91,8 @@ pub fn row(study: &DatasetStudy, study_config: &printed_axc::StudyConfig, seed: 
     );
     let tcad_report = tcad.hardware_report(&elab, &vdd, "tcad23");
     let tcad_acc = tcad.vos_accuracy(
-        tcad.design.accuracy(&study.test.features, &study.test.labels),
+        tcad.design
+            .accuracy(&study.test.features, &study.test.labels),
         spec.classes,
     );
 
@@ -168,7 +171,9 @@ pub fn render(rows: &[Fig4Row]) -> String {
             .map(|r| {
                 vec![
                     r.dataset.clone(),
-                    r.ours.as_ref().map_or("-".into(), |p| format!("{:.3}", p.accuracy)),
+                    r.ours
+                        .as_ref()
+                        .map_or("-".into(), |p| format!("{:.3}", p.accuracy)),
                     format!("{:.3}", r.tc23.accuracy),
                     format!("{:.3}", r.tcad23.accuracy),
                     format!("{:.3}", r.sc.accuracy),

@@ -46,7 +46,11 @@ fn zone_name(f: Feasibility) -> String {
 }
 
 fn point(area: f64, power: f64, zones: &FeasibilityZones) -> Fig5Point {
-    Fig5Point { area_cm2: area, power_mw: power, zone: zone_name(zones.classify(area, power)) }
+    Fig5Point {
+        area_cm2: area,
+        power_mw: power,
+        zone: zone_name(zones.classify(area, power)),
+    }
 }
 
 /// Build one Fig. 5 row from a completed study.
@@ -73,7 +77,11 @@ pub fn row(study: &DatasetStudy) -> Fig5Row {
 
     Fig5Row {
         dataset: spec.short_name.to_owned(),
-        baseline: point(study.baseline_report.area_cm2, study.baseline_report.power_mw, &zones),
+        baseline: point(
+            study.baseline_report.area_cm2,
+            study.baseline_report.power_mw,
+            &zones,
+        ),
         tc23: point(tc_report.area_cm2, tc_report.power_mw, &zones),
         ours_0v6: ours,
     }
@@ -84,7 +92,13 @@ pub fn row(study: &DatasetStudy) -> Fig5Row {
 pub fn render(rows: &[Fig5Row]) -> String {
     render_table(
         "Fig. 5: Feasibility — power source per design (ours re-evaluated at 0.6 V)",
-        &["Dataset", "MICRO'20[2] zone", "TC'23[5] zone", "Ours@0.6V zone", "Ours area/power"],
+        &[
+            "Dataset",
+            "MICRO'20[2] zone",
+            "TC'23[5] zone",
+            "Ours@0.6V zone",
+            "Ours area/power",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -93,11 +107,9 @@ pub fn render(rows: &[Fig5Row]) -> String {
                     r.baseline.zone.clone(),
                     r.tc23.zone.clone(),
                     r.ours_0v6.as_ref().map_or("-".into(), |p| p.zone.clone()),
-                    r.ours_0v6
-                        .as_ref()
-                        .map_or("-".into(), |p| {
-                            format!("{:.3} cm2 / {:.3} mW", p.area_cm2, p.power_mw)
-                        }),
+                    r.ours_0v6.as_ref().map_or("-".into(), |p| {
+                        format!("{:.3} cm2 / {:.3} mW", p.area_cm2, p.power_mw)
+                    }),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -18,15 +18,25 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     }
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let _ = writeln!(out, "+{line}+");
-    let hdr: Vec<String> =
-        header.iter().zip(&widths).map(|(h, w)| format!(" {h:<w$} ")).collect();
+    let hdr: Vec<String> = header
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
     let _ = writeln!(out, "|{}|", hdr.join("|"));
     let _ = writeln!(out, "+{line}+");
     for row in rows {
-        let cells: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!(" {c:<w$} ")).collect();
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
         let _ = writeln!(out, "|{}|", cells.join("|"));
     }
     let _ = writeln!(out, "+{line}+");

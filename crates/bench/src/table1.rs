@@ -63,7 +63,14 @@ pub fn render(rows: &[Table1Row]) -> String {
     render_table(
         "Table I: Evaluation of the baseline printed MLPs (measured vs paper)",
         &[
-            "MLP", "Topology", "Params", "Acc", "Area(cm2)", "Power(mW)", "Acc*", "Area*",
+            "MLP",
+            "Topology",
+            "Params",
+            "Acc",
+            "Area(cm2)",
+            "Power(mW)",
+            "Acc*",
+            "Area*",
             "Power*",
         ],
         &rows

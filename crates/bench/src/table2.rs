@@ -71,7 +71,16 @@ pub fn rows(studies: &[DatasetStudy]) -> Vec<Table2Row> {
 pub fn render(rows: &[Table2Row]) -> String {
     render_table(
         "Table II: Our printed MLPs for up to 5% accuracy loss (measured vs paper reductions)",
-        &["MLP", "Acc", "Area(cm2)", "Power(mW)", "AreaRed", "PowerRed", "AreaRed*", "PowerRed*"],
+        &[
+            "MLP",
+            "Acc",
+            "Area(cm2)",
+            "Power(mW)",
+            "AreaRed",
+            "PowerRed",
+            "AreaRed*",
+            "PowerRed*",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -126,7 +135,11 @@ mod tests {
 
     #[test]
     fn geomean_ignores_missing_rows() {
-        let rows = vec![row(Some(10.0), Some(10.0)), row(None, None), row(Some(1000.0), Some(10.0))];
+        let rows = vec![
+            row(Some(10.0), Some(10.0)),
+            row(None, None),
+            row(Some(1000.0), Some(10.0)),
+        ];
         let (a, p) = geomean_reductions(&rows);
         assert!((a.unwrap() - 100.0).abs() < 1e-9);
         assert!((p.unwrap() - 10.0).abs() < 1e-9);

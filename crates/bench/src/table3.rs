@@ -63,13 +63,23 @@ impl Table3Budget {
     /// Quick preset (seconds per dataset).
     #[must_use]
     pub fn quick() -> Self {
-        Self { sgd_epochs: 15, population: 20, generations: 12, subsample: 300 }
+        Self {
+            sgd_epochs: 15,
+            population: 20,
+            generations: 12,
+            subsample: 300,
+        }
     }
 
     /// Full preset.
     #[must_use]
     pub fn full() -> Self {
-        Self { sgd_epochs: 100, population: 60, generations: 60, subsample: 1500 }
+        Self {
+            sgd_epochs: 100,
+            population: 60,
+            generations: 60,
+            subsample: 1500,
+        }
     }
 }
 
@@ -93,8 +103,7 @@ pub fn measure(dataset: Dataset, budget: &Table3Budget, seed: u64) -> Table3Row 
     .train(&mut float_mlp, &split.train.features, &split.train.labels);
     let grad_secs = t0.elapsed().as_secs_f64();
 
-    let baseline =
-        FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
     let baseline_acc = baseline.accuracy(&train_q.features, &train_q.labels);
 
     // (2) Plain GA, accuracy objective only, no approximations.
@@ -146,6 +155,47 @@ pub fn measure(dataset: Dataset, budget: &Table3Budget, seed: u64) -> Table3Row 
     }
 }
 
+/// Render the table in the paper's layout.
+#[must_use]
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mlp.clone(),
+                format!("{:.2}", r.grad_secs),
+                format!("{:.2}", r.ga_secs),
+                format!("{:.2}", r.ga_axc_secs),
+                format!(
+                    "{:.1}/{:.0}/{:.0}",
+                    r.paper_minutes.0, r.paper_minutes.1, r.paper_minutes.2
+                ),
+            ]
+        })
+        .collect();
+    let avg = |f: fn(&Table3Row) -> f64| -> f64 {
+        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+    };
+    body.push(vec![
+        "Average".into(),
+        format!("{:.2}", avg(|r| r.grad_secs)),
+        format!("{:.2}", avg(|r| r.ga_secs)),
+        format!("{:.2}", avg(|r| r.ga_axc_secs)),
+        "5/89/100".into(),
+    ]);
+    render_table(
+        "Table III: Training execution times (seconds measured; paper minutes alongside)",
+        &[
+            "MLP",
+            "Grad(s)",
+            "GA(s)",
+            "GA-AxC(s)",
+            "Paper(min g/ga/axc)",
+        ],
+        &body,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,36 +232,4 @@ mod tests {
         assert!(out.contains("Average"));
         assert!(out.contains("Table III"));
     }
-}
-
-/// Render the table in the paper's layout.
-#[must_use]
-pub fn render(rows: &[Table3Row]) -> String {
-    let mut body: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.mlp.clone(),
-                format!("{:.2}", r.grad_secs),
-                format!("{:.2}", r.ga_secs),
-                format!("{:.2}", r.ga_axc_secs),
-                format!("{:.1}/{:.0}/{:.0}", r.paper_minutes.0, r.paper_minutes.1, r.paper_minutes.2),
-            ]
-        })
-        .collect();
-    let avg = |f: fn(&Table3Row) -> f64| -> f64 {
-        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
-    };
-    body.push(vec![
-        "Average".into(),
-        format!("{:.2}", avg(|r| r.grad_secs)),
-        format!("{:.2}", avg(|r| r.ga_secs)),
-        format!("{:.2}", avg(|r| r.ga_axc_secs)),
-        "5/89/100".into(),
-    ]);
-    render_table(
-        "Table III: Training execution times (seconds measured; paper minutes alongside)",
-        &["MLP", "Grad(s)", "GA(s)", "GA-AxC(s)", "Paper(min g/ga/axc)"],
-        &body,
-    )
 }

@@ -58,7 +58,12 @@ impl AxTrainConfig {
     pub fn quick(seed: u64) -> Self {
         Self {
             fitness_subsample: Some(400),
-            nsga: NsgaConfig { population: 24, generations: 20, seed, ..NsgaConfig::default() },
+            nsga: NsgaConfig {
+                population: 24,
+                generations: 20,
+                seed,
+                ..NsgaConfig::default()
+            },
             ..Self::default()
         }
     }

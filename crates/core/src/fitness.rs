@@ -144,8 +144,7 @@ impl AxTrainProblem {
                     + f64::from(report.not_gates) * self.tech.ge(pe_hw::Cell::Not);
                 max_width = max_width.max(report.accumulator_bits);
                 if let Some(q) = layer.qrelu {
-                    let gates =
-                        qrelu_gate_counts(report.accumulator_bits, q.out_bits, q.shift);
+                    let gates = qrelu_gate_counts(report.accumulator_bits, q.out_bits, q.shift);
                     ge += self.counts_ge(&gates);
                 }
             }
@@ -192,7 +191,12 @@ mod tests {
     /// iff x > 7.
     fn threshold_problem(max_loss: f64) -> AxTrainProblem {
         let spec = GenomeSpec::new(
-            vec![LayerGenomeSpec { fan_in: 1, neurons: 2, input_bits: 4, qrelu: None }],
+            vec![LayerGenomeSpec {
+                fan_in: 1,
+                neurons: 2,
+                input_bits: 4,
+                qrelu: None,
+            }],
             8,
             8,
         );
@@ -241,7 +245,12 @@ mod tests {
         // Three inputs per neuron so kept mask bits stack into 3-high
         // columns (real FAs) and pruning visibly reduces the objective.
         let spec = GenomeSpec::new(
-            vec![LayerGenomeSpec { fan_in: 3, neurons: 2, input_bits: 4, qrelu: None }],
+            vec![LayerGenomeSpec {
+                fan_in: 3,
+                neurons: 2,
+                input_bits: 4,
+                qrelu: None,
+            }],
             8,
             8,
         );

@@ -157,13 +157,20 @@ pub fn run_study(dataset: Dataset, config: &StudyConfig, tech: &TechLibrary) -> 
     let baseline_test_accuracy = baseline.accuracy(&test.features, &test.labels);
 
     let elaborator = Elaborator::new(tech.clone());
-    let baseline_report =
-        elaborator.elaborate(&fixed_to_hardware(&baseline, spec.name)).report;
+    let baseline_report = elaborator
+        .elaborate(&fixed_to_hardware(&baseline, spec.name))
+        .report;
 
     // Hardware-aware GA training + Pareto analysis.
     let trainer = HwAwareTrainer::new(config.ga.clone());
-    let outcome =
-        trainer.train(&baseline, baseline_train_accuracy, &train, &test, &elaborator, spec.name);
+    let outcome = trainer.train(
+        &baseline,
+        baseline_train_accuracy,
+        &train,
+        &test,
+        &elaborator,
+        spec.name,
+    );
 
     let selected = select_within_loss(
         &outcome.front,
@@ -199,13 +206,20 @@ mod tests {
         );
         // The synthetic BC dataset is easy: the float baseline should be
         // strong even with a quick budget.
-        assert!(study.float_test_accuracy > 0.85, "float {}", study.float_test_accuracy);
+        assert!(
+            study.float_test_accuracy > 0.85,
+            "float {}",
+            study.float_test_accuracy
+        );
         assert!(
             study.baseline_test_accuracy > 0.80,
             "baseline {}",
             study.baseline_test_accuracy
         );
-        assert!(study.baseline_report.area_cm2 > 1.0, "baseline should be cm2-scale");
+        assert!(
+            study.baseline_report.area_cm2 > 1.0,
+            "baseline should be cm2-scale"
+        );
         assert!(!study.outcome.front.is_empty());
         if let Some(sel) = &study.selected {
             assert!(sel.test_accuracy >= study.baseline_test_accuracy - 0.05 - 1e-9);

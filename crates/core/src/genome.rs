@@ -65,7 +65,12 @@ impl GenomeSpec {
                 bounds.push(1u32 << bias_bits); // b (biased encoding)
             }
         }
-        Self { layers, weight_bits, bias_bits, bounds }
+        Self {
+            layers,
+            weight_bits,
+            bias_bits,
+            bounds,
+        }
     }
 
     /// Per-gene exclusive bounds (the NSGA-II search space).
@@ -92,7 +97,10 @@ impl GenomeSpec {
     /// trainable parameters" versus plain GA training.)
     #[must_use]
     pub fn parameter_count(&self) -> usize {
-        self.layers.iter().map(|l| l.neurons * (3 * l.fan_in) + l.neurons).sum()
+        self.layers
+            .iter()
+            .map(|l| l.neurons * (3 * l.fan_in) + l.neurons)
+            .sum()
     }
 
     /// Decode a gene vector into the approximate MLP it represents.
@@ -123,14 +131,25 @@ impl GenomeSpec {
                                 let mask = take(mask_bound) as u16;
                                 let negative = take(2) == 1;
                                 let shift = take(self.weight_bits - 1) as u8;
-                                AxWeight { mask, shift, negative }
+                                AxWeight {
+                                    mask,
+                                    shift,
+                                    negative,
+                                }
                             })
                             .collect();
                         let bias_gene = i64::from(take(1u32 << self.bias_bits));
-                        AxNeuron { weights, bias: (bias_gene - bias_offset) as i32 }
+                        AxNeuron {
+                            weights,
+                            bias: (bias_gene - bias_offset) as i32,
+                        }
                     })
                     .collect();
-                AxLayer { input_bits: l.input_bits, neurons, qrelu: l.qrelu }
+                AxLayer {
+                    input_bits: l.input_bits,
+                    neurons,
+                    qrelu: l.qrelu,
+                }
             })
             .collect();
         AxMlp { layers }
@@ -179,9 +198,17 @@ mod tests {
                     fan_in: 3,
                     neurons: 2,
                     input_bits: 4,
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 3 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 3,
+                    }),
                 },
-                LayerGenomeSpec { fan_in: 2, neurons: 2, input_bits: 8, qrelu: None },
+                LayerGenomeSpec {
+                    fan_in: 2,
+                    neurons: 2,
+                    input_bits: 8,
+                    qrelu: None,
+                },
             ],
             8,
             12,
@@ -215,8 +242,12 @@ mod tests {
     fn decode_encode_round_trip() {
         let spec = two_layer_spec();
         // A deterministic pseudo-random in-bounds genome.
-        let genes: Vec<u32> =
-            spec.bounds().iter().enumerate().map(|(i, &b)| (i as u32 * 7 + 3) % b).collect();
+        let genes: Vec<u32> = spec
+            .bounds()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32 * 7 + 3) % b)
+            .collect();
         let mlp = spec.decode(&genes);
         let back = spec.encode(&mlp);
         assert_eq!(genes, back);
@@ -238,7 +269,12 @@ mod tests {
     #[test]
     fn bias_encoding_is_offset_binary() {
         let spec = GenomeSpec::new(
-            vec![LayerGenomeSpec { fan_in: 1, neurons: 1, input_bits: 4, qrelu: None }],
+            vec![LayerGenomeSpec {
+                fan_in: 1,
+                neurons: 1,
+                input_bits: 4,
+                qrelu: None,
+            }],
             8,
             8,
         );
@@ -263,7 +299,12 @@ mod tests {
     fn encode_clamps_out_of_range_values() {
         use pe_mlp::{AxLayer, AxNeuron, AxWeight};
         let spec = GenomeSpec::new(
-            vec![LayerGenomeSpec { fan_in: 1, neurons: 1, input_bits: 4, qrelu: None }],
+            vec![LayerGenomeSpec {
+                fan_in: 1,
+                neurons: 1,
+                input_bits: 4,
+                qrelu: None,
+            }],
             8,
             8,
         );
@@ -271,7 +312,11 @@ mod tests {
             layers: vec![AxLayer {
                 input_bits: 4,
                 neurons: vec![AxNeuron {
-                    weights: vec![AxWeight { mask: 0xFFFF, shift: 30, negative: true }],
+                    weights: vec![AxWeight {
+                        mask: 0xFFFF,
+                        shift: 30,
+                        negative: true,
+                    }],
                     bias: 100_000,
                 }],
                 qrelu: None,

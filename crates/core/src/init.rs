@@ -179,13 +179,21 @@ pub fn refine_doped(
                     }
                     let mut candidates = Vec::with_capacity(3);
                     if current.shift > 0 {
-                        candidates.push(pe_mlp::AxWeight { shift: current.shift - 1, ..current });
+                        candidates.push(pe_mlp::AxWeight {
+                            shift: current.shift - 1,
+                            ..current
+                        });
                     }
                     if current.shift < max_shift {
-                        candidates.push(pe_mlp::AxWeight { shift: current.shift + 1, ..current });
+                        candidates.push(pe_mlp::AxWeight {
+                            shift: current.shift + 1,
+                            ..current
+                        });
                     }
-                    candidates
-                        .push(pe_mlp::AxWeight { negative: !current.negative, ..current });
+                    candidates.push(pe_mlp::AxWeight {
+                        negative: !current.negative,
+                        ..current
+                    });
                     for cand in candidates {
                         best.layers[li].neurons[ni].weights[wi] = cand;
                         let acc = best.accuracy(rows, labels);
@@ -256,7 +264,10 @@ mod tests {
                 FixedLayer {
                     weights: vec![vec![40, -17, 3], vec![-2, 80, 9]],
                     biases: vec![5, -11],
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 3 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 3,
+                    }),
                 },
                 FixedLayer {
                     weights: vec![vec![10, -10], vec![-5, 5]],
@@ -274,9 +285,17 @@ mod tests {
                     fan_in: 3,
                     neurons: 2,
                     input_bits: 4,
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 3 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 3,
+                    }),
                 },
-                LayerGenomeSpec { fan_in: 2, neurons: 2, input_bits: 8, qrelu: None },
+                LayerGenomeSpec {
+                    fan_in: 2,
+                    neurons: 2,
+                    input_bits: 8,
+                    qrelu: None,
+                },
             ],
             8,
             12,

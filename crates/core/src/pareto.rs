@@ -107,11 +107,11 @@ pub struct DesignCandidate {
 ///
 /// Returns `None` if no front member meets the bound.
 #[must_use]
-pub fn select_within_loss<'a>(
-    front: &'a [DesignPoint],
+pub fn select_within_loss(
+    front: &[DesignPoint],
     baseline_accuracy: f64,
     max_loss: f64,
-) -> Option<&'a DesignPoint> {
+) -> Option<&DesignPoint> {
     front
         .iter()
         .filter(|p| p.test_accuracy + 1e-12 >= baseline_accuracy - max_loss)
@@ -137,11 +137,25 @@ mod tests {
                 input_bits: 4,
                 neurons: vec![
                     AxNeuron {
-                        weights: vec![AxWeight { mask, shift: 0, negative: false }; 3],
+                        weights: vec![
+                            AxWeight {
+                                mask,
+                                shift: 0,
+                                negative: false
+                            };
+                            3
+                        ],
                         bias: 0,
                     },
                     AxNeuron {
-                        weights: vec![AxWeight { mask: 0, shift: 0, negative: false }; 3],
+                        weights: vec![
+                            AxWeight {
+                                mask: 0,
+                                shift: 0,
+                                negative: false
+                            };
+                            3
+                        ],
                         bias: 5,
                     },
                 ],
@@ -191,12 +205,20 @@ mod tests {
     fn selection_honors_the_loss_budget() {
         let elab = Elaborator::new(TechLibrary::egfet());
         let front = true_pareto_front(
-            vec![candidate(0b1111, 0.95), candidate(0b0011, 0.92), candidate(0b0001, 0.70)],
+            vec![
+                candidate(0b1111, 0.95),
+                candidate(0b0011, 0.92),
+                candidate(0b0001, 0.70),
+            ],
             &elab,
             "t",
         );
         let pick = select_within_loss(&front, 0.95, 0.05).expect("a design qualifies");
-        assert!((pick.test_accuracy - 0.92).abs() < 1e-12, "picked {}", pick.test_accuracy);
+        assert!(
+            (pick.test_accuracy - 0.92).abs() < 1e-12,
+            "picked {}",
+            pick.test_accuracy
+        );
         assert!(select_within_loss(&front, 0.95, 0.001).is_some()); // the 0.95 one
         assert!(select_within_loss(&front, 2.0, 0.0).is_none());
     }

@@ -249,7 +249,14 @@ impl PlainGaProblem {
                 input_bits = q.out_bits;
             }
         }
-        Self { bounds, shape, rows, labels, weight_bits, bias_bits }
+        Self {
+            bounds,
+            shape,
+            rows,
+            labels,
+            weight_bits,
+            bias_bits,
+        }
     }
 
     /// Decode genes into the integer network they represent.
@@ -277,9 +284,16 @@ impl PlainGaProblem {
                 cursor += 1;
                 biases.push((g - b_off) as i32);
             }
-            layers.push(pe_mlp::FixedLayer { weights, biases, qrelu });
+            layers.push(pe_mlp::FixedLayer {
+                weights,
+                biases,
+                qrelu,
+            });
         }
-        FixedMlp { input_bits: first_bits.unwrap_or(4), layers }
+        FixedMlp {
+            input_bits: first_bits.unwrap_or(4),
+            layers,
+        }
     }
 }
 
@@ -314,7 +328,12 @@ mod tests {
         };
         let features: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
-        let data = QuantizedData { features, labels, classes: 2, input_bits: 4 };
+        let data = QuantizedData {
+            features,
+            labels,
+            classes: 2,
+            input_bits: 4,
+        };
         (baseline, data.clone(), data)
     }
 
@@ -342,7 +361,10 @@ mod tests {
             .iter()
             .map(|p| p.test_accuracy)
             .fold(0.0f64, f64::max);
-        assert!(best_acc >= baseline_acc - 0.10, "best {best_acc} vs {baseline_acc}");
+        assert!(
+            best_acc >= baseline_acc - 0.10,
+            "best {best_acc} vs {baseline_acc}"
+        );
         assert_eq!(outcome.history.len(), 25);
         assert!(outcome.evaluations > 0);
         // Front is area-sorted.

@@ -164,7 +164,11 @@ mod tests {
         let err = parse_csv("1,2,0\n1,x,1\n").unwrap_err();
         assert_eq!(
             err,
-            DatasetError::ParseCell { line: 2, column: 1, cell: "x".into() }
+            DatasetError::ParseCell {
+                line: 2,
+                column: 1,
+                cell: "x".into()
+            }
         );
     }
 

@@ -39,13 +39,25 @@ impl TabularData {
         let width = features.first().map_or(0, Vec::len);
         for (i, row) in features.iter().enumerate() {
             if row.len() != width {
-                return Err(DatasetError::RaggedRow { row: i, expected: width, found: row.len() });
+                return Err(DatasetError::RaggedRow {
+                    row: i,
+                    expected: width,
+                    found: row.len(),
+                });
             }
         }
         if let Some((i, &l)) = labels.iter().enumerate().find(|&(_, &l)| l >= classes) {
-            return Err(DatasetError::LabelOutOfRange { row: i, label: l, classes });
+            return Err(DatasetError::LabelOutOfRange {
+                row: i,
+                label: l,
+                classes,
+            });
         }
-        Ok(Self { features, labels, classes })
+        Ok(Self {
+            features,
+            labels,
+            classes,
+        })
     }
 
     /// Number of samples.
@@ -90,7 +102,11 @@ impl TabularData {
             }
             let span = hi - lo;
             for row in &mut self.features {
-                row[c] = if span > 0.0 { (row[c] - lo) / span } else { 0.0 };
+                row[c] = if span > 0.0 {
+                    (row[c] - lo) / span
+                } else {
+                    0.0
+                };
             }
         }
     }
@@ -165,7 +181,9 @@ pub fn quantize(data: &TabularData, input_bits: u32) -> QuantizedData {
             .features
             .iter()
             .map(|row| {
-                row.iter().map(|&v| (v.clamp(0.0, 1.0) * max).round() as u8).collect()
+                row.iter()
+                    .map(|&v| (v.clamp(0.0, 1.0) * max).round() as u8)
+                    .collect()
             })
             .collect(),
         labels: data.labels.clone(),

@@ -60,15 +60,26 @@ impl fmt::Display for DatasetError {
             DatasetError::LengthMismatch { features, labels } => {
                 write!(f, "{features} feature rows but {labels} labels")
             }
-            DatasetError::RaggedRow { row, expected, found } => {
+            DatasetError::RaggedRow {
+                row,
+                expected,
+                found,
+            } => {
                 write!(f, "row {row} has {found} columns, expected {expected}")
             }
-            DatasetError::LabelOutOfRange { row, label, classes } => {
+            DatasetError::LabelOutOfRange {
+                row,
+                label,
+                classes,
+            } => {
                 write!(f, "row {row} has label {label}, outside 0..{classes}")
             }
             DatasetError::NoClasses => write!(f, "dataset must declare at least one class"),
             DatasetError::ParseCell { line, column, cell } => {
-                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {cell:?} as a number"
+                )
             }
             DatasetError::EmptyLine { line } => write!(f, "line {line} is empty"),
             DatasetError::BadSplitFraction { fraction } => {
@@ -86,7 +97,11 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = DatasetError::ParseCell { line: 3, column: 2, cell: "abc".into() };
+        let e = DatasetError::ParseCell {
+            line: 3,
+            column: 2,
+            cell: "abc".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('2') && msg.contains("abc"));
     }

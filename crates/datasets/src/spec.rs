@@ -54,8 +54,16 @@ impl Dataset {
                     area_cm2: 12.0,
                     power_mw: 40.0,
                 },
-                synth: SynthParams { separation: 4.0, cluster_std: 0.55, arrangement: ClassArrangement::OrdinalLine, label_noise: 0.005 },
-                sgd: SgdHint { learning_rate: 0.05, epochs: 200 },
+                synth: SynthParams {
+                    separation: 4.0,
+                    cluster_std: 0.55,
+                    arrangement: ClassArrangement::OrdinalLine,
+                    label_noise: 0.005,
+                },
+                sgd: SgdHint {
+                    learning_rate: 0.05,
+                    epochs: 200,
+                },
             },
             Dataset::Cardio => DatasetSpec {
                 dataset: self,
@@ -73,8 +81,16 @@ impl Dataset {
                     area_cm2: 33.4,
                     power_mw: 124.0,
                 },
-                synth: SynthParams { separation: 2.6, cluster_std: 0.60, arrangement: ClassArrangement::Subspace { dims: 2 }, label_noise: 0.05 },
-                sgd: SgdHint { learning_rate: 0.05, epochs: 200 },
+                synth: SynthParams {
+                    separation: 2.6,
+                    cluster_std: 0.60,
+                    arrangement: ClassArrangement::Subspace { dims: 2 },
+                    label_noise: 0.05,
+                },
+                sgd: SgdHint {
+                    learning_rate: 0.05,
+                    epochs: 200,
+                },
             },
             Dataset::Pendigits => DatasetSpec {
                 dataset: self,
@@ -92,8 +108,16 @@ impl Dataset {
                     area_cm2: 67.0,
                     power_mw: 213.0,
                 },
-                synth: SynthParams { separation: 4.4, cluster_std: 0.50, arrangement: ClassArrangement::Subspace { dims: 4 }, label_noise: 0.005 },
-                sgd: SgdHint { learning_rate: 0.05, epochs: 200 },
+                synth: SynthParams {
+                    separation: 4.4,
+                    cluster_std: 0.50,
+                    arrangement: ClassArrangement::Subspace { dims: 4 },
+                    label_noise: 0.005,
+                },
+                sgd: SgdHint {
+                    learning_rate: 0.05,
+                    epochs: 200,
+                },
             },
             Dataset::RedWine => DatasetSpec {
                 dataset: self,
@@ -111,8 +135,16 @@ impl Dataset {
                     area_cm2: 17.6,
                     power_mw: 73.5,
                 },
-                synth: SynthParams { separation: 1.35, cluster_std: 0.80, arrangement: ClassArrangement::OrdinalLine, label_noise: 0.02 },
-                sgd: SgdHint { learning_rate: 0.02, epochs: 600 },
+                synth: SynthParams {
+                    separation: 1.35,
+                    cluster_std: 0.80,
+                    arrangement: ClassArrangement::OrdinalLine,
+                    label_noise: 0.02,
+                },
+                sgd: SgdHint {
+                    learning_rate: 0.02,
+                    epochs: 600,
+                },
             },
             Dataset::WhiteWine => DatasetSpec {
                 dataset: self,
@@ -130,8 +162,16 @@ impl Dataset {
                     area_cm2: 31.2,
                     power_mw: 126.0,
                 },
-                synth: SynthParams { separation: 1.05, cluster_std: 0.80, arrangement: ClassArrangement::OrdinalLine, label_noise: 0.02 },
-                sgd: SgdHint { learning_rate: 0.05, epochs: 200 },
+                synth: SynthParams {
+                    separation: 1.05,
+                    cluster_std: 0.80,
+                    arrangement: ClassArrangement::OrdinalLine,
+                    label_noise: 0.02,
+                },
+                sgd: SgdHint {
+                    learning_rate: 0.05,
+                    epochs: 200,
+                },
             },
         }
     }

@@ -42,15 +42,18 @@ pub fn stratified_split(
     seed: u64,
 ) -> Result<Split, DatasetError> {
     if !(train_fraction > 0.0 && train_fraction < 1.0) {
-        return Err(DatasetError::BadSplitFraction { fraction: train_fraction });
+        return Err(DatasetError::BadSplitFraction {
+            fraction: train_fraction,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
 
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in 0..data.classes {
-        let mut members: Vec<usize> =
-            (0..data.len()).filter(|&i| data.labels[i] == class).collect();
+        let mut members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.labels[i] == class)
+            .collect();
         members.shuffle(&mut rng);
         let n_train = (members.len() as f64 * train_fraction).round() as usize;
         let n_train = n_train.min(members.len());
@@ -60,7 +63,10 @@ pub fn stratified_split(
     train_idx.shuffle(&mut rng);
     test_idx.shuffle(&mut rng);
 
-    Ok(Split { train: data.subset(&train_idx), test: data.subset(&test_idx) })
+    Ok(Split {
+        train: data.subset(&train_idx),
+        test: data.subset(&test_idx),
+    })
 }
 
 #[cfg(test)]

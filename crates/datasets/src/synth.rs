@@ -73,7 +73,10 @@ fn orthonormal_basis(features: usize, dims: usize, rng: &mut StdRng) -> Vec<Vec<
 /// requests more intrinsic dimensions than features.
 #[must_use]
 pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> TabularData {
-    assert!(spec.classes > 0 && spec.features > 0 && spec.samples > 0, "degenerate spec");
+    assert!(
+        spec.classes > 0 && spec.features > 0 && spec.samples > 0,
+        "degenerate spec"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let p = spec.synth;
     let min_dist = p.separation * p.cluster_std;
@@ -101,8 +104,7 @@ pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> TabularData {
             let mut radius = min_dist * (spec.classes as f64).powf(1.0 / dims as f64);
             let mut attempts = 0u32;
             while latent.len() < spec.classes {
-                let cand: Vec<f64> =
-                    (0..dims).map(|_| rng.gen_range(-radius..radius)).collect();
+                let cand: Vec<f64> = (0..dims).map(|_| rng.gen_range(-radius..radius)).collect();
                 let ok = latent.iter().all(|c| {
                     let d2: f64 = c.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum();
                     d2.sqrt() >= min_dist
@@ -111,7 +113,7 @@ pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> TabularData {
                     latent.push(cand);
                 } else {
                     attempts += 1;
-                    if attempts % 200 == 0 {
+                    if attempts.is_multiple_of(200) {
                         radius *= 1.2;
                     }
                 }
@@ -265,10 +267,16 @@ mod tests {
                     .iter()
                     .enumerate()
                     .min_by(|(_, a), (_, b)| {
-                        let da: f64 =
-                            row.iter().zip(*a).map(|(&x, &c)| (f64::from(x) - c).powi(2)).sum();
-                        let db: f64 =
-                            row.iter().zip(*b).map(|(&x, &c)| (f64::from(x) - c).powi(2)).sum();
+                        let da: f64 = row
+                            .iter()
+                            .zip(*a)
+                            .map(|(&x, &c)| (f64::from(x) - c).powi(2))
+                            .sum();
+                        let db: f64 = row
+                            .iter()
+                            .zip(*b)
+                            .map(|(&x, &c)| (f64::from(x) - c).powi(2))
+                            .sum();
                         da.partial_cmp(&db).expect("finite distances")
                     })
                     .map(|(i, _)| i)

@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use pe_arith::{ColumnProfile, ReductionKind, Reducer};
+use pe_arith::{ColumnProfile, Reducer, ReductionKind};
 
 use crate::netlist::{NetId, Netlist};
 
@@ -167,7 +167,12 @@ pub fn consistency_probe(profile: &ColumnProfile, kind: ReductionKind) -> (u32, 
     let _ = TreeBuilder::new(kind).reduce(&mut netlist, columns);
     let counts = netlist.cell_counts();
     let stats = Reducer::new(kind).reduce(profile);
-    (counts.fa, counts.ha, stats.full_adders(), stats.half_adders())
+    (
+        counts.fa,
+        counts.ha,
+        stats.full_adders(),
+        stats.half_adders(),
+    )
 }
 
 #[cfg(test)]
@@ -210,7 +215,11 @@ mod tests {
         }
         let tree = TreeBuilder::default().reduce(&mut netlist, columns);
         let capacity = (1u64 << tree.sum_bits.len()) - 1;
-        assert!(capacity >= max, "sum bits {} max {max}", tree.sum_bits.len());
+        assert!(
+            capacity >= max,
+            "sum bits {} max {max}",
+            tree.sum_bits.len()
+        );
     }
 
     #[test]

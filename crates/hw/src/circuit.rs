@@ -55,7 +55,10 @@ impl Elaborator {
     /// Elaborator with the paper's FA-only reduction policy.
     #[must_use]
     pub fn new(tech: TechLibrary) -> Self {
-        Self { tech, kind: ReductionKind::FaOnly }
+        Self {
+            tech,
+            kind: ReductionKind::FaOnly,
+        }
     }
 
     /// Override the compressor policy (for the `fa_vs_netlist` ablation).
@@ -135,8 +138,7 @@ impl Elaborator {
                 LayerActivation::QRelu { out_bits, shift } => {
                     let mut next: Vec<Vec<NetId>> = Vec::with_capacity(layer_accs.len());
                     for (ni, acc) in layer_accs.iter().enumerate() {
-                        let outs =
-                            qrelu_macro(&mut netlist, acc, out_bits, shift, li, ni);
+                        let outs = qrelu_macro(&mut netlist, acc, out_bits, shift, li, ni);
                         next.push(outs);
                     }
                     activations = next;
@@ -159,7 +161,11 @@ impl Elaborator {
         let counts = netlist.cell_counts();
         let report =
             HardwareReport::at_nominal(spec.name.clone(), &self.tech, counts, critical_fa_depth);
-        ElaboratedMlp { netlist, report, neuron_stats }
+        ElaboratedMlp {
+            netlist,
+            report,
+            neuron_stats,
+        }
     }
 }
 
@@ -267,7 +273,10 @@ fn argmax_macro(netlist: &mut Netlist, accs: &[NeuronAccumulation]) -> Vec<NetId
     let idx_bits = usize::BITS - (classes.max(2) - 1).leading_zeros();
     let outs = netlist.nets(idx_bits as usize);
     let gates = argmax_gate_counts(classes, w);
-    let inputs: Vec<NetId> = accs.iter().flat_map(|a| a.sum_bits.iter().copied()).collect();
+    let inputs: Vec<NetId> = accs
+        .iter()
+        .flat_map(|a| a.sum_bits.iter().copied())
+        .collect();
     netlist.add_macro(MacroBlock {
         name: "argmax".to_owned(),
         gates,
@@ -296,12 +305,15 @@ mod tests {
                             input_bits: 4,
                             weights: vec![37, -81, 11],
                             bias: 4,
-                    trunc_bits: 0,
-                    csd_multipliers: false,
+                            trunc_bits: 0,
+                            csd_multipliers: false,
                         });
                         2
                     ],
-                    activation: LayerActivation::QRelu { out_bits: 8, shift: 2 },
+                    activation: LayerActivation::QRelu {
+                        out_bits: 8,
+                        shift: 2,
+                    },
                 },
                 LayerSpec {
                     neurons: vec![
@@ -309,8 +321,8 @@ mod tests {
                             input_bits: 8,
                             weights: vec![55, -23],
                             bias: -9,
-                    trunc_bits: 0,
-                    csd_multipliers: false,
+                            trunc_bits: 0,
+                            csd_multipliers: false,
                         });
                         2
                     ],
@@ -331,23 +343,46 @@ mod tests {
                         NeuronSpec::Approximate(NeuronArithSpec {
                             input_bits: 4,
                             weights: vec![
-                                WeightArith { mask: 0b1100, shift: 2, negative: false },
-                                WeightArith { mask: 0b1000, shift: 0, negative: true },
-                                WeightArith { mask: 0, shift: 0, negative: false },
+                                WeightArith {
+                                    mask: 0b1100,
+                                    shift: 2,
+                                    negative: false
+                                },
+                                WeightArith {
+                                    mask: 0b1000,
+                                    shift: 0,
+                                    negative: true
+                                },
+                                WeightArith {
+                                    mask: 0,
+                                    shift: 0,
+                                    negative: false
+                                },
                             ],
                             bias: 4,
                         });
                         2
                     ],
-                    activation: LayerActivation::QRelu { out_bits: 8, shift: 2 },
+                    activation: LayerActivation::QRelu {
+                        out_bits: 8,
+                        shift: 2,
+                    },
                 },
                 LayerSpec {
                     neurons: vec![
                         NeuronSpec::Approximate(NeuronArithSpec {
                             input_bits: 8,
                             weights: vec![
-                                WeightArith { mask: 0b1111_0000, shift: 1, negative: false },
-                                WeightArith { mask: 0b0000_1111, shift: 0, negative: true },
+                                WeightArith {
+                                    mask: 0b1111_0000,
+                                    shift: 1,
+                                    negative: false
+                                },
+                                WeightArith {
+                                    mask: 0b0000_1111,
+                                    shift: 0,
+                                    negative: true
+                                },
                             ],
                             bias: -9,
                         });

@@ -89,7 +89,11 @@ impl Netlist {
             return n;
         }
         let n = self.net();
-        self.instances.push(Instance { cell: Cell::TieHi, inputs: vec![], outputs: vec![n] });
+        self.instances.push(Instance {
+            cell: Cell::TieHi,
+            inputs: vec![],
+            outputs: vec![n],
+        });
         self.tie_hi = Some(n);
         n
     }
@@ -100,7 +104,11 @@ impl Netlist {
             return n;
         }
         let n = self.net();
-        self.instances.push(Instance { cell: Cell::TieLo, inputs: vec![], outputs: vec![n] });
+        self.instances.push(Instance {
+            cell: Cell::TieLo,
+            inputs: vec![],
+            outputs: vec![n],
+        });
         self.tie_lo = Some(n);
         n
     }
@@ -132,7 +140,11 @@ impl Netlist {
     /// Add an inverter; returns the output net.
     pub fn inverter(&mut self, a: NetId) -> NetId {
         let y = self.net();
-        self.instances.push(Instance { cell: Cell::Not, inputs: vec![a], outputs: vec![y] });
+        self.instances.push(Instance {
+            cell: Cell::Not,
+            inputs: vec![a],
+            outputs: vec![y],
+        });
         y
     }
 
@@ -140,14 +152,22 @@ impl Netlist {
     pub fn gate2(&mut self, cell: Cell, a: NetId, b: NetId) -> NetId {
         debug_assert!(matches!(cell, Cell::And2 | Cell::Or2 | Cell::Xor2));
         let y = self.net();
-        self.instances.push(Instance { cell, inputs: vec![a, b], outputs: vec![y] });
+        self.instances.push(Instance {
+            cell,
+            inputs: vec![a, b],
+            outputs: vec![y],
+        });
         y
     }
 
     /// Add a D flip-flop from `d` to a fresh output net; returns it.
     pub fn dff(&mut self, d: NetId) -> NetId {
         let q = self.net();
-        self.instances.push(Instance { cell: Cell::Dff, inputs: vec![d], outputs: vec![q] });
+        self.instances.push(Instance {
+            cell: Cell::Dff,
+            inputs: vec![d],
+            outputs: vec![q],
+        });
         q
     }
 
@@ -169,12 +189,18 @@ impl Netlist {
 
     /// Declare a top-level input port.
     pub fn add_input(&mut self, name: impl Into<String>, net: NetId) {
-        self.inputs.push(Port { name: name.into(), net });
+        self.inputs.push(Port {
+            name: name.into(),
+            net,
+        });
     }
 
     /// Declare a top-level output port.
     pub fn add_output(&mut self, name: impl Into<String>, net: NetId) {
-        self.outputs.push(Port { name: name.into(), net });
+        self.outputs.push(Port {
+            name: name.into(),
+            net,
+        });
     }
 
     /// All primitive instances.

@@ -11,9 +11,9 @@ use std::collections::VecDeque;
 
 use pe_arith::{ColumnProfile, CsdDigit, NeuronArithSpec, ReductionKind, Summand};
 
+use crate::adder_tree::TreeBuilder;
 use crate::netlist::{NetId, Netlist};
 use crate::spec::ExactNeuronSpec;
-use crate::adder_tree::TreeBuilder;
 
 /// A summand together with the nets of the input signal it draws from.
 #[derive(Debug, Clone)]
@@ -46,7 +46,11 @@ pub struct NeuronAccumulation {
 /// bit-vector narrower than the spec's `input_bits`.
 #[must_use]
 pub fn bind_approximate(spec: &NeuronArithSpec, inputs: &[Vec<NetId>]) -> Vec<BoundSummand> {
-    assert_eq!(inputs.len(), spec.weights.len(), "one input per weight required");
+    assert_eq!(
+        inputs.len(),
+        spec.weights.len(),
+        "one input per weight required"
+    );
     let mut out = Vec::new();
     for (w, nets) in spec.weights.iter().zip(inputs) {
         if w.mask == 0 {
@@ -69,7 +73,10 @@ pub fn bind_approximate(spec: &NeuronArithSpec, inputs: &[Vec<NetId>]) -> Vec<Bo
         });
     }
     if spec.bias != 0 {
-        out.push(BoundSummand { summand: Summand::Constant(spec.bias), input_nets: vec![] });
+        out.push(BoundSummand {
+            summand: Summand::Constant(spec.bias),
+            input_nets: vec![],
+        });
     }
     out
 }
@@ -89,7 +96,11 @@ pub fn bind_approximate(spec: &NeuronArithSpec, inputs: &[Vec<NetId>]) -> Vec<Bo
 /// Panics if `inputs` does not provide one bit-vector per weight.
 #[must_use]
 pub fn bind_exact(spec: &ExactNeuronSpec, inputs: &[Vec<NetId>]) -> Vec<BoundSummand> {
-    assert_eq!(inputs.len(), spec.weights.len(), "one input per weight required");
+    assert_eq!(
+        inputs.len(),
+        spec.weights.len(),
+        "one input per weight required"
+    );
     let full_mask = (1u64 << spec.input_bits) - 1;
     let mut out = Vec::new();
     for (&w, nets) in spec.weights.iter().zip(inputs) {
@@ -131,7 +142,10 @@ pub fn bind_exact(spec: &ExactNeuronSpec, inputs: &[Vec<NetId>]) -> Vec<BoundSum
             spec.bias
         };
         if bias != 0 {
-            out.push(BoundSummand { summand: Summand::Constant(bias), input_nets: vec![] });
+            out.push(BoundSummand {
+                summand: Summand::Constant(bias),
+                input_nets: vec![],
+            });
         }
     }
     out
@@ -140,9 +154,16 @@ pub fn bind_exact(spec: &ExactNeuronSpec, inputs: &[Vec<NetId>]) -> Vec<BoundSum
 /// Binary digit positions of `w`: one `(position, sign)` pair per set
 /// bit of `|w|`, all carrying `w`'s sign.
 fn binary_digits(w: i64) -> Vec<(u32, CsdDigit)> {
-    let digit = if w < 0 { CsdDigit::MinusOne } else { CsdDigit::PlusOne };
+    let digit = if w < 0 {
+        CsdDigit::MinusOne
+    } else {
+        CsdDigit::PlusOne
+    };
     let mag = w.unsigned_abs();
-    (0..63).filter(|b| mag >> b & 1 == 1).map(|b| (b, digit)).collect()
+    (0..63)
+        .filter(|b| mag >> b & 1 == 1)
+        .map(|b| (b, digit))
+        .collect()
 }
 
 /// Elaborate a bound accumulation into the netlist.
@@ -171,18 +192,29 @@ pub fn elaborate_accumulation(
 
     for b in bound {
         match &b.summand {
-            Summand::MaskedInput { mask, shift, negative, .. } => {
+            Summand::MaskedInput {
+                mask,
+                shift,
+                negative,
+                ..
+            } => {
                 for bit in 0..64u32 {
                     if mask >> bit & 1 == 0 {
                         continue;
                     }
                     let col = (bit + shift) as usize;
                     let src = b.input_nets[bit as usize];
-                    let net = if *negative { netlist.inverter(src) } else { src };
+                    let net = if *negative {
+                        netlist.inverter(src)
+                    } else {
+                        src
+                    };
                     columns[col].push_back(net);
                 }
-                if let Some(k) =
-                    b.summand.negation_constant(acc_bits).expect("validated summand")
+                if let Some(k) = b
+                    .summand
+                    .negation_constant(acc_bits)
+                    .expect("validated summand")
                 {
                     folded_constant = folded_constant.wrapping_add(k) & modulus_mask;
                 }
@@ -213,14 +245,18 @@ pub fn elaborate_accumulation(
         sum_bits.push(zero);
     }
 
-    NeuronAccumulation { sum_bits, accumulator_bits: acc_bits, stages: tree.stages }
+    NeuronAccumulation {
+        sum_bits,
+        accumulator_bits: acc_bits,
+        stages: tree.stages,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pe_arith::{AdderAreaEstimator, WeightArith};
     use crate::tech::Cell;
+    use pe_arith::{AdderAreaEstimator, WeightArith};
 
     fn fresh_inputs(netlist: &mut Netlist, n: usize, bits: u32) -> Vec<Vec<NetId>> {
         (0..n).map(|_| netlist.nets(bits as usize)).collect()
@@ -235,16 +271,39 @@ mod tests {
             NeuronArithSpec {
                 input_bits: 4,
                 weights: vec![
-                    WeightArith { mask: 0b1111, shift: 0, negative: false },
-                    WeightArith { mask: 0b1010, shift: 2, negative: true },
-                    WeightArith { mask: 0b0111, shift: 1, negative: false },
-                    WeightArith { mask: 0, shift: 3, negative: true },
+                    WeightArith {
+                        mask: 0b1111,
+                        shift: 0,
+                        negative: false,
+                    },
+                    WeightArith {
+                        mask: 0b1010,
+                        shift: 2,
+                        negative: true,
+                    },
+                    WeightArith {
+                        mask: 0b0111,
+                        shift: 1,
+                        negative: false,
+                    },
+                    WeightArith {
+                        mask: 0,
+                        shift: 3,
+                        negative: true,
+                    },
                 ],
                 bias: 11,
             },
             NeuronArithSpec {
                 input_bits: 8,
-                weights: vec![WeightArith { mask: 0xA5, shift: 1, negative: true }; 6],
+                weights: vec![
+                    WeightArith {
+                        mask: 0xA5,
+                        shift: 1,
+                        negative: true
+                    };
+                    6
+                ],
                 bias: -33,
             },
         ];
@@ -264,7 +323,14 @@ mod tests {
     fn zero_mask_inputs_cost_nothing() {
         let spec = NeuronArithSpec {
             input_bits: 4,
-            weights: vec![WeightArith { mask: 0, shift: 0, negative: false }; 5],
+            weights: vec![
+                WeightArith {
+                    mask: 0,
+                    shift: 0,
+                    negative: false
+                };
+                5
+            ],
             bias: 0,
         };
         let mut netlist = Netlist::new();
@@ -282,7 +348,7 @@ mod tests {
             weights: vec![7, -5],
             bias: 0,
             trunc_bits: 0,
-                    csd_multipliers: false,
+            csd_multipliers: false,
         };
         let mut netlist = Netlist::new();
         let inputs = fresh_inputs(&mut netlist, 2, 4);
@@ -295,15 +361,31 @@ mod tests {
     fn exact_neuron_costs_more_than_pow2_neuron() {
         // The whole point of pow2 quantization: a multi-digit constant
         // multiplier costs strictly more adders than a single shift.
-        let exact = ExactNeuronSpec { input_bits: 4, weights: vec![93, -57, 77], bias: 5 ,
-                    trunc_bits: 0,
-                    csd_multipliers: false,};
+        let exact = ExactNeuronSpec {
+            input_bits: 4,
+            weights: vec![93, -57, 77],
+            bias: 5,
+            trunc_bits: 0,
+            csd_multipliers: false,
+        };
         let approx = NeuronArithSpec {
             input_bits: 4,
             weights: vec![
-                WeightArith { mask: 0b1111, shift: 6, negative: false },
-                WeightArith { mask: 0b1111, shift: 6, negative: true },
-                WeightArith { mask: 0b1111, shift: 6, negative: false },
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 6,
+                    negative: false,
+                },
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 6,
+                    negative: true,
+                },
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 6,
+                    negative: false,
+                },
             ],
             bias: 5,
         };
@@ -329,7 +411,14 @@ mod tests {
     fn sum_width_equals_accumulator_width() {
         let spec = NeuronArithSpec {
             input_bits: 4,
-            weights: vec![WeightArith { mask: 0b1111, shift: 0, negative: false }; 3],
+            weights: vec![
+                WeightArith {
+                    mask: 0b1111,
+                    shift: 0,
+                    negative: false
+                };
+                3
+            ],
             bias: -2,
         };
         let mut netlist = Netlist::new();

@@ -24,8 +24,12 @@ pub enum PowerSource {
 
 impl PowerSource {
     /// All sources, weakest first.
-    pub const ALL: [PowerSource; 4] =
-        [PowerSource::Harvester, PowerSource::BlueSpark, PowerSource::Zinergy, PowerSource::Molex];
+    pub const ALL: [PowerSource; 4] = [
+        PowerSource::Harvester,
+        PowerSource::BlueSpark,
+        PowerSource::Zinergy,
+        PowerSource::Molex,
+    ];
 
     /// Maximum continuous power the source can supply, in mW.
     #[must_use]
@@ -128,11 +132,26 @@ mod tests {
     #[test]
     fn classification_picks_weakest_sufficient_source() {
         let zones = FeasibilityZones::paper();
-        assert_eq!(zones.classify(1.0, 0.5), Feasibility::Powered(PowerSource::Harvester));
-        assert_eq!(zones.classify(1.0, 4.0), Feasibility::Powered(PowerSource::BlueSpark));
-        assert_eq!(zones.classify(1.0, 14.0), Feasibility::Powered(PowerSource::Zinergy));
-        assert_eq!(zones.classify(1.0, 29.0), Feasibility::Powered(PowerSource::Molex));
-        assert_eq!(zones.classify(1.0, 31.0), Feasibility::NoAdequatePowerSupply);
+        assert_eq!(
+            zones.classify(1.0, 0.5),
+            Feasibility::Powered(PowerSource::Harvester)
+        );
+        assert_eq!(
+            zones.classify(1.0, 4.0),
+            Feasibility::Powered(PowerSource::BlueSpark)
+        );
+        assert_eq!(
+            zones.classify(1.0, 14.0),
+            Feasibility::Powered(PowerSource::Zinergy)
+        );
+        assert_eq!(
+            zones.classify(1.0, 29.0),
+            Feasibility::Powered(PowerSource::Molex)
+        );
+        assert_eq!(
+            zones.classify(1.0, 31.0),
+            Feasibility::NoAdequatePowerSupply
+        );
     }
 
     #[test]
@@ -147,9 +166,17 @@ mod tests {
         // Table I: every exact baseline draws >= 40 mW — none can be
         // powered by any printed source.
         let zones = FeasibilityZones::paper();
-        for (area, power) in [(12.0, 40.0), (33.4, 124.0), (67.0, 213.0), (17.6, 73.5), (31.2, 126.0)]
-        {
-            assert!(!zones.classify(area, power).is_deployable(), "{area} {power}");
+        for (area, power) in [
+            (12.0, 40.0),
+            (33.4, 124.0),
+            (67.0, 213.0),
+            (17.6, 73.5),
+            (31.2, 126.0),
+        ] {
+            assert!(
+                !zones.classify(area, power).is_deployable(),
+                "{area} {power}"
+            );
         }
     }
 }

@@ -53,8 +53,7 @@ impl HardwareReport {
     /// Panics if `vdd` is below the model's minimum operating voltage.
     #[must_use]
     pub fn at_vdd(&self, model: &VddModel, vdd: f64) -> Self {
-        let power = self.power_mw / model.power_scale(self.vdd)
-            * model.power_scale(vdd);
+        let power = self.power_mw / model.power_scale(self.vdd) * model.power_scale(vdd);
         let delay = self.delay_ms / model.delay_scale(self.vdd) * model.delay_scale(vdd);
         Self {
             name: self.name.clone(),

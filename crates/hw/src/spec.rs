@@ -119,7 +119,11 @@ impl MlpHardwareSpec {
     /// Panics if the spec has no layers.
     #[must_use]
     pub fn classes(&self) -> usize {
-        self.layers.last().expect("spec must have layers").neurons.len()
+        self.layers
+            .last()
+            .expect("spec must have layers")
+            .neurons
+            .len()
     }
 
     /// Total number of neurons.
@@ -131,7 +135,10 @@ impl MlpHardwareSpec {
     /// Total number of connections (parameters excluding biases).
     #[must_use]
     pub fn connection_count(&self) -> usize {
-        self.layers.iter().flat_map(|l| l.neurons.iter().map(NeuronSpec::fan_in)).sum()
+        self.layers
+            .iter()
+            .flat_map(|l| l.neurons.iter().map(NeuronSpec::fan_in))
+            .sum()
     }
 }
 
@@ -141,9 +148,13 @@ mod tests {
 
     #[test]
     fn exact_neuron_counts_active_inputs() {
-        let n = ExactNeuronSpec { input_bits: 4, weights: vec![3, 0, -7, 0, 1], bias: 2 ,
-                    trunc_bits: 0,
-                    csd_multipliers: false,};
+        let n = ExactNeuronSpec {
+            input_bits: 4,
+            weights: vec![3, 0, -7, 0, 1],
+            bias: 2,
+            trunc_bits: 0,
+            csd_multipliers: false,
+        };
         assert_eq!(n.active_inputs(), 3);
     }
 
@@ -160,7 +171,10 @@ mod tests {
                 });
                 2
             ],
-            activation: LayerActivation::QRelu { out_bits: 8, shift: 2 },
+            activation: LayerActivation::QRelu {
+                out_bits: 8,
+                shift: 2,
+            },
         };
         let out = LayerSpec {
             neurons: vec![

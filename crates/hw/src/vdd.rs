@@ -64,8 +64,7 @@ impl VddModel {
     #[must_use]
     pub fn delay_scale(&self, vdd: f64) -> f64 {
         self.check(vdd);
-        ((self.nominal_vdd - self.threshold_v) / (vdd - self.threshold_v))
-            .powf(self.delay_exponent)
+        ((self.nominal_vdd - self.threshold_v) / (vdd - self.threshold_v)).powf(self.delay_exponent)
     }
 
     fn check(&self, vdd: f64) {

@@ -123,7 +123,11 @@ impl AxMlp {
     pub fn accumulators(&self, x: &[u8]) -> Vec<i64> {
         let mut current: Vec<u8> = x.to_vec();
         for layer in &self.layers {
-            let accs: Vec<i64> = layer.neurons.iter().map(|n| n.accumulate(&current)).collect();
+            let accs: Vec<i64> = layer
+                .neurons
+                .iter()
+                .map(|n| n.accumulate(&current))
+                .collect();
             match layer.qrelu {
                 Some(q) => current = accs.iter().map(|&a| q.apply(a)).collect(),
                 None => return accs,
@@ -158,7 +162,11 @@ impl AxMlp {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits = rows.iter().zip(labels).filter(|&(r, &l)| self.predict(r) == l).count();
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|&(r, &l)| self.predict(r) == l)
+            .count();
         hits as f64 / rows.len() as f64
     }
 
@@ -208,8 +216,11 @@ impl AxMlp {
                 // Argmax-invariant pow2-grid alignment for the output
                 // layer: minimize the weighted squared log-distance to
                 // the grid over alpha.
-                let alpha =
-                    if last { best_pow2_alignment(&layer.weights, max_shift) } else { 1.0 };
+                let alpha = if last {
+                    best_pow2_alignment(&layer.weights, max_shift)
+                } else {
+                    1.0
+                };
                 let neurons = layer
                     .weights
                     .iter()
@@ -221,14 +232,15 @@ impl AxMlp {
                             .enumerate()
                             .map(|(wi, &w)| {
                                 if w == 0 {
-                                    return AxWeight { mask: 0, shift: 0, negative: false };
+                                    return AxWeight {
+                                        mask: 0,
+                                        shift: 0,
+                                        negative: false,
+                                    };
                                 }
                                 let target = f64::from(w) * alpha;
-                                let k = target
-                                    .abs()
-                                    .log2()
-                                    .round()
-                                    .clamp(0.0, f64::from(max_shift)) as u8;
+                                let k = target.abs().log2().round().clamp(0.0, f64::from(max_shift))
+                                    as u8;
                                 let approx = if target < 0.0 {
                                     -f64::from(1u32 << k)
                                 } else {
@@ -255,7 +267,11 @@ impl AxMlp {
                         }
                     })
                     .collect();
-                let out = AxLayer { input_bits, neurons, qrelu: layer.qrelu };
+                let out = AxLayer {
+                    input_bits,
+                    neurons,
+                    qrelu: layer.qrelu,
+                };
                 if let Some(q) = layer.qrelu {
                     input_bits = q.out_bits;
                 }
@@ -271,14 +287,22 @@ impl AxMlp {
     pub fn arith_specs(&self) -> Vec<Vec<NeuronArithSpec>> {
         self.layers
             .iter()
-            .map(|l| l.neurons.iter().map(|n| n.to_arith_spec(l.input_bits)).collect())
+            .map(|l| {
+                l.neurons
+                    .iter()
+                    .map(|n| n.to_arith_spec(l.input_bits))
+                    .collect()
+            })
             .collect()
     }
 
     /// Total number of `(m, s, k)` weight triples.
     #[must_use]
     pub fn weight_count(&self) -> usize {
-        self.layers.iter().flat_map(|l| l.neurons.iter().map(|n| n.weights.len())).sum()
+        self.layers
+            .iter()
+            .flat_map(|l| l.neurons.iter().map(|n| n.weights.len()))
+            .sum()
     }
 }
 
@@ -303,12 +327,17 @@ pub fn fold_constants(mlp: &AxMlp) -> AxMlp {
         for li in 0..out.layers.len().saturating_sub(1) {
             // Constant neurons of layer li (hidden layers only — they
             // have a QReLU giving a concrete constant output).
-            let Some(q) = out.layers[li].qrelu else { continue };
+            let Some(q) = out.layers[li].qrelu else {
+                continue;
+            };
             let const_vals: Vec<Option<u8>> = out.layers[li]
                 .neurons
                 .iter()
                 .map(|n| {
-                    n.weights.iter().all(|w| w.mask == 0).then(|| q.apply(i64::from(n.bias)))
+                    n.weights
+                        .iter()
+                        .all(|w| w.mask == 0)
+                        .then(|| q.apply(i64::from(n.bias)))
                 })
                 .collect();
             if const_vals.iter().all(Option::is_none) {
@@ -322,7 +351,11 @@ pub fn fold_constants(mlp: &AxMlp) -> AxMlp {
                     if let Some(v) = cv {
                         let term = i64::from(u16::from(*v) & w.mask) << w.shift;
                         folded += if w.negative { -term } else { term };
-                        *w = AxWeight { mask: 0, shift: 0, negative: false };
+                        *w = AxWeight {
+                            mask: 0,
+                            shift: 0,
+                            negative: false,
+                        };
                     }
                 }
                 neuron.bias = folded.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
@@ -373,7 +406,10 @@ fn mean_layer_inputs(fixed: &FixedMlp, rows: &[Vec<u8>]) -> Vec<Vec<f64>> {
                 .iter()
                 .zip(&layer.biases)
                 .map(|(w, &b)| {
-                    w.iter().zip(&current).map(|(&wi, &x)| i64::from(wi) * x).sum::<i64>()
+                    w.iter()
+                        .zip(&current)
+                        .map(|(&wi, &x)| i64::from(wi) * x)
+                        .sum::<i64>()
                         + i64::from(b)
                 })
                 .collect();
@@ -436,8 +472,16 @@ mod tests {
         // acc = +((x0 & 0b1010) << 1) - ((x1 & 0b0110) << 2) + 3
         let n = neuron(
             vec![
-                AxWeight { mask: 0b1010, shift: 1, negative: false },
-                AxWeight { mask: 0b0110, shift: 2, negative: true },
+                AxWeight {
+                    mask: 0b1010,
+                    shift: 1,
+                    negative: false,
+                },
+                AxWeight {
+                    mask: 0b0110,
+                    shift: 2,
+                    negative: true,
+                },
             ],
             3,
         );
@@ -448,7 +492,14 @@ mod tests {
 
     #[test]
     fn masked_out_weight_contributes_nothing() {
-        let n = neuron(vec![AxWeight { mask: 0, shift: 5, negative: true }], -1);
+        let n = neuron(
+            vec![AxWeight {
+                mask: 0,
+                shift: 5,
+                negative: true,
+            }],
+            -1,
+        );
         assert_eq!(n.accumulate(&[0xFF]), -1);
         assert_eq!(n.weights[0].value(), 0);
     }
@@ -461,16 +512,37 @@ mod tests {
                 AxLayer {
                     input_bits: 4,
                     neurons: vec![neuron(
-                        vec![AxWeight { mask: 0b1111, shift: 2, negative: false }],
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 2,
+                            negative: false,
+                        }],
                         0,
                     )],
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 0 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 0,
+                    }),
                 },
                 AxLayer {
                     input_bits: 8,
                     neurons: vec![
-                        neuron(vec![AxWeight { mask: 0xFF, shift: 0, negative: false }], 0),
-                        neuron(vec![AxWeight { mask: 0, shift: 0, negative: false }], 30),
+                        neuron(
+                            vec![AxWeight {
+                                mask: 0xFF,
+                                shift: 0,
+                                negative: false,
+                            }],
+                            0,
+                        ),
+                        neuron(
+                            vec![AxWeight {
+                                mask: 0,
+                                shift: 0,
+                                negative: false,
+                            }],
+                            30,
+                        ),
                     ],
                     qrelu: None,
                 },
@@ -500,8 +572,8 @@ mod tests {
         assert!(w[1].negative);
         assert_eq!(w[2].mask, 0); // zero weight -> zero mask
         assert_eq!(w[3].shift, 0); // 1 -> 2^0
-        // The output-layer alignment scales the bias by the same
-        // argmax-invariant alpha (here ~2^-0.5, so 7 -> ~5).
+                                   // The output-layer alignment scales the bias by the same
+                                   // argmax-invariant alpha (here ~2^-0.5, so 7 -> ~5).
         let bias = ax.layers[0].neurons[0].bias;
         assert!((4..=7).contains(&bias), "bias {bias}");
     }
@@ -526,7 +598,11 @@ mod tests {
             layers: vec![AxLayer {
                 input_bits: 4,
                 neurons: vec![neuron(
-                    vec![AxWeight { mask: 0b1001, shift: 3, negative: true }],
+                    vec![AxWeight {
+                        mask: 0b1001,
+                        shift: 3,
+                        negative: true,
+                    }],
                     -4,
                 )],
                 qrelu: None,
@@ -547,8 +623,22 @@ mod tests {
             layers: vec![AxLayer {
                 input_bits: 4,
                 neurons: vec![
-                    neuron(vec![AxWeight { mask: 0b1111, shift: 0, negative: false }], 0),
-                    neuron(vec![AxWeight { mask: 0b1111, shift: 0, negative: true }], 10),
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 0,
+                            negative: false,
+                        }],
+                        0,
+                    ),
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 0,
+                            negative: true,
+                        }],
+                        10,
+                    ),
                 ],
                 qrelu: None,
             }],

@@ -49,7 +49,11 @@ impl DenseMlp {
             );
             biases.push(vec![0.0; fan_out]);
         }
-        Self { topology, weights, biases }
+        Self {
+            topology,
+            weights,
+            biases,
+        }
     }
 
     /// Build from explicit parameters.
@@ -68,10 +72,17 @@ impl DenseMlp {
         for l in 0..topology.layer_count() {
             let (fan_in, fan_out) = topology.layer_dims(l);
             assert_eq!(weights[l].len(), fan_out, "layer {l} fan-out");
-            assert!(weights[l].iter().all(|row| row.len() == fan_in), "layer {l} fan-in");
+            assert!(
+                weights[l].iter().all(|row| row.len() == fan_in),
+                "layer {l} fan-in"
+            );
             assert_eq!(biases[l].len(), fan_out, "layer {l} biases");
         }
-        Self { topology, weights, biases }
+        Self {
+            topology,
+            weights,
+            biases,
+        }
     }
 
     /// The network's topology.
@@ -151,8 +162,11 @@ impl DenseMlp {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits =
-            rows.iter().zip(labels).filter(|&(row, &l)| self.predict(row) == l).count();
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|&(row, &l)| self.predict(row) == l)
+            .count();
         hits as f64 / rows.len() as f64
     }
 }

@@ -43,15 +43,26 @@ pub fn fixed_to_hardware(fixed: &FixedMlp, name: impl Into<String>) -> MlpHardwa
             })
             .collect();
         let activation = match layer.qrelu {
-            Some(q) => LayerActivation::QRelu { out_bits: q.out_bits, shift: q.shift },
+            Some(q) => LayerActivation::QRelu {
+                out_bits: q.out_bits,
+                shift: q.shift,
+            },
             None => LayerActivation::Argmax,
         };
         if let Some(q) = layer.qrelu {
             input_bits = q.out_bits;
         }
-        layers.push(LayerSpec { neurons, activation });
+        layers.push(LayerSpec {
+            neurons,
+            activation,
+        });
     }
-    MlpHardwareSpec { name: name.into(), inputs, input_bits: fixed.input_bits, layers }
+    MlpHardwareSpec {
+        name: name.into(),
+        inputs,
+        input_bits: fixed.input_bits,
+        layers,
+    }
 }
 
 /// Lower an approximate MLP to its bespoke hardware description.
@@ -62,9 +73,10 @@ pub fn fixed_to_hardware(fixed: &FixedMlp, name: impl Into<String>) -> MlpHardwa
 #[must_use]
 pub fn ax_to_hardware(ax: &AxMlp, name: impl Into<String>) -> MlpHardwareSpec {
     let ax = &crate::axmlp::fold_constants(ax);
-    let inputs = ax.layers.first().map_or(0, |l| {
-        l.neurons.first().map_or(0, |n| n.weights.len())
-    });
+    let inputs = ax
+        .layers
+        .first()
+        .map_or(0, |l| l.neurons.first().map_or(0, |n| n.weights.len()));
     let input_bits = ax.layers.first().map_or(4, |l| l.input_bits);
     let last = ax.layers.len().saturating_sub(1);
     let layers = ax
@@ -88,13 +100,21 @@ pub fn ax_to_hardware(ax: &AxMlp, name: impl Into<String>) -> MlpHardwareSpec {
                     })
                     .collect(),
                 activation: match layer.qrelu {
-                    Some(q) => LayerActivation::QRelu { out_bits: q.out_bits, shift: q.shift },
+                    Some(q) => LayerActivation::QRelu {
+                        out_bits: q.out_bits,
+                        shift: q.shift,
+                    },
                     None => LayerActivation::Argmax,
                 },
             }
         })
         .collect();
-    MlpHardwareSpec { name: name.into(), inputs, input_bits, layers }
+    MlpHardwareSpec {
+        name: name.into(),
+        inputs,
+        input_bits,
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +131,10 @@ mod tests {
                 FixedLayer {
                     weights: vec![vec![33, -72], vec![-5, 19]],
                     biases: vec![10, -4],
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 2,
+                    }),
                 },
                 FixedLayer {
                     weights: vec![vec![7, -7], vec![-3, 3]],
@@ -140,11 +163,19 @@ mod tests {
                 input_bits: 4,
                 neurons: vec![
                     AxNeuron {
-                        weights: vec![AxWeight { mask: 0b1111, shift: 1, negative: false }],
+                        weights: vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 1,
+                            negative: false,
+                        }],
                         bias: 1,
                     },
                     AxNeuron {
-                        weights: vec![AxWeight { mask: 0b1100, shift: 0, negative: true }],
+                        weights: vec![AxWeight {
+                            mask: 0b1100,
+                            shift: 0,
+                            negative: true,
+                        }],
                         bias: 9,
                     },
                 ],
@@ -152,7 +183,9 @@ mod tests {
             }],
         };
         let spec = ax_to_hardware(&ax, "ax");
-        let report = Elaborator::new(TechLibrary::egfet()).elaborate(&spec).report;
+        let report = Elaborator::new(TechLibrary::egfet())
+            .elaborate(&spec)
+            .report;
         assert!(report.area_cm2 > 0.0);
     }
 }

@@ -19,7 +19,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / predictions.len() as f64
 }
 

@@ -70,7 +70,11 @@ pub struct QuantConfig {
 
 impl Default for QuantConfig {
     fn default() -> Self {
-        Self { weight_bits: 8, input_bits: 4, activation_bits: 8 }
+        Self {
+            weight_bits: 8,
+            input_bits: 4,
+            activation_bits: 8,
+        }
     }
 }
 
@@ -96,8 +100,10 @@ impl FixedMlp {
         let a_max = f64::from((1u32 << cfg.activation_bits) - 1);
 
         // Float activation traces for calibration of accumulator ranges.
-        let traces: Vec<Vec<Vec<f32>>> =
-            calibration_rows.iter().map(|r| mlp.forward_trace(r)).collect();
+        let traces: Vec<Vec<Vec<f32>>> = calibration_rows
+            .iter()
+            .map(|r| mlp.forward_trace(r))
+            .collect();
 
         let mut layers = Vec::with_capacity(layer_count);
         // Scale of the integer input of the current layer: x = q * s_x.
@@ -113,7 +119,9 @@ impl FixedMlp {
             let weights: Vec<Vec<i32>> = mlp.weights()[l]
                 .iter()
                 .map(|row| {
-                    row.iter().map(|&w| (f64::from(w) / s_w).round() as i32).collect()
+                    row.iter()
+                        .map(|&w| (f64::from(w) / s_w).round() as i32)
+                        .collect()
                 })
                 .collect();
             let biases: Vec<i32> = mlp.biases()[l]
@@ -136,7 +144,10 @@ impl FixedMlp {
                 // Quantized-domain accumulator at that activation.
                 let acc_max = max_act / (s_w * s_x);
                 let shift = (acc_max / a_max).log2().ceil().max(0.0) as u32;
-                Some(QReluCfg { out_bits: cfg.activation_bits, shift })
+                Some(QReluCfg {
+                    out_bits: cfg.activation_bits,
+                    shift,
+                })
             };
 
             if !last {
@@ -146,10 +157,17 @@ impl FixedMlp {
                 s_x = s_w * s_x * (1u64 << shift) as f64;
             }
 
-            layers.push(FixedLayer { weights, biases, qrelu });
+            layers.push(FixedLayer {
+                weights,
+                biases,
+                qrelu,
+            });
         }
 
-        Self { input_bits: cfg.input_bits, layers }
+        Self {
+            input_bits: cfg.input_bits,
+            layers,
+        }
     }
 
     /// Integer-exact forward pass; returns the output-layer accumulators.
@@ -167,7 +185,10 @@ impl FixedMlp {
                 .iter()
                 .zip(&layer.biases)
                 .map(|(row, &b)| {
-                    row.iter().zip(&current).map(|(&w, &v)| i64::from(w) * v).sum::<i64>()
+                    row.iter()
+                        .zip(&current)
+                        .map(|(&w, &v)| i64::from(w) * v)
+                        .sum::<i64>()
                         + i64::from(b)
                 })
                 .collect();
@@ -203,7 +224,11 @@ impl FixedMlp {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits = rows.iter().zip(labels).filter(|&(r, &l)| self.predict(r) == l).count();
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|&(r, &l)| self.predict(r) == l)
+            .count();
         hits as f64 / rows.len() as f64
     }
 
@@ -230,7 +255,10 @@ mod tests {
 
     #[test]
     fn qrelu_clamps_and_shifts() {
-        let q = QReluCfg { out_bits: 8, shift: 3 };
+        let q = QReluCfg {
+            out_bits: 8,
+            shift: 3,
+        };
         assert_eq!(q.apply(-100), 0);
         assert_eq!(q.apply(0), 0);
         assert_eq!(q.apply(8), 1);
@@ -288,8 +316,11 @@ mod tests {
             }
         }
         let mut mlp = DenseMlp::random(Topology::new(vec![2, 3, 2]), 4);
-        let _ = SgdTrainer::new(TrainConfig { epochs: 120, ..TrainConfig::default() })
-            .train(&mut mlp, &rows, &labels);
+        let _ = SgdTrainer::new(TrainConfig {
+            epochs: 120,
+            ..TrainConfig::default()
+        })
+        .train(&mut mlp, &rows, &labels);
         let q = FixedMlp::quantize(&mlp, QuantConfig::default(), &rows);
         let q_rows: Vec<Vec<u8>> = rows
             .iter()
@@ -298,6 +329,9 @@ mod tests {
         let float_acc = mlp.accuracy(&rows, &labels);
         let fixed_acc = q.accuracy(&q_rows, &labels);
         assert!(float_acc > 0.95);
-        assert!(fixed_acc > float_acc - 0.1, "float {float_acc} fixed {fixed_acc}");
+        assert!(
+            fixed_acc > float_acc - 0.1,
+            "float {float_acc} fixed {fixed_acc}"
+        );
     }
 }

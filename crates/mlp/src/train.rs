@@ -29,7 +29,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.05, momentum: 0.9, epochs: 200, batch_size: 32, seed: 0 }
+        Self {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 200,
+            batch_size: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -159,7 +165,12 @@ impl SgdTrainer {
 
         let train_accuracy = mlp.accuracy(rows, labels);
         let train_loss = mean_cross_entropy(mlp, rows, labels);
-        TrainReport { epochs: self.config.epochs, train_accuracy, train_loss, evaluations }
+        TrainReport {
+            epochs: self.config.epochs,
+            train_accuracy,
+            train_loss,
+            evaluations,
+        }
     }
 }
 
@@ -203,7 +214,9 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|&e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 /// Mean softmax cross-entropy of `mlp` over a labelled set.
@@ -257,7 +270,11 @@ mod tests {
             ..TrainConfig::default()
         })
         .train(&mut mlp, &rows, &labels);
-        assert!(report.train_accuracy > 0.95, "accuracy {}", report.train_accuracy);
+        assert!(
+            report.train_accuracy > 0.95,
+            "accuracy {}",
+            report.train_accuracy
+        );
         assert!(report.train_loss < 0.3, "loss {}", report.train_loss);
     }
 
@@ -268,8 +285,11 @@ mod tests {
         let untrained = DenseMlp::random(topo.clone(), 3);
         let before = mean_cross_entropy(&untrained, &rows, &labels);
         let mut trained = untrained.clone();
-        let _ = SgdTrainer::new(TrainConfig { epochs: 50, ..TrainConfig::default() })
-            .train(&mut trained, &rows, &labels);
+        let _ = SgdTrainer::new(TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        })
+        .train(&mut trained, &rows, &labels);
         let after = mean_cross_entropy(&trained, &rows, &labels);
         assert!(after < before, "loss {before} -> {after}");
     }
@@ -279,8 +299,11 @@ mod tests {
         let (rows, labels) = toy_problem();
         let run = || {
             let mut mlp = DenseMlp::random(Topology::new(vec![2, 3, 2]), 5);
-            let _ = SgdTrainer::new(TrainConfig { epochs: 10, ..TrainConfig::default() })
-                .train(&mut mlp, &rows, &labels);
+            let _ = SgdTrainer::new(TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            })
+            .train(&mut mlp, &rows, &labels);
             mlp
         };
         assert_eq!(run(), run());
@@ -298,8 +321,11 @@ mod tests {
     fn evaluation_count_matches_epochs_times_samples() {
         let (rows, labels) = toy_problem();
         let mut mlp = DenseMlp::random(Topology::new(vec![2, 3, 2]), 5);
-        let report = SgdTrainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() })
-            .train(&mut mlp, &rows, &labels);
+        let report = SgdTrainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .train(&mut mlp, &rows, &labels);
         assert_eq!(report.evaluations, 3 * rows.len() as u64);
     }
 }

@@ -154,8 +154,20 @@ impl Nsga2 {
                 } else {
                     (pop[p1].genes.clone(), pop[p2].genes.clone())
                 };
-                mutate_mixed(&mut c1, &bounds, cfg.mutation_prob, cfg.creep_fraction, &mut rng);
-                mutate_mixed(&mut c2, &bounds, cfg.mutation_prob, cfg.creep_fraction, &mut rng);
+                mutate_mixed(
+                    &mut c1,
+                    &bounds,
+                    cfg.mutation_prob,
+                    cfg.creep_fraction,
+                    &mut rng,
+                );
+                mutate_mixed(
+                    &mut c2,
+                    &bounds,
+                    cfg.mutation_prob,
+                    cfg.creep_fraction,
+                    &mut rng,
+                );
                 offspring.push(evaluate(c1, &mut evaluations));
                 if offspring.len() < cfg.population {
                     offspring.push(evaluate(c2, &mut evaluations));
@@ -175,12 +187,21 @@ impl Nsga2 {
                         .fold(f64::INFINITY, f64::min)
                 })
                 .collect();
-            observer(&GenerationStats { generation, front_size, best_objectives, evaluations });
+            observer(&GenerationStats {
+                generation,
+                front_size,
+                best_objectives,
+                evaluations,
+            });
         }
 
-        let pareto_front: Vec<Individual> =
-            pop.iter().filter(|i| i.rank == 0).cloned().collect();
-        NsgaResult { population: pop, pareto_front, evaluations, generations: cfg.generations }
+        let pareto_front: Vec<Individual> = pop.iter().filter(|i| i.rank == 0).cloned().collect();
+        NsgaResult {
+            population: pop,
+            pareto_front,
+            evaluations,
+            generations: cfg.generations,
+        }
     }
 }
 
@@ -277,7 +298,11 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         let problem = TwoHumps { bounds: vec![101] };
-        let cfg = NsgaConfig { population: 16, generations: 10, ..NsgaConfig::default() };
+        let cfg = NsgaConfig {
+            population: 16,
+            generations: 10,
+            ..NsgaConfig::default()
+        };
         let a = Nsga2::new(cfg.clone()).run(&problem);
         let b = Nsga2::new(cfg).run(&problem);
         assert_eq!(a.population, b.population);
@@ -305,7 +330,9 @@ mod tests {
             crossover_prob: 0.0,
             ..NsgaConfig::default()
         })
-        .run_seeded(&problem, vec![vec![999]], |s| seen_zero_gen_stats.push(s.clone()));
+        .run_seeded(&problem, vec![vec![999]], |s| {
+            seen_zero_gen_stats.push(s.clone())
+        });
         // The seeded genome minimizes objective 1; it must survive elitism.
         assert!(result.population.iter().any(|i| i.genes == vec![999]));
         assert_eq!(seen_zero_gen_stats.len(), 1);
@@ -349,7 +376,11 @@ mod tests {
         })
         .run(&Constrained);
         for ind in &result.pareto_front {
-            assert!(ind.evaluation.is_feasible(), "infeasible on front: {:?}", ind.genes);
+            assert!(
+                ind.evaluation.is_feasible(),
+                "infeasible on front: {:?}",
+                ind.genes
+            );
         }
     }
 }

@@ -21,7 +21,12 @@ impl Individual {
     /// Wrap a freshly evaluated genome (rank/crowding unset).
     #[must_use]
     pub fn new(genes: Vec<u32>, evaluation: Evaluation) -> Self {
-        Self { genes, evaluation, rank: usize::MAX, crowding: 0.0 }
+        Self {
+            genes,
+            evaluation,
+            rank: usize::MAX,
+            crowding: 0.0,
+        }
     }
 
     /// Tournament ordering: lower rank wins; ties break on larger

@@ -17,14 +17,20 @@ impl Evaluation {
     /// A feasible evaluation.
     #[must_use]
     pub fn feasible(objectives: Vec<f64>) -> Self {
-        Self { objectives, violation: 0.0 }
+        Self {
+            objectives,
+            violation: 0.0,
+        }
     }
 
     /// An evaluation with a constraint violation.
     #[must_use]
     pub fn infeasible(objectives: Vec<f64>, violation: f64) -> Self {
         debug_assert!(violation > 0.0);
-        Self { objectives, violation }
+        Self {
+            objectives,
+            violation,
+        }
     }
 
     /// Whether the candidate satisfies all constraints.

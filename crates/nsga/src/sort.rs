@@ -74,7 +74,9 @@ pub fn assign_crowding(pop: &mut [Individual], front: &[usize]) {
                 .expect("objectives must be finite")
         });
         let lo = pop[order[0]].evaluation.objectives[obj];
-        let hi = pop[*order.last().expect("front non-empty")].evaluation.objectives[obj];
+        let hi = pop[*order.last().expect("front non-empty")]
+            .evaluation
+            .objectives[obj];
         let span = hi - lo;
         pop[order[0]].crowding = f64::INFINITY;
         pop[*order.last().expect("front non-empty")].crowding = f64::INFINITY;
@@ -106,7 +108,12 @@ mod tests {
     fn sorts_into_expected_fronts() {
         // (1,1) dominates (2,2) dominates (3,3); (1,3) and (3,1) are on
         // the first front with (1,1)? No: (1,1) dominates both.
-        let mut pop = vec![ind(&[1.0, 1.0]), ind(&[2.0, 2.0]), ind(&[3.0, 3.0]), ind(&[1.0, 3.0])];
+        let mut pop = vec![
+            ind(&[1.0, 1.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[3.0, 3.0]),
+            ind(&[1.0, 3.0]),
+        ];
         let fronts = fast_non_dominated_sort(&mut pop);
         assert_eq!(fronts[0], vec![0]);
         assert!(fronts[1].contains(&1));
@@ -118,7 +125,12 @@ mod tests {
 
     #[test]
     fn non_dominated_set_is_one_front() {
-        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[3.0, 2.0]), ind(&[4.0, 1.0])];
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[3.0, 2.0]),
+            ind(&[4.0, 1.0]),
+        ];
         let fronts = fast_non_dominated_sort(&mut pop);
         assert_eq!(fronts.len(), 1);
         assert_eq!(fronts[0].len(), 4);
@@ -137,7 +149,12 @@ mod tests {
 
     #[test]
     fn crowding_rewards_boundary_and_spread() {
-        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[2.1, 2.9]), ind(&[4.0, 1.0])];
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[2.1, 2.9]),
+            ind(&[4.0, 1.0]),
+        ];
         let front: Vec<usize> = vec![0, 1, 2, 3];
         assign_crowding(&mut pop, &front);
         assert!(pop[0].crowding.is_infinite());

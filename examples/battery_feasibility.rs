@@ -17,7 +17,12 @@ fn main() {
     for dataset in [Dataset::BreastCancer, Dataset::RedWine] {
         let study = run_study(dataset, &StudyConfig::quick(7), &tech);
         let spec = dataset.spec();
-        println!("{} ({:?} topology {:?})", spec.name, dataset, spec.topology());
+        println!(
+            "{} ({:?} topology {:?})",
+            spec.name,
+            dataset,
+            spec.topology()
+        );
 
         let b = &study.baseline_report;
         println!(

@@ -37,14 +37,29 @@ fn main() -> Result<(), Box<dyn Error>> {
     let split = stratified_split(&data, 0.7, 1)?;
     let features = split.train.feature_count();
     let classes = data.classes;
-    println!("{} samples, {features} features, {classes} classes", data.len());
+    println!(
+        "{} samples, {features} features, {classes} classes",
+        data.len()
+    );
 
     // Exact baseline: float training + 8-bit/4-bit quantization.
     let topology = Topology::new(vec![features, 3, classes]);
-    let sgd = TrainConfig { epochs: 80, seed: 1, ..TrainConfig::default() };
-    let (float_mlp, report) =
-        train_best_of(&topology, &split.train.features, &split.train.labels, &sgd, 3);
-    println!("float baseline: train accuracy {:.3}", report.train_accuracy);
+    let sgd = TrainConfig {
+        epochs: 80,
+        seed: 1,
+        ..TrainConfig::default()
+    };
+    let (float_mlp, report) = train_best_of(
+        &topology,
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        3,
+    );
+    println!(
+        "float baseline: train accuracy {:.3}",
+        report.train_accuracy
+    );
 
     let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
     let train_q = quantize(&split.train, 4);
@@ -56,7 +71,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Hardware-aware GA training.
     let ga = AxTrainConfig {
         fitness_subsample: Some(400),
-        nsga: NsgaConfig { population: 32, generations: 30, seed: 1, ..NsgaConfig::default() },
+        nsga: NsgaConfig {
+            population: 32,
+            generations: 30,
+            seed: 1,
+            ..NsgaConfig::default()
+        },
         ..AxTrainConfig::default()
     };
     let elaborator = Elaborator::new(TechLibrary::egfet());

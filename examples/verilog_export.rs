@@ -17,37 +17,80 @@ fn main() {
                 neurons: vec![
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0b1110, shift: 2, negative: false },
-                            AxWeight { mask: 0b1011, shift: 0, negative: true },
-                            AxWeight { mask: 0, shift: 0, negative: false }, // pruned
+                            AxWeight {
+                                mask: 0b1110,
+                                shift: 2,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0b1011,
+                                shift: 0,
+                                negative: true,
+                            },
+                            AxWeight {
+                                mask: 0,
+                                shift: 0,
+                                negative: false,
+                            }, // pruned
                         ],
                         bias: 9,
                     },
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0b1000, shift: 1, negative: false },
-                            AxWeight { mask: 0b1111, shift: 3, negative: false },
-                            AxWeight { mask: 0b0110, shift: 0, negative: true },
+                            AxWeight {
+                                mask: 0b1000,
+                                shift: 1,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0b1111,
+                                shift: 3,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0b0110,
+                                shift: 0,
+                                negative: true,
+                            },
                         ],
                         bias: -4,
                     },
                 ],
-                qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                qrelu: Some(QReluCfg {
+                    out_bits: 8,
+                    shift: 2,
+                }),
             },
             AxLayer {
                 input_bits: 8,
                 neurons: vec![
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0xF0, shift: 0, negative: false },
-                            AxWeight { mask: 0x0F, shift: 1, negative: true },
+                            AxWeight {
+                                mask: 0xF0,
+                                shift: 0,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0x0F,
+                                shift: 1,
+                                negative: true,
+                            },
                         ],
                         bias: 15,
                     },
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0xFF, shift: 1, negative: true },
-                            AxWeight { mask: 0x3C, shift: 0, negative: false },
+                            AxWeight {
+                                mask: 0xFF,
+                                shift: 1,
+                                negative: true,
+                            },
+                            AxWeight {
+                                mask: 0x3C,
+                                shift: 0,
+                                negative: false,
+                            },
                         ],
                         bias: 0,
                     },

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use printed_mlps::arith::{
-    csd_digits, ColumnProfile, ReductionKind, Reducer, Summand,
-};
+use printed_mlps::arith::{csd_digits, ColumnProfile, Reducer, ReductionKind, Summand};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]

@@ -30,8 +30,13 @@ fn setup(dataset: Dataset) -> Setup {
         seed: 2,
         ..printed_mlps::mlp::TrainConfig::default()
     };
-    let (float_mlp, _) =
-        train_best_of(&Topology::new(spec.topology()), &split.train.features, &split.train.labels, &sgd, 3);
+    let (float_mlp, _) = train_best_of(
+        &Topology::new(spec.topology()),
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        3,
+    );
     let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
     Setup {
         baseline,
@@ -48,7 +53,9 @@ fn setup(dataset: Dataset) -> Setup {
 fn tc23_trades_bounded_accuracy_for_area() {
     let s = setup(Dataset::BreastCancer);
     let elab = Elaborator::new(TechLibrary::egfet());
-    let exact = elab.elaborate(&fixed_to_hardware(&s.baseline, "exact")).report;
+    let exact = elab
+        .elaborate(&fixed_to_hardware(&s.baseline, "exact"))
+        .report;
     let base_acc = s.baseline.accuracy(&s.train_q.features, &s.train_q.labels);
 
     let design = approximate_tc23(
@@ -60,7 +67,10 @@ fn tc23_trades_bounded_accuracy_for_area() {
     let report = design.hardware_report(&elab, "tc23");
 
     assert!(report.area_cm2 < exact.area_cm2, "no area saving");
-    assert!(design.tuning_accuracy >= base_acc - 0.05 - 1e-9, "budget violated");
+    assert!(
+        design.tuning_accuracy >= base_acc - 0.05 - 1e-9,
+        "budget violated"
+    );
     // Test accuracy stays sane too.
     let test_acc = design.accuracy(&s.test_q.features, &s.test_q.labels);
     assert!(test_acc > 0.7, "tc23 test accuracy {test_acc}");
@@ -82,7 +92,10 @@ fn tcad23_saves_power_via_voltage() {
     );
     let at_vos = design.hardware_report(&elab, &vdd, "tcad");
     let at_1v = design.design.hardware_report(&elab, "tcad_1v");
-    assert!(at_vos.power_mw < at_1v.power_mw * 0.6, "VOS must cut power substantially");
+    assert!(
+        at_vos.power_mw < at_1v.power_mw * 0.6,
+        "VOS must cut power substantially"
+    );
     assert!(at_vos.delay_ms > at_1v.delay_ms, "VOS slows the circuit");
 }
 
@@ -93,11 +106,16 @@ fn sc_mlp_is_small_but_less_accurate_on_hard_data() {
     let s = setup(Dataset::WhiteWine);
     let tech = TechLibrary::egfet();
     let elab = Elaborator::new(tech.clone());
-    let exact = elab.elaborate(&fixed_to_hardware(&s.baseline, "exact")).report;
+    let exact = elab
+        .elaborate(&fixed_to_hardware(&s.baseline, "exact"))
+        .report;
 
     let sc = ScMlp::from_dense(&s.float_mlp, &s.train_rows_f, &ScConfig::default());
     let report = sc.hardware_report(&tech, "sc");
-    assert!(report.area_cm2 < exact.area_cm2 * 0.6, "SC datapath should be small");
+    assert!(
+        report.area_cm2 < exact.area_cm2 * 0.6,
+        "SC datapath should be small"
+    );
 
     let float_acc = s.float_mlp.accuracy(&s.test_rows_f, &s.test_labels);
     let sc_acc = sc.accuracy(&s.test_rows_f, &s.test_labels);

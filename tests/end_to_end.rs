@@ -9,10 +9,18 @@ use printed_mlps::mlp::ax_to_hardware;
 
 #[test]
 fn breast_cancer_study_produces_usable_designs() {
-    let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(3), &TechLibrary::egfet());
+    let study = run_study(
+        Dataset::BreastCancer,
+        &StudyConfig::quick(3),
+        &TechLibrary::egfet(),
+    );
 
     // Baseline quality: the synthetic BC task is easy.
-    assert!(study.baseline_test_accuracy > 0.9, "baseline {}", study.baseline_test_accuracy);
+    assert!(
+        study.baseline_test_accuracy > 0.9,
+        "baseline {}",
+        study.baseline_test_accuracy
+    );
     // The baseline circuit must be infeasibly large, as in Table I.
     assert!(study.baseline_report.area_cm2 > 1.0);
     assert!(study.baseline_report.power_mw > 5.0);
@@ -45,11 +53,17 @@ fn breast_cancer_study_produces_usable_designs() {
 
 #[test]
 fn selected_design_accuracy_is_reproducible_from_the_network() {
-    let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(5), &TechLibrary::egfet());
+    let study = run_study(
+        Dataset::BreastCancer,
+        &StudyConfig::quick(5),
+        &TechLibrary::egfet(),
+    );
     if let Some(selected) = &study.selected {
         // Recomputing accuracy from the stored network must give the
         // recorded value exactly (integer-exact inference).
-        let recomputed = selected.mlp.accuracy(&study.test.features, &study.test.labels);
+        let recomputed = selected
+            .mlp
+            .accuracy(&study.test.features, &study.test.labels);
         assert!((recomputed - selected.test_accuracy).abs() < 1e-12);
     }
 }

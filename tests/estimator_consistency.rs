@@ -11,8 +11,11 @@ use printed_mlps::hw::{Cell, Netlist};
 
 fn weight_strategy(input_bits: u32) -> impl Strategy<Value = WeightArith> {
     let mask_max = (1u64 << input_bits) - 1;
-    (0..=mask_max, 0u32..7, any::<bool>())
-        .prop_map(|(mask, shift, negative)| WeightArith { mask, shift, negative })
+    (0..=mask_max, 0u32..7, any::<bool>()).prop_map(|(mask, shift, negative)| WeightArith {
+        mask,
+        shift,
+        negative,
+    })
 }
 
 fn neuron_strategy() -> impl Strategy<Value = NeuronArithSpec> {
@@ -21,7 +24,11 @@ fn neuron_strategy() -> impl Strategy<Value = NeuronArithSpec> {
             proptest::collection::vec(weight_strategy(input_bits), 1..12),
             -2000i64..2000,
         )
-            .prop_map(move |(weights, bias)| NeuronArithSpec { input_bits, weights, bias })
+            .prop_map(move |(weights, bias)| NeuronArithSpec {
+                input_bits,
+                weights,
+                bias,
+            })
     })
 }
 

@@ -13,9 +13,17 @@ fn genome_spec_strategy() -> impl Strategy<Value = GenomeSpec> {
                     fan_in,
                     neurons: hidden,
                     input_bits: 4,
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 2,
+                    }),
                 },
-                LayerGenomeSpec { fan_in: hidden, neurons: classes, input_bits: 8, qrelu: None },
+                LayerGenomeSpec {
+                    fan_in: hidden,
+                    neurons: classes,
+                    input_bits: 8,
+                    qrelu: None,
+                },
             ],
             8,
             12,

@@ -4,7 +4,9 @@
 use printed_mlps::hw::{
     emit_verilog, Elaborator, Feasibility, FeasibilityZones, PowerSource, TechLibrary, VddModel,
 };
-use printed_mlps::mlp::{ax_to_hardware, fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+use printed_mlps::mlp::{
+    ax_to_hardware, fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg,
+};
 
 fn dead_hidden_mlp() -> AxMlp {
     // Hidden layer: one live neuron, one fully-masked (constant) one.
@@ -14,30 +16,63 @@ fn dead_hidden_mlp() -> AxMlp {
                 input_bits: 4,
                 neurons: vec![
                     AxNeuron {
-                        weights: vec![AxWeight { mask: 0b1111, shift: 1, negative: false }; 2],
+                        weights: vec![
+                            AxWeight {
+                                mask: 0b1111,
+                                shift: 1,
+                                negative: false
+                            };
+                            2
+                        ],
                         bias: 0,
                     },
                     AxNeuron {
-                        weights: vec![AxWeight { mask: 0, shift: 0, negative: false }; 2],
+                        weights: vec![
+                            AxWeight {
+                                mask: 0,
+                                shift: 0,
+                                negative: false
+                            };
+                            2
+                        ],
                         bias: 40, // constant activation QReLU(40 >> 1) = 20
                     },
                 ],
-                qrelu: Some(QReluCfg { out_bits: 8, shift: 1 }),
+                qrelu: Some(QReluCfg {
+                    out_bits: 8,
+                    shift: 1,
+                }),
             },
             AxLayer {
                 input_bits: 8,
                 neurons: vec![
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0xFF, shift: 0, negative: false },
-                            AxWeight { mask: 0xFF, shift: 1, negative: true },
+                            AxWeight {
+                                mask: 0xFF,
+                                shift: 0,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0xFF,
+                                shift: 1,
+                                negative: true,
+                            },
                         ],
                         bias: 3,
                     },
                     AxNeuron {
                         weights: vec![
-                            AxWeight { mask: 0x0F, shift: 2, negative: true },
-                            AxWeight { mask: 0xF0, shift: 0, negative: false },
+                            AxWeight {
+                                mask: 0x0F,
+                                shift: 2,
+                                negative: true,
+                            },
+                            AxWeight {
+                                mask: 0xF0,
+                                shift: 0,
+                                negative: false,
+                            },
                         ],
                         bias: -3,
                     },

@@ -8,18 +8,21 @@ use proptest::prelude::*;
 use printed_mlps::mlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
 
 fn ax_weight() -> impl Strategy<Value = AxWeight> {
-    (0u16..16, 0u8..7, any::<bool>())
-        .prop_map(|(mask, shift, negative)| AxWeight { mask, shift, negative })
+    (0u16..16, 0u8..7, any::<bool>()).prop_map(|(mask, shift, negative)| AxWeight {
+        mask,
+        shift,
+        negative,
+    })
 }
 
 fn two_layer_mlp() -> impl Strategy<Value = AxMlp> {
     (
+        proptest::collection::vec((proptest::collection::vec(ax_weight(), 3), -200i32..200), 2),
         proptest::collection::vec(
-            (proptest::collection::vec(ax_weight(), 3), -200i32..200),
-            2,
-        ),
-        proptest::collection::vec(
-            (proptest::collection::vec((0u16..256, 0u8..7, any::<bool>()), 2), -400i32..400),
+            (
+                proptest::collection::vec((0u16..256, 0u8..7, any::<bool>()), 2),
+                -400i32..400,
+            ),
             3,
         ),
     )
@@ -31,7 +34,10 @@ fn two_layer_mlp() -> impl Strategy<Value = AxMlp> {
                         .into_iter()
                         .map(|(weights, bias)| AxNeuron { weights, bias })
                         .collect(),
-                    qrelu: Some(QReluCfg { out_bits: 8, shift: 2 }),
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 2,
+                    }),
                 },
                 AxLayer {
                     input_bits: 8,

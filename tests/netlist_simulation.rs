@@ -13,8 +13,11 @@ use printed_mlps::hw::Netlist;
 use printed_mlps::mlp::{AxNeuron, AxWeight};
 
 fn weight_strategy() -> impl Strategy<Value = AxWeight> {
-    (0u16..16, 0u8..7, any::<bool>())
-        .prop_map(|(mask, shift, negative)| AxWeight { mask, shift, negative })
+    (0u16..16, 0u8..7, any::<bool>()).prop_map(|(mask, shift, negative)| AxWeight {
+        mask,
+        shift,
+        negative,
+    })
 }
 
 proptest! {

@@ -1,0 +1,141 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Offline builds cannot fetch the real criterion, so this crate keeps
+//! the workspace's `[[bench]]` targets compiling and running with the
+//! same source: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and [`black_box`]. It measures plain
+//! wall-clock means (no statistics, outlier analysis, or HTML reports)
+//! and prints one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup; accepted for
+/// compatibility, ignored by this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark and print its mean wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut b);
+            if b.iterations > 0 {
+                samples.push(b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX));
+            }
+        }
+        let mean = if samples.is_empty() {
+            Duration::ZERO
+        } else {
+            samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1)
+        };
+        let min = samples.iter().min().copied().unwrap_or(Duration::ZERO);
+        let max = samples.iter().max().copied().unwrap_or(Duration::ZERO);
+        println!(
+            "bench: {id:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({n} samples)",
+            n = samples.len()
+        );
+        self
+    }
+}
+
+/// Times closures inside one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    /// Time a routine on inputs built by an untimed setup closure.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Group benchmark targets under one entry function, mirroring
+/// criterion's two invocation forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,45 @@
+//! `any::<T>()` — whole-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, Standard};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The whole-domain strategy for `T` (uniform over all values).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy sampling `rand`'s `Standard` distribution for `T`.
+pub struct StandardStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard> Strategy for StandardStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                StandardStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

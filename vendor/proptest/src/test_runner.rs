@@ -1,0 +1,107 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// The RNG driving strategy generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (resampled, not counted).
+    Reject(String),
+    /// An assertion failed: the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Kept for API parity with the real proptest; [`run_cases`] is the
+/// actual entry point used by the macro expansion.
+#[derive(Debug, Default)]
+pub struct TestRunner;
+
+/// Derive the base RNG seed for a test: `PROPTEST_SEED` if set, else a
+/// stable hash of the test name (deterministic across runs and hosts).
+fn base_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.parse::<u64>() {
+            return n;
+        }
+    }
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cfg.cases` successful cases of `f` over values of `strat`,
+/// panicking (with seed and case index) on the first failure.
+pub fn run_cases<S, F>(name: &str, cfg: ProptestConfig, strat: &S, mut f: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+
+    let seed = base_seed(name);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = cfg.cases.saturating_mul(16).max(1024);
+    while passed < cfg.cases {
+        let value = strat.generate(&mut rng);
+        match f(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest `{name}`: too many prop_assume! rejections ({why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s) \
+                     (seed {seed}, rerun with PROPTEST_SEED={seed}):\n{msg}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Derive macros for the vendored minimal `serde` stand-in.
+//!
+//! Parses the deriving item directly from the `proc_macro` token stream
+//! (no `syn`/`quote` available offline) and emits `Serialize` /
+//! `Deserialize` impls against the small `serde::Value` data model.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured),
+//! * tuple structs (newtype and longer),
+//! * enums with unit, tuple, and struct variants,
+//! * no generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+enum Fields {
+    Unit,
+    /// Tuple fields: the arity.
+    Tuple(usize),
+    /// Named fields: `(name, has_serde_default)`.
+    Named(Vec<(String, bool)>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (vendored data-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize` (vendored data-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+/// Skip `#[...]` attributes; report whether any was `#[serde(default)]`.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= is_serde_default(g.stream());
+                *i += 2;
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn is_serde_default(attr_body: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type (or expression) to the next top-level comma,
+/// tracking `<...>` nesting. Delimited groups arrive as single tokens.
+fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let has_default = skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_to_top_level_comma(&toks, &mut i);
+        i += 1; // consume the comma (or run off the end)
+        fields.push((name, has_default));
+    }
+    Ok(Fields::Named(fields))
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_to_top_level_comma(&toks, &mut i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())?
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_top_level_comma(&toks, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::serde::Value::Str({name:?}.to_string())"),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let items: Vec<String> = fs
+                .iter()
+                .map(|(f, _)| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![({vname:?}.to_string(), {payload})]),",
+                        binds = binds.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let binds: Vec<String> = fs.iter().map(|(f, _)| f.clone()).collect();
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|(f, _)| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![({vname:?}.to_string(), ::serde::Value::Map(::std::vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Expression deserializing named fields from a map expression `m` into
+/// a `Name { .. }` / `Name::Variant { .. }` constructor.
+fn de_named_ctor(ctor: &str, fs: &[(String, bool)]) -> String {
+    let inits: Vec<String> = fs
+        .iter()
+        .map(|(f, has_default)| {
+            let missing = if *has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{ctor}: missing field `{f}`\")))"
+                )
+            };
+            format!(
+                "{f}: match ::serde::map_get(m, {f:?}) {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }},"
+            )
+        })
+        .collect();
+    format!("{ctor} {{\n{}\n}}", inits.join("\n"))
+}
+
+/// Expression deserializing `n` tuple fields from a slice expression
+/// `xs` into a `Name(..)` / `Name::Variant(..)` constructor.
+fn de_tuple_ctor(ctor: &str, n: usize) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::from_value(xs.get({i}).ok_or_else(|| \
+                 ::serde::DeError::custom(\"{ctor}: sequence too short\"))?)?"
+            )
+        })
+        .collect();
+    format!("{ctor}({})", inits.join(", "))
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => format!(
+            "let xs = v.as_seq().ok_or_else(|| \
+             ::serde::DeError::custom(\"{name}: expected sequence\"))?;\n\
+             ::std::result::Result::Ok({})",
+            de_tuple_ctor(name, *n)
+        ),
+        Fields::Named(fs) => format!(
+            "let m = v.as_map().ok_or_else(|| \
+             ::serde::DeError::custom(\"{name}: expected map\"))?;\n\
+             ::std::result::Result::Ok({})",
+            de_named_ctor(name, fs)
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            let ctor = format!("{name}::{vname}");
+            let build = match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value(inner)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "{{ let xs = inner.as_seq().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{ctor}: expected sequence\"))?;\n\
+                     ::std::result::Result::Ok({}) }}",
+                    de_tuple_ctor(&ctor, *n)
+                ),
+                Fields::Named(fs) => format!(
+                    "{{ let m = inner.as_map().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{ctor}: expected map\"))?;\n\
+                     ::std::result::Result::Ok({}) }}",
+                    de_named_ctor(&ctor, fs)
+                ),
+            };
+            format!("{vname:?} => {build},")
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 match tag.as_str() {{\n\
+                     {data}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"{name}: expected variant, got {{other:?}}\"))),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}
