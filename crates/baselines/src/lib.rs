@@ -14,15 +14,20 @@
 //!   1024-bit bipolar bitstreams, XNOR multipliers and MUX adders.
 //!
 //! [`cheap_weights`] hosts the shared area-efficient coefficient sets.
+//! [`engine`] adapts all three methods to `printed-axc`'s
+//! [`SearchEngine`](printed_axc::SearchEngine) interface so experiment
+//! code iterates them generically alongside the NSGA-II flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cheap_weights;
+pub mod engine;
 pub mod sc;
 pub mod tc23;
 pub mod tcad23;
 
+pub use engine::{ScEngine, Tc23Engine, Tcad23Engine};
 pub use sc::{ScConfig, ScMlp};
 pub use tc23::{approximate_tc23, Tc23Config, Tc23Design};
 pub use tcad23::{approximate_tcad23, timing_error_rate, Tcad23Config, Tcad23Design};

@@ -7,26 +7,31 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use pe_baselines::{approximate_tc23, Tc23Config};
-use pe_bench::study::{run_all_studies, study_config};
+use pe_bench::study::run_selected;
 use pe_bench::{fig4, BudgetPreset};
 
 fn bench(c: &mut Criterion) {
     let budget = BudgetPreset::from_env(BudgetPreset::Quick);
-    let studies = run_all_studies(budget, 0);
-    let cfg = study_config(budget, 0);
-    let rows: Vec<_> = studies.iter().map(|s| fig4::row(s, &cfg, 0)).collect();
+    let selected = run_selected(budget, 0);
+    let engines = fig4::paper_engines();
+    let tech = pe_hw::TechLibrary::egfet();
+    let rows: Vec<_> = selected
+        .iter()
+        .map(|s| fig4::row(s, &engines, &tech))
+        .collect();
     println!("{}", fig4::render(&rows));
     pe_bench::format::write_json("fig4_bench", &rows);
 
     // Criterion kernel: the TC'23 coefficient-replacement search on the
-    // Breast Cancer baseline from the study.
-    let bc = &studies[0];
+    // Breast Cancer baseline from the study's stage artifacts.
+    let bc = &selected[0].searched.costed;
+    let train = &bc.float.prepared.train;
     c.bench_function("tc23_search_bc", |b| {
         b.iter(|| {
             approximate_tc23(
                 &bc.baseline,
-                &bc.train.features[..200.min(bc.train.features.len())],
-                &bc.train.labels[..200.min(bc.train.labels.len())],
+                &train.features[..200.min(train.features.len())],
+                &train.labels[..200.min(train.labels.len())],
                 &Tc23Config::default(),
             )
             .trunc_bits

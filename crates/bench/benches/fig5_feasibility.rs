@@ -6,13 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use pe_bench::study::run_all_studies;
+use pe_bench::study::run_studies;
 use pe_bench::{fig5, BudgetPreset};
 use pe_hw::{FeasibilityZones, VddModel};
 
 fn bench(c: &mut Criterion) {
     let budget = BudgetPreset::from_env(BudgetPreset::Quick);
-    let studies = run_all_studies(budget, 0);
+    let studies = run_studies(budget, 0);
     let rows: Vec<_> = studies.iter().map(fig5::row).collect();
     println!("{}", fig5::render(&rows));
     if let Some(avg) = fig5::avg_power_reduction_0v6(&studies) {

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use pe_bench::study::run_all_studies;
+use pe_bench::study::run_studies;
 use pe_bench::{table2, BudgetPreset};
 use pe_datasets::{generate, quantize, stratified_split, Dataset};
 use pe_mlp::{FixedMlp, QuantConfig, Topology, TrainConfig};
@@ -17,7 +17,7 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let budget = BudgetPreset::from_env(BudgetPreset::Quick);
-    let studies = run_all_studies(budget, 0);
+    let studies = run_studies(budget, 0);
     let rows = table2::rows(&studies);
     println!("{}", table2::render(&rows));
     let (ga, gp) = table2::geomean_reductions(&rows);

@@ -2,19 +2,39 @@
 //!
 //! * [`doping`] — doped vs purely random initial populations: doping
 //!   should reach the high-accuracy end of the front much earlier.
+//! * [`objective`] — the paper's FA-count area proxy vs the full
+//!   gate-equivalent objective, compared as two [`NsgaEngine`]
+//!   configurations through the generic engine interface.
 //! * [`fa_vs_netlist`] — the FA-count training proxy vs the full
 //!   netlist cost: the proxy must rank designs consistently with the
 //!   elaborated circuit (Spearman-style concordance).
+//!
+//! Data preparation runs through the staged pipeline (`prepare` /
+//! `train_float` / `cost_baseline`), so the ablations see exactly the
+//! splits and baselines the main experiments use.
 
 use serde::{Deserialize, Serialize};
 
-use pe_datasets::{generate, quantize, stratified_split, Dataset};
+use pe_datasets::Dataset;
 use pe_hw::{Elaborator, TechLibrary};
-use pe_mlp::{ax_to_hardware, DenseMlp, FixedMlp, QuantConfig, SgdTrainer, Topology, TrainConfig};
+use pe_mlp::{ax_to_hardware, DenseMlp, SgdTrainer, Topology, TrainConfig};
 use pe_nsga::{Nsga2, NsgaConfig};
-use printed_axc::{doped_seeds, AxTrainConfig, AxTrainProblem, HwAwareTrainer};
+use printed_axc::{
+    doped_seeds, select_within_loss, AreaObjective, AxTrainConfig, AxTrainProblem, FloatTrained,
+    HwAwareTrainer, NsgaEngine, RunControl, SearchEngine, Study, StudyConfig,
+};
 
 use crate::format::render_table;
+
+/// The study configuration the ablations prepare data with.
+fn ablation_config(seed: u64, ga: AxTrainConfig) -> StudyConfig {
+    StudyConfig {
+        seed,
+        ga,
+        sgd_epochs_scale: 0.4,
+        accuracy_loss_budget: 0.05,
+    }
+}
 
 /// Result of the doping ablation on one dataset.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,22 +53,13 @@ pub struct DopingResult {
 }
 
 /// Run the doping ablation.
+///
+/// # Panics
+///
+/// Panics if a pipeline stage fails (valid configs, nothing cancels).
 #[must_use]
 pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64) -> DopingResult {
     let spec = dataset.spec();
-    let data = generate(dataset, seed);
-    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
-    let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
-    let _ = SgdTrainer::new(TrainConfig {
-        epochs: 60,
-        seed,
-        ..TrainConfig::default()
-    })
-    .train(&mut float_mlp, &split.train.features, &split.train.labels);
-    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
-    let train = quantize(&split.train, 4);
-    let baseline_acc = baseline.accuracy(&train.features, &train.labels);
-
     let cfg = AxTrainConfig {
         fitness_subsample: Some(500),
         nsga: NsgaConfig {
@@ -59,14 +70,46 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
         },
         ..AxTrainConfig::default()
     };
+    let pipeline = Study::for_dataset(dataset)
+        .config(ablation_config(seed, cfg.clone()))
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("valid ablation config");
+    let prepared = pipeline.prepare().expect("prepare stage");
+
+    // A deliberately weak float baseline (single short SGD run): the
+    // ablation wants a GA problem with headroom, not a polished start.
+    let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
+    let _ = SgdTrainer::new(TrainConfig {
+        epochs: 60,
+        seed,
+        ..TrainConfig::default()
+    })
+    .train(
+        &mut float_mlp,
+        &prepared.float_train.features,
+        &prepared.float_train.labels,
+    );
+    let float_test_accuracy =
+        float_mlp.accuracy(&prepared.float_test.features, &prepared.float_test.labels);
+    let costed = pipeline
+        .cost_baseline(FloatTrained {
+            prepared,
+            float_mlp,
+            float_test_accuracy,
+        })
+        .expect("baseline stage");
+    let train = &costed.float.prepared.train;
+    let baseline = &costed.baseline;
+
     let trainer = HwAwareTrainer::new(cfg.clone());
-    let genome = trainer.genome_spec_for(&baseline);
+    let genome = trainer.genome_spec_for(baseline);
     let n = 500.min(train.len());
     let problem = AxTrainProblem::new(
         genome.clone(),
         train.features[..n].to_vec(),
         train.labels[..n].to_vec(),
-        baseline_acc,
+        costed.baseline_train_accuracy,
         cfg.max_accuracy_loss,
     );
     let floor = problem.accuracy_floor();
@@ -88,7 +131,7 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
 
     let doped = run(doped_seeds(
         &genome,
-        &baseline,
+        baseline,
         cfg.max_shift(),
         cfg.bias_bits,
         population / 10 + 1,
@@ -150,7 +193,13 @@ pub struct ObjectiveResult {
 }
 
 /// Compare the paper's FA-count objective against the full
-/// gate-equivalent objective at a fixed GA budget.
+/// gate-equivalent objective at a fixed GA budget: the same
+/// [`NsgaEngine`] run twice through the generic engine interface, with
+/// only `config.objective` differing.
+///
+/// # Panics
+///
+/// Panics if a stage or engine fails (valid configs, nothing cancels).
 #[must_use]
 pub fn objective(
     dataset: Dataset,
@@ -158,31 +207,7 @@ pub fn objective(
     generations: usize,
     seed: u64,
 ) -> ObjectiveResult {
-    use printed_axc::fitness::AreaObjective;
-    use printed_axc::{select_within_loss, true_pareto_front, DesignCandidate};
-
     let spec = dataset.spec();
-    let data = generate(dataset, seed);
-    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
-    let mut sgd = TrainConfig {
-        epochs: 80,
-        seed,
-        ..TrainConfig::default()
-    };
-    sgd.learning_rate = spec.sgd.learning_rate;
-    let (float_mlp, _) = pe_mlp::train::train_best_of(
-        &Topology::new(spec.topology()),
-        &split.train.features,
-        &split.train.labels,
-        &sgd,
-        3,
-    );
-    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
-    let train = quantize(&split.train, 4);
-    let test = quantize(&split.test, 4);
-    let baseline_train = baseline.accuracy(&train.features, &train.labels);
-    let baseline_test = baseline.accuracy(&test.features, &test.labels);
-
     let cfg = AxTrainConfig {
         fitness_subsample: Some(800),
         nsga: NsgaConfig {
@@ -193,38 +218,28 @@ pub fn objective(
         },
         ..AxTrainConfig::default()
     };
-    let trainer = HwAwareTrainer::new(cfg.clone());
-    let genome = trainer.genome_spec_for(&baseline);
-    let n = 800.min(train.len());
-    let elab = Elaborator::new(TechLibrary::egfet());
+    let study_cfg = ablation_config(seed, cfg.clone());
+    let loss_budget = study_cfg.accuracy_loss_budget;
+    let pipeline = Study::for_dataset(dataset)
+        .config(study_cfg)
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("valid ablation config");
+    let costed = pipeline.baseline_costed().expect("stages 1-3");
 
-    let run = |obj: AreaObjective| {
-        let problem = AxTrainProblem::new(
-            genome.clone(),
-            train.features[..n].to_vec(),
-            train.labels[..n].to_vec(),
-            baseline_train,
-            cfg.max_accuracy_loss,
-        )
-        .with_objective(obj);
-        let seeds = doped_seeds(&genome, &baseline, cfg.max_shift(), cfg.bias_bits, 3, seed);
-        let result = Nsga2::new(cfg.nsga.clone()).run_seeded(&problem, seeds, |_| {});
-        let candidates: Vec<DesignCandidate> = result
-            .pareto_front
-            .iter()
-            .map(|ind| {
-                let mlp = genome.decode(&ind.genes);
-                let test_accuracy = mlp.accuracy(&test.features, &test.labels);
-                DesignCandidate {
-                    train_accuracy: 1.0 - ind.evaluation.objectives[0],
-                    test_accuracy,
-                    estimated_area: ind.evaluation.objectives[1],
-                    mlp,
-                }
-            })
-            .collect();
-        let front = true_pareto_front(candidates, &elab, "obj_ablation");
-        select_within_loss(&front, baseline_test, 0.05)
+    let tech = TechLibrary::egfet();
+    let elaborator = Elaborator::new(tech.clone());
+    let ctx = costed.search_context(&tech, &elaborator, loss_budget);
+
+    let run = |objective: AreaObjective| {
+        let engine = NsgaEngine::new(AxTrainConfig {
+            objective,
+            ..cfg.clone()
+        });
+        let outcome = engine
+            .search(&ctx, &RunControl::NONE)
+            .unwrap_or_else(|e| panic!("engine {} failed: {e}", engine.name()));
+        select_within_loss(&outcome.front, costed.baseline_test_accuracy, loss_budget)
             .map(|d| (d.report.area_cm2, d.test_accuracy))
     };
 
@@ -283,25 +298,46 @@ pub struct ProxyConcordance {
 
 /// Sample random genomes of a dataset's genome space and compare the
 /// FA-count proxy's ranking with the full netlist cost's ranking.
+///
+/// # Panics
+///
+/// Panics if a pipeline stage fails (valid configs, nothing cancels).
 #[must_use]
 pub fn fa_vs_netlist(dataset: Dataset, samples: usize, seed: u64) -> ProxyConcordance {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     let spec = dataset.spec();
-    let data = generate(dataset, seed);
-    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
+    let pipeline = Study::for_dataset(dataset)
+        .config(ablation_config(seed, AxTrainConfig::default()))
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("valid ablation config");
+    let prepared = pipeline.prepare().expect("prepare stage");
+
     let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
     let _ = SgdTrainer::new(TrainConfig {
         epochs: 20,
         seed,
         ..TrainConfig::default()
     })
-    .train(&mut float_mlp, &split.train.features, &split.train.labels);
-    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
+    .train(
+        &mut float_mlp,
+        &prepared.float_train.features,
+        &prepared.float_train.labels,
+    );
+    let float_test_accuracy =
+        float_mlp.accuracy(&prepared.float_test.features, &prepared.float_test.labels);
+    let costed = pipeline
+        .cost_baseline(FloatTrained {
+            prepared,
+            float_mlp,
+            float_test_accuracy,
+        })
+        .expect("baseline stage");
 
     let trainer = HwAwareTrainer::new(AxTrainConfig::default());
-    let genome = trainer.genome_spec_for(&baseline);
+    let genome = trainer.genome_spec_for(&costed.baseline);
     let elab = Elaborator::new(TechLibrary::egfet());
     let estimator = pe_arith::AdderAreaEstimator::paper();
 

@@ -1,17 +1,23 @@
 //! Regenerate Fig. 4: normalized area/power vs the state of the art.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin fig4` (set
-//! `PE_BUDGET=quick` for a fast pass).
+//! `PE_BUDGET=quick` for a fast pass). Ours runs through the staged
+//! pipeline; the prior-work methods run as `SearchEngine`s against the
+//! same baseline-costed stage.
 
 use pe_bench::format::write_json;
-use pe_bench::study::{run_all_studies, study_config};
+use pe_bench::study::run_selected;
 use pe_bench::{fig4, BudgetPreset};
 
 fn main() {
     let budget = BudgetPreset::from_env(BudgetPreset::Full);
-    let studies = run_all_studies(budget, 0);
-    let cfg = study_config(budget, 0);
-    let rows: Vec<_> = studies.iter().map(|s| fig4::row(s, &cfg, 0)).collect();
+    let selected = run_selected(budget, 0);
+    let engines = fig4::paper_engines();
+    let tech = pe_hw::TechLibrary::egfet();
+    let rows: Vec<_> = selected
+        .iter()
+        .map(|s| fig4::row(s, &engines, &tech))
+        .collect();
     println!("{}", fig4::render(&rows));
     write_json("fig4", &rows);
 }

@@ -4,12 +4,12 @@
 //! `PE_BUDGET=quick` for a fast pass).
 
 use pe_bench::format::write_json;
-use pe_bench::study::run_all_studies;
+use pe_bench::study::run_studies;
 use pe_bench::{fig5, BudgetPreset};
 
 fn main() {
     let budget = BudgetPreset::from_env(BudgetPreset::Full);
-    let studies = run_all_studies(budget, 0);
+    let studies = run_studies(budget, 0);
     let rows: Vec<_> = studies.iter().map(fig5::row).collect();
     println!("{}", fig5::render(&rows));
     if let Some(avg) = fig5::avg_power_reduction_0v6(&studies) {

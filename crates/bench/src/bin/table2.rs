@@ -1,15 +1,17 @@
 //! Regenerate Table II: our approximate MLPs at ≤5% accuracy loss.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin table2` (set
-//! `PE_BUDGET=quick` for a fast pass).
+//! `PE_BUDGET=quick` for a fast pass). Studies run in parallel through
+//! `Pipeline::run_many`; the JSON artifact is byte-identical to a
+//! single-threaded run.
 
 use pe_bench::format::write_json;
-use pe_bench::study::run_all_studies;
+use pe_bench::study::run_studies;
 use pe_bench::{table2, BudgetPreset};
 
 fn main() {
     let budget = BudgetPreset::from_env(BudgetPreset::Full);
-    let studies = run_all_studies(budget, 0);
+    let studies = run_studies(budget, 0);
     let rows = table2::rows(&studies);
     println!("{}", table2::render(&rows));
     let (ga, gp) = table2::geomean_reductions(&rows);

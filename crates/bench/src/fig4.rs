@@ -4,16 +4,16 @@
 //! normalized to the exact baseline for: ours, TC'23 \[5\], TCAD'23 \[7\]
 //! and the stochastic DATE'21 \[10\]. All methods share the same 5%
 //! accuracy-loss budget except SC, which cannot reach it.
+//!
+//! The comparison iterates [`SearchEngine`]s generically over the
+//! study's [`BaselineCosted`](printed_axc::BaselineCosted) stage —
+//! adding a method to the figure is adding an engine to the list.
 
 use serde::{Deserialize, Serialize};
 
-use pe_baselines::{
-    approximate_tc23, approximate_tcad23, ScConfig, ScMlp, Tc23Config, Tcad23Config,
-};
-use pe_datasets::{generate, stratified_split, Dataset};
-use pe_hw::{Elaborator, TechLibrary, VddModel};
-use pe_mlp::Topology;
-use printed_axc::DatasetStudy;
+use pe_baselines::{ScEngine, Tc23Engine, Tcad23Engine};
+use pe_hw::{Elaborator, TechLibrary};
+use printed_axc::{select_within_loss, RunControl, SearchEngine, Selected};
 
 use crate::format::render_table;
 
@@ -28,158 +28,186 @@ pub struct MethodPoint {
     pub accuracy: f64,
 }
 
-/// One Fig. 4 group (one dataset, four methods).
+/// One compared engine's point, tagged with the engine name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedPoint {
+    /// The engine ([`SearchEngine::name`]).
+    pub engine: String,
+    /// Its normalized design point.
+    pub point: MethodPoint,
+}
+
+/// One Fig. 4 group: one dataset, ours plus every compared engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig4Row {
     /// Two-letter dataset code (BC, Ca, PD, RW, WW).
     pub dataset: String,
-    /// Our GA-trained design.
+    /// Our GA-trained design (the study's selected point).
     pub ours: Option<MethodPoint>,
-    /// TC'23 post-training co-design.
-    pub tc23: MethodPoint,
-    /// TCAD'23 VOS design.
-    pub tcad23: MethodPoint,
-    /// DATE'21 stochastic computing.
-    pub sc: MethodPoint,
+    /// The compared engines, in input order.
+    pub methods: Vec<NamedPoint>,
 }
 
-/// Build one Fig. 4 row from a completed study (reusing its baseline
-/// and float network lineage by retraining the float MLP at the same
-/// seed — cheap relative to the GA).
+/// The paper's comparison set: TC'23 \[5\], TCAD'23 \[7\], DATE'21 \[10\].
 #[must_use]
-pub fn row(study: &DatasetStudy, study_config: &printed_axc::StudyConfig, seed: u64) -> Fig4Row {
-    let dataset: Dataset = study.dataset;
-    let spec = dataset.spec();
-    let tech = TechLibrary::egfet();
-    let elab = Elaborator::new(tech.clone());
-    let vdd = VddModel::egfet();
-    let base_area = study.baseline_report.area_cm2;
-    let base_power = study.baseline_report.power_mw;
+pub fn paper_engines() -> Vec<Box<dyn SearchEngine>> {
+    vec![
+        Box::new(Tc23Engine::default()),
+        Box::new(Tcad23Engine::default()),
+        Box::new(ScEngine::default()),
+    ]
+}
 
-    // Float network for the SC conversion (same lineage as the study:
-    // identical data, split, and best-of-3 training).
-    let data = generate(dataset, seed);
-    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
-    let sgd_cfg = study_config.sgd_for(&spec);
-    let (float_mlp, _) = pe_mlp::train::train_best_of(
-        &Topology::new(spec.topology()),
-        &split.train.features,
-        &split.train.labels,
-        &sgd_cfg,
-        3,
-    );
+/// Build one Fig. 4 row from a completed study's stage artifacts by
+/// running every engine against the same
+/// [`SearchContext`](printed_axc::SearchContext) the study's own
+/// search saw. `tech` must be the technology the study ran with, so
+/// the engines' circuits and the baseline normalizer share one model;
+/// the loss budget comes from the `Selected` stage itself, so every
+/// method competes under the budget the study actually used.
+///
+/// Each engine's reported design is the smallest front member within
+/// that budget, falling back to its most accurate design when none
+/// qualifies (the paper's treatment of SC, which cannot reach the
+/// budget).
+///
+/// # Panics
+///
+/// Panics if an engine fails — nothing cancels these searches, so a
+/// failure is a bug.
+#[must_use]
+pub fn row(selected: &Selected, engines: &[Box<dyn SearchEngine>], tech: &TechLibrary) -> Fig4Row {
+    let costed = &selected.searched.costed;
+    let spec = costed.float.prepared.dataset.spec();
+    let elaborator = Elaborator::new(tech.clone());
+    let budget = selected.loss_budget;
+    let ctx = costed.search_context(tech, &elaborator, budget);
+    let base_area = costed.baseline_report.area_cm2;
+    let base_power = costed.baseline_report.power_mw;
 
-    // TC'23.
-    let tc = approximate_tc23(
-        &study.baseline,
-        &study.train.features,
-        &study.train.labels,
-        &Tc23Config::default(),
-    );
-    let tc_report = tc.hardware_report(&elab, "tc23");
-    let tc_acc = tc.accuracy(&study.test.features, &study.test.labels);
+    let normalized = |p: &printed_axc::DesignPoint| MethodPoint {
+        norm_area: p.report.area_cm2 / base_area,
+        norm_power: p.report.power_mw / base_power,
+        accuracy: p.test_accuracy,
+    };
 
-    // TCAD'23 (VOS).
-    let tcad = approximate_tcad23(
-        &study.baseline,
-        &study.train.features,
-        &study.train.labels,
-        spec.classes,
-        &Tcad23Config::default(),
-        &elab,
-        &vdd,
-    );
-    let tcad_report = tcad.hardware_report(&elab, &vdd, "tcad23");
-    let tcad_acc = tcad.vos_accuracy(
-        tcad.design
-            .accuracy(&study.test.features, &study.test.labels),
-        spec.classes,
-    );
-
-    // DATE'21 SC.
-    let sc = ScMlp::from_dense(&float_mlp, &split.train.features, &ScConfig::default());
-    let sc_report = sc.hardware_report(&tech, "sc");
-    let sc_acc = sc.accuracy(&split.test.features, &split.test.labels);
+    let methods = engines
+        .iter()
+        .map(|engine| {
+            let outcome = engine
+                .search(&ctx, &RunControl::NONE)
+                .unwrap_or_else(|e| panic!("engine {} failed: {e}", engine.name()));
+            let representative =
+                select_within_loss(&outcome.front, costed.baseline_test_accuracy, budget).or_else(
+                    || {
+                        outcome
+                            .front
+                            .iter()
+                            .max_by(|a, b| a.test_accuracy.total_cmp(&b.test_accuracy))
+                    },
+                );
+            NamedPoint {
+                engine: engine.name().to_owned(),
+                point: representative.map_or(
+                    MethodPoint {
+                        norm_area: f64::INFINITY,
+                        norm_power: f64::INFINITY,
+                        accuracy: 0.0,
+                    },
+                    normalized,
+                ),
+            }
+        })
+        .collect();
 
     Fig4Row {
         dataset: spec.short_name.to_owned(),
-        ours: study.selected.as_ref().map(|d| MethodPoint {
-            norm_area: d.report.area_cm2 / base_area,
-            norm_power: d.report.power_mw / base_power,
-            accuracy: d.test_accuracy,
-        }),
-        tc23: MethodPoint {
-            norm_area: tc_report.area_cm2 / base_area,
-            norm_power: tc_report.power_mw / base_power,
-            accuracy: tc_acc,
-        },
-        tcad23: MethodPoint {
-            norm_area: tcad_report.area_cm2 / base_area,
-            norm_power: tcad_report.power_mw / base_power,
-            accuracy: tcad_acc,
-        },
-        sc: MethodPoint {
-            norm_area: sc_report.area_cm2 / base_area,
-            norm_power: sc_report.power_mw / base_power,
-            accuracy: sc_acc,
-        },
+        ours: selected.selected.as_ref().map(normalized),
+        methods,
     }
 }
 
 /// Render both panels of Fig. 4 as tables (normalized, log-scale data).
 #[must_use]
 pub fn render(rows: &[Fig4Row]) -> String {
-    let fmt = |p: &MethodPoint| format!("{:.4}", p.norm_area);
-    let fmt_p = |p: &MethodPoint| format!("{:.4}", p.norm_power);
-    let area = render_table(
+    let engine_names: Vec<String> = rows.first().map_or_else(Vec::new, |r| {
+        r.methods.iter().map(|m| m.engine.clone()).collect()
+    });
+    let mut header: Vec<&str> = vec!["Dataset", "ours"];
+    header.extend(engine_names.iter().map(String::as_str));
+
+    let panel = |title: &str, pick: fn(&MethodPoint) -> f64, precision: usize| {
+        render_table(
+            title,
+            &header,
+            &rows
+                .iter()
+                .map(|r| {
+                    let mut cells = vec![
+                        r.dataset.clone(),
+                        r.ours
+                            .as_ref()
+                            .map_or("-".into(), |p| format!("{:.precision$}", pick(p))),
+                    ];
+                    cells.extend(
+                        r.methods
+                            .iter()
+                            .map(|m| format!("{:.precision$}", pick(&m.point))),
+                    );
+                    cells
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    let area = panel(
         "Fig. 4a: Normalized area (vs exact baseline; lower is better)",
-        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.dataset.clone(),
-                    r.ours.as_ref().map_or("-".into(), fmt),
-                    fmt(&r.tc23),
-                    fmt(&r.tcad23),
-                    fmt(&r.sc),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        |p| p.norm_area,
+        4,
     );
-    let power = render_table(
+    let power = panel(
         "Fig. 4b: Normalized power (vs exact baseline; lower is better)",
-        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.dataset.clone(),
-                    r.ours.as_ref().map_or("-".into(), fmt_p),
-                    fmt_p(&r.tc23),
-                    fmt_p(&r.tcad23),
-                    fmt_p(&r.sc),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        |p| p.norm_power,
+        4,
     );
-    let acc = render_table(
+    let acc = panel(
         "Fig. 4 (context): test accuracies of the compared designs",
-        &["Dataset", "ours", "TC'23[5]", "TCAD'23[7]", "DATE'21[10]"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.dataset.clone(),
-                    r.ours
-                        .as_ref()
-                        .map_or("-".into(), |p| format!("{:.3}", p.accuracy)),
-                    format!("{:.3}", r.tc23.accuracy),
-                    format!("{:.3}", r.tcad23.accuracy),
-                    format!("{:.3}", r.sc.accuracy),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        |p| p.accuracy,
+        3,
     );
     format!("{area}\n{power}\n{acc}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(v: f64) -> MethodPoint {
+        MethodPoint {
+            norm_area: v,
+            norm_power: v,
+            accuracy: 0.9,
+        }
+    }
+
+    #[test]
+    fn render_derives_columns_from_the_engine_list() {
+        let rows = vec![Fig4Row {
+            dataset: "BC".into(),
+            ours: Some(point(0.01)),
+            methods: vec![
+                NamedPoint {
+                    engine: "tc23".into(),
+                    point: point(0.5),
+                },
+                NamedPoint {
+                    engine: "sc-date21".into(),
+                    point: point(2.0),
+                },
+            ],
+        }];
+        let out = render(&rows);
+        assert!(out.contains("tc23") && out.contains("sc-date21"));
+        assert!(out.contains("0.0100") && out.contains("2.0000"));
+    }
 }

@@ -16,6 +16,11 @@
 //! [`table2`] our approximate MLPs, [`table3`] training times,
 //! [`fig4`] state-of-the-art comparison, [`fig5`] power-source
 //! feasibility, plus the [`ablation`] studies.
+//!
+//! Everything executes through `printed-axc`'s staged pipeline:
+//! [`study::run_studies`] fans the five datasets out over a worker pool
+//! (`Pipeline::run_many`) with deterministic per-dataset seeds, and the
+//! method comparisons iterate `SearchEngine`s generically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +34,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-pub use study::{study_config, BudgetPreset};
+pub use study::{run_selected, run_studies, study_config, BudgetPreset};

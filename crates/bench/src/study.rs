@@ -1,9 +1,15 @@
 //! Shared study execution and budget presets.
+//!
+//! All experiments run through the staged pipeline API
+//! ([`printed_axc::Pipeline`]): [`run_studies`] executes every dataset
+//! on a worker pool with deterministic per-dataset seeds
+//! ([`printed_axc::derive_seed`]), so the resulting JSON artifacts are
+//! byte-identical whether one thread or many executed them.
 
 use pe_datasets::Dataset;
 use pe_hw::TechLibrary;
 use pe_nsga::NsgaConfig;
-use printed_axc::{AxTrainConfig, DatasetStudy, StudyConfig};
+use printed_axc::{AxTrainConfig, DatasetStudy, Pipeline, RunManyOptions, Selected, StudyConfig};
 
 /// How much compute an experiment run may spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +35,8 @@ impl BudgetPreset {
 }
 
 /// The study configuration used by every experiment at the given
-/// budget. One seed governs the whole flow, so tables regenerate
-/// bit-identically.
+/// budget. One master seed governs the whole flow (each dataset runs at
+/// a seed derived from it), so tables regenerate bit-identically.
 #[must_use]
 pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
     match budget {
@@ -70,14 +76,62 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
     }
 }
 
+/// Run studies for all five datasets at the given budget on a worker
+/// pool (one thread per core, capped at the dataset count).
+///
+/// # Panics
+///
+/// Panics if a study fails — the bench presets are valid and nothing
+/// cancels them, so a failure here is a bug.
+#[must_use]
+pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> {
+    Pipeline::run_many(
+        &Dataset::ALL,
+        &study_config(budget, master_seed),
+        &TechLibrary::egfet(),
+        &run_many_options(),
+    )
+    .expect("bench presets are valid and uncancelled")
+}
+
+/// Worker-pool options honoring the `PE_THREADS` environment variable
+/// (`0`/unset = one worker per core; `1` forces sequential execution —
+/// the output is byte-identical either way).
+#[must_use]
+pub fn run_many_options() -> RunManyOptions {
+    let threads = std::env::var("PE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    RunManyOptions::with_threads(threads)
+}
+
+/// [`run_studies`], returning the full [`Selected`] stage artifacts
+/// (needed by experiments that reuse the float-model lineage, e.g.
+/// Fig. 4's engine comparison).
+///
+/// # Panics
+///
+/// Panics if a study fails (see [`run_studies`]).
+#[must_use]
+pub fn run_selected(budget: BudgetPreset, master_seed: u64) -> Vec<Selected> {
+    Pipeline::run_many_selected(
+        &Dataset::ALL,
+        &study_config(budget, master_seed),
+        &TechLibrary::egfet(),
+        &run_many_options(),
+    )
+    .expect("bench presets are valid and uncancelled")
+}
+
 /// Run studies for all five datasets at the given budget.
+///
+/// Legacy shim over [`run_studies`]; note that per-dataset seeds are
+/// now derived from `seed` rather than shared verbatim.
+#[deprecated(since = "0.1.0", note = "use run_studies (Pipeline::run_many)")]
 #[must_use]
 pub fn run_all_studies(budget: BudgetPreset, seed: u64) -> Vec<DatasetStudy> {
-    let tech = TechLibrary::egfet();
-    Dataset::ALL
-        .iter()
-        .map(|&d| printed_axc::run_study(d, &study_config(budget, seed), &tech))
-        .collect()
+    run_studies(budget, seed)
 }
 
 #[cfg(test)]

@@ -12,10 +12,14 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use pe_datasets::{generate, quantize, stratified_split, Dataset};
-use pe_mlp::{DenseMlp, FixedMlp, QuantConfig, SgdTrainer, Topology, TrainConfig};
-use pe_nsga::{Nsga2, NsgaConfig};
-use printed_axc::{AxTrainConfig, AxTrainProblem, HwAwareTrainer, PlainGaProblem};
+use pe_datasets::Dataset;
+use pe_hw::{Elaborator, TechLibrary};
+use pe_mlp::{DenseMlp, SgdTrainer, Topology, TrainConfig};
+use pe_nsga::NsgaConfig;
+use printed_axc::{
+    AxTrainConfig, FloatTrained, NsgaEngine, PlainGaEngine, RunControl, SearchEngine, Study,
+    StudyConfig,
+};
 
 use crate::format::render_table;
 
@@ -84,15 +88,46 @@ impl Table3Budget {
 }
 
 /// Measure one dataset's three trainers.
+///
+/// Data preparation and baseline costing run through the staged
+/// pipeline; the two GA rows come from the generic [`SearchEngine`]
+/// interface (each outcome's `ga_wall` — the evolution loop proper,
+/// matching the paper's Table III which excludes one-off synthesis).
+/// The gradient row times a single SGD run, as the paper's "Grad."
+/// column does.
+///
+/// # Panics
+///
+/// Panics if a stage or engine fails — these budgets are valid and
+/// uncancelled, so a failure is a bug.
 #[must_use]
 pub fn measure(dataset: Dataset, budget: &Table3Budget, seed: u64) -> Table3Row {
     let spec = dataset.spec();
-    let data = generate(dataset, seed);
-    let split = stratified_split(&data, 0.7, seed).expect("valid fraction");
-    let train_q = quantize(&split.train, 4);
-    let test_q = quantize(&split.test, 4);
+    let nsga_cfg = NsgaConfig {
+        population: budget.population,
+        generations: budget.generations,
+        seed,
+        ..NsgaConfig::default()
+    };
+    let ga_cfg = AxTrainConfig {
+        fitness_subsample: Some(budget.subsample),
+        nsga: nsga_cfg.clone(),
+        ..AxTrainConfig::default()
+    };
+    let pipeline = Study::for_dataset(dataset)
+        .config(StudyConfig {
+            seed,
+            ga: ga_cfg.clone(),
+            ..StudyConfig::default()
+        })
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("table3 budgets are valid");
+    let prepared = pipeline.prepare().expect("prepare stage");
 
-    // (1) Gradient training, accuracy objective only.
+    // (1) Gradient training, accuracy objective only: one SGD run at
+    // the row's epoch budget (the pipeline's own float stage does
+    // best-of-3 restarts, which is not what the paper times here).
     let t0 = Instant::now();
     let mut float_mlp = DenseMlp::random(Topology::new(spec.topology()), seed);
     let _ = SgdTrainer::new(TrainConfig {
@@ -100,57 +135,49 @@ pub fn measure(dataset: Dataset, budget: &Table3Budget, seed: u64) -> Table3Row 
         seed,
         ..TrainConfig::default()
     })
-    .train(&mut float_mlp, &split.train.features, &split.train.labels);
+    .train(
+        &mut float_mlp,
+        &prepared.float_train.features,
+        &prepared.float_train.labels,
+    );
     let grad_secs = t0.elapsed().as_secs_f64();
 
-    let baseline = FixedMlp::quantize(&float_mlp, QuantConfig::default(), &split.train.features);
-    let baseline_acc = baseline.accuracy(&train_q.features, &train_q.labels);
+    // Baseline costing through the pipeline stage, reusing the float
+    // network trained above.
+    let float_test_accuracy =
+        float_mlp.accuracy(&prepared.float_test.features, &prepared.float_test.labels);
+    let costed = pipeline
+        .cost_baseline(FloatTrained {
+            prepared,
+            float_mlp,
+            float_test_accuracy,
+        })
+        .expect("baseline stage");
 
-    // (2) Plain GA, accuracy objective only, no approximations.
-    let nsga_cfg = NsgaConfig {
-        population: budget.population,
-        generations: budget.generations,
-        seed,
-        ..NsgaConfig::default()
-    };
-    let t1 = Instant::now();
-    let plain = PlainGaProblem::new(&baseline, &train_q, Some(budget.subsample), 8, 12);
-    let _ = Nsga2::new(nsga_cfg.clone()).run(&plain);
-    let ga_secs = t1.elapsed().as_secs_f64();
+    // (2) + (3): both GA trainers through the engine interface.
+    let tech = TechLibrary::egfet();
+    let elaborator = Elaborator::new(tech.clone());
+    let ctx = costed.search_context(&tech, &elaborator, 0.05);
+    let engines: [Box<dyn SearchEngine>; 2] = [
+        Box::new(PlainGaEngine::new(nsga_cfg, Some(budget.subsample))),
+        Box::new(NsgaEngine::new(ga_cfg)),
+    ];
+    let walls: Vec<f64> = engines
+        .iter()
+        .map(|engine| {
+            engine
+                .search(&ctx, &RunControl::NONE)
+                .unwrap_or_else(|e| panic!("engine {} failed: {e}", engine.name()))
+                .ga_wall
+                .as_secs_f64()
+        })
+        .collect();
 
-    // (3) Hardware-aware GA with both objectives (ours). Timed on the
-    // GA phase only, like (2); the paper's Table III also excludes the
-    // one-off synthesis of the front.
-    let ga_cfg = AxTrainConfig {
-        fitness_subsample: Some(budget.subsample),
-        nsga: nsga_cfg,
-        ..AxTrainConfig::default()
-    };
-    let trainer = HwAwareTrainer::new(ga_cfg.clone());
-    let t2 = Instant::now();
-    {
-        // Time the GA loop itself (problem construction + evolution),
-        // mirroring measurement (2).
-        let spec_g = trainer.genome_spec_for(&baseline);
-        let n = budget.subsample.min(train_q.len());
-        let problem = AxTrainProblem::new(
-            spec_g.clone(),
-            train_q.features[..n].to_vec(),
-            train_q.labels[..n].to_vec(),
-            baseline_acc,
-            ga_cfg.max_accuracy_loss,
-        );
-        let seeds = printed_axc::doped_seeds(&spec_g, &baseline, 6, ga_cfg.bias_bits, 3, seed);
-        let _ = Nsga2::new(ga_cfg.nsga.clone()).run_seeded(&problem, seeds, |_| {});
-    }
-    let ga_axc_secs = t2.elapsed().as_secs_f64();
-
-    let _ = test_q;
     Table3Row {
         mlp: spec.name.to_owned(),
         grad_secs,
-        ga_secs,
-        ga_axc_secs,
+        ga_secs: walls[0],
+        ga_axc_secs: walls[1],
         paper_minutes: paper_minutes(dataset),
     }
 }

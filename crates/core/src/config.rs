@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use pe_nsga::NsgaConfig;
 
+use crate::fitness::AreaObjective;
+
 /// Hyperparameters of the DATE'24 training framework.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AxTrainConfig {
@@ -27,6 +29,10 @@ pub struct AxTrainConfig {
     /// (`None` = all). Deterministically subsampled; keeps Pendigits-
     /// scale fitness affordable exactly as large-scale GA practice does.
     pub fitness_subsample: Option<usize>,
+    /// Which area model the GA minimizes (see [`AreaObjective`]; the
+    /// `ablation_objective` experiment compares both).
+    #[serde(default)]
+    pub objective: AreaObjective,
     /// NSGA-II settings (population, generations, operator rates, seed).
     pub nsga: NsgaConfig,
 }
@@ -41,6 +47,7 @@ impl Default for AxTrainConfig {
             max_accuracy_loss: 0.10,
             doping_fraction: 0.10,
             fitness_subsample: Some(2000),
+            objective: AreaObjective::default(),
             nsga: NsgaConfig::default(),
         }
     }

@@ -1,0 +1,318 @@
+//! The generic search-engine interface of the staged pipeline.
+//!
+//! A [`SearchEngine`] takes the objectives — the prepared data, the
+//! exact baseline that anchors the accuracy budget, and the technology
+//! model — and returns a front of evaluated [`DesignPoint`]s. The
+//! DATE'24 NSGA-II flow, the hardware-unaware plain GA (Table III) and
+//! the three `pe-baselines` prior-work methods all implement it, so
+//! experiment code iterates engines generically instead of hand-wiring
+//! each one.
+
+use std::time::Instant;
+
+use pe_datasets::{Dataset, QuantizedData, TabularData};
+use pe_hw::{Elaborator, TechLibrary};
+use pe_mlp::{fixed_to_hardware, DenseMlp, FixedMlp};
+use pe_nsga::{Nsga2, NsgaConfig};
+
+use crate::config::AxTrainConfig;
+use crate::error::FlowError;
+use crate::pareto::{DesignNetwork, DesignPoint};
+use crate::progress::{ProgressEvent, RunControl, StageKind};
+use crate::train::{HwAwareTrainer, PlainGaProblem};
+
+/// Everything a search run produces; re-exported name for
+/// [`TrainingOutcome`](crate::train::TrainingOutcome) in its role as
+/// the [`SearchEngine`] contract. The `front` field is the engine's
+/// deliverable: the evaluated designs, ascending in area.
+pub use crate::train::TrainingOutcome as SearchOutcome;
+
+/// The inputs every engine searches against: one dataset's prepared
+/// splits, the float and exact-baseline lineage, and the shared
+/// technology model. Borrowed from the pipeline's stage artifacts (see
+/// [`BaselineCosted::search_context`](crate::pipeline::BaselineCosted::search_context)).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchContext<'a> {
+    /// Which dataset is being searched.
+    pub dataset: Dataset,
+    /// Circuit-name prefix (the dataset's display name).
+    pub name: &'a str,
+    /// Number of classes.
+    pub classes: usize,
+    /// The exact bespoke baseline network.
+    pub baseline: &'a FixedMlp,
+    /// Baseline accuracy on the quantized training split (anchors the
+    /// training-time feasibility bound).
+    pub baseline_train_accuracy: f64,
+    /// Baseline accuracy on the quantized test split (anchors the
+    /// reporting loss budget).
+    pub baseline_test_accuracy: f64,
+    /// Quantized training split.
+    pub train: &'a QuantizedData,
+    /// Quantized test split.
+    pub test: &'a QuantizedData,
+    /// The float network the baseline was quantized from (used by
+    /// engines that start from the float model, e.g. stochastic
+    /// computing).
+    pub float_mlp: &'a DenseMlp,
+    /// Normalized float training split.
+    pub float_train: &'a TabularData,
+    /// Normalized float test split.
+    pub float_test: &'a TabularData,
+    /// The technology library costs are reported in.
+    pub tech: &'a TechLibrary,
+    /// A circuit elaborator over `tech`.
+    pub elaborator: &'a Elaborator,
+    /// The reporting accuracy-loss budget (5% in the paper).
+    pub loss_budget: f64,
+}
+
+/// A design-space search strategy: objectives in, evaluated
+/// [`DesignPoint`]s out (as `SearchOutcome::front`).
+///
+/// Implementations must be deterministic in their configuration plus
+/// the context (wall-clock fields excepted), so cached `Searched`
+/// stages and parallel [`run_many`](crate::pipeline::Pipeline::run_many)
+/// runs reproduce sequential ones.
+pub trait SearchEngine {
+    /// Short stable identifier (used in cache keys and reports).
+    fn name(&self) -> &'static str;
+
+    /// A stable hash of this engine's own configuration, mixed into the
+    /// pipeline's stage-cache key alongside [`name`](Self::name) so
+    /// differently-configured engines never alias each other's cached
+    /// `Searched`/`Selected` artifacts. Engines whose behavior is fully
+    /// determined by their name may keep the default (`0`); engines
+    /// with configuration should hash it (see [`fingerprint_json`]).
+    fn cache_fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// Search the design space described by `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cancelled`] when `ctl` reports cancellation at a
+    /// checkpoint; [`FlowError::Engine`] for engine-specific failures.
+    fn search(
+        &self,
+        ctx: &SearchContext<'_>,
+        ctl: &RunControl<'_>,
+    ) -> Result<SearchOutcome, FlowError>;
+}
+
+/// FNV-1a hash of a value's JSON serialization: the standard way to
+/// implement [`SearchEngine::cache_fingerprint`] for an engine with a
+/// serializable configuration.
+#[must_use]
+pub fn fingerprint_json<T: serde::Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).unwrap_or_default();
+    crate::pipeline::fnv1a64(json.as_bytes())
+}
+
+/// The paper's engine: hardware-approximation-aware NSGA-II training
+/// ([`HwAwareTrainer`]) over the `(m, s, k, b)` chromosome.
+#[derive(Debug, Clone, Default)]
+pub struct NsgaEngine {
+    /// GA training configuration.
+    pub config: AxTrainConfig,
+}
+
+impl NsgaEngine {
+    /// Engine with the given configuration.
+    #[must_use]
+    pub fn new(config: AxTrainConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl SearchEngine for NsgaEngine {
+    fn name(&self) -> &'static str {
+        "nsga2-axc"
+    }
+
+    fn cache_fingerprint(&self) -> u64 {
+        fingerprint_json(&self.config)
+    }
+
+    fn search(
+        &self,
+        ctx: &SearchContext<'_>,
+        ctl: &RunControl<'_>,
+    ) -> Result<SearchOutcome, FlowError> {
+        HwAwareTrainer::new(self.config.clone()).train_controlled(
+            ctx.baseline,
+            ctx.baseline_train_accuracy,
+            ctx.train,
+            ctx.test,
+            ctx.elaborator,
+            ctx.name,
+            ctl,
+        )
+    }
+}
+
+/// The hardware-unaware GA reference of Table III: the same NSGA-II
+/// loop over the plain 8-bit weight/bias chromosome with accuracy as
+/// the only objective (no approximations trained).
+#[derive(Debug, Clone)]
+pub struct PlainGaEngine {
+    /// Weight gene width in bits.
+    pub weight_bits: u32,
+    /// Bias gene width in bits.
+    pub bias_bits: u32,
+    /// Fitness subsample cap (`None` = all training rows).
+    pub subsample: Option<usize>,
+    /// NSGA-II settings.
+    pub nsga: NsgaConfig,
+}
+
+impl PlainGaEngine {
+    /// Engine matching the paper's Table III reference setup.
+    #[must_use]
+    pub fn new(nsga: NsgaConfig, subsample: Option<usize>) -> Self {
+        Self {
+            weight_bits: 8,
+            bias_bits: 12,
+            subsample,
+            nsga,
+        }
+    }
+}
+
+impl SearchEngine for PlainGaEngine {
+    fn name(&self) -> &'static str {
+        "plain-ga"
+    }
+
+    fn cache_fingerprint(&self) -> u64 {
+        fingerprint_json(&(self.weight_bits, self.bias_bits, self.subsample, &self.nsga))
+    }
+
+    fn search(
+        &self,
+        ctx: &SearchContext<'_>,
+        ctl: &RunControl<'_>,
+    ) -> Result<SearchOutcome, FlowError> {
+        ctl.ensure_live(StageKind::Searched)?;
+        let problem = PlainGaProblem::new(
+            ctx.baseline,
+            ctx.train,
+            self.subsample,
+            self.weight_bits,
+            self.bias_bits,
+        );
+        let generations = self.nsga.generations;
+        let mut history = Vec::with_capacity(generations);
+        let started = Instant::now();
+        let result = Nsga2::new(self.nsga.clone()).run_controlled(&problem, Vec::new(), |s| {
+            history.push(s.clone());
+            ctl.emit(&ProgressEvent::GaGeneration {
+                generation: s.generation,
+                generations,
+                evaluations: s.evaluations,
+            });
+            !ctl.is_cancelled()
+        });
+        let ga_wall = started.elapsed();
+        ctl.ensure_live(StageKind::Searched)?;
+
+        // Accuracy is the only objective, so the "front" is the single
+        // best individual, evaluated in hardware like any other design.
+        let front = result
+            .pareto_front
+            .iter()
+            .min_by(|a, b| a.evaluation.objectives[0].total_cmp(&b.evaluation.objectives[0]))
+            .map(|best| {
+                let mlp = problem.decode(&best.genes);
+                let report = ctx
+                    .elaborator
+                    .elaborate(&fixed_to_hardware(&mlp, format!("{}_plain_ga", ctx.name)))
+                    .report;
+                let trunc_bits = vec![0; mlp.layers.len()];
+                DesignPoint {
+                    network: DesignNetwork::Truncated {
+                        mlp: mlp.clone(),
+                        trunc_bits,
+                    },
+                    train_accuracy: 1.0 - best.evaluation.objectives[0],
+                    test_accuracy: mlp.accuracy(&ctx.test.features, &ctx.test.labels),
+                    estimated_area: report.area_cm2,
+                    report,
+                }
+            })
+            .into_iter()
+            .collect();
+
+        Ok(SearchOutcome {
+            front,
+            estimated_front: Vec::new(),
+            history,
+            evaluations: result.evaluations,
+            ga_wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Study;
+    use crate::progress::CancelToken;
+    use pe_datasets::Dataset;
+
+    fn tiny_context_stage() -> crate::pipeline::BaselineCosted {
+        let pipeline = Study::for_dataset(Dataset::BreastCancer)
+            .config(crate::flow::StudyConfig {
+                sgd_epochs_scale: 0.05,
+                ..crate::flow::StudyConfig::quick(3)
+            })
+            .tech(TechLibrary::egfet())
+            .finish()
+            .expect("valid config");
+        let prepared = pipeline.prepare().expect("prepare");
+        let float = pipeline.train_float(prepared).expect("train");
+        pipeline.cost_baseline(float).expect("cost")
+    }
+
+    #[test]
+    fn plain_ga_engine_returns_an_evaluated_design() {
+        let costed = tiny_context_stage();
+        let tech = TechLibrary::egfet();
+        let elab = Elaborator::new(tech.clone());
+        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let engine = PlainGaEngine::new(
+            NsgaConfig {
+                population: 12,
+                generations: 5,
+                ..NsgaConfig::default()
+            },
+            Some(200),
+        );
+        let outcome = engine
+            .search(&ctx, &RunControl::NONE)
+            .expect("uncancelled search succeeds");
+        assert_eq!(outcome.front.len(), 1);
+        assert_eq!(outcome.history.len(), 5);
+        assert!(outcome.front[0].report.area_cm2 > 0.0);
+        assert!(outcome.front[0].network.ax().is_none());
+    }
+
+    #[test]
+    fn engines_honor_cancellation() {
+        let costed = tiny_context_stage();
+        let tech = TechLibrary::egfet();
+        let elab = Elaborator::new(tech.clone());
+        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::new(None, Some(&token));
+        let nsga = NsgaEngine::default();
+        assert_eq!(
+            nsga.search(&ctx, &ctl),
+            Err(FlowError::Cancelled {
+                stage: StageKind::Searched
+            })
+        );
+    }
+}

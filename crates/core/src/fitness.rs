@@ -30,6 +30,13 @@ pub enum AreaObjective {
     GateEquivalents,
 }
 
+impl Default for AreaObjective {
+    /// [`AreaObjective::GateEquivalents`], this reproduction's default.
+    fn default() -> Self {
+        AreaObjective::GateEquivalents
+    }
+}
+
 /// The GA training problem: genomes decode to approximate MLPs which
 /// are scored on (training error, estimated area).
 #[derive(Debug, Clone)]

@@ -1,4 +1,4 @@
-//! End-to-end per-dataset study: the complete pipeline of the paper's
+//! Legacy one-call flow: the complete pipeline of the paper's
 //! evaluation, from raw data to the Table II row.
 //!
 //! Steps (matching §V-A): generate/load the dataset → stratified 70/30
@@ -8,16 +8,21 @@
 //! the hardware-aware GA → hardware-analyse the front → select the
 //! smallest design within the 5% accuracy-loss budget (the Table II
 //! row).
+//!
+//! [`run_study`] is now a deprecated shim over the staged API in
+//! [`crate::pipeline`], which exposes each step as a serializable,
+//! cacheable, resumable stage artifact with progress reporting and
+//! cooperative cancellation.
 
 use serde::{Deserialize, Serialize};
 
-use pe_datasets::{generate, quantize, stratified_split, Dataset, DatasetSpec, QuantizedData};
-use pe_hw::{Elaborator, HardwareReport, TechLibrary};
-use pe_mlp::{fixed_to_hardware, FixedMlp, QuantConfig, Topology, TrainConfig};
+use pe_datasets::{Dataset, DatasetSpec, QuantizedData};
+use pe_hw::{HardwareReport, TechLibrary};
+use pe_mlp::{FixedMlp, TrainConfig};
 
 use crate::config::AxTrainConfig;
-use crate::pareto::{select_within_loss, DesignPoint};
-use crate::train::{HwAwareTrainer, TrainingOutcome};
+use crate::pareto::DesignPoint;
+use crate::train::TrainingOutcome;
 
 /// Configuration of a full study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,82 +123,30 @@ impl DatasetStudy {
 /// baseline and approximate circuit evaluation, so reduction factors
 /// are internally consistent.
 ///
+/// Thin legacy shim over the staged API — new code should build a
+/// [`crate::Study`] and inspect/cache/resume the stages it needs.
+///
 /// # Panics
 ///
-/// Panics only on internal invariant violations (all inputs are
-/// generated in-process).
+/// Panics if the configuration is rejected by
+/// [`Study::finish`](crate::Study::finish) (the staged API returns
+/// [`crate::FlowError`] instead).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the staged pipeline: `Study::for_dataset(d).config(c).tech(t).finish()?.run_study()`"
+)]
 #[must_use]
 pub fn run_study(dataset: Dataset, config: &StudyConfig, tech: &TechLibrary) -> DatasetStudy {
-    let spec: DatasetSpec = dataset.spec();
-    let data = generate(dataset, config.seed);
-    let split = stratified_split(&data, 0.7, config.seed).expect("0.7 is a valid fraction");
-
-    // Float baseline at the paper's topology (best-of-3 restarts: the
-    // tiny hidden layers occasionally hit dead-ReLU initializations).
-    let topology = Topology::new(spec.topology());
-    let sgd = config.sgd_for(&spec);
-    let (float_mlp, _) = pe_mlp::train::train_best_of(
-        &topology,
-        &split.train.features,
-        &split.train.labels,
-        &sgd,
-        3,
-    );
-    let float_test_accuracy = float_mlp.accuracy(&split.test.features, &split.test.labels);
-
-    // Exact bespoke baseline.
-    let baseline = FixedMlp::quantize(
-        &float_mlp,
-        QuantConfig {
-            weight_bits: config.ga.weight_bits,
-            input_bits: config.ga.input_bits,
-            activation_bits: config.ga.activation_bits,
-        },
-        &split.train.features,
-    );
-    let train = quantize(&split.train, config.ga.input_bits);
-    let test = quantize(&split.test, config.ga.input_bits);
-    let baseline_train_accuracy = baseline.accuracy(&train.features, &train.labels);
-    let baseline_test_accuracy = baseline.accuracy(&test.features, &test.labels);
-
-    let elaborator = Elaborator::new(tech.clone());
-    let baseline_report = elaborator
-        .elaborate(&fixed_to_hardware(&baseline, spec.name))
-        .report;
-
-    // Hardware-aware GA training + Pareto analysis.
-    let trainer = HwAwareTrainer::new(config.ga.clone());
-    let outcome = trainer.train(
-        &baseline,
-        baseline_train_accuracy,
-        &train,
-        &test,
-        &elaborator,
-        spec.name,
-    );
-
-    let selected = select_within_loss(
-        &outcome.front,
-        baseline_test_accuracy,
-        config.accuracy_loss_budget,
-    )
-    .cloned();
-
-    DatasetStudy {
-        dataset,
-        float_test_accuracy,
-        baseline,
-        baseline_train_accuracy,
-        baseline_test_accuracy,
-        baseline_report,
-        outcome,
-        selected,
-        train,
-        test,
-    }
+    crate::pipeline::Study::for_dataset(dataset)
+        .config(config.clone())
+        .tech(tech.clone())
+        .finish()
+        .and_then(|pipeline| pipeline.run_study())
+        .unwrap_or_else(|e| panic!("legacy run_study: {e}"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shim on purpose
 mod tests {
     use super::*;
 

@@ -24,17 +24,32 @@
 //!   hardware-unaware plain-GA reference of Table III.
 //! * [`pareto`] — hardware analysis of the estimated front and
 //!   extraction of the true area/accuracy Pareto front.
-//! * [`flow`] — the end-to-end per-dataset pipeline ([`run_study`])
-//!   producing Table I and Table II rows in one call.
+//! * [`pipeline`] — the staged per-dataset pipeline ([`Study`] →
+//!   [`Pipeline`]): five serializable, cacheable, resumable stage
+//!   artifacts, progress/cancellation, and parallel multi-dataset runs
+//!   ([`Pipeline::run_many`]).
+//! * [`engine`] — the [`SearchEngine`] abstraction the pipeline's
+//!   search stage runs; implemented here by [`NsgaEngine`] /
+//!   [`PlainGaEngine`] and by the three prior-work methods in
+//!   `pe-baselines`.
+//! * [`progress`] / [`error`] — [`ProgressEvent`] + [`CancelToken`]
+//!   observability and the [`FlowError`] error surface.
+//! * [`flow`] — the legacy one-call entry point ([`run_study`]), now a
+//!   deprecated shim over the pipeline.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use pe_datasets::Dataset;
 //! use pe_hw::TechLibrary;
-//! use printed_axc::{run_study, StudyConfig};
+//! use printed_axc::{Budget, Study};
 //!
-//! let study = run_study(Dataset::BreastCancer, &StudyConfig::quick(42), &TechLibrary::egfet());
+//! let pipeline = Study::for_dataset(Dataset::BreastCancer)
+//!     .seed(42)
+//!     .budget(Budget::Quick)
+//!     .tech(TechLibrary::egfet())
+//!     .finish()?;
+//! let study = pipeline.run_study()?;
 //! if let Some(best) = &study.selected {
 //!     println!(
 //!         "area {:.3} cm² ({}x smaller), accuracy {:.3}",
@@ -43,23 +58,41 @@
 //!         best.test_accuracy,
 //!     );
 //! }
+//! # Ok::<(), printed_axc::FlowError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod fitness;
 pub mod flow;
 pub mod genome;
 pub mod init;
 pub mod pareto;
+pub mod pipeline;
+pub mod progress;
 pub mod train;
 
 pub use config::AxTrainConfig;
+pub use engine::{
+    fingerprint_json, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine, SearchOutcome,
+};
+pub use error::FlowError;
 pub use fitness::{AreaObjective, AxTrainProblem};
-pub use flow::{run_study, DatasetStudy, StudyConfig};
+#[allow(deprecated)]
+pub use flow::run_study;
+pub use flow::{DatasetStudy, StudyConfig};
 pub use genome::{GenomeSpec, LayerGenomeSpec};
 pub use init::{doped_seeds, doped_seeds_calibrated, doped_seeds_refined, refine_doped};
-pub use pareto::{select_within_loss, true_pareto_front, DesignCandidate, DesignPoint};
+pub use pareto::{
+    select_within_loss, true_pareto_front, DesignCandidate, DesignNetwork, DesignPoint,
+};
+pub use pipeline::{
+    derive_seed, BaselineCosted, Budget, EngineFactory, FloatTrained, Pipeline, Prepared,
+    RunManyOptions, Searched, Selected, Study, STAGE_CACHE_VERSION,
+};
+pub use progress::{CancelToken, ProgressEvent, RunControl, StageKind};
 pub use train::{HwAwareTrainer, PlainGaProblem, TrainingOutcome};

@@ -10,21 +10,57 @@
 use serde::{Deserialize, Serialize};
 
 use pe_hw::{Elaborator, HardwareReport};
-use pe_mlp::{ax_to_hardware, AxMlp};
+use pe_mlp::{ax_to_hardware, AxMlp, FixedMlp};
+
+/// The network realization behind a [`DesignPoint`].
+///
+/// Every [`SearchEngine`](crate::engine::SearchEngine) reports its
+/// designs as `DesignPoint`s; this enum captures the structurally
+/// different network families the engines produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DesignNetwork {
+    /// The DATE'24 approximate MLP (power-of-two weights + bit masks) —
+    /// the NSGA-II engine's native form.
+    Ax(AxMlp),
+    /// A fixed-point network with per-layer accumulator truncation —
+    /// the TC'23 / TCAD'23 / plain-GA families.
+    Truncated {
+        /// The integer network.
+        mlp: FixedMlp,
+        /// Dropped low accumulator bits per layer (`0` = exact).
+        trunc_bits: Vec<u32>,
+    },
+    /// A stochastic-computing design; only the evaluated metrics are
+    /// retained (see `pe_baselines::ScMlp` for the generator).
+    Stochastic,
+}
+
+impl DesignNetwork {
+    /// The approximate MLP, when this design is one.
+    #[must_use]
+    pub fn ax(&self) -> Option<&AxMlp> {
+        match self {
+            DesignNetwork::Ax(mlp) => Some(mlp),
+            _ => None,
+        }
+    }
+}
 
 /// One fully evaluated design point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DesignPoint {
-    /// The approximate network.
-    pub mlp: AxMlp,
-    /// Accuracy on the training split (the GA's view).
+    /// The network realization.
+    pub network: DesignNetwork,
+    /// Accuracy on the training split (the search's view).
     pub train_accuracy: f64,
     /// Accuracy on the held-out test split (reported, as in the paper).
     pub test_accuracy: f64,
-    /// GA-time area estimate, in the units of the configured
-    /// [`crate::fitness::AreaObjective`] (gate equivalents by default).
+    /// Search-time area estimate, in the units of the configured
+    /// [`crate::fitness::AreaObjective`] for the GA engines (gate
+    /// equivalents by default) and the evaluated cm² for post-training
+    /// engines.
     pub estimated_area: f64,
-    /// Hardware evaluation at nominal supply.
+    /// Hardware evaluation at the design's operating supply.
     pub report: HardwareReport,
 }
 
@@ -57,7 +93,7 @@ pub fn true_pareto_front(
             let spec = ax_to_hardware(&c.mlp, format!("{name_prefix}_p{i}"));
             let report = elaborator.elaborate(&spec).report;
             DesignPoint {
-                mlp: c.mlp,
+                network: DesignNetwork::Ax(c.mlp),
                 train_accuracy: c.train_accuracy,
                 test_accuracy: c.test_accuracy,
                 estimated_area: c.estimated_area,
@@ -221,5 +257,60 @@ mod tests {
         );
         assert!(select_within_loss(&front, 0.95, 0.001).is_some()); // the 0.95 one
         assert!(select_within_loss(&front, 2.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn selection_on_an_empty_front_is_none() {
+        assert!(select_within_loss(&[], 0.9, 0.05).is_none());
+        // Degenerate inputs stay well-defined too.
+        assert!(select_within_loss(&[], 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn selection_when_every_candidate_exceeds_the_budget_is_none() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.80), candidate(0b0001, 0.60)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 2);
+        // Baseline 0.95, budget 5%: the floor is 0.90 and nothing reaches it.
+        assert!(select_within_loss(&front, 0.95, 0.05).is_none());
+    }
+
+    #[test]
+    fn selection_keeps_an_exact_tie_on_the_loss_boundary() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        // 0.90 sits exactly on baseline − budget; the cheaper design at
+        // the boundary must win over the pricier, more accurate one.
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.95), candidate(0b0001, 0.90)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 2);
+        let pick = select_within_loss(&front, 0.95, 0.05).expect("boundary design qualifies");
+        assert!(
+            (pick.test_accuracy - 0.90).abs() < 1e-12,
+            "picked {}",
+            pick.test_accuracy
+        );
+        assert!(pick.report.area_cm2 <= front[1].report.area_cm2);
+    }
+
+    #[test]
+    fn network_accessor_distinguishes_families() {
+        let ax = DesignNetwork::Ax(tiny_mlp(1));
+        assert!(ax.ax().is_some());
+        let fixed = DesignNetwork::Truncated {
+            mlp: pe_mlp::FixedMlp {
+                input_bits: 4,
+                layers: vec![],
+            },
+            trunc_bits: vec![],
+        };
+        assert!(fixed.ax().is_none());
+        assert!(DesignNetwork::Stochastic.ax().is_none());
     }
 }

@@ -1,0 +1,1188 @@
+//! The staged, resumable pipeline API.
+//!
+//! [`Study`] is the builder; [`Pipeline`] runs the five stages of one
+//! dataset's evaluation — [`Prepared`] → [`FloatTrained`] →
+//! [`BaselineCosted`] → [`Searched`] → [`Selected`] — each a
+//! first-class serializable artifact that can be inspected, cached to
+//! disk and resumed. [`Pipeline::run_many`] executes studies for many
+//! datasets on a `std::thread` worker pool with deterministic
+//! per-dataset seeds ([`derive_seed`]), so parallel and sequential runs
+//! produce byte-identical JSON artifacts.
+//!
+//! ```no_run
+//! use pe_datasets::Dataset;
+//! use pe_hw::TechLibrary;
+//! use printed_axc::{Budget, Study};
+//!
+//! let pipeline = Study::for_dataset(Dataset::BreastCancer)
+//!     .seed(42)
+//!     .budget(Budget::Quick)
+//!     .tech(TechLibrary::egfet())
+//!     .finish()?;
+//! let selected = pipeline.run()?;
+//! println!("{} designs on the front", selected.searched.outcome.front.len());
+//! # Ok::<(), printed_axc::FlowError>(())
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use pe_datasets::{generate, quantize, stratified_split, Dataset, QuantizedData, TabularData};
+use pe_hw::{Elaborator, HardwareReport, TechLibrary};
+use pe_mlp::{fixed_to_hardware, train_best_of_observed, DenseMlp, FixedMlp, QuantConfig};
+
+use crate::engine::{NsgaEngine, SearchContext, SearchEngine, SearchOutcome};
+use crate::error::FlowError;
+use crate::flow::{DatasetStudy, StudyConfig};
+use crate::pareto::{select_within_loss, DesignPoint};
+use crate::progress::{CancelToken, ProgressEvent, ProgressObserver, RunControl, StageKind};
+
+// ---------------------------------------------------------------- stages
+
+/// Stage 1: generated data, stratified 70/30 split, quantized inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prepared {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// The master seed the data was generated and split with.
+    pub seed: u64,
+    /// Normalized float training split.
+    pub float_train: TabularData,
+    /// Normalized float test split.
+    pub float_test: TabularData,
+    /// Quantized training split (the paper's 4-bit inputs).
+    pub train: QuantizedData,
+    /// Quantized test split.
+    pub test: QuantizedData,
+}
+
+/// Stage 2: the backprop-trained float MLP at the paper's topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloatTrained {
+    /// The previous stage's artifacts.
+    pub prepared: Prepared,
+    /// The trained float network (best-of-3 restarts).
+    pub float_mlp: DenseMlp,
+    /// Float accuracy on the test split.
+    pub float_test_accuracy: f64,
+}
+
+/// Stage 3: the exact bespoke baseline and its circuit cost (the
+/// Table I row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineCosted {
+    /// The previous stage's artifacts.
+    pub float: FloatTrained,
+    /// The exact bespoke baseline network.
+    pub baseline: FixedMlp,
+    /// Baseline accuracy on the quantized training split.
+    pub baseline_train_accuracy: f64,
+    /// Baseline accuracy on the quantized test split.
+    pub baseline_test_accuracy: f64,
+    /// Baseline circuit evaluation.
+    pub baseline_report: HardwareReport,
+}
+
+impl BaselineCosted {
+    /// Borrow this stage (plus a technology model) as the generic
+    /// [`SearchContext`] every [`SearchEngine`] consumes.
+    #[must_use]
+    pub fn search_context<'a>(
+        &'a self,
+        tech: &'a TechLibrary,
+        elaborator: &'a Elaborator,
+        loss_budget: f64,
+    ) -> SearchContext<'a> {
+        let prepared = &self.float.prepared;
+        let spec = prepared.dataset.spec();
+        SearchContext {
+            dataset: prepared.dataset,
+            name: spec.name,
+            classes: spec.classes,
+            baseline: &self.baseline,
+            baseline_train_accuracy: self.baseline_train_accuracy,
+            baseline_test_accuracy: self.baseline_test_accuracy,
+            train: &prepared.train,
+            test: &prepared.test,
+            float_mlp: &self.float.float_mlp,
+            float_train: &prepared.float_train,
+            float_test: &prepared.float_test,
+            tech,
+            elaborator,
+            loss_budget,
+        }
+    }
+}
+
+/// Stage 4: the engine's searched front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Searched {
+    /// The previous stage's artifacts.
+    pub costed: BaselineCosted,
+    /// Which engine produced the front
+    /// ([`SearchEngine::name`]).
+    pub engine: String,
+    /// The engine's outcome; `outcome.front` is the evaluated Pareto
+    /// front.
+    pub outcome: SearchOutcome,
+}
+
+/// Stage 5: the reported design — smallest area within the loss budget
+/// (the Table II row). Convertible into the legacy [`DatasetStudy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selected {
+    /// The previous stage's artifacts.
+    pub searched: Searched,
+    /// The accuracy-loss budget the selection was made under (so
+    /// downstream comparisons can reuse the study's own budget).
+    pub loss_budget: f64,
+    /// The selected design, if any front member met the budget.
+    pub selected: Option<DesignPoint>,
+}
+
+impl Selected {
+    /// Flatten the stage chain into the legacy [`DatasetStudy`] record.
+    #[must_use]
+    pub fn into_study(self) -> DatasetStudy {
+        let Searched {
+            costed, outcome, ..
+        } = self.searched;
+        let BaselineCosted {
+            float,
+            baseline,
+            baseline_train_accuracy,
+            baseline_test_accuracy,
+            baseline_report,
+        } = costed;
+        DatasetStudy {
+            dataset: float.prepared.dataset,
+            float_test_accuracy: float.float_test_accuracy,
+            baseline,
+            baseline_train_accuracy,
+            baseline_test_accuracy,
+            baseline_report,
+            outcome,
+            selected: self.selected,
+            train: float.prepared.train,
+            test: float.prepared.test,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- builder
+
+/// Compute-budget presets for [`Study::budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Seconds per dataset ([`StudyConfig::quick`]): tests, smoke runs.
+    Quick,
+    /// The paper-scale default ([`StudyConfig::default`]).
+    Full,
+}
+
+/// Builder for a [`Pipeline`]: one dataset's staged study.
+///
+/// ```no_run
+/// use pe_datasets::Dataset;
+/// use pe_hw::TechLibrary;
+/// use printed_axc::{Budget, Study};
+///
+/// let pipeline = Study::for_dataset(Dataset::RedWine)
+///     .seed(7)
+///     .budget(Budget::Quick)
+///     .tech(TechLibrary::egfet())
+///     .cache_dir("target/experiments/stages")
+///     .finish()?;
+/// # Ok::<(), printed_axc::FlowError>(())
+/// ```
+#[must_use = "call `.finish()` to validate and build the pipeline"]
+pub struct Study {
+    dataset: Dataset,
+    seed: Option<u64>,
+    budget: Budget,
+    config: Option<StudyConfig>,
+    tech: Option<TechLibrary>,
+    engine: Option<Arc<dyn SearchEngine + Send + Sync>>,
+    progress: Option<ProgressObserver>,
+    cancel: Option<CancelToken>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Study {
+    /// Start building a study of `dataset`.
+    pub fn for_dataset(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            seed: None,
+            budget: Budget::Full,
+            config: None,
+            tech: None,
+            engine: None,
+            progress: None,
+            cancel: None,
+            cache_dir: None,
+        }
+    }
+
+    /// Master seed (data generation, split, SGD and GA). Overrides the
+    /// seed inside a [`config`](Self::config), if both are given.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Compute-budget preset (ignored when a full
+    /// [`config`](Self::config) is given).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Full study configuration (takes precedence over
+    /// [`budget`](Self::budget)).
+    pub fn config(mut self, config: StudyConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Technology library for baseline and approximate circuit
+    /// evaluation (defaults to [`TechLibrary::egfet`]).
+    pub fn tech(mut self, tech: TechLibrary) -> Self {
+        self.tech = Some(tech);
+        self
+    }
+
+    /// Swap the search engine (defaults to the paper's [`NsgaEngine`]
+    /// built from the study's GA configuration).
+    pub fn engine(mut self, engine: Arc<dyn SearchEngine + Send + Sync>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Observe pipeline progress ([`ProgressEvent`] stream).
+    pub fn progress(mut self, observer: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(observer));
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Cache stage artifacts as JSON under `dir` and resume from them
+    /// on the next run (see [`Pipeline::searched`] and friends).
+    ///
+    /// Each stage file is self-contained (it embeds its upstream
+    /// stages), so any single artifact resumes on its own at the cost
+    /// of redundant bytes across the five files. Cache entries are
+    /// keyed by the full [`StudyConfig`] plus the engine's name and
+    /// [`SearchEngine::cache_fingerprint`] — a custom engine whose
+    /// fingerprint omits part of its configuration can alias entries;
+    /// give such pipelines distinct cache directories.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Validate the configuration and build the [`Pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] when the configuration cannot run:
+    /// GA population below 2, zero generations, non-positive SGD epoch
+    /// scale, an accuracy budget outside `[0, 1]`, or a weight width
+    /// below 2 bits.
+    pub fn finish(self) -> Result<Pipeline, FlowError> {
+        let mut config = match (self.config, self.budget) {
+            (Some(config), _) => config,
+            (None, Budget::Quick) => StudyConfig::quick(self.seed.unwrap_or(0)),
+            (None, Budget::Full) => StudyConfig::default(),
+        };
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+            config.ga.nsga.seed = seed;
+        }
+
+        let invalid = |reason: String| Err(FlowError::InvalidConfig { reason });
+        if config.ga.nsga.population < 2 {
+            return invalid(format!(
+                "GA population must be at least 2, got {}",
+                config.ga.nsga.population
+            ));
+        }
+        if config.ga.nsga.generations == 0 {
+            return invalid("GA generation budget must be positive".into());
+        }
+        if !(config.sgd_epochs_scale > 0.0 && config.sgd_epochs_scale.is_finite()) {
+            return invalid(format!(
+                "SGD epoch scale must be a positive finite number, got {}",
+                config.sgd_epochs_scale
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.accuracy_loss_budget) {
+            return invalid(format!(
+                "accuracy-loss budget must be within [0, 1], got {}",
+                config.accuracy_loss_budget
+            ));
+        }
+        if config.ga.weight_bits < 2 {
+            return invalid(format!(
+                "weight width must be at least 2 bits, got {}",
+                config.ga.weight_bits
+            ));
+        }
+
+        let engine = self
+            .engine
+            .unwrap_or_else(|| Arc::new(NsgaEngine::new(config.ga.clone())));
+        Ok(Pipeline {
+            dataset: self.dataset,
+            config,
+            tech: self.tech.unwrap_or_else(TechLibrary::egfet),
+            engine,
+            progress: self.progress,
+            cancel: self.cancel,
+            cache_dir: self.cache_dir,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- pipeline
+
+/// A validated, runnable staged study of one dataset.
+///
+/// The `prepare`/`train_float`/`cost_baseline`/`search`/`select`
+/// methods compute single stages; the `prepared`/`float_trained`/
+/// `baseline_costed`/`searched`/`selected` methods additionally load
+/// from and store to the stage cache (when one is configured), so a
+/// resumed pipeline skips every stage whose artifact is on disk.
+pub struct Pipeline {
+    dataset: Dataset,
+    config: StudyConfig,
+    tech: TechLibrary,
+    engine: Arc<dyn SearchEngine + Send + Sync>,
+    progress: Option<ProgressObserver>,
+    cancel: Option<CancelToken>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Pipeline {
+    /// The dataset under study.
+    #[must_use]
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The resolved study configuration.
+    #[must_use]
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The active engine's name.
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    fn control(&self) -> RunControl<'_> {
+        RunControl::new(
+            self.progress.as_deref().map(|f| f as _),
+            self.cancel.as_ref(),
+        )
+    }
+
+    // ------------------------------------------------ stage computation
+
+    /// Compute stage 1: generate the dataset, split 70/30 stratified,
+    /// quantize inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Dataset`] if splitting fails, or
+    /// [`FlowError::Cancelled`].
+    pub fn prepare(&self) -> Result<Prepared, FlowError> {
+        let ctl = self.control();
+        ctl.ensure_live(StageKind::Prepared)?;
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::Prepared,
+        });
+        let data = generate(self.dataset, self.config.seed);
+        let split = stratified_split(&data, 0.7, self.config.seed)?;
+        let train = quantize(&split.train, self.config.ga.input_bits);
+        let test = quantize(&split.test, self.config.ga.input_bits);
+        let stage = Prepared {
+            dataset: self.dataset,
+            seed: self.config.seed,
+            float_train: split.train,
+            float_test: split.test,
+            train,
+            test,
+        };
+        ctl.emit(&ProgressEvent::StageFinished {
+            stage: StageKind::Prepared,
+        });
+        Ok(stage)
+    }
+
+    /// Compute stage 2: backprop-train the float MLP at the paper's
+    /// topology (best-of-3 restarts), reporting one
+    /// [`ProgressEvent::SgdEpoch`] per epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cancelled`] when cancelled mid-training.
+    pub fn train_float(&self, prepared: Prepared) -> Result<FloatTrained, FlowError> {
+        let ctl = self.control();
+        ctl.ensure_live(StageKind::FloatTrained)?;
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::FloatTrained,
+        });
+        let spec = prepared.dataset.spec();
+        let sgd = self.config.sgd_for(&spec);
+        let epochs = sgd.epochs;
+        let (float_mlp, _) = train_best_of_observed(
+            &pe_mlp::Topology::new(spec.topology()),
+            &prepared.float_train.features,
+            &prepared.float_train.labels,
+            &sgd,
+            3,
+            |restart, epoch| {
+                ctl.emit(&ProgressEvent::SgdEpoch {
+                    restart,
+                    epoch,
+                    epochs,
+                });
+                !ctl.is_cancelled()
+            },
+        );
+        ctl.ensure_live(StageKind::FloatTrained)?;
+        let float_test_accuracy =
+            float_mlp.accuracy(&prepared.float_test.features, &prepared.float_test.labels);
+        ctl.emit(&ProgressEvent::StageFinished {
+            stage: StageKind::FloatTrained,
+        });
+        Ok(FloatTrained {
+            prepared,
+            float_mlp,
+            float_test_accuracy,
+        })
+    }
+
+    /// Compute stage 3: quantize to the exact bespoke baseline and
+    /// elaborate its circuit (the Table I row).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cancelled`].
+    pub fn cost_baseline(&self, float: FloatTrained) -> Result<BaselineCosted, FlowError> {
+        let ctl = self.control();
+        ctl.ensure_live(StageKind::BaselineCosted)?;
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::BaselineCosted,
+        });
+        let prepared = &float.prepared;
+        let spec = prepared.dataset.spec();
+        let baseline = FixedMlp::quantize(
+            &float.float_mlp,
+            QuantConfig {
+                weight_bits: self.config.ga.weight_bits,
+                input_bits: self.config.ga.input_bits,
+                activation_bits: self.config.ga.activation_bits,
+            },
+            &prepared.float_train.features,
+        );
+        let baseline_train_accuracy =
+            baseline.accuracy(&prepared.train.features, &prepared.train.labels);
+        let baseline_test_accuracy =
+            baseline.accuracy(&prepared.test.features, &prepared.test.labels);
+        let baseline_report = Elaborator::new(self.tech.clone())
+            .elaborate(&fixed_to_hardware(&baseline, spec.name))
+            .report;
+        ctl.emit(&ProgressEvent::StageFinished {
+            stage: StageKind::BaselineCosted,
+        });
+        Ok(BaselineCosted {
+            float,
+            baseline,
+            baseline_train_accuracy,
+            baseline_test_accuracy,
+            baseline_report,
+        })
+    }
+
+    /// Compute stage 4: run the configured [`SearchEngine`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the engine returns ([`FlowError::Cancelled`],
+    /// [`FlowError::Engine`]).
+    pub fn search(&self, costed: BaselineCosted) -> Result<Searched, FlowError> {
+        let ctl = self.control();
+        ctl.ensure_live(StageKind::Searched)?;
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::Searched,
+        });
+        let elaborator = Elaborator::new(self.tech.clone());
+        let outcome = {
+            let ctx =
+                costed.search_context(&self.tech, &elaborator, self.config.accuracy_loss_budget);
+            self.engine.search(&ctx, &ctl)?
+        };
+        ctl.emit(&ProgressEvent::StageFinished {
+            stage: StageKind::Searched,
+        });
+        Ok(Searched {
+            costed,
+            engine: self.engine.name().to_owned(),
+            outcome,
+        })
+    }
+
+    /// Compute stage 5: select the smallest design within the loss
+    /// budget (the Table II row).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cancelled`].
+    pub fn select(&self, searched: Searched) -> Result<Selected, FlowError> {
+        let ctl = self.control();
+        ctl.ensure_live(StageKind::Selected)?;
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::Selected,
+        });
+        let selected = select_within_loss(
+            &searched.outcome.front,
+            searched.costed.baseline_test_accuracy,
+            self.config.accuracy_loss_budget,
+        )
+        .cloned();
+        ctl.emit(&ProgressEvent::StageFinished {
+            stage: StageKind::Selected,
+        });
+        Ok(Selected {
+            searched,
+            loss_budget: self.config.accuracy_loss_budget,
+            selected,
+        })
+    }
+
+    // ------------------------------------------------ cached stage chain
+
+    /// Stage 1 through the cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`prepare`](Self::prepare).
+    pub fn prepared(&self) -> Result<Prepared, FlowError> {
+        self.cached(
+            StageKind::Prepared,
+            |v: &Prepared| self.stage_is_ours(v),
+            || self.prepare(),
+        )
+    }
+
+    /// Stage 2 through the cache (computing earlier stages as needed).
+    ///
+    /// # Errors
+    ///
+    /// As [`train_float`](Self::train_float).
+    pub fn float_trained(&self) -> Result<FloatTrained, FlowError> {
+        self.cached(
+            StageKind::FloatTrained,
+            |v: &FloatTrained| self.stage_is_ours(&v.prepared),
+            || {
+                let prepared = self.prepared()?;
+                self.train_float(prepared)
+            },
+        )
+    }
+
+    /// Stage 3 through the cache (computing earlier stages as needed).
+    ///
+    /// # Errors
+    ///
+    /// As [`cost_baseline`](Self::cost_baseline).
+    pub fn baseline_costed(&self) -> Result<BaselineCosted, FlowError> {
+        self.cached(
+            StageKind::BaselineCosted,
+            |v: &BaselineCosted| self.stage_is_ours(&v.float.prepared),
+            || {
+                let float = self.float_trained()?;
+                self.cost_baseline(float)
+            },
+        )
+    }
+
+    /// Stage 4 through the cache (computing earlier stages as needed).
+    /// A cache hit skips re-running the engine entirely.
+    ///
+    /// # Errors
+    ///
+    /// As [`search`](Self::search).
+    pub fn searched(&self) -> Result<Searched, FlowError> {
+        self.cached(
+            StageKind::Searched,
+            |v: &Searched| {
+                v.engine == self.engine.name() && self.stage_is_ours(&v.costed.float.prepared)
+            },
+            || {
+                let costed = self.baseline_costed()?;
+                self.search(costed)
+            },
+        )
+    }
+
+    /// Stage 5 through the cache (computing earlier stages as needed).
+    ///
+    /// # Errors
+    ///
+    /// As [`select`](Self::select).
+    pub fn selected(&self) -> Result<Selected, FlowError> {
+        self.cached(
+            StageKind::Selected,
+            |v: &Selected| {
+                v.searched.engine == self.engine.name()
+                    && self.stage_is_ours(&v.searched.costed.float.prepared)
+            },
+            || {
+                let searched = self.searched()?;
+                self.select(searched)
+            },
+        )
+    }
+
+    /// Run the whole pipeline (all five stages, cache-aware).
+    ///
+    /// # Errors
+    ///
+    /// The first stage error encountered.
+    pub fn run(&self) -> Result<Selected, FlowError> {
+        self.selected()
+    }
+
+    /// Run the whole pipeline and flatten into the legacy
+    /// [`DatasetStudy`] record.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_study(&self) -> Result<DatasetStudy, FlowError> {
+        self.run().map(Selected::into_study)
+    }
+
+    // ------------------------------------------------ cache plumbing
+
+    /// A loaded stage belongs to this pipeline iff dataset and seed
+    /// match (the file-name hash already covers the full config, this
+    /// guards against hand-renamed files).
+    fn stage_is_ours(&self, prepared: &Prepared) -> bool {
+        prepared.dataset == self.dataset && prepared.seed == self.config.seed
+    }
+
+    fn cached<T, V, F>(&self, stage: StageKind, valid: V, compute: F) -> Result<T, FlowError>
+    where
+        T: Serialize + Deserialize,
+        V: FnOnce(&T) -> bool,
+        F: FnOnce() -> Result<T, FlowError>,
+    {
+        if let Some(value) = self.load_stage::<T>(stage) {
+            if valid(&value) {
+                self.control().emit(&ProgressEvent::StageLoaded { stage });
+                return Ok(value);
+            }
+        }
+        let value = compute()?;
+        self.store_stage(stage, &value);
+        Ok(value)
+    }
+
+    fn stage_path(&self, stage: StageKind) -> Option<PathBuf> {
+        let dir = self.cache_dir.as_ref()?;
+        let spec = self.dataset.spec();
+        Some(dir.join(format!(
+            "{}-{:016x}-{}.json",
+            spec.short_name.to_lowercase(),
+            self.cache_key(stage),
+            stage.as_str()
+        )))
+    }
+
+    /// Per-stage cache key: hashes only the inputs the stage chain up
+    /// to `stage` consumes, so changing a late-stage-only parameter
+    /// (the loss budget, the GA budget, the engine) keeps the expensive
+    /// early artifacts — the splits and the SGD-trained float model —
+    /// warm in the cache.
+    ///
+    /// Keys cannot see *code* changes — bump [`STAGE_CACHE_VERSION`]
+    /// when an algorithm change invalidates previously cached stages.
+    fn cache_key(&self, stage: StageKind) -> u64 {
+        let cfg = &self.config;
+        let mut h = fnv1a64(&STAGE_CACHE_VERSION.to_le_bytes());
+        h ^= crate::engine::fingerprint_json(&(cfg.seed, cfg.ga.input_bits));
+        if matches!(stage, StageKind::Prepared) {
+            return h;
+        }
+        h ^= crate::engine::fingerprint_json(&cfg.sgd_epochs_scale).rotate_left(1);
+        if matches!(stage, StageKind::FloatTrained) {
+            return h;
+        }
+        h ^= crate::engine::fingerprint_json(&(
+            cfg.ga.weight_bits,
+            cfg.ga.activation_bits,
+            &self.tech,
+        ))
+        .rotate_left(2);
+        if matches!(stage, StageKind::BaselineCosted) {
+            return h;
+        }
+        h ^= crate::engine::fingerprint_json(&cfg.ga).rotate_left(3);
+        h ^= fnv1a64(self.engine.name().as_bytes());
+        h ^= self.engine.cache_fingerprint();
+        if matches!(stage, StageKind::Searched) {
+            return h;
+        }
+        h ^ crate::engine::fingerprint_json(&cfg.accuracy_loss_budget).rotate_left(4)
+    }
+
+    fn load_stage<T: Deserialize>(&self, stage: StageKind) -> Option<T> {
+        let path = self.stage_path(stage)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Best-effort store: failures are reported to stderr but never
+    /// fail the pipeline (the in-memory artifact is the primary result).
+    ///
+    /// Stage files are compact JSON — each stage embeds its full
+    /// upstream chain (that's what makes a single file resumable on its
+    /// own), so pretty-printing would multiply already-redundant bytes.
+    fn store_stage<T: Serialize>(&self, stage: StageKind, value: &T) {
+        let Some(path) = self.stage_path(stage) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("warning: cannot create {}: {e}", parent.display());
+                return;
+            }
+        }
+        match serde_json::to_string(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {stage} stage: {e}"),
+        }
+    }
+
+    // ------------------------------------------------ multi-dataset runs
+
+    /// Run studies for many datasets on a `std::thread` worker pool.
+    ///
+    /// Each dataset runs at the seed [`derive_seed`]`(base.seed,
+    /// dataset)` — deterministic and independent of scheduling — so the
+    /// result (and any JSON serialization of it) is byte-identical
+    /// whether `threads` is 1 or many. Results come back in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) per-dataset error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics (stage code reports
+    /// failures as [`FlowError`] instead).
+    pub fn run_many(
+        datasets: &[Dataset],
+        base: &StudyConfig,
+        tech: &TechLibrary,
+        opts: &RunManyOptions,
+    ) -> Result<Vec<DatasetStudy>, FlowError> {
+        Ok(Self::run_many_selected(datasets, base, tech, opts)?
+            .into_iter()
+            .map(Selected::into_study)
+            .collect())
+    }
+
+    /// [`run_many`](Self::run_many), returning the full [`Selected`]
+    /// stage artifacts instead of the flattened studies.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) per-dataset error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics.
+    pub fn run_many_selected(
+        datasets: &[Dataset],
+        base: &StudyConfig,
+        tech: &TechLibrary,
+        opts: &RunManyOptions,
+    ) -> Result<Vec<Selected>, FlowError> {
+        let n = datasets.len();
+        let workers = match opts.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
+        .clamp(1, n.max(1));
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Selected, FlowError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&dataset) = datasets.get(i) else {
+                        break;
+                    };
+                    let result = Self::run_one_of_many(dataset, base, tech, opts);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect()
+    }
+
+    fn run_one_of_many(
+        dataset: Dataset,
+        base: &StudyConfig,
+        tech: &TechLibrary,
+        opts: &RunManyOptions,
+    ) -> Result<Selected, FlowError> {
+        let mut config = base.clone();
+        let seed = derive_seed(base.seed, dataset);
+        config.seed = seed;
+        config.ga.nsga.seed = seed;
+
+        let mut builder = Study::for_dataset(dataset)
+            .config(config.clone())
+            .tech(tech.clone());
+        if let Some(dir) = &opts.cache_dir {
+            builder = builder.cache_dir(dir);
+        }
+        if let Some(factory) = &opts.engine {
+            builder = builder.engine(factory(dataset, &config));
+        }
+        if let Some(progress) = &opts.progress {
+            let progress = progress.clone();
+            builder = builder.progress(move |event| progress(dataset, event));
+        }
+        if let Some(token) = &opts.cancel {
+            builder = builder.cancel_token(token.clone());
+        }
+        builder.finish()?.run()
+    }
+}
+
+/// Builds one engine per dataset inside [`Pipeline::run_many`]. The
+/// factory receives the dataset and its *derived-seed* study
+/// configuration, so engines with internal stochastic state (e.g. an
+/// [`NsgaEngine`] built from `config.ga`) stay decorrelated across
+/// datasets exactly like the default engine does.
+pub type EngineFactory =
+    Arc<dyn Fn(Dataset, &StudyConfig) -> Arc<dyn SearchEngine + Send + Sync> + Send + Sync>;
+
+/// Options for [`Pipeline::run_many`].
+#[derive(Default)]
+pub struct RunManyOptions {
+    /// Worker threads (`0` = one per core, capped at the dataset
+    /// count).
+    pub threads: usize,
+    /// Stage-cache directory shared by all datasets.
+    pub cache_dir: Option<PathBuf>,
+    /// Engine override: a factory called once per dataset with the
+    /// derived-seed config (default: each pipeline's [`NsgaEngine`]
+    /// built from that config's `ga` section).
+    pub engine: Option<EngineFactory>,
+    /// Progress observer; events are tagged with their dataset.
+    #[allow(clippy::type_complexity)]
+    pub progress: Option<Arc<dyn Fn(Dataset, &ProgressEvent) + Send + Sync>>,
+    /// Cancellation token shared by all datasets.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunManyOptions {
+    /// Options running `threads` workers (0 = one per core).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for RunManyOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunManyOptions")
+            .field("threads", &self.threads)
+            .field("cache_dir", &self.cache_dir)
+            .field("engine", &self.engine.is_some())
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+/// Version tag mixed into every stage-cache key. Bump whenever a
+/// stage-affecting algorithm changes (data generation, SGD, the GA,
+/// hardware costing), so stale artifacts from older code are never
+/// served as current results. Configuration changes are handled
+/// automatically; only *code* changes need a bump.
+pub const STAGE_CACHE_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------- seeding
+
+/// Deterministic per-dataset seed derivation for
+/// [`Pipeline::run_many`]: a splitmix64 finalizer over the master seed
+/// mixed with an FNV-1a hash of the dataset's short name.
+///
+/// Stable across dataset-enum reordering (the name is hashed, not the
+/// discriminant); pinned by tests so parallel and sequential runs stay
+/// byte-identical across releases.
+#[must_use]
+pub fn derive_seed(master: u64, dataset: Dataset) -> u64 {
+    splitmix64(master ^ fnv1a64(dataset.spec().short_name.as_bytes()))
+}
+
+/// splitmix64 finalizer (Steele et al.; the de-facto standard seed
+/// scrambler).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a 64-bit hash (cache keys, seed derivation,
+/// [`crate::engine::fingerprint_json`]) — the single copy in this
+/// crate; the pinned [`derive_seed`] values depend on it.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_unrunnable_configs() {
+        let bad_pop = StudyConfig {
+            ga: crate::AxTrainConfig {
+                nsga: pe_nsga::NsgaConfig {
+                    population: 1,
+                    ..pe_nsga::NsgaConfig::default()
+                },
+                ..crate::AxTrainConfig::default()
+            },
+            ..StudyConfig::default()
+        };
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(bad_pop)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+
+        let bad_scale = StudyConfig {
+            sgd_epochs_scale: 0.0,
+            ..StudyConfig::default()
+        };
+        assert!(matches!(
+            Study::for_dataset(Dataset::Cardio)
+                .config(bad_scale)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+
+        let bad_budget = StudyConfig {
+            accuracy_loss_budget: 1.5,
+            ..StudyConfig::default()
+        };
+        assert!(matches!(
+            Study::for_dataset(Dataset::RedWine)
+                .config(bad_budget)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn seed_overrides_config_and_budget_presets_resolve() {
+        let pipeline = Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig::quick(0))
+            .seed(99)
+            .finish()
+            .expect("valid");
+        assert_eq!(pipeline.config().seed, 99);
+        assert_eq!(pipeline.config().ga.nsga.seed, 99);
+
+        let quick = Study::for_dataset(Dataset::BreastCancer)
+            .seed(5)
+            .budget(Budget::Quick)
+            .finish()
+            .expect("valid");
+        assert_eq!(quick.config().ga.nsga.population, 24);
+        assert_eq!(quick.engine_name(), "nsga2-axc");
+    }
+
+    #[test]
+    fn derived_seeds_are_pinned() {
+        // Frozen values: parallel and sequential runs must derive the
+        // same per-dataset seeds forever, or cached artifacts and
+        // regression JSONs silently shift.
+        let pinned: Vec<u64> = Dataset::ALL.iter().map(|&d| derive_seed(0, d)).collect();
+        assert_eq!(
+            pinned,
+            [
+                0xeb49_dc4c_c013_4230, // BreastCancer
+                0x7371_6e54_3ed2_fb41, // Cardio
+                0xd771_9ef5_e5bb_bc47, // Pendigits
+                0xf2f8_6562_fdf8_cc2f, // RedWine
+                0xf0cd_d55a_7f39_10d3, // WhiteWine
+            ]
+        );
+        // Distinct across datasets and master seeds.
+        let mut uniq = pinned.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), pinned.len());
+        assert_ne!(derive_seed(1, Dataset::BreastCancer), pinned[0]);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configs() {
+        let a = Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig::quick(1))
+            .finish()
+            .expect("valid");
+        let b = Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig::quick(2))
+            .finish()
+            .expect("valid");
+        // The seed feeds every stage: all five keys must differ.
+        for stage in StageKind::ALL {
+            assert_ne!(a.cache_key(stage), b.cache_key(stage), "{stage}");
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_engine_configs() {
+        // Same StudyConfig, same engine *name*, different engine
+        // configuration: the fingerprint must keep the entries apart.
+        let base = StudyConfig::quick(1);
+        let default_engine = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .finish()
+            .expect("valid");
+        let fa_engine = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .engine(Arc::new(crate::engine::NsgaEngine::new(
+                crate::AxTrainConfig {
+                    objective: crate::AreaObjective::FaCount,
+                    ..base.ga
+                },
+            )))
+            .finish()
+            .expect("valid");
+        assert_eq!(default_engine.engine_name(), fa_engine.engine_name());
+        assert_ne!(
+            default_engine.cache_key(StageKind::Searched),
+            fa_engine.cache_key(StageKind::Searched)
+        );
+        // ...while the engine-independent early stages stay shared.
+        for stage in [
+            StageKind::Prepared,
+            StageKind::FloatTrained,
+            StageKind::BaselineCosted,
+        ] {
+            assert_eq!(
+                default_engine.cache_key(stage),
+                fa_engine.cache_key(stage),
+                "{stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_stage_scoped() {
+        // Changing a late-stage-only parameter must not invalidate the
+        // expensive early artifacts.
+        let base = StudyConfig::quick(1);
+        let a = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .finish()
+            .expect("valid");
+        let b = Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig {
+                accuracy_loss_budget: 0.02,
+                ..base.clone()
+            })
+            .finish()
+            .expect("valid");
+        for stage in [
+            StageKind::Prepared,
+            StageKind::FloatTrained,
+            StageKind::BaselineCosted,
+            StageKind::Searched,
+        ] {
+            assert_eq!(a.cache_key(stage), b.cache_key(stage), "{stage}");
+        }
+        assert_ne!(
+            a.cache_key(StageKind::Selected),
+            b.cache_key(StageKind::Selected)
+        );
+
+        // A bigger GA budget re-searches but keeps the float model.
+        let c = Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig {
+                ga: crate::AxTrainConfig {
+                    nsga: pe_nsga::NsgaConfig {
+                        generations: 99,
+                        ..base.ga.nsga.clone()
+                    },
+                    ..base.ga.clone()
+                },
+                ..base.clone()
+            })
+            .finish()
+            .expect("valid");
+        for stage in [
+            StageKind::Prepared,
+            StageKind::FloatTrained,
+            StageKind::BaselineCosted,
+        ] {
+            assert_eq!(a.cache_key(stage), c.cache_key(stage), "{stage}");
+        }
+        assert_ne!(
+            a.cache_key(StageKind::Searched),
+            c.cache_key(StageKind::Searched)
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Progress reporting and cooperative cancellation for the staged
+//! pipeline.
+//!
+//! Long-running stages (SGD epochs, GA generations) emit
+//! [`ProgressEvent`]s through a [`RunControl`] and poll a
+//! [`CancelToken`] between units of work, so interactive frontends can
+//! render progress bars and abort studies without killing the process.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::FlowError;
+
+/// The five stages of the staged pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Data generation, stratified split and input quantization.
+    Prepared,
+    /// Backprop training of the float MLP at the paper's topology.
+    FloatTrained,
+    /// Quantization to the exact bespoke baseline and its circuit cost.
+    BaselineCosted,
+    /// The design-space search (NSGA-II by default; any
+    /// [`SearchEngine`](crate::engine::SearchEngine)).
+    Searched,
+    /// Selection of the smallest design within the loss budget.
+    Selected,
+}
+
+impl StageKind {
+    /// All stages, in execution order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Prepared,
+        StageKind::FloatTrained,
+        StageKind::BaselineCosted,
+        StageKind::Searched,
+        StageKind::Selected,
+    ];
+
+    /// Stable snake-case name (used in cache file names).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Prepared => "prepared",
+            StageKind::FloatTrained => "float_trained",
+            StageKind::BaselineCosted => "baseline_costed",
+            StageKind::Searched => "searched",
+            StageKind::Selected => "selected",
+        }
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A cloneable cancellation flag shared between the caller and a
+/// running pipeline. Cancellation is cooperative: stages poll the token
+/// at epoch/generation granularity and return
+/// [`FlowError::Cancelled`] at the next checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; callable from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// One unit of observable pipeline progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A stage began computing.
+    StageStarted {
+        /// Which stage.
+        stage: StageKind,
+    },
+    /// A stage finished computing.
+    StageFinished {
+        /// Which stage.
+        stage: StageKind,
+    },
+    /// A stage artifact was loaded from the cache instead of computed.
+    StageLoaded {
+        /// Which stage.
+        stage: StageKind,
+    },
+    /// One SGD epoch of the float-training stage completed.
+    SgdEpoch {
+        /// Restart index within the best-of-N loop.
+        restart: u64,
+        /// 0-based epoch within this restart.
+        epoch: usize,
+        /// Configured epochs per restart.
+        epochs: usize,
+    },
+    /// One GA generation of the search stage completed.
+    GaGeneration {
+        /// 0-based generation index.
+        generation: usize,
+        /// Configured generation budget.
+        generations: usize,
+        /// Chromosome evaluations so far.
+        evaluations: u64,
+    },
+}
+
+/// A shared, thread-safe progress observer (what
+/// [`Study::progress`](crate::Study::progress) stores).
+pub type ProgressObserver = std::sync::Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Borrowed observer + cancellation pair threaded through stage code
+/// and [`SearchEngine`](crate::engine::SearchEngine) implementations.
+///
+/// The no-op value [`RunControl::NONE`] never reports and never
+/// cancels, so library code can unconditionally thread a control.
+#[derive(Clone, Copy, Default)]
+pub struct RunControl<'a> {
+    progress: Option<&'a (dyn Fn(&ProgressEvent) + Sync)>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> RunControl<'a> {
+    /// A control that never reports progress and never cancels.
+    pub const NONE: RunControl<'static> = RunControl {
+        progress: None,
+        cancel: None,
+    };
+
+    /// Build a control from optional parts.
+    #[must_use]
+    pub fn new(
+        progress: Option<&'a (dyn Fn(&ProgressEvent) + Sync)>,
+        cancel: Option<&'a CancelToken>,
+    ) -> Self {
+        Self { progress, cancel }
+    }
+
+    /// Report one progress event (no-op without an observer).
+    pub fn emit(&self, event: &ProgressEvent) {
+        if let Some(observer) = self.progress {
+            observer(event);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Checkpoint: `Err(FlowError::Cancelled)` if cancellation was
+    /// requested, attributing the abort to `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] when the token is set.
+    pub fn ensure_live(&self, stage: StageKind) -> Result<(), FlowError> {
+        if self.is_cancelled() {
+            Err(FlowError::Cancelled { stage })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Debug for RunControl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_cancels_once_for_all_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn none_control_never_cancels() {
+        assert!(!RunControl::NONE.is_cancelled());
+        assert!(RunControl::NONE.ensure_live(StageKind::Searched).is_ok());
+        RunControl::NONE.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::Prepared,
+        });
+    }
+
+    #[test]
+    fn control_reports_and_checkpoints() {
+        use std::sync::Mutex;
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let observer = |e: &ProgressEvent| events.lock().expect("unpoisoned").push(e.clone());
+        let token = CancelToken::new();
+        let ctl = RunControl::new(Some(&observer), Some(&token));
+        ctl.emit(&ProgressEvent::StageStarted {
+            stage: StageKind::Prepared,
+        });
+        assert!(ctl.ensure_live(StageKind::Prepared).is_ok());
+        token.cancel();
+        assert_eq!(
+            ctl.ensure_live(StageKind::Searched),
+            Err(FlowError::Cancelled {
+                stage: StageKind::Searched
+            })
+        );
+        assert_eq!(events.lock().expect("unpoisoned").len(), 1);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = StageKind::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "prepared",
+                "float_trained",
+                "baseline_costed",
+                "searched",
+                "selected"
+            ]
+        );
+    }
+}

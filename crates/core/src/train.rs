@@ -11,22 +11,29 @@ use pe_mlp::{AxMlp, FixedMlp, QReluCfg};
 use pe_nsga::{Evaluation, GenerationStats, IntProblem, Nsga2};
 
 use crate::config::AxTrainConfig;
+use crate::error::FlowError;
 use crate::fitness::AxTrainProblem;
 use crate::genome::{GenomeSpec, LayerGenomeSpec};
 use crate::pareto::{true_pareto_front, DesignCandidate, DesignPoint};
+use crate::progress::{ProgressEvent, RunControl, StageKind};
 
-/// Everything a training run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Everything a search run produces (also exported as
+/// [`SearchOutcome`](crate::engine::SearchOutcome) — the return type of
+/// every [`SearchEngine`](crate::engine::SearchEngine)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingOutcome {
     /// True (hardware-evaluated) Pareto front, ascending area.
     pub front: Vec<DesignPoint>,
-    /// The GA's estimated front before hardware analysis.
+    /// The GA's estimated front before hardware analysis (empty for
+    /// engines without an estimate/analysis split).
     pub estimated_front: Vec<DesignCandidate>,
-    /// Per-generation statistics.
+    /// Per-generation statistics (empty for non-generational engines).
     pub history: Vec<GenerationStats>,
-    /// Total chromosome evaluations.
+    /// Total candidate evaluations (`0` when an engine doesn't count).
     pub evaluations: u64,
-    /// Wall-clock duration of the GA phase.
+    /// Wall-clock duration of the search phase proper (for the GA
+    /// engines: the evolution loop, excluding seeding, local polish
+    /// and hardware analysis — the paper's Table III measurement).
     pub ga_wall: Duration,
 }
 
@@ -95,6 +102,41 @@ impl HwAwareTrainer {
         elaborator: &Elaborator,
         name: &str,
     ) -> TrainingOutcome {
+        self.train_controlled(
+            baseline,
+            baseline_train_accuracy,
+            train,
+            test,
+            elaborator,
+            name,
+            &RunControl::NONE,
+        )
+        .expect("a NONE control cannot cancel")
+    }
+
+    /// [`train`](Self::train) with progress reporting and cooperative
+    /// cancellation: one [`ProgressEvent::GaGeneration`] per
+    /// generation, and cancellation honored at generation granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] when `ctl`'s token is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`train`](Self::train) does.
+    #[allow(clippy::too_many_arguments)] // mirrors `train` + the control
+    pub fn train_controlled(
+        &self,
+        baseline: &FixedMlp,
+        baseline_train_accuracy: f64,
+        train: &QuantizedData,
+        test: &QuantizedData,
+        elaborator: &Elaborator,
+        name: &str,
+        ctl: &RunControl<'_>,
+    ) -> Result<TrainingOutcome, FlowError> {
+        ctl.ensure_live(StageKind::Searched)?;
         let spec = self.genome_spec_for(baseline);
         let (rows, labels) = subsample(train, self.config.fitness_subsample);
 
@@ -104,7 +146,8 @@ impl HwAwareTrainer {
             labels,
             baseline_train_accuracy,
             self.config.max_accuracy_loss,
-        );
+        )
+        .with_objective(self.config.objective);
 
         let doped_count = ((self.config.nsga.population as f64 * self.config.doping_fraction)
             .round() as usize)
@@ -122,10 +165,19 @@ impl HwAwareTrainer {
         );
 
         let mut history = Vec::with_capacity(self.config.nsga.generations);
+        let generations = self.config.nsga.generations;
         let started = Instant::now();
-        let result = Nsga2::new(self.config.nsga.clone())
-            .run_seeded(&problem, seeds, |s| history.push(s.clone()));
+        let result = Nsga2::new(self.config.nsga.clone()).run_controlled(&problem, seeds, |s| {
+            history.push(s.clone());
+            ctl.emit(&ProgressEvent::GaGeneration {
+                generation: s.generation,
+                generations,
+                evaluations: s.evaluations,
+            });
+            !ctl.is_cancelled()
+        });
         let ga_wall = started.elapsed();
+        ctl.ensure_live(StageKind::Searched)?;
 
         // Estimated front -> candidates with both-split accuracies.
         let mut estimated_front: Vec<DesignCandidate> = result
@@ -172,7 +224,8 @@ impl HwAwareTrainer {
                     train.labels[..refine_n].to_vec(),
                     baseline_train_accuracy,
                     self.config.max_accuracy_loss,
-                );
+                )
+                .with_objective(self.config.objective);
                 let (train_acc, area) = problem_view.score(&polished);
                 let test_accuracy = polished.accuracy(&test.features, &test.labels);
                 estimated_front.push(DesignCandidate {
@@ -186,13 +239,13 @@ impl HwAwareTrainer {
 
         let front = true_pareto_front(estimated_front.clone(), elaborator, name);
 
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             front,
             estimated_front,
             history,
             evaluations: result.evaluations,
             ga_wall,
-        }
+        })
     }
 }
 

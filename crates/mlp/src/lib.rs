@@ -46,4 +46,4 @@ pub use dense::{argmax, DenseMlp};
 pub use hardware::{ax_to_hardware, fixed_to_hardware};
 pub use quant::{FixedLayer, FixedMlp, QReluCfg, QuantConfig};
 pub use topology::Topology;
-pub use train::{SgdTrainer, TrainConfig, TrainReport};
+pub use train::{train_best_of, train_best_of_observed, SgdTrainer, TrainConfig, TrainReport};

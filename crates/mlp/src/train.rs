@@ -78,6 +78,25 @@ impl SgdTrainer {
     /// Panics if `rows` and `labels` differ in length, rows don't match
     /// the network's input width, or a label exceeds the output width.
     pub fn train(&self, mlp: &mut DenseMlp, rows: &[Vec<f32>], labels: &[usize]) -> TrainReport {
+        self.train_observed(mlp, rows, labels, |_| true)
+    }
+
+    /// Train with a per-epoch observer: `on_epoch(epoch)` runs after
+    /// each completed epoch and returns whether to keep training —
+    /// `false` stops early (cooperative cancellation). The report's
+    /// `epochs` field records the epochs actually executed; up to the
+    /// stopping point the run is bit-identical to a full one.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`train`](Self::train) does.
+    pub fn train_observed(
+        &self,
+        mlp: &mut DenseMlp,
+        rows: &[Vec<f32>],
+        labels: &[usize],
+        mut on_epoch: impl FnMut(usize) -> bool,
+    ) -> TrainReport {
         assert_eq!(rows.len(), labels.len());
         assert!(!rows.is_empty(), "training data must be non-empty");
         let classes = mlp.topology().outputs();
@@ -97,7 +116,8 @@ impl SgdTrainer {
         let mut order: Vec<usize> = (0..rows.len()).collect();
         let mut evaluations = 0u64;
 
-        for _epoch in 0..self.config.epochs {
+        let mut executed = 0usize;
+        for epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(self.config.batch_size.max(1)) {
                 // Accumulate gradients over the batch.
@@ -161,12 +181,16 @@ impl SgdTrainer {
                     }
                 }
             }
+            executed = epoch + 1;
+            if !on_epoch(epoch) {
+                break;
+            }
         }
 
         let train_accuracy = mlp.accuracy(rows, labels);
         let train_loss = mean_cross_entropy(mlp, rows, labels);
         TrainReport {
-            epochs: self.config.epochs,
+            epochs: executed,
             train_accuracy,
             train_loss,
             evaluations,
@@ -192,17 +216,46 @@ pub fn train_best_of(
     config: &TrainConfig,
     restarts: u64,
 ) -> (DenseMlp, TrainReport) {
+    train_best_of_observed(topology, rows, labels, config, restarts, |_, _| true)
+}
+
+/// [`train_best_of`] with a per-epoch observer: `on_epoch(restart,
+/// epoch)` runs after every completed epoch of every restart and
+/// returns whether to keep training. Returning `false` abandons the
+/// remaining epochs and restarts; the best network trained so far is
+/// still returned (callers deciding to cancel typically discard it).
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero or the data is empty.
+#[must_use]
+pub fn train_best_of_observed(
+    topology: &crate::topology::Topology,
+    rows: &[Vec<f32>],
+    labels: &[usize],
+    config: &TrainConfig,
+    restarts: u64,
+    mut on_epoch: impl FnMut(u64, usize) -> bool,
+) -> (DenseMlp, TrainReport) {
     assert!(restarts > 0, "at least one restart required");
     let trainer = SgdTrainer::new(config.clone());
     let mut best: Option<(DenseMlp, TrainReport)> = None;
     for r in 0..restarts {
+        let mut stopped = false;
         let mut mlp = DenseMlp::random(topology.clone(), config.seed ^ (r * 0x9e37_79b9));
-        let report = trainer.train(&mut mlp, rows, labels);
+        let report = trainer.train_observed(&mut mlp, rows, labels, |epoch| {
+            let keep_going = on_epoch(r, epoch);
+            stopped = !keep_going;
+            keep_going
+        });
         if best
             .as_ref()
             .is_none_or(|(_, b)| report.train_loss < b.train_loss)
         {
             best = Some((mlp, report));
+        }
+        if stopped {
+            break;
         }
     }
     best.expect("restarts > 0")
@@ -307,6 +360,49 @@ mod tests {
             mlp
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observed_training_can_stop_early_and_matches_the_full_prefix() {
+        let (rows, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        };
+        let mut observed = DenseMlp::random(Topology::new(vec![2, 3, 2]), 5);
+        let report =
+            SgdTrainer::new(cfg.clone()).train_observed(&mut observed, &rows, &labels, |e| e < 4);
+        assert_eq!(report.epochs, 5);
+        assert_eq!(report.evaluations, 5 * rows.len() as u64);
+
+        // Identical to simply configuring 5 epochs.
+        let mut direct = DenseMlp::random(Topology::new(vec![2, 3, 2]), 5);
+        let _ =
+            SgdTrainer::new(TrainConfig { epochs: 5, ..cfg }).train(&mut direct, &rows, &labels);
+        assert_eq!(observed, direct);
+    }
+
+    #[test]
+    fn best_of_observed_stops_across_restarts() {
+        let (rows, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
+        let mut calls = 0u64;
+        let (_, report) = train_best_of_observed(
+            &Topology::new(vec![2, 3, 2]),
+            &rows,
+            &labels,
+            &cfg,
+            3,
+            |restart, _| {
+                calls += 1;
+                restart == 0 // cancel as soon as the second restart begins
+            },
+        );
+        assert_eq!(calls, 11); // 10 epochs of restart 0 + 1 of restart 1
+        assert_eq!(report.epochs, 10);
     }
 
     #[test]

@@ -119,6 +119,30 @@ impl Nsga2 {
         seeds: Vec<Vec<u32>>,
         mut observer: F,
     ) -> NsgaResult {
+        self.run_controlled(problem, seeds, |stats| {
+            observer(stats);
+            true
+        })
+    }
+
+    /// Like [`run_seeded`](Self::run_seeded), but the observer also
+    /// steers the run: returning `false` stops the evolution after the
+    /// current generation (cooperative cancellation).
+    ///
+    /// The result's `generations` field records how many generations
+    /// actually executed; up to that point the run is bit-identical to
+    /// an uncancelled one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population size is zero or a seed genome has the
+    /// wrong length.
+    pub fn run_controlled<P: IntProblem, F: FnMut(&GenerationStats) -> bool>(
+        &self,
+        problem: &P,
+        seeds: Vec<Vec<u32>>,
+        mut observer: F,
+    ) -> NsgaResult {
         let cfg = &self.config;
         assert!(cfg.population >= 2, "population must be at least 2");
         let bounds = problem.bounds().to_vec();
@@ -143,6 +167,7 @@ impl Nsga2 {
         }
         annotate(&mut pop);
 
+        let mut executed = 0usize;
         for generation in 0..cfg.generations {
             // Offspring via binary tournaments + crossover + mutation.
             let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
@@ -187,12 +212,16 @@ impl Nsga2 {
                         .fold(f64::INFINITY, f64::min)
                 })
                 .collect();
-            observer(&GenerationStats {
+            executed = generation + 1;
+            let keep_going = observer(&GenerationStats {
                 generation,
                 front_size,
                 best_objectives,
                 evaluations,
             });
+            if !keep_going {
+                break;
+            }
         }
 
         let pareto_front: Vec<Individual> = pop.iter().filter(|i| i.rank == 0).cloned().collect();
@@ -200,7 +229,7 @@ impl Nsga2 {
             population: pop,
             pareto_front,
             evaluations,
-            generations: cfg.generations,
+            generations: executed,
         }
     }
 }
@@ -336,6 +365,35 @@ mod tests {
         // The seeded genome minimizes objective 1; it must survive elitism.
         assert!(result.population.iter().any(|i| i.genes == vec![999]));
         assert_eq!(seen_zero_gen_stats.len(), 1);
+    }
+
+    #[test]
+    fn controlled_run_stops_when_the_observer_says_so() {
+        let problem = TwoHumps { bounds: vec![101] };
+        let cfg = NsgaConfig {
+            population: 10,
+            generations: 50,
+            ..NsgaConfig::default()
+        };
+        let result = Nsga2::new(cfg.clone()).run_controlled(&problem, Vec::new(), |s| {
+            s.generation < 3 // continue through generations 0..=3
+        });
+        assert_eq!(result.generations, 4);
+        assert_eq!(result.evaluations, 10 + 4 * 10);
+        assert!(!result.pareto_front.is_empty());
+
+        // The prefix of a cancelled run matches the uncancelled run.
+        let mut full_gen3 = None;
+        let full = Nsga2::new(cfg).run_seeded(&problem, Vec::new(), |s| {
+            if s.generation == 3 {
+                full_gen3 = Some(s.clone());
+            }
+        });
+        assert_eq!(full.generations, 50);
+        assert_eq!(
+            full_gen3.expect("generation 3 observed").evaluations,
+            result.evaluations
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example battery_feasibility`.
 
-use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::axc::{Budget, Study};
 use printed_mlps::datasets::Dataset;
 use printed_mlps::hw::{FeasibilityZones, TechLibrary, VddModel};
 
@@ -15,7 +15,14 @@ fn main() {
     let vdd = VddModel::egfet();
 
     for dataset in [Dataset::BreastCancer, Dataset::RedWine] {
-        let study = run_study(dataset, &StudyConfig::quick(7), &tech);
+        let study = Study::for_dataset(dataset)
+            .seed(7)
+            .budget(Budget::Quick)
+            .tech(tech.clone())
+            .finish()
+            .expect("quick config is valid")
+            .run_study()
+            .expect("uncancelled study succeeds");
         let spec = dataset.spec();
         println!(
             "{} ({:?} topology {:?})",

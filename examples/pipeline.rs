@@ -1,0 +1,134 @@
+//! A tour of the staged pipeline API: run stages one at a time and
+//! inspect their artifacts, swap the search engine for a prior-work
+//! method, cache stages to disk, and cancel a run mid-flight.
+//!
+//! Run with `cargo run --release --example pipeline`.
+
+use std::sync::Arc;
+
+use printed_mlps::axc::{
+    Budget, CancelToken, FlowError, Pipeline, ProgressEvent, RunManyOptions, Study,
+};
+use printed_mlps::baselines::Tc23Engine;
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::TechLibrary;
+
+fn main() {
+    let tech = TechLibrary::egfet();
+
+    // ---- 1. Stage by stage: every intermediate is a first-class value.
+    println!("== staged run (Breast Cancer, quick budget) ==");
+    let pipeline = Study::for_dataset(Dataset::BreastCancer)
+        .seed(42)
+        .budget(Budget::Quick)
+        .tech(tech.clone())
+        .cache_dir("target/experiments/stages")
+        .finish()
+        .expect("quick config is valid");
+
+    let prepared = pipeline.prepared().expect("prepare");
+    println!(
+        "  prepared      : {} train rows, {} test rows",
+        prepared.train.len(),
+        prepared.test.len()
+    );
+
+    let float = pipeline
+        .float_trained()
+        .expect("float training (cached after the first run)");
+    println!(
+        "  float trained : {:?} topology, test accuracy {:.3}",
+        float.float_mlp.topology().sizes(),
+        float.float_test_accuracy
+    );
+
+    let costed = pipeline.baseline_costed().expect("baseline costing");
+    println!(
+        "  baseline      : accuracy {:.3}, {:.1} cm2, {:.1} mW",
+        costed.baseline_test_accuracy,
+        costed.baseline_report.area_cm2,
+        costed.baseline_report.power_mw
+    );
+
+    let searched = pipeline.searched().expect("search");
+    println!(
+        "  searched      : engine {:?}, {} front designs, {} evaluations",
+        searched.engine,
+        searched.outcome.front.len(),
+        searched.outcome.evaluations
+    );
+
+    let selected = pipeline.select(searched).expect("select");
+    match &selected.selected {
+        Some(best) => println!(
+            "  selected      : accuracy {:.3}, {:.3} cm2, {:.3} mW",
+            best.test_accuracy, best.report.area_cm2, best.report.power_mw
+        ),
+        None => println!("  selected      : no design met the 5% budget"),
+    }
+
+    // ---- 2. Swap the search engine: same stages, different method.
+    println!("\n== same study, TC'23 post-training engine ==");
+    let tc23 = Study::for_dataset(Dataset::BreastCancer)
+        .seed(42)
+        .budget(Budget::Quick)
+        .tech(tech.clone())
+        .engine(Arc::new(Tc23Engine::default()))
+        .finish()
+        .expect("quick config is valid")
+        .run()
+        .expect("tc23 search succeeds");
+    if let Some(point) = tc23.searched.outcome.front.first() {
+        println!(
+            "  tc23 design   : accuracy {:.3}, {:.3} cm2 (multipliers survive, gains saturate)",
+            point.test_accuracy, point.report.area_cm2
+        );
+    }
+
+    // ---- 3. Cancel mid-run: cooperative, at generation granularity.
+    println!("\n== cancellation demo ==");
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let cancelled = Study::for_dataset(Dataset::RedWine)
+        .seed(7)
+        .budget(Budget::Quick)
+        .tech(tech.clone())
+        .progress(move |event| {
+            if let ProgressEvent::GaGeneration { generation, .. } = event {
+                if *generation >= 2 {
+                    trip.cancel();
+                }
+            }
+        })
+        .cancel_token(token)
+        .finish()
+        .expect("quick config is valid")
+        .run();
+    match cancelled {
+        Err(FlowError::Cancelled { stage }) => {
+            println!("  run aborted cooperatively during the {stage} stage");
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // ---- 4. Many datasets in parallel, deterministic per-dataset seeds.
+    println!("\n== run_many (2 datasets, worker pool) ==");
+    let studies = Pipeline::run_many(
+        &[Dataset::BreastCancer, Dataset::RedWine],
+        &printed_mlps::axc::StudyConfig::quick(0),
+        &tech,
+        &RunManyOptions::default(),
+    )
+    .expect("quick configs are valid");
+    for study in &studies {
+        println!(
+            "  {:12} baseline {:.3} -> selected {}",
+            study.dataset.spec().name,
+            study.baseline_test_accuracy,
+            study
+                .selected
+                .as_ref()
+                .map_or("-".into(), |d| format!("{:.3}", d.test_accuracy)),
+        );
+    }
+}

@@ -3,16 +3,22 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::axc::{Budget, Study};
 use printed_mlps::datasets::Dataset;
 use printed_mlps::hw::TechLibrary;
 
 fn main() {
-    // A scaled-down study finishes in seconds; `StudyConfig::default()`
-    // uses production budgets.
-    let config = StudyConfig::quick(42);
-    let tech = TechLibrary::egfet();
-    let study = run_study(Dataset::BreastCancer, &config, &tech);
+    // A scaled-down study finishes in seconds; `Budget::Full` uses
+    // production budgets. See `examples/pipeline.rs` for the staged
+    // API (inspecting stages, caching, progress, cancellation).
+    let study = Study::for_dataset(Dataset::BreastCancer)
+        .seed(42)
+        .budget(Budget::Quick)
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("quick config is valid")
+        .run_study()
+        .expect("uncancelled study succeeds");
 
     println!("Breast Cancer, topology (10,3,2)");
     println!(

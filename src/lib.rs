@@ -8,9 +8,12 @@
 //! * [`mlp`] — float MLPs, backprop, quantization, approximate inference
 //! * [`datasets`] — the five synthetic UCI-like datasets
 //! * [`nsga`] — the NSGA-II multi-objective optimizer
-//! * [`axc`] — the DATE'24 hardware-approximation-aware GA training flow
+//! * [`axc`] — the DATE'24 hardware-approximation-aware GA training
+//!   flow, exposed as a staged `Study`/`Pipeline` API with resumable
+//!   stage artifacts, progress/cancellation, a generic `SearchEngine`
+//!   trait and parallel multi-dataset runs
 //! * [`baselines`] — exact bespoke and state-of-the-art approximate
-//!   comparison points
+//!   comparison points (each also a `SearchEngine`)
 
 pub use pe_arith as arith;
 pub use pe_baselines as baselines;

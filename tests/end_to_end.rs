@@ -1,19 +1,22 @@
 //! Cross-crate integration: the complete Fig. 2 flow on real (synthetic)
 //! data, exercising datasets → float training → quantization → GA →
-//! hardware analysis → selection → Verilog.
+//! hardware analysis → selection → Verilog, through the staged
+//! pipeline API.
 
-use printed_mlps::axc::{run_study, StudyConfig};
+use printed_mlps::axc::{Study, StudyConfig};
 use printed_mlps::datasets::Dataset;
 use printed_mlps::hw::{emit_verilog, Elaborator, TechLibrary};
 use printed_mlps::mlp::ax_to_hardware;
 
 #[test]
 fn breast_cancer_study_produces_usable_designs() {
-    let study = run_study(
-        Dataset::BreastCancer,
-        &StudyConfig::quick(3),
-        &TechLibrary::egfet(),
-    );
+    let study = Study::for_dataset(Dataset::BreastCancer)
+        .config(StudyConfig::quick(3))
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("quick config is valid")
+        .run_study()
+        .expect("uncancelled study succeeds");
 
     // Baseline quality: the synthetic BC task is easy.
     assert!(
@@ -44,7 +47,8 @@ fn breast_cancer_study_produces_usable_designs() {
     assert!(study.area_reduction().expect("selected") > 1.5);
 
     // The selected design lowers to Verilog.
-    let spec = ax_to_hardware(&selected.mlp, "bc_selected");
+    let mlp = selected.network.ax().expect("NSGA designs are AxMlps");
+    let spec = ax_to_hardware(mlp, "bc_selected");
     let elaborated = Elaborator::new(TechLibrary::egfet()).elaborate(&spec);
     let verilog = emit_verilog(&elaborated.netlist, "bc_selected");
     assert!(verilog.contains("module bc_selected"));
@@ -53,30 +57,49 @@ fn breast_cancer_study_produces_usable_designs() {
 
 #[test]
 fn selected_design_accuracy_is_reproducible_from_the_network() {
-    let study = run_study(
-        Dataset::BreastCancer,
-        &StudyConfig::quick(5),
-        &TechLibrary::egfet(),
-    );
+    let study = Study::for_dataset(Dataset::BreastCancer)
+        .config(StudyConfig::quick(5))
+        .tech(TechLibrary::egfet())
+        .finish()
+        .expect("quick config is valid")
+        .run_study()
+        .expect("uncancelled study succeeds");
     if let Some(selected) = &study.selected {
         // Recomputing accuracy from the stored network must give the
         // recorded value exactly (integer-exact inference).
-        let recomputed = selected
-            .mlp
-            .accuracy(&study.test.features, &study.test.labels);
+        let mlp = selected.network.ax().expect("NSGA designs are AxMlps");
+        let recomputed = mlp.accuracy(&study.test.features, &study.test.labels);
         assert!((recomputed - selected.test_accuracy).abs() < 1e-12);
     }
 }
 
 #[test]
-fn studies_are_bit_reproducible() {
+fn studies_are_bit_reproducible_and_match_the_legacy_shim() {
+    let cfg = StudyConfig::quick(11);
     let tech = TechLibrary::egfet();
-    let a = run_study(Dataset::RedWine, &StudyConfig::quick(11), &tech);
-    let b = run_study(Dataset::RedWine, &StudyConfig::quick(11), &tech);
+    let run = || {
+        Study::for_dataset(Dataset::RedWine)
+            .config(cfg.clone())
+            .tech(tech.clone())
+            .finish()
+            .expect("quick config is valid")
+            .run_study()
+            .expect("uncancelled study succeeds")
+    };
+    let a = run();
+    let b = run();
     assert_eq!(a.baseline, b.baseline);
     assert_eq!(a.outcome.front.len(), b.outcome.front.len());
     for (x, y) in a.outcome.front.iter().zip(&b.outcome.front) {
-        assert_eq!(x.mlp, y.mlp);
+        assert_eq!(x.network, y.network);
         assert_eq!(x.report.area_cm2, y.report.area_cm2);
     }
+
+    // The deprecated one-call entry point is a true shim: identical
+    // output for identical input.
+    #[allow(deprecated)]
+    let legacy = printed_mlps::axc::run_study(Dataset::RedWine, &cfg, &tech);
+    assert_eq!(legacy.baseline, a.baseline);
+    assert_eq!(legacy.outcome.front, a.outcome.front);
+    assert_eq!(legacy.selected, a.selected);
 }

@@ -1,0 +1,234 @@
+//! The staged pipeline API end to end: stage artifacts round-trip
+//! through serde, cache to disk and resume without re-running the GA,
+//! parallel `run_many` reproduces sequential output byte-for-byte, and
+//! cancellation aborts mid-run.
+
+use std::sync::{Arc, Mutex};
+
+use printed_mlps::axc::{
+    AxTrainConfig, CancelToken, FlowError, Pipeline, ProgressEvent, RunManyOptions, StageKind,
+    Study, StudyConfig,
+};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::TechLibrary;
+use printed_mlps::nsga::NsgaConfig;
+
+/// A micro GA budget: the whole five-stage pipeline runs in well under
+/// a second per dataset.
+fn micro_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        ga: AxTrainConfig {
+            fitness_subsample: Some(100),
+            nsga: NsgaConfig {
+                population: 8,
+                generations: 4,
+                seed,
+                ..NsgaConfig::default()
+            },
+            ..AxTrainConfig::default()
+        },
+        sgd_epochs_scale: 0.05, // clamps to the 10-epoch floor
+        accuracy_loss_budget: 0.05,
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pe-stage-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type EventLog = Arc<Mutex<Vec<ProgressEvent>>>;
+
+fn recording_pipeline(
+    dataset: Dataset,
+    seed: u64,
+    cache: Option<&std::path::Path>,
+) -> (Pipeline, EventLog) {
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let mut builder = Study::for_dataset(dataset)
+        .config(micro_config(seed))
+        .tech(TechLibrary::egfet())
+        .progress(move |e| sink.lock().expect("unpoisoned").push(e.clone()));
+    if let Some(dir) = cache {
+        builder = builder.cache_dir(dir);
+    }
+    (builder.finish().expect("valid micro config"), events)
+}
+
+fn ga_generations(events: &EventLog) -> usize {
+    events
+        .lock()
+        .expect("unpoisoned")
+        .iter()
+        .filter(|e| matches!(e, ProgressEvent::GaGeneration { .. }))
+        .count()
+}
+
+fn loaded_stages(events: &EventLog) -> Vec<StageKind> {
+    events
+        .lock()
+        .expect("unpoisoned")
+        .iter()
+        .filter_map(|e| match e {
+            ProgressEvent::StageLoaded { stage } => Some(*stage),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn stage_artifacts_round_trip_through_serde() {
+    let (pipeline, _) = recording_pipeline(Dataset::BreastCancer, 17, None);
+    let prepared = pipeline.prepare().expect("prepare");
+    let float = pipeline.train_float(prepared.clone()).expect("train");
+    let costed = pipeline.cost_baseline(float.clone()).expect("cost");
+    let searched = pipeline.search(costed.clone()).expect("search");
+    let selected = pipeline.select(searched.clone()).expect("select");
+
+    macro_rules! round_trip {
+        ($value:expr, $ty:ty) => {{
+            let json = serde_json::to_string_pretty(&$value).expect("serialize");
+            let back: $ty = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, $value);
+        }};
+    }
+    round_trip!(prepared, printed_mlps::axc::Prepared);
+    round_trip!(float, printed_mlps::axc::FloatTrained);
+    round_trip!(costed, printed_mlps::axc::BaselineCosted);
+    round_trip!(searched, printed_mlps::axc::Searched);
+    round_trip!(selected, printed_mlps::axc::Selected);
+}
+
+#[test]
+fn cached_searched_stage_resumes_without_rerunning_the_ga() {
+    let dir = fresh_dir("resume");
+
+    // First run computes and stores every stage up to `Searched`.
+    let (first, first_events) = recording_pipeline(Dataset::BreastCancer, 23, Some(&dir));
+    let searched_once = first.searched().expect("first run");
+    assert!(ga_generations(&first_events) > 0, "the GA actually ran");
+    assert!(loaded_stages(&first_events).is_empty());
+
+    // A fresh pipeline over the same cache resumes: the GA must not run
+    // again, and the full run completes from the cached stage.
+    let (second, second_events) = recording_pipeline(Dataset::BreastCancer, 23, Some(&dir));
+    let selected = second.run().expect("resumed run");
+    assert_eq!(ga_generations(&second_events), 0, "resume must skip the GA");
+    assert_eq!(loaded_stages(&second_events), vec![StageKind::Searched]);
+    assert_eq!(selected.searched, searched_once);
+
+    // A different seed misses the cache (distinct key) and recomputes.
+    let (third, third_events) = recording_pipeline(Dataset::BreastCancer, 24, Some(&dir));
+    let _ = third.searched().expect("different-seed run");
+    assert!(ga_generations(&third_events) > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zero the only non-deterministic field (wall-clock search time) so
+/// equality means "same computation", not "same machine load". The
+/// table artifacts the bins write never include this field.
+fn untimed(mut selected: printed_mlps::axc::Selected) -> printed_mlps::axc::Selected {
+    selected.searched.outcome.ga_wall = std::time::Duration::ZERO;
+    selected
+}
+
+#[test]
+fn cached_results_equal_uncached_results() {
+    let dir = fresh_dir("equal");
+    let (cached, _) = recording_pipeline(Dataset::RedWine, 31, Some(&dir));
+    let (plain, _) = recording_pipeline(Dataset::RedWine, 31, None);
+    let a = cached.run().expect("cached run");
+    let warm = cached.run().expect("warm-cache run");
+    let b = plain.run().expect("plain run");
+    // The warm run loads the stored artifact: equal to the first run
+    // exactly, timing included (cache fidelity).
+    assert_eq!(a, warm);
+    // An uncached pipeline computes the same result up to wall-clock.
+    assert_eq!(untimed(a), untimed(b));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_many_is_parallel_scheduling_invariant() {
+    let datasets = [Dataset::BreastCancer, Dataset::RedWine, Dataset::Cardio];
+    let base = micro_config(5);
+    let tech = TechLibrary::egfet();
+
+    let mut sequential =
+        Pipeline::run_many(&datasets, &base, &tech, &RunManyOptions::with_threads(1))
+            .expect("sequential run");
+    let mut parallel =
+        Pipeline::run_many(&datasets, &base, &tech, &RunManyOptions::with_threads(3))
+            .expect("parallel run");
+
+    // Byte-identical JSON artifacts regardless of scheduling, once the
+    // wall-clock metadata (never part of the table artifacts) is
+    // normalized out.
+    for study in sequential.iter_mut().chain(parallel.iter_mut()) {
+        study.outcome.ga_wall = std::time::Duration::ZERO;
+    }
+    let sequential_json = serde_json::to_string_pretty(&sequential).expect("serialize");
+    let parallel_json = serde_json::to_string_pretty(&parallel).expect("serialize");
+    assert_eq!(sequential_json, parallel_json);
+
+    // Per-dataset seeds are derived, not shared: distinct across rows.
+    assert_eq!(sequential.len(), 3);
+    assert_eq!(sequential[0].dataset, Dataset::BreastCancer);
+    assert_eq!(sequential[1].dataset, Dataset::RedWine);
+}
+
+#[test]
+fn cancellation_aborts_the_float_training_stage() {
+    let token = CancelToken::new();
+    let cancel_after = 3usize;
+    let seen = Arc::new(Mutex::new(0usize));
+    let counter = Arc::clone(&seen);
+    let trip = token.clone();
+    let pipeline = Study::for_dataset(Dataset::BreastCancer)
+        .config(micro_config(41))
+        .tech(TechLibrary::egfet())
+        .progress(move |e| {
+            if matches!(e, ProgressEvent::SgdEpoch { .. }) {
+                let mut n = counter.lock().expect("unpoisoned");
+                *n += 1;
+                if *n == cancel_after {
+                    trip.cancel();
+                }
+            }
+        })
+        .cancel_token(token)
+        .finish()
+        .expect("valid micro config");
+
+    match pipeline.run() {
+        Err(FlowError::Cancelled { stage }) => assert_eq!(stage, StageKind::FloatTrained),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert_eq!(*seen.lock().expect("unpoisoned"), cancel_after);
+}
+
+#[test]
+fn cancellation_aborts_the_search_stage_mid_ga() {
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let pipeline = Study::for_dataset(Dataset::BreastCancer)
+        .config(micro_config(43))
+        .tech(TechLibrary::egfet())
+        .progress(move |e| {
+            if matches!(e, ProgressEvent::GaGeneration { generation: 1, .. }) {
+                trip.cancel();
+            }
+        })
+        .cancel_token(token)
+        .finish()
+        .expect("valid micro config");
+
+    match pipeline.run() {
+        Err(FlowError::Cancelled { stage }) => assert_eq!(stage, StageKind::Searched),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+}

@@ -1,14 +1,14 @@
 //! Vendored minimal stand-in for the `serde_json` crate.
 //!
-//! Renders the vendored `serde::Value` data model as JSON text. Only
-//! the API surface this workspace uses is provided:
-//! [`to_string_pretty`] (and [`to_string`] for good measure).
+//! Renders the vendored `serde::Value` data model as JSON text and
+//! parses it back. Only the API surface this workspace uses is
+//! provided: [`to_string_pretty`], [`to_string`] and [`from_str`].
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Serialization error. The vendored data model is always renderable,
 /// so this is never actually produced, but the `Result` shape matches
@@ -106,6 +106,228 @@ fn render_block(
     out.push(close);
 }
 
+/// Parse JSON text into any [`Deserialize`] type.
+///
+/// Numbers without a fraction or exponent become integers (`U64`, or
+/// `I64` when negative); everything else becomes `F64` — matching what
+/// the renderer above emits, so values round-trip.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                char::from(b),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {other:?} at byte {} of JSON input",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => return Err(Error(format!("expected ',' or ']', got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => return Err(Error(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("non-ASCII \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
+                            self.pos += 4;
+                            // The renderer only emits \u for control
+                            // characters; surrogate pairs are out of
+                            // scope for this stand-in.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("invalid codepoint {code}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("unknown escape {:?}", char::from(other))))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("bad float {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("bad integer {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("bad integer {text:?}")))
+        }
+    }
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -122,4 +344,54 @@ fn render_string(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let mut text = String::new();
+        render(v, None, 0, &mut text);
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let back = p.parse_value().expect("parse");
+        assert_eq!(&back, v, "round-trip through {text}");
+    }
+
+    #[test]
+    fn values_round_trip_through_text() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::U64(u64::MAX));
+        round_trip(&Value::I64(i64::MIN));
+        round_trip(&Value::F64(0.1 + 0.2));
+        round_trip(&Value::F64(-1.5e300));
+        round_trip(&Value::F64(3.0));
+        round_trip(&Value::Str("line\n\"quoted\" \\ tab\t\u{1}\u{e9}".into()));
+        round_trip(&Value::Seq(vec![Value::U64(1), Value::Null]));
+        round_trip(&Value::Map(vec![
+            ("a".into(), Value::Seq(vec![])),
+            ("b".into(), Value::Map(vec![])),
+        ]));
+    }
+
+    #[test]
+    fn typed_from_str_parses_pretty_output() {
+        let v: Vec<Option<f64>> = vec![Some(1.25), None, Some(-3.0)];
+        let text = to_string_pretty(&v).expect("render");
+        let back: Vec<Option<f64>> = from_str(&text).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<Vec<u64>>("[1] trailing").is_err());
+        assert!(from_str::<u64>("nul").is_err());
+        assert!(from_str::<String>("\"\\q\"").is_err());
+    }
 }
