@@ -1,0 +1,176 @@
+//! A small bounded memoization cache shared by the evaluation hot
+//! paths.
+//!
+//! [`BoundedCache`] is a segmented (two-generation) LRU approximation:
+//! lookups promote entries into the *hot* generation, and when the hot
+//! generation fills up it becomes the *cold* one (dropping the previous
+//! cold generation wholesale). Every operation is O(1); anything
+//! touched within the last `capacity` insertions survives, anything
+//! untouched for two generations is evicted — the classic
+//! "second-chance" bound used where exact LRU bookkeeping isn't worth
+//! its linked-list overhead.
+//!
+//! The cache only ever memoizes **pure** functions in this workspace
+//! (genome → fitness, neuron spec → gate counts), so eviction can never
+//! change a result — only how much work is re-done.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map with segmented-LRU eviction and hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct BoundedCache<K, V> {
+    hot: HashMap<K, V>,
+    cold: HashMap<K, V>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
+    /// A cache holding at most ~`2 × capacity` entries (`capacity` per
+    /// generation). A zero capacity is clamped to 1.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a key, promoting a cold entry into the hot generation.
+    /// Counts one hit or miss.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if let Some(v) = self.hot.get(key) {
+            self.hits += 1;
+            return Some(v.clone());
+        }
+        if let Some((k, v)) = self.cold.remove_entry(key) {
+            self.hits += 1;
+            let out = v.clone();
+            self.rotate_if_full();
+            self.hot.insert(k, v);
+            return Some(out);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Insert a key into the hot generation (rotating generations when
+    /// the hot one is full).
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(slot) = self.hot.get_mut(&key) {
+            *slot = value;
+            return;
+        }
+        self.rotate_if_full();
+        self.cold.remove(&key);
+        self.hot.insert(key, value);
+    }
+
+    fn rotate_if_full(&mut self) {
+        if self.hot.len() >= self.capacity {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+    }
+
+    /// Entries currently resident (both generations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty() && self.cold.is_empty()
+    }
+
+    /// Lifetime hit count (lookups served from either generation).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        assert!(c.get(&1).is_none());
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        for i in 0..100 {
+            c.insert(i, i);
+        }
+        // At most two generations of 4 entries each stay resident.
+        assert!(c.len() <= 8, "len {}", c.len());
+        // The most recent insert always survives.
+        assert_eq!(c.get(&99), Some(99));
+    }
+
+    #[test]
+    fn recently_used_entries_survive_a_rotation() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3); // hot full
+        c.insert(4, 4); // rotates {1,2,3} to cold
+        assert_eq!(c.get(&1), Some(1)); // promoted back to hot
+        c.insert(5, 5);
+        c.insert(6, 6); // rotates again; 1 was hot, so it survives in cold
+        assert_eq!(c.get(&1), Some(1));
+    }
+
+    #[test]
+    fn untouched_entries_are_eventually_evicted() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
+        c.insert(1, 1);
+        for i in 10..20 {
+            c.insert(i, i);
+        }
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_value_in_place() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
+        c.insert(1, 1);
+        c.insert(1, 2);
+        assert_eq!(c.get(&1), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_key_lookup_works() {
+        let mut c: BoundedCache<Vec<u32>, u32> = BoundedCache::new(2);
+        c.insert(vec![1, 2, 3], 7);
+        let slice: &[u32] = &[1, 2, 3];
+        assert_eq!(c.get(slice), Some(7));
+    }
+}

@@ -31,7 +31,11 @@ pub struct WeightArith {
 
 /// Arithmetic description of one approximate neuron `θ_j^(l)`:
 /// everything the area estimate depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` make the spec directly usable as a memoization key: two
+/// neurons with the same weight signature (masks, signs, shifts), bias
+/// and input width cost exactly the same hardware.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NeuronArithSpec {
     /// Width of each input activation in bits (4 for first-layer inputs,
     /// 8 for hidden QReLU activations in the paper's setup).
@@ -194,6 +198,117 @@ impl Default for AdderAreaEstimator {
     }
 }
 
+/// The gate-count summary of one neuron's adder area — everything the
+/// GA's area objectives consume, without the per-column
+/// [`ColumnProfile`] (which makes [`AdderAreaReport`] too heavy to
+/// memoize by the million).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronGateCounts {
+    /// Full adders (compression tree + final carry-propagate adder).
+    pub full_adders: u32,
+    /// Half adders (only non-zero under [`ReductionKind::FaHa`]).
+    pub half_adders: u32,
+    /// NOT gates for subtracted summands' inverted bits.
+    pub not_gates: u32,
+    /// Reduction depth in compressor stages.
+    pub stages: u32,
+    /// Accumulator width used for sign folding.
+    pub accumulator_bits: u32,
+}
+
+impl NeuronGateCounts {
+    /// Scalar cost used as the GA's FA-count objective (paper Eq. (2)):
+    /// FAs with HAs at half weight.
+    #[must_use]
+    pub fn fa_equivalent(&self) -> f64 {
+        f64::from(self.full_adders) + 0.5 * f64::from(self.half_adders)
+    }
+}
+
+impl From<&AdderAreaReport> for NeuronGateCounts {
+    fn from(r: &AdderAreaReport) -> Self {
+        Self {
+            full_adders: r.full_adders,
+            half_adders: r.half_adders,
+            not_gates: r.not_gates,
+            stages: r.stages,
+            accumulator_bits: r.accumulator_bits,
+        }
+    }
+}
+
+/// A memoizing wrapper around [`AdderAreaEstimator`].
+///
+/// Sibling genomes in a GA population differ in a handful of genes, so
+/// almost all of their neurons are *identical* specs — this estimator
+/// keys a [`BoundedCache`](crate::BoundedCache) by the full
+/// [`NeuronArithSpec`] (weight signature + bit widths + bias) and skips
+/// the column-profile construction and compressor-tree reduction for
+/// every repeat. Estimation is a pure function of the spec, so the
+/// memoized counts are exactly the computed ones.
+///
+/// Clones share one cache (and its hit/miss counters) and the type is
+/// `Send + Sync`: a parallel batch evaluator can score genomes on many
+/// threads against one shared neuron cache.
+#[derive(Debug, Clone)]
+pub struct MemoAreaEstimator {
+    inner: AdderAreaEstimator,
+    cache: std::sync::Arc<std::sync::Mutex<crate::BoundedCache<NeuronArithSpec, NeuronGateCounts>>>,
+}
+
+/// Per-generation default: large enough for every distinct neuron a
+/// paper-scale run encounters between rotations, small enough to stay
+/// in the tens of megabytes.
+pub const NEURON_CACHE_CAPACITY: usize = 1 << 15;
+
+impl MemoAreaEstimator {
+    /// Memoize `inner` with the default cache capacity.
+    #[must_use]
+    pub fn new(inner: AdderAreaEstimator) -> Self {
+        Self::with_capacity(inner, NEURON_CACHE_CAPACITY)
+    }
+
+    /// Memoize `inner` with an explicit per-generation cache capacity.
+    #[must_use]
+    pub fn with_capacity(inner: AdderAreaEstimator, capacity: usize) -> Self {
+        Self {
+            inner,
+            cache: std::sync::Arc::new(std::sync::Mutex::new(crate::BoundedCache::new(capacity))),
+        }
+    }
+
+    /// The underlying (uncached) estimator.
+    #[must_use]
+    pub fn inner(&self) -> &AdderAreaEstimator {
+        &self.inner
+    }
+
+    /// Gate counts of one neuron, memoized by its spec.
+    #[must_use]
+    pub fn counts(&self, spec: &NeuronArithSpec) -> NeuronGateCounts {
+        let mut cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(counts) = cache.get(spec) {
+            return counts;
+        }
+        let counts = NeuronGateCounts::from(&self.inner.estimate(spec));
+        cache.insert(spec.clone(), counts);
+        counts
+    }
+
+    /// Lifetime `(hits, misses)` of the shared neuron cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (cache.hits(), cache.misses())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +437,66 @@ mod tests {
         let total = est.estimate_total([&a, &b]);
         let expected = est.estimate(&a).fa_equivalent() + est.estimate(&b).fa_equivalent();
         assert!((total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_counts_equal_direct_estimates() {
+        let est = AdderAreaEstimator::paper();
+        let memo = MemoAreaEstimator::new(est);
+        let specs = [
+            spec(vec![], 0),
+            spec(
+                vec![
+                    WeightArith {
+                        mask: 0b1011,
+                        shift: 1,
+                        negative: true,
+                    },
+                    WeightArith {
+                        mask: 0b1111,
+                        shift: 0,
+                        negative: false,
+                    },
+                ],
+                -7,
+            ),
+            spec(
+                vec![
+                    WeightArith {
+                        mask: 0b1111,
+                        shift: 3,
+                        negative: false
+                    };
+                    9
+                ],
+                42,
+            ),
+        ];
+        for s in &specs {
+            let direct = NeuronGateCounts::from(&est.estimate(s));
+            assert_eq!(memo.counts(s), direct); // cold
+            assert_eq!(memo.counts(s), direct); // hot
+        }
+        let (hits, misses) = memo.cache_stats();
+        assert_eq!(misses, specs.len() as u64);
+        assert_eq!(hits, specs.len() as u64);
+    }
+
+    #[test]
+    fn memo_clones_share_one_cache() {
+        let memo = MemoAreaEstimator::new(AdderAreaEstimator::paper());
+        let clone = memo.clone();
+        let s = spec(
+            vec![WeightArith {
+                mask: 0b1111,
+                shift: 0,
+                negative: false,
+            }],
+            1,
+        );
+        let _ = memo.counts(&s);
+        let _ = clone.counts(&s);
+        assert_eq!(clone.cache_stats(), (1, 1));
     }
 
     #[test]

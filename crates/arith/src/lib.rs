@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod column;
 pub mod csd;
 pub mod error;
@@ -52,10 +53,14 @@ pub mod fixed;
 pub mod reduce;
 pub mod summand;
 
+pub use cache::BoundedCache;
 pub use column::ColumnProfile;
 pub use csd::{csd_digits, CsdDigit};
 pub use error::ArithError;
-pub use estimator::{AdderAreaEstimator, AdderAreaReport, NeuronArithSpec, WeightArith};
+pub use estimator::{
+    AdderAreaEstimator, AdderAreaReport, MemoAreaEstimator, NeuronArithSpec, NeuronGateCounts,
+    WeightArith,
+};
 pub use fixed::{
     clamp_to_bits, max_signed, max_unsigned, min_signed, signed_width, unsigned_width,
 };

@@ -1,0 +1,195 @@
+//! The GA evaluation hot path: single-genome serial scoring vs the
+//! batched, parallel, memoized evaluation core.
+//!
+//! Run with `cargo bench -p pe-bench --bench eval_hot_path`. Besides
+//! the Criterion timings it writes `target/experiments/BENCH_eval.json`
+//! with evaluations/sec for three regimes — serial loop, cold
+//! batched-parallel, and a GA-shaped generation stream where elitist
+//! duplicates hit the genome memo — so CI can track the speedup of
+//! batching + memoization over the naive loop.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use serde::Serialize;
+
+use pe_datasets::{generate, quantize, stratified_split, Dataset};
+use pe_mlp::{AxMlp, FixedMlp, QuantConfig, Topology, TrainConfig};
+use pe_nsga::{random_genome, IntProblem};
+use printed_axc::eval::{thread_budget, CachedEvaluator};
+use printed_axc::{AxTrainConfig, AxTrainProblem, HwAwareTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A realistic fitness problem (the Pendigits study's shape) plus a
+/// population of genomes around the doped seed.
+fn setup() -> (AxTrainProblem, Vec<Vec<u32>>) {
+    let spec = Dataset::Pendigits.spec();
+    let data = generate(Dataset::Pendigits, 0);
+    let split = stratified_split(&data, 0.7, 0).expect("valid fraction");
+    let sgd = TrainConfig {
+        epochs: 5,
+        seed: 0,
+        ..TrainConfig::default()
+    };
+    let (mlp, _) = pe_mlp::train::train_best_of(
+        &Topology::new(spec.topology()),
+        &split.train.features,
+        &split.train.labels,
+        &sgd,
+        1,
+    );
+    let fixed = FixedMlp::quantize(&mlp, QuantConfig::default(), &split.train.features);
+    let train_q = quantize(&split.train, 4);
+
+    let config = AxTrainConfig::default();
+    let genome_spec = HwAwareTrainer::new(config.clone()).genome_spec_for(&fixed);
+    let rows = train_q.features[..train_q.len().min(400)].to_vec();
+    let labels = train_q.labels[..train_q.len().min(400)].to_vec();
+    let baseline_acc = fixed.accuracy(&rows, &labels);
+    let problem = AxTrainProblem::new(genome_spec.clone(), rows, labels, baseline_acc, 0.10);
+
+    // Population: the doped seed plus random genomes, as generation 0
+    // of a real run would contain.
+    let mut rng = StdRng::seed_from_u64(7);
+    let doped = genome_spec.encode(&AxMlp::from_fixed(
+        &fixed,
+        config.max_shift(),
+        config.bias_bits,
+    ));
+    let mut population = vec![doped];
+    while population.len() < 32 {
+        population.push(random_genome(genome_spec.bounds(), &mut rng));
+    }
+    (problem, population)
+}
+
+/// Mutate ~2% of each genome's genes in place — the per-generation
+/// churn an elitist GA produces (most neurons survive unchanged, many
+/// genomes recur verbatim).
+fn drift(population: &mut [Vec<u32>], bounds: &[u32], rng: &mut StdRng) {
+    for genome in population.iter_mut() {
+        if rng.gen_bool(0.3) {
+            continue; // elitist survivor: resubmitted verbatim
+        }
+        for (g, &b) in genome.iter_mut().zip(bounds) {
+            if rng.gen_bool(0.02) {
+                *g = rng.gen_range(0..b);
+            }
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct EvalBenchReport {
+    threads: usize,
+    population: usize,
+    generation_rounds: usize,
+    serial_evals_per_sec: f64,
+    batch_cold_evals_per_sec: f64,
+    ga_stream_memoized_evals_per_sec: f64,
+    speedup_batch_cold_vs_serial: f64,
+    speedup_ga_stream_vs_serial: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Timed comparison written to `BENCH_eval.json` (independent of the
+/// Criterion samples so the JSON is one clean apples-to-apples pass).
+fn write_report(problem: &AxTrainProblem, population: &[Vec<u32>]) {
+    let threads = thread_budget();
+    let rounds = 5;
+
+    // Regime 1: the pre-refactor loop — one genome at a time, no memo.
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for genome in population {
+            black_box(problem.evaluate(genome));
+        }
+    }
+    let serial = started.elapsed();
+
+    // Regime 2: cold batched-parallel waves (fresh evaluator each
+    // round: no memoization carry-over, pure batching/threading).
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let evaluator = CachedEvaluator::new(problem);
+        black_box(evaluator.evaluate_batch(population));
+    }
+    let batch_cold = started.elapsed();
+
+    // Regime 3: a GA-shaped generation stream — the same evaluator
+    // sees successive waves where elitist survivors recur verbatim and
+    // mutants share most neurons (memo + batching together).
+    let evaluator = CachedEvaluator::new(problem);
+    let mut wave = population.to_vec();
+    let mut rng = StdRng::seed_from_u64(11);
+    let started = Instant::now();
+    for _ in 0..rounds {
+        black_box(evaluator.evaluate_batch(&wave));
+        drift(&mut wave, problem.bounds(), &mut rng);
+    }
+    let ga_stream = started.elapsed();
+
+    let evals = (rounds * population.len()) as f64;
+    let per_sec = |d: std::time::Duration| evals / d.as_secs_f64().max(1e-9);
+    let stats = evaluator.stats();
+    let report = EvalBenchReport {
+        threads,
+        population: population.len(),
+        generation_rounds: rounds,
+        serial_evals_per_sec: per_sec(serial),
+        batch_cold_evals_per_sec: per_sec(batch_cold),
+        ga_stream_memoized_evals_per_sec: per_sec(ga_stream),
+        speedup_batch_cold_vs_serial: serial.as_secs_f64() / batch_cold.as_secs_f64().max(1e-9),
+        speedup_ga_stream_vs_serial: serial.as_secs_f64() / ga_stream.as_secs_f64().max(1e-9),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    };
+    println!(
+        "eval core: serial {:.0} evals/s | batch(x{threads}) {:.0} evals/s ({:.2}x) | ga-stream {:.0} evals/s ({:.2}x, {} hits / {} misses)",
+        report.serial_evals_per_sec,
+        report.batch_cold_evals_per_sec,
+        report.speedup_batch_cold_vs_serial,
+        report.ga_stream_memoized_evals_per_sec,
+        report.speedup_ga_stream_vs_serial,
+        report.cache_hits,
+        report.cache_misses,
+    );
+    pe_bench::format::write_json("BENCH_eval", &report);
+}
+
+fn bench(c: &mut Criterion) {
+    let (problem, population) = setup();
+
+    c.bench_function("evaluate_population_serial", |b| {
+        b.iter(|| {
+            for genome in &population {
+                black_box(problem.evaluate(genome));
+            }
+        })
+    });
+
+    c.bench_function("evaluate_population_batch_parallel_cold", |b| {
+        b.iter_batched(
+            || CachedEvaluator::new(&problem),
+            |evaluator| evaluator.evaluate_batch(&population),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("evaluate_population_batch_warm_memo", |b| {
+        let evaluator = CachedEvaluator::new(&problem);
+        let _ = evaluator.evaluate_batch(&population);
+        b.iter(|| evaluator.evaluate_batch(&population))
+    });
+
+    write_report(&problem, &population);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench
+);
+criterion_main!(benches);

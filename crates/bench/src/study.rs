@@ -94,16 +94,14 @@ pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> 
     .expect("bench presets are valid and uncancelled")
 }
 
-/// Worker-pool options honoring the `PE_THREADS` environment variable
-/// (`0`/unset = one worker per core; `1` forces sequential execution —
-/// the output is byte-identical either way).
+/// Worker-pool options honoring the shared `PE_THREADS` budget
+/// ([`printed_axc::eval::thread_budget`]: `0`/unset = one worker per
+/// core; `1` forces sequential execution — the output is byte-identical
+/// either way). The same budget governs the within-study batch
+/// evaluator, so one knob controls every pool the bench bins spin up.
 #[must_use]
 pub fn run_many_options() -> RunManyOptions {
-    let threads = std::env::var("PE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    RunManyOptions::with_threads(threads)
+    RunManyOptions::with_threads(printed_axc::eval::thread_budget())
 }
 
 /// [`run_studies`], returning the full [`Selected`] stage artifacts
@@ -122,16 +120,6 @@ pub fn run_selected(budget: BudgetPreset, master_seed: u64) -> Vec<Selected> {
         &run_many_options(),
     )
     .expect("bench presets are valid and uncancelled")
-}
-
-/// Run studies for all five datasets at the given budget.
-///
-/// Legacy shim over [`run_studies`]; note that per-dataset seeds are
-/// now derived from `seed` rather than shared verbatim.
-#[deprecated(since = "0.1.0", note = "use run_studies (Pipeline::run_many)")]
-#[must_use]
-pub fn run_all_studies(budget: BudgetPreset, seed: u64) -> Vec<DatasetStudy> {
-    run_studies(budget, seed)
 }
 
 #[cfg(test)]

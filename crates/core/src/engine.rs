@@ -18,7 +18,7 @@ use pe_nsga::{Nsga2, NsgaConfig};
 use crate::config::AxTrainConfig;
 use crate::error::FlowError;
 use crate::pareto::{DesignNetwork, DesignPoint};
-use crate::progress::{ProgressEvent, RunControl, StageKind};
+use crate::progress::{RunControl, StageKind};
 use crate::train::{HwAwareTrainer, PlainGaProblem};
 
 /// Everything a search run produces; re-exported name for
@@ -65,6 +65,14 @@ pub struct SearchContext<'a> {
     pub elaborator: &'a Elaborator,
     /// The reporting accuracy-loss budget (5% in the paper).
     pub loss_budget: f64,
+    /// Worker budget for the engine's within-study batch evaluation
+    /// (see [`crate::eval`]). [`Pipeline::run_many`]
+    /// (crate::Pipeline::run_many) divides the global
+    /// [`thread_budget`](crate::eval::thread_budget) across its
+    /// concurrent dataset workers, so the two pool levels multiply to
+    /// the budget instead of oversubscribing it. Thread count never
+    /// affects results.
+    pub eval_threads: usize,
 }
 
 /// A design-space search strategy: objectives in, evaluated
@@ -140,15 +148,17 @@ impl SearchEngine for NsgaEngine {
         ctx: &SearchContext<'_>,
         ctl: &RunControl<'_>,
     ) -> Result<SearchOutcome, FlowError> {
-        HwAwareTrainer::new(self.config.clone()).train_controlled(
-            ctx.baseline,
-            ctx.baseline_train_accuracy,
-            ctx.train,
-            ctx.test,
-            ctx.elaborator,
-            ctx.name,
-            ctl,
-        )
+        HwAwareTrainer::new(self.config.clone())
+            .with_eval_threads(ctx.eval_threads)
+            .train_controlled(
+                ctx.baseline,
+                ctx.baseline_train_accuracy,
+                ctx.train,
+                ctx.test,
+                ctx.elaborator,
+                ctx.name,
+                ctl,
+            )
     }
 }
 
@@ -202,18 +212,16 @@ impl SearchEngine for PlainGaEngine {
             self.weight_bits,
             self.bias_bits,
         );
-        let generations = self.nsga.generations;
-        let mut history = Vec::with_capacity(generations);
+        let mut history = Vec::with_capacity(self.nsga.generations);
         let started = Instant::now();
-        let result = Nsga2::new(self.nsga.clone()).run_controlled(&problem, Vec::new(), |s| {
-            history.push(s.clone());
-            ctl.emit(&ProgressEvent::GaGeneration {
-                generation: s.generation,
-                generations,
-                evaluations: s.evaluations,
-            });
-            !ctl.is_cancelled()
-        });
+        let result = crate::eval::run_ga_cached(
+            &Nsga2::new(self.nsga.clone()),
+            &problem,
+            Vec::new(),
+            ctx.eval_threads,
+            ctl,
+            &mut history,
+        );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
 
@@ -227,7 +235,7 @@ impl SearchEngine for PlainGaEngine {
                 let mlp = problem.decode(&best.genes);
                 let report = ctx
                     .elaborator
-                    .elaborate(&fixed_to_hardware(&mlp, format!("{}_plain_ga", ctx.name)))
+                    .cost(&fixed_to_hardware(&mlp, format!("{}_plain_ga", ctx.name)))
                     .report;
                 let trunc_bits = vec![0; mlp.layers.len()];
                 DesignPoint {

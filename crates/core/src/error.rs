@@ -7,9 +7,6 @@ use pe_datasets::DatasetError;
 use crate::progress::StageKind;
 
 /// Everything that can go wrong while building or running a pipeline.
-///
-/// The legacy [`run_study`](crate::flow::run_study) shim panics on
-/// these; the staged API surfaces them as values.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FlowError {

@@ -7,8 +7,9 @@
 //! constrained domination rather than a penalty term, so infeasible
 //! chromosomes are still ordered by how close to feasibility they are.
 
-use pe_arith::AdderAreaEstimator;
+use pe_arith::{AdderAreaEstimator, MemoAreaEstimator};
 use pe_hw::{argmax_gate_counts, qrelu_gate_counts, TechLibrary};
+use pe_mlp::InferenceScratch;
 use pe_nsga::{Evaluation, IntProblem};
 use serde::{Deserialize, Serialize};
 
@@ -39,12 +40,18 @@ impl Default for AreaObjective {
 
 /// The GA training problem: genomes decode to approximate MLPs which
 /// are scored on (training error, estimated area).
+///
+/// Scoring is a pure function of the genes, so the problem composes
+/// with [`crate::eval::CachedEvaluator`] for memoized, batch-parallel
+/// evaluation; internally, per-neuron gate counts are memoized by
+/// weight signature ([`MemoAreaEstimator`], shared across clones and
+/// threads), so sibling genomes only pay for the neurons they changed.
 #[derive(Debug, Clone)]
 pub struct AxTrainProblem {
     spec: GenomeSpec,
     rows: Vec<Vec<u8>>,
     labels: Vec<usize>,
-    estimator: AdderAreaEstimator,
+    estimator: MemoAreaEstimator,
     objective: AreaObjective,
     tech: TechLibrary,
     /// Exact-baseline accuracy on the same rows.
@@ -77,7 +84,7 @@ impl AxTrainProblem {
             spec,
             rows,
             labels,
-            estimator: AdderAreaEstimator::paper(),
+            estimator: MemoAreaEstimator::new(AdderAreaEstimator::paper()),
             objective: AreaObjective::GateEquivalents,
             tech: TechLibrary::egfet(),
             baseline_accuracy,
@@ -116,11 +123,21 @@ impl AxTrainProblem {
     /// units of the configured [`AreaObjective`].
     #[must_use]
     pub fn score(&self, mlp: &pe_mlp::AxMlp) -> (f64, f64) {
-        let accuracy = mlp.accuracy(&self.rows, &self.labels);
+        self.score_with(mlp, &mut InferenceScratch::new())
+    }
+
+    /// [`score`](Self::score) against caller-provided inference
+    /// scratch buffers — the allocation-free batch hot path.
+    #[must_use]
+    pub fn score_with(&self, mlp: &pe_mlp::AxMlp, scratch: &mut InferenceScratch) -> (f64, f64) {
+        let accuracy = mlp.accuracy_batch(&self.rows, &self.labels, scratch);
         let area = match self.objective {
-            AreaObjective::FaCount => self
-                .estimator
-                .estimate_total(mlp.arith_specs().iter().flatten()),
+            AreaObjective::FaCount => mlp
+                .arith_specs()
+                .iter()
+                .flatten()
+                .map(|n| self.estimator.counts(n).fa_equivalent())
+                .sum(),
             AreaObjective::GateEquivalents => self.gate_equivalents(mlp),
         };
         (accuracy, area)
@@ -145,13 +162,13 @@ impl AxTrainProblem {
             for n in &layer.neurons {
                 let mut spec = n.to_arith_spec(layer.input_bits);
                 spec.bias -= i64::from(bias_shift);
-                let report = self.estimator.estimate(&spec);
-                ge += f64::from(report.full_adders) * self.tech.ge(pe_hw::Cell::Fa)
-                    + f64::from(report.half_adders) * self.tech.ge(pe_hw::Cell::Ha)
-                    + f64::from(report.not_gates) * self.tech.ge(pe_hw::Cell::Not);
-                max_width = max_width.max(report.accumulator_bits);
+                let counts = self.estimator.counts(&spec);
+                ge += f64::from(counts.full_adders) * self.tech.ge(pe_hw::Cell::Fa)
+                    + f64::from(counts.half_adders) * self.tech.ge(pe_hw::Cell::Ha)
+                    + f64::from(counts.not_gates) * self.tech.ge(pe_hw::Cell::Not);
+                max_width = max_width.max(counts.accumulator_bits);
                 if let Some(q) = layer.qrelu {
-                    let gates = qrelu_gate_counts(report.accumulator_bits, q.out_bits, q.shift);
+                    let gates = qrelu_gate_counts(counts.accumulator_bits, q.out_bits, q.shift);
                     ge += self.counts_ge(&gates);
                 }
             }
@@ -177,8 +194,16 @@ impl IntProblem for AxTrainProblem {
     }
 
     fn evaluate(&self, genes: &[u32]) -> Evaluation {
+        // One inference scratch per worker thread, reused across every
+        // genome that thread scores — the per-sample *and* per-genome
+        // buffer allocations both leave the hot loop.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<InferenceScratch> =
+                std::cell::RefCell::new(InferenceScratch::new());
+        }
         let mlp = self.spec.decode(genes);
-        let (accuracy, area) = self.score(&mlp);
+        let (accuracy, area) =
+            SCRATCH.with(|scratch| self.score_with(&mlp, &mut scratch.borrow_mut()));
         let objectives = vec![1.0 - accuracy, area];
         let floor = self.accuracy_floor();
         if accuracy + 1e-12 >= floor {

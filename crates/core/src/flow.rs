@@ -1,23 +1,22 @@
-//! Legacy one-call flow: the complete pipeline of the paper's
-//! evaluation, from raw data to the Table II row.
+//! The record types of a complete one-dataset study: its configuration
+//! ([`StudyConfig`]) and its flattened artifacts ([`DatasetStudy`]).
 //!
-//! Steps (matching §V-A): generate/load the dataset → stratified 70/30
-//! split → backprop-train the float MLP at the paper's topology →
-//! quantize to the exact bespoke baseline (8-bit weights, 4-bit inputs)
-//! → elaborate and cost the baseline circuit (the Table I row) → run
-//! the hardware-aware GA → hardware-analyse the front → select the
-//! smallest design within the 5% accuracy-loss budget (the Table II
-//! row).
-//!
-//! [`run_study`] is now a deprecated shim over the staged API in
-//! [`crate::pipeline`], which exposes each step as a serializable,
-//! cacheable, resumable stage artifact with progress reporting and
-//! cooperative cancellation.
+//! The study itself runs through the staged API in [`crate::pipeline`]
+//! — generate/load the dataset → stratified 70/30 split →
+//! backprop-train the float MLP at the paper's topology → quantize to
+//! the exact bespoke baseline (8-bit weights, 4-bit inputs) → cost the
+//! baseline circuit (the Table I row) → run the hardware-aware GA →
+//! hardware-analyse the front → select the smallest design within the
+//! 5% accuracy-loss budget (the Table II row) — each step a
+//! serializable, cacheable, resumable stage artifact with progress
+//! reporting and cooperative cancellation.
+//! [`Pipeline::run_study`](crate::Pipeline::run_study) flattens the
+//! final stage into a [`DatasetStudy`].
 
 use serde::{Deserialize, Serialize};
 
 use pe_datasets::{Dataset, DatasetSpec, QuantizedData};
-use pe_hw::{HardwareReport, TechLibrary};
+use pe_hw::HardwareReport;
 use pe_mlp::{FixedMlp, TrainConfig};
 
 use crate::config::AxTrainConfig;
@@ -117,46 +116,20 @@ impl DatasetStudy {
     }
 }
 
-/// Run the full pipeline for one dataset.
-///
-/// Deterministic in `config.seed`. The `tech` library is used for both
-/// baseline and approximate circuit evaluation, so reduction factors
-/// are internally consistent.
-///
-/// Thin legacy shim over the staged API — new code should build a
-/// [`crate::Study`] and inspect/cache/resume the stages it needs.
-///
-/// # Panics
-///
-/// Panics if the configuration is rejected by
-/// [`Study::finish`](crate::Study::finish) (the staged API returns
-/// [`crate::FlowError`] instead).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the staged pipeline: `Study::for_dataset(d).config(c).tech(t).finish()?.run_study()`"
-)]
-#[must_use]
-pub fn run_study(dataset: Dataset, config: &StudyConfig, tech: &TechLibrary) -> DatasetStudy {
-    crate::pipeline::Study::for_dataset(dataset)
-        .config(config.clone())
-        .tech(tech.clone())
-        .finish()
-        .and_then(|pipeline| pipeline.run_study())
-        .unwrap_or_else(|e| panic!("legacy run_study: {e}"))
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy shim on purpose
 mod tests {
     use super::*;
+    use pe_hw::TechLibrary;
 
     #[test]
     fn quick_study_on_breast_cancer_end_to_end() {
-        let study = run_study(
-            Dataset::BreastCancer,
-            &StudyConfig::quick(1),
-            &TechLibrary::egfet(),
-        );
+        let study = crate::pipeline::Study::for_dataset(Dataset::BreastCancer)
+            .config(StudyConfig::quick(1))
+            .tech(TechLibrary::egfet())
+            .finish()
+            .expect("quick config is valid")
+            .run_study()
+            .expect("uncancelled study succeeds");
         // The synthetic BC dataset is easy: the float baseline should be
         // strong even with a quick budget.
         assert!(
@@ -179,17 +152,5 @@ mod tests {
             let reduction = study.area_reduction().expect("selected exists");
             assert!(reduction > 1.0, "area reduction {reduction}");
         }
-    }
-
-    #[test]
-    fn studies_are_reproducible() {
-        let cfg = StudyConfig::quick(7);
-        let tech = TechLibrary::egfet();
-        let a = run_study(Dataset::RedWine, &cfg, &tech);
-        let b = run_study(Dataset::RedWine, &cfg, &tech);
-        assert_eq!(a.baseline, b.baseline);
-        assert_eq!(a.baseline_test_accuracy, b.baseline_test_accuracy);
-        assert_eq!(a.outcome.front.len(), b.outcome.front.len());
-        assert_eq!(a.outcome.evaluations, b.outcome.evaluations);
     }
 }

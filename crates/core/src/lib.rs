@@ -32,10 +32,14 @@
 //!   search stage runs; implemented here by [`NsgaEngine`] /
 //!   [`PlainGaEngine`] and by the three prior-work methods in
 //!   `pe-baselines`.
+//! * [`eval`] — the shared evaluation core: [`CachedEvaluator`] wraps
+//!   any `IntProblem` with a bounded genome memo and a deterministic
+//!   thread-pool batch path (results in input order, byte-identical to
+//!   serial), and [`thread_budget`] centralizes the `PE_THREADS` knob.
 //! * [`progress`] / [`error`] — [`ProgressEvent`] + [`CancelToken`]
 //!   observability and the [`FlowError`] error surface.
-//! * [`flow`] — the legacy one-call entry point ([`run_study`]), now a
-//!   deprecated shim over the pipeline.
+//! * [`flow`] — the [`StudyConfig`] / [`DatasetStudy`] record types of
+//!   a complete one-dataset study.
 //!
 //! # Example
 //!
@@ -67,6 +71,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod eval;
 pub mod fitness;
 pub mod flow;
 pub mod genome;
@@ -81,9 +86,8 @@ pub use engine::{
     fingerprint_json, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine, SearchOutcome,
 };
 pub use error::FlowError;
+pub use eval::{thread_budget, CachedEvaluator, EvalCacheStats};
 pub use fitness::{AreaObjective, AxTrainProblem};
-#[allow(deprecated)]
-pub use flow::run_study;
 pub use flow::{DatasetStudy, StudyConfig};
 pub use genome::{GenomeSpec, LayerGenomeSpec};
 pub use init::{doped_seeds, doped_seeds_calibrated, doped_seeds_refined, refine_doped};

@@ -90,8 +90,12 @@ pub fn true_pareto_front(
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
+            // The netlist-free memoized costing path: front members are
+            // sibling designs sharing most of their neurons, so
+            // repeated neurons are costed once (`Elaborator::cost`
+            // reports are identical to full elaboration).
             let spec = ax_to_hardware(&c.mlp, format!("{name_prefix}_p{i}"));
-            let report = elaborator.elaborate(&spec).report;
+            let report = elaborator.cost(&spec).report;
             DesignPoint {
                 network: DesignNetwork::Ax(c.mlp),
                 train_accuracy: c.train_accuracy,

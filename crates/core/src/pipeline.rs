@@ -113,6 +113,7 @@ impl BaselineCosted {
             tech,
             elaborator,
             loss_budget,
+            eval_threads: crate::eval::thread_budget(),
         }
     }
 }
@@ -209,6 +210,7 @@ pub struct Study {
     progress: Option<ProgressObserver>,
     cancel: Option<CancelToken>,
     cache_dir: Option<PathBuf>,
+    eval_threads: Option<usize>,
 }
 
 impl Study {
@@ -224,6 +226,7 @@ impl Study {
             progress: None,
             cancel: None,
             cache_dir: None,
+            eval_threads: None,
         }
     }
 
@@ -271,6 +274,17 @@ impl Study {
     /// Attach a cooperative cancellation token.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Worker budget for the search stage's within-study batch
+    /// evaluation (default: the global
+    /// [`thread_budget`](crate::eval::thread_budget)).
+    /// [`Pipeline::run_many`] sets this to the budget divided by its
+    /// dataset workers, so nested pools never oversubscribe. Thread
+    /// count never affects results.
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads.max(1));
         self
     }
 
@@ -348,6 +362,7 @@ impl Study {
             progress: self.progress,
             cancel: self.cancel,
             cache_dir: self.cache_dir,
+            eval_threads: self.eval_threads,
         })
     }
 }
@@ -369,6 +384,7 @@ pub struct Pipeline {
     progress: Option<ProgressObserver>,
     cancel: Option<CancelToken>,
     cache_dir: Option<PathBuf>,
+    eval_threads: Option<usize>,
 }
 
 impl Pipeline {
@@ -502,7 +518,7 @@ impl Pipeline {
         let baseline_test_accuracy =
             baseline.accuracy(&prepared.test.features, &prepared.test.labels);
         let baseline_report = Elaborator::new(self.tech.clone())
-            .elaborate(&fixed_to_hardware(&baseline, spec.name))
+            .cost(&fixed_to_hardware(&baseline, spec.name))
             .report;
         ctl.emit(&ProgressEvent::StageFinished {
             stage: StageKind::BaselineCosted,
@@ -530,8 +546,11 @@ impl Pipeline {
         });
         let elaborator = Elaborator::new(self.tech.clone());
         let outcome = {
-            let ctx =
+            let mut ctx =
                 costed.search_context(&self.tech, &elaborator, self.config.accuracy_loss_budget);
+            if let Some(threads) = self.eval_threads {
+                ctx.eval_threads = threads;
+            }
             self.engine.search(&ctx, &ctl)?
         };
         ctl.emit(&ProgressEvent::StageFinished {
@@ -829,11 +848,17 @@ impl Pipeline {
         opts: &RunManyOptions,
     ) -> Result<Vec<Selected>, FlowError> {
         let n = datasets.len();
-        let workers = match opts.threads {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        let budget = match opts.threads {
+            0 => crate::eval::thread_budget(),
             t => t,
-        }
-        .clamp(1, n.max(1));
+        };
+        let workers = budget.clamp(1, n.max(1));
+        // Divide the global budget between the two pool levels: with
+        // `workers` studies running concurrently, each study's batch
+        // evaluator gets its share, so dataset-level and within-study
+        // parallelism multiply to ~`budget` threads instead of
+        // oversubscribing to `budget²`.
+        let eval_threads = (budget / workers).max(1);
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<Selected, FlowError>>>> =
@@ -846,7 +871,7 @@ impl Pipeline {
                     let Some(&dataset) = datasets.get(i) else {
                         break;
                     };
-                    let result = Self::run_one_of_many(dataset, base, tech, opts);
+                    let result = Self::run_one_of_many(dataset, base, tech, opts, eval_threads);
                     *slots[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
@@ -869,6 +894,7 @@ impl Pipeline {
         base: &StudyConfig,
         tech: &TechLibrary,
         opts: &RunManyOptions,
+        eval_threads: usize,
     ) -> Result<Selected, FlowError> {
         let mut config = base.clone();
         let seed = derive_seed(base.seed, dataset);
@@ -877,7 +903,8 @@ impl Pipeline {
 
         let mut builder = Study::for_dataset(dataset)
             .config(config.clone())
-            .tech(tech.clone());
+            .tech(tech.clone())
+            .eval_threads(eval_threads);
         if let Some(dir) = &opts.cache_dir {
             builder = builder.cache_dir(dir);
         }
@@ -906,8 +933,9 @@ pub type EngineFactory =
 /// Options for [`Pipeline::run_many`].
 #[derive(Default)]
 pub struct RunManyOptions {
-    /// Worker threads (`0` = one per core, capped at the dataset
-    /// count).
+    /// Worker threads (`0` = the shared
+    /// [`thread_budget`](crate::eval::thread_budget) — the `PE_THREADS`
+    /// knob, one per core when unset — capped at the dataset count).
     pub threads: usize,
     /// Stage-cache directory shared by all datasets.
     pub cache_dir: Option<PathBuf>,

@@ -121,6 +121,18 @@ pub enum ProgressEvent {
         /// Chromosome evaluations so far.
         evaluations: u64,
     },
+    /// Cumulative cache counters of the search stage's batch evaluator
+    /// (see [`crate::eval::CachedEvaluator`]), emitted once per GA
+    /// generation right after its
+    /// [`GaGeneration`](ProgressEvent::GaGeneration) event.
+    EvalCache {
+        /// Genome evaluations served from the memo so far.
+        hits: u64,
+        /// Genome evaluations the inner problem actually computed.
+        misses: u64,
+        /// Genomes currently resident in the memo.
+        entries: usize,
+    },
 }
 
 /// A shared, thread-safe progress observer (what

@@ -15,7 +15,7 @@ use crate::error::FlowError;
 use crate::fitness::AxTrainProblem;
 use crate::genome::{GenomeSpec, LayerGenomeSpec};
 use crate::pareto::{true_pareto_front, DesignCandidate, DesignPoint};
-use crate::progress::{ProgressEvent, RunControl, StageKind};
+use crate::progress::{RunControl, StageKind};
 
 /// Everything a search run produces (also exported as
 /// [`SearchOutcome`](crate::engine::SearchOutcome) — the return type of
@@ -43,13 +43,27 @@ pub struct TrainingOutcome {
 #[derive(Debug, Clone)]
 pub struct HwAwareTrainer {
     config: AxTrainConfig,
+    eval_threads: Option<usize>,
 }
 
 impl HwAwareTrainer {
     /// Trainer with the given configuration.
     #[must_use]
     pub fn new(config: AxTrainConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            eval_threads: None,
+        }
+    }
+
+    /// Worker budget for batch fitness evaluation (default: the global
+    /// [`thread_budget`](crate::eval::thread_budget)). The pipeline's
+    /// multi-dataset runs pass their per-study share here so nested
+    /// pools never oversubscribe; thread count never affects results.
+    #[must_use]
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads.max(1));
+        self
     }
 
     /// The active configuration.
@@ -164,18 +178,21 @@ impl HwAwareTrainer {
             Some((&train.features[..refine_n], &train.labels[..refine_n])),
         );
 
+        // The evaluation core: every NSGA-II wave is deduplicated
+        // against a genome memo and fanned out over the worker budget;
+        // results come back in input order, so the run is
+        // byte-identical to a serial, uncached one.
+        let eval_threads = self.eval_threads.unwrap_or_else(crate::eval::thread_budget);
         let mut history = Vec::with_capacity(self.config.nsga.generations);
-        let generations = self.config.nsga.generations;
         let started = Instant::now();
-        let result = Nsga2::new(self.config.nsga.clone()).run_controlled(&problem, seeds, |s| {
-            history.push(s.clone());
-            ctl.emit(&ProgressEvent::GaGeneration {
-                generation: s.generation,
-                generations,
-                evaluations: s.evaluations,
-            });
-            !ctl.is_cancelled()
-        });
+        let result = crate::eval::run_ga_cached(
+            &Nsga2::new(self.config.nsga.clone()),
+            &problem,
+            seeds,
+            eval_threads,
+            ctl,
+            &mut history,
+        );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
 

@@ -1,0 +1,141 @@
+//! Properties of the evaluation core: a parallel, memoized
+//! [`CachedEvaluator`] must be observationally identical to a plain
+//! serial `IntProblem::evaluate` loop, and cache hits must never change
+//! NSGA-II's reported `evaluations` semantics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pe_nsga::{random_genome, Evaluation, IntProblem, Nsga2, NsgaConfig};
+use printed_axc::eval::CachedEvaluator;
+
+/// A cheap, deterministic two-objective problem with a constraint —
+/// structurally the same shape as the GA fitness (feasible/infeasible
+/// split, two minimized objectives) without the MLP cost.
+struct Surrogate {
+    bounds: Vec<u32>,
+}
+
+impl Surrogate {
+    fn new(genes: usize, bound: u32) -> Self {
+        Self {
+            bounds: vec![bound.max(2); genes],
+        }
+    }
+}
+
+impl IntProblem for Surrogate {
+    fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    fn evaluate(&self, genes: &[u32]) -> Evaluation {
+        let weighted: f64 = genes
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| f64::from(g) * ((i % 7) as f64 + 1.0))
+            .sum();
+        let spread = genes
+            .iter()
+            .map(|&g| f64::from(g) - f64::from(self.bounds[0]) / 2.0)
+            .map(|d| d * d)
+            .sum::<f64>();
+        let objectives = vec![weighted, spread];
+        if weighted < 3.0 {
+            Evaluation::infeasible(objectives, 3.0 - weighted)
+        } else {
+            Evaluation::feasible(objectives)
+        }
+    }
+}
+
+/// A random population over the problem's bounds, with deliberate
+/// duplicates (elitist GAs resubmit identical genomes constantly).
+fn random_population(problem: &Surrogate, size: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pop: Vec<Vec<u32>> = (0..size)
+        .map(|_| random_genome(problem.bounds(), &mut rng))
+        .collect();
+    // Duplicate roughly a third of the genomes.
+    for i in 0..size / 3 {
+        let src = pop[i].clone();
+        pop[size - 1 - i] = src;
+    }
+    pop
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel, cached evaluator agrees with a plain serial
+    /// `evaluate` loop on every genome of a random population — cold
+    /// cache, warm cache, any thread count, any (even tiny) capacity.
+    #[test]
+    fn cached_parallel_evaluator_matches_serial_loop(
+        seed in any::<u64>(),
+        genes in 1usize..24,
+        bound in 2u32..40,
+        size in 1usize..60,
+        threads in 1usize..6,
+        capacity in 1usize..64,
+    ) {
+        let problem = Surrogate::new(genes, bound);
+        let pop = random_population(&problem, size, seed);
+        let serial: Vec<Evaluation> = pop.iter().map(|g| problem.evaluate(g)).collect();
+
+        let evaluator = CachedEvaluator::with_options(&problem, capacity, threads);
+        prop_assert_eq!(evaluator.evaluate_batch(&pop), serial.clone()); // cold
+        prop_assert_eq!(evaluator.evaluate_batch(&pop), serial.clone()); // warm
+        // Single-genome path agrees too.
+        prop_assert_eq!(evaluator.evaluate(&pop[0]), serial[0].clone());
+        // Accounting: hits + misses covers every requested evaluation
+        // (a tiny capacity may evict and recompute, but never miscount).
+        let stats = evaluator.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * size as u64 + 1);
+
+        // With ample capacity, the inner problem computes each unique
+        // genome exactly once across both passes.
+        let unique: std::collections::HashSet<&[u32]> =
+            pop.iter().map(Vec::as_slice).collect();
+        let roomy = CachedEvaluator::with_options(&problem, size.max(1) * 2, threads);
+        prop_assert_eq!(roomy.evaluate_batch(&pop), serial.clone());
+        prop_assert_eq!(roomy.evaluate_batch(&pop), serial);
+        let stats = roomy.stats();
+        prop_assert_eq!(stats.misses, unique.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, 2 * size as u64);
+    }
+
+    /// NSGA-II runs identically — same fronts, same populations, and
+    /// the same `evaluations` count — whether the problem is raw or
+    /// wrapped in a parallel `CachedEvaluator`: the count reports
+    /// requested candidate evaluations, never the (smaller) number of
+    /// inner computations after cache hits.
+    #[test]
+    fn nsga_semantics_survive_caching(
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let problem = Surrogate::new(4, 16);
+        let cfg = NsgaConfig {
+            population: 12,
+            generations: 8,
+            seed,
+            ..NsgaConfig::default()
+        };
+        let plain = Nsga2::new(cfg.clone()).run(&problem);
+        let evaluator = CachedEvaluator::with_options(&problem, 1 << 10, threads);
+        let cached = Nsga2::new(cfg).run(&evaluator);
+
+        prop_assert_eq!(&cached.population, &plain.population);
+        prop_assert_eq!(&cached.pareto_front, &plain.pareto_front);
+        prop_assert_eq!(cached.evaluations, plain.evaluations);
+        prop_assert_eq!(plain.evaluations, 12 + 8 * 12);
+        // The memo did real work: the inner problem computed fewer
+        // evaluations than were requested (elitism re-submits genomes),
+        // and the ledger still adds up.
+        let stats = evaluator.stats();
+        prop_assert_eq!(stats.hits + stats.misses, cached.evaluations);
+        prop_assert!(stats.misses <= cached.evaluations);
+    }
+}

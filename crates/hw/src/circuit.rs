@@ -7,7 +7,9 @@
 //! comparator tree as analytically-costed macros, registers the I/O,
 //! and rolls the cell content up through the [`TechLibrary`].
 
-use pe_arith::ReductionKind;
+use std::sync::{Arc, Mutex};
+
+use pe_arith::{BoundedCache, ReductionKind};
 use serde::{Deserialize, Serialize};
 
 use crate::netlist::{MacroBlock, NetId, Netlist};
@@ -44,11 +46,47 @@ pub struct ElaboratedMlp {
     pub neuron_stats: Vec<NeuronStats>,
 }
 
+/// Memoized per-neuron elaboration cost: the scratch netlist's gate
+/// content *without* tie cells (those are shared once per full
+/// netlist), plus flags recording whether the neuron needs them.
+#[derive(Debug, Clone, Copy)]
+struct NeuronCost {
+    counts: CellCounts,
+    uses_tie_hi: bool,
+    uses_tie_lo: bool,
+    stages: u32,
+    accumulator_bits: u32,
+}
+
+/// A costed bespoke MLP without its netlist: what
+/// [`Elaborator::cost`] produces. Identical `report`/`neuron_stats` to
+/// [`Elaborator::elaborate`], minus the structural netlist (use
+/// `elaborate` when Verilog or simulation is needed).
+#[derive(Debug, Clone)]
+pub struct CostedMlp {
+    /// Cost report at the nominal supply — equal to the one a full
+    /// elaboration produces.
+    pub report: HardwareReport,
+    /// Per-neuron statistics.
+    pub neuron_stats: Vec<NeuronStats>,
+}
+
+/// Per-elaborator bound on memoized neuron costs (per cache
+/// generation; an entry is ~100 bytes).
+const NEURON_COST_CACHE_CAPACITY: usize = 1 << 15;
+
 /// Elaborates [`MlpHardwareSpec`]s against a technology library.
+///
+/// [`elaborate`](Self::elaborate) builds the full structural netlist;
+/// [`cost`](Self::cost) produces the identical [`HardwareReport`]
+/// without one, memoizing per-neuron gate counts keyed by the neuron's
+/// spec (weight signature + bit widths) so repeated neurons across
+/// sibling designs skip re-elaboration. Clones share the memo.
 #[derive(Debug, Clone)]
 pub struct Elaborator {
     tech: TechLibrary,
     kind: ReductionKind,
+    neuron_memo: Arc<Mutex<BoundedCache<NeuronSpec, NeuronCost>>>,
 }
 
 impl Elaborator {
@@ -58,6 +96,7 @@ impl Elaborator {
         Self {
             tech,
             kind: ReductionKind::FaOnly,
+            neuron_memo: Arc::new(Mutex::new(BoundedCache::new(NEURON_COST_CACHE_CAPACITY))),
         }
     }
 
@@ -65,6 +104,9 @@ impl Elaborator {
     #[must_use]
     pub fn with_kind(mut self, kind: ReductionKind) -> Self {
         self.kind = kind;
+        // The memo is keyed by neuron spec only — detach from any
+        // shared cache populated under a different policy.
+        self.neuron_memo = Arc::new(Mutex::new(BoundedCache::new(NEURON_COST_CACHE_CAPACITY)));
         self
     }
 
@@ -166,6 +208,121 @@ impl Elaborator {
             report,
             neuron_stats,
         }
+    }
+
+    /// Cost a bespoke MLP without building its netlist.
+    ///
+    /// The report is byte-identical to [`elaborate`](Self::elaborate)'s
+    /// (same cell counts, same critical depth — the aggregation mirrors
+    /// the elaboration step for step, including the netlist-wide
+    /// sharing of tie cells), but each distinct neuron is elaborated
+    /// into a scratch netlist **once** and memoized, so the GA flow's
+    /// hardware analysis of sibling designs — which share almost all of
+    /// their neurons — skips nearly all of the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`elaborate`](Self::elaborate) does on structurally
+    /// inconsistent specs.
+    #[must_use]
+    pub fn cost(&self, spec: &MlpHardwareSpec) -> CostedMlp {
+        let mut counts = CellCounts::new();
+        let mut neuron_stats = Vec::new();
+        let mut critical_fa_depth = 0u32;
+        let mut uses_tie_hi = false;
+        let mut uses_tie_lo = false;
+        let mut fan_in = spec.inputs;
+
+        for (li, layer) in spec.layers.iter().enumerate() {
+            let mut layer_depth = 0u32;
+            let mut max_width = 1u32;
+            for (ni, neuron) in layer.neurons.iter().enumerate() {
+                assert_eq!(
+                    neuron.fan_in(),
+                    fan_in,
+                    "layer {li} neuron {ni}: fan-in mismatch"
+                );
+                let cost = self.neuron_cost(neuron);
+                counts.merge(&cost.counts);
+                uses_tie_hi |= cost.uses_tie_hi;
+                uses_tie_lo |= cost.uses_tie_lo;
+                layer_depth = layer_depth.max(cost.stages + cost.accumulator_bits + 1);
+                max_width = max_width.max(cost.accumulator_bits);
+                neuron_stats.push(NeuronStats {
+                    layer: li,
+                    neuron: ni,
+                    full_adders: cost.counts.get(Cell::Fa),
+                    stages: cost.stages,
+                    accumulator_bits: cost.accumulator_bits,
+                });
+                if let LayerActivation::QRelu { out_bits, shift } = layer.activation {
+                    counts.merge(&qrelu_gate_counts(cost.accumulator_bits, out_bits, shift));
+                }
+            }
+            critical_fa_depth += layer_depth;
+            match layer.activation {
+                LayerActivation::QRelu { .. } => fan_in = layer.neurons.len(),
+                LayerActivation::Argmax => {
+                    counts.merge(&argmax_gate_counts(layer.neurons.len(), max_width));
+                    fan_in = 0;
+                }
+            }
+        }
+
+        // The full netlist shares one tie cell of each polarity.
+        if uses_tie_hi {
+            counts.add(Cell::TieHi, 1);
+        }
+        if uses_tie_lo {
+            counts.add(Cell::TieLo, 1);
+        }
+        let report =
+            HardwareReport::at_nominal(spec.name.clone(), &self.tech, counts, critical_fa_depth);
+        CostedMlp {
+            report,
+            neuron_stats,
+        }
+    }
+
+    /// Per-neuron elaboration cost, memoized by the neuron's spec.
+    fn neuron_cost(&self, neuron: &NeuronSpec) -> NeuronCost {
+        {
+            let mut memo = self
+                .neuron_memo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(cost) = memo.get(neuron) {
+                return cost;
+            }
+        }
+        // Elaborate into a scratch netlist — exactly the gates the full
+        // elaboration would add for this neuron.
+        let mut scratch = Netlist::new();
+        let inputs: Vec<Vec<NetId>> = (0..neuron.fan_in())
+            .map(|_| scratch.nets(neuron.input_bits() as usize))
+            .collect();
+        let bound = match neuron {
+            NeuronSpec::Exact(e) => bind_exact(e, &inputs),
+            NeuronSpec::Approximate(a) => bind_approximate(a, &inputs),
+        };
+        let acc = elaborate_accumulation(&mut scratch, &bound, self.kind);
+        let mut counts = scratch.cell_counts();
+        let uses_tie_hi = counts.get(Cell::TieHi) > 0;
+        let uses_tie_lo = counts.get(Cell::TieLo) > 0;
+        counts.tie_hi = 0;
+        counts.tie_lo = 0;
+        let cost = NeuronCost {
+            counts,
+            uses_tie_hi,
+            uses_tie_lo,
+            stages: acc.stages,
+            accumulator_bits: acc.accumulator_bits,
+        };
+        self.neuron_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(neuron.clone(), cost);
+        cost
     }
 }
 
@@ -417,6 +574,43 @@ mod tests {
             exact.report.area_cm2
         );
         assert!(approx.report.power_mw < exact.report.power_mw / 2.0);
+    }
+
+    #[test]
+    fn memoized_cost_equals_full_elaboration() {
+        // The load-bearing invariant of the fast costing path: for both
+        // neuron flavours (and under both compressor policies), the
+        // netlist-free memoized roll-up reproduces the exact
+        // `Netlist::cell_counts` report, including the shared tie
+        // cells and the critical depth.
+        for kind in [ReductionKind::FaOnly, ReductionKind::FaHa] {
+            for spec in [tiny_exact_spec(), tiny_approx_spec()] {
+                let elab = Elaborator::new(TechLibrary::egfet()).with_kind(kind);
+                let full = elab.elaborate(&spec);
+                let fast = elab.cost(&spec);
+                assert_eq!(fast.report, full.report, "{kind:?} {}", spec.name);
+                assert_eq!(fast.report.cells, full.netlist.cell_counts());
+                assert_eq!(fast.neuron_stats, full.neuron_stats);
+                // A second, memo-warm pass returns the same thing.
+                assert_eq!(elab.cost(&spec).report, full.report);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_memo_is_shared_across_clones_and_reset_by_with_kind() {
+        let elab = Elaborator::new(TechLibrary::egfet());
+        let spec = tiny_approx_spec();
+        let expected = elab.elaborate(&spec).report;
+        let _ = elab.cost(&spec);
+        // A clone shares the warm memo and still reports identically.
+        assert_eq!(elab.clone().cost(&spec).report, expected);
+        // Switching the compressor policy detaches the memo: costs
+        // reflect the new policy, not stale FA-only entries.
+        let faha = elab.clone().with_kind(ReductionKind::FaHa);
+        let faha_full = faha.elaborate(&spec).report;
+        assert_eq!(faha.cost(&spec).report, faha_full);
+        assert_ne!(faha_full.cells, expected.cells);
     }
 
     #[test]

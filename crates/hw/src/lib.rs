@@ -58,7 +58,9 @@ pub mod tech;
 pub mod vdd;
 pub mod verilog;
 
-pub use circuit::{argmax_gate_counts, qrelu_gate_counts, ElaboratedMlp, Elaborator, NeuronStats};
+pub use circuit::{
+    argmax_gate_counts, qrelu_gate_counts, CostedMlp, ElaboratedMlp, Elaborator, NeuronStats,
+};
 pub use netlist::{Instance, MacroBlock, NetId, Netlist, Port};
 pub use power_source::{Feasibility, FeasibilityZones, PowerSource};
 pub use report::HardwareReport;

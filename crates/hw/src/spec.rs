@@ -15,7 +15,11 @@ use serde::{Deserialize, Serialize};
 use pe_arith::NeuronArithSpec;
 
 /// An exact bespoke neuron: hard-wired integer coefficients.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` make the spec usable as an elaboration-memo key: two
+/// neurons with the same coefficients and widths elaborate to the same
+/// gate counts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExactNeuronSpec {
     /// Width of each input activation in bits.
     pub input_bits: u32,
@@ -45,7 +49,7 @@ impl ExactNeuronSpec {
 }
 
 /// A bespoke neuron, exact or approximate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NeuronSpec {
     /// Full-precision baseline neuron.
     Exact(ExactNeuronSpec),

@@ -113,6 +113,31 @@ pub struct AxMlp {
     pub layers: Vec<AxLayer>,
 }
 
+/// Reusable flat buffers for [`AxMlp`] inference.
+///
+/// The GA fitness loop predicts hundreds of thousands of rows per
+/// generation; allocating per-sample activation and accumulator `Vec`s
+/// dominates that loop. A scratch holds one flat accumulator buffer and
+/// a pair of activation buffers that every
+/// [`predict_with`](AxMlp::predict_with) /
+/// [`accuracy_batch`](AxMlp::accuracy_batch) call reuses — buffers grow
+/// to the widest layer once and never shrink, so steady-state inference
+/// performs **zero** allocations per sample.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    acc: Vec<i64>,
+    act_in: Vec<u8>,
+    act_out: Vec<u8>,
+}
+
+impl InferenceScratch {
+    /// A fresh (empty) scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl AxMlp {
     /// Integer-exact forward pass; returns output-layer accumulators.
     ///
@@ -141,23 +166,72 @@ impl AxMlp {
     /// Predicted class: integer argmax over the output accumulators.
     #[must_use]
     pub fn predict(&self, x: &[u8]) -> usize {
-        let accs = self.accumulators(x);
-        let mut best = 0;
-        for (i, &a) in accs.iter().enumerate().skip(1) {
-            if a > accs[best] {
-                best = i;
+        self.predict_with(x, &mut InferenceScratch::new())
+    }
+
+    /// [`predict`](Self::predict) against caller-provided scratch
+    /// buffers: the allocation-free hot path (ties break to the lowest
+    /// class index, exactly like the argmax comparator in hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the first layer's fan-in.
+    #[must_use]
+    pub fn predict_with(&self, x: &[u8], scratch: &mut InferenceScratch) -> usize {
+        scratch.act_in.clear();
+        scratch.act_in.extend_from_slice(x);
+        for layer in &self.layers {
+            scratch.acc.clear();
+            for n in &layer.neurons {
+                scratch.acc.push(n.accumulate(&scratch.act_in));
+            }
+            match layer.qrelu {
+                Some(q) => {
+                    scratch.act_out.clear();
+                    scratch
+                        .act_out
+                        .extend(scratch.acc.iter().map(|&a| q.apply(a)));
+                    std::mem::swap(&mut scratch.act_in, &mut scratch.act_out);
+                }
+                None => return argmax_i64(&scratch.acc),
             }
         }
-        best
+        // A network whose last layer has a QReLU (unusual): argmax over
+        // the final activations, mirroring `accumulators` + argmax.
+        scratch.acc.clear();
+        scratch
+            .acc
+            .extend(scratch.act_in.iter().map(|&v| i64::from(v)));
+        argmax_i64(&scratch.acc)
     }
 
     /// Accuracy over quantized rows.
+    ///
+    /// Allocates one scratch for the whole batch; use
+    /// [`accuracy_batch`](Self::accuracy_batch) to reuse buffers across
+    /// calls (e.g. across a GA population).
     ///
     /// # Panics
     ///
     /// Panics if `rows` and `labels` differ in length.
     #[must_use]
     pub fn accuracy(&self, rows: &[Vec<u8>], labels: &[usize]) -> f64 {
+        self.accuracy_batch(rows, labels, &mut InferenceScratch::new())
+    }
+
+    /// Accuracy over quantized rows with reusable scratch buffers: the
+    /// GA fitness entry point — zero allocations per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `labels` differ in length.
+    #[must_use]
+    pub fn accuracy_batch(
+        &self,
+        rows: &[Vec<u8>],
+        labels: &[usize],
+        scratch: &mut InferenceScratch,
+    ) -> f64 {
         assert_eq!(rows.len(), labels.len());
         if rows.is_empty() {
             return 0.0;
@@ -165,7 +239,7 @@ impl AxMlp {
         let hits = rows
             .iter()
             .zip(labels)
-            .filter(|&(r, &l)| self.predict(r) == l)
+            .filter(|&(r, &l)| self.predict_with(r, scratch) == l)
             .count();
         hits as f64 / rows.len() as f64
     }
@@ -304,6 +378,18 @@ impl AxMlp {
             .flat_map(|l| l.neurons.iter().map(|n| n.weights.len()))
             .sum()
     }
+}
+
+/// Integer argmax with ties to the lowest index (the hardware
+/// comparator's behavior).
+fn argmax_i64(accs: &[i64]) -> usize {
+    let mut best = 0;
+    for (i, &a) in accs.iter().enumerate().skip(1) {
+        if a > accs[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Propagate compile-time constants through an approximate MLP, as a
@@ -615,6 +701,162 @@ mod tests {
         assert_eq!(specs[0][0].weights[0].shift, 3);
         assert!(specs[0][0].weights[0].negative);
         assert_eq!(specs[0][0].bias, -4);
+    }
+
+    #[test]
+    fn scratch_inference_matches_the_allocating_path() {
+        // A 2-hidden-layer network with negative weights, saturation
+        // and argmax ties, driven across the whole 4-bit input space:
+        // predict_with must agree with argmax over `accumulators` on
+        // every row, and one scratch must be reusable across rows and
+        // across networks of different widths.
+        let wide = AxMlp {
+            layers: vec![
+                AxLayer {
+                    input_bits: 4,
+                    neurons: vec![
+                        neuron(
+                            vec![AxWeight {
+                                mask: 0b1111,
+                                shift: 3,
+                                negative: false,
+                            }],
+                            -20,
+                        ),
+                        neuron(
+                            vec![AxWeight {
+                                mask: 0b0110,
+                                shift: 1,
+                                negative: true,
+                            }],
+                            40,
+                        ),
+                        neuron(
+                            vec![AxWeight {
+                                mask: 0b1001,
+                                shift: 0,
+                                negative: false,
+                            }],
+                            0,
+                        ),
+                    ],
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 1,
+                    }),
+                },
+                AxLayer {
+                    input_bits: 8,
+                    neurons: vec![
+                        neuron(
+                            vec![
+                                AxWeight {
+                                    mask: 0xFF,
+                                    shift: 0,
+                                    negative: false,
+                                };
+                                3
+                            ],
+                            -5,
+                        ),
+                        neuron(
+                            vec![
+                                AxWeight {
+                                    mask: 0x0F,
+                                    shift: 2,
+                                    negative: true,
+                                },
+                                AxWeight {
+                                    mask: 0,
+                                    shift: 0,
+                                    negative: false,
+                                },
+                                AxWeight {
+                                    mask: 0xF0,
+                                    shift: 0,
+                                    negative: false,
+                                },
+                            ],
+                            17,
+                        ),
+                    ],
+                    qrelu: None,
+                },
+            ],
+        };
+        let narrow = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 0,
+                            negative: false,
+                        }],
+                        0,
+                    ),
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0,
+                            shift: 0,
+                            negative: false,
+                        }],
+                        3,
+                    ),
+                ],
+                qrelu: None,
+            }],
+        };
+        let mut scratch = InferenceScratch::new();
+        for x in 0..16u8 {
+            let accs = wide.accumulators(&[x]);
+            let expected = argmax_i64(&accs);
+            assert_eq!(wide.predict_with(&[x], &mut scratch), expected, "x={x}");
+        }
+        // Reuse the same scratch on a structurally different network.
+        for x in 0..16u8 {
+            // `narrow`'s second neuron is fully masked: constant 3, so
+            // it wins the argmax only strictly (x < 3).
+            let expected = usize::from(i64::from(x) < 3);
+            assert_eq!(narrow.predict(&[x]), expected);
+            assert_eq!(narrow.predict_with(&[x], &mut scratch), expected);
+        }
+    }
+
+    #[test]
+    fn accuracy_batch_equals_accuracy() {
+        let mlp = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 0,
+                            negative: false,
+                        }],
+                        0,
+                    ),
+                    neuron(
+                        vec![AxWeight {
+                            mask: 0b1111,
+                            shift: 0,
+                            negative: true,
+                        }],
+                        10,
+                    ),
+                ],
+                qrelu: None,
+            }],
+        };
+        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let labels: Vec<usize> = (0..16).map(|v| usize::from(v <= 5)).collect();
+        let mut scratch = InferenceScratch::new();
+        let batch = mlp.accuracy_batch(&rows, &labels, &mut scratch);
+        assert!((batch - mlp.accuracy(&rows, &labels)).abs() < 1e-15);
+        // Empty input stays well-defined.
+        assert_eq!(mlp.accuracy_batch(&[], &[], &mut scratch), 0.0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod quant;
 pub mod topology;
 pub mod train;
 
-pub use axmlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight};
+pub use axmlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, InferenceScratch};
 pub use dense::{argmax, DenseMlp};
 pub use hardware::{ax_to_hardware, fixed_to_hardware};
 pub use quant::{FixedLayer, FixedMlp, QReluCfg, QuantConfig};

@@ -149,29 +149,28 @@ impl Nsga2 {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6c62_272e_07bb_0142);
         let mut evaluations = 0u64;
 
-        let evaluate = |genes: Vec<u32>, evals: &mut u64| -> Individual {
-            let e = problem.evaluate(&genes);
-            *evals += 1;
-            Individual::new(genes, e)
-        };
-
-        // Initial population: seeds first, random fill after.
-        let mut pop: Vec<Individual> = Vec::with_capacity(cfg.population);
+        // Initial population: seeds first, random fill after. All
+        // genomes are generated first, then scored as one batch — the
+        // RNG stream (and therefore the run) is identical to scoring
+        // them one by one, but problems with a fast bulk path (see
+        // [`IntProblem::evaluate_batch`]) get the whole wave at once.
+        let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
         for genes in seeds.into_iter().take(cfg.population) {
             assert_eq!(genes.len(), bounds.len(), "seed genome length mismatch");
-            pop.push(evaluate(genes, &mut evaluations));
+            genomes.push(genes);
         }
-        while pop.len() < cfg.population {
-            let genes = random_genome(&bounds, &mut rng);
-            pop.push(evaluate(genes, &mut evaluations));
+        while genomes.len() < cfg.population {
+            genomes.push(random_genome(&bounds, &mut rng));
         }
+        let mut pop = evaluate_wave(problem, genomes, &mut evaluations);
         annotate(&mut pop);
 
         let mut executed = 0usize;
         for generation in 0..cfg.generations {
-            // Offspring via binary tournaments + crossover + mutation.
-            let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
-            while offspring.len() < cfg.population {
+            // Offspring via binary tournaments + crossover + mutation;
+            // the wave is bred first, then evaluated as one batch.
+            let mut offspring_genomes: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
+            while offspring_genomes.len() < cfg.population {
                 let p1 = tournament(&pop, &mut rng);
                 let p2 = tournament(&pop, &mut rng);
                 let (mut c1, mut c2) = if rng.gen_bool(cfg.crossover_prob.clamp(0.0, 1.0)) {
@@ -193,11 +192,12 @@ impl Nsga2 {
                     cfg.creep_fraction,
                     &mut rng,
                 );
-                offspring.push(evaluate(c1, &mut evaluations));
-                if offspring.len() < cfg.population {
-                    offspring.push(evaluate(c2, &mut evaluations));
+                offspring_genomes.push(c1);
+                if offspring_genomes.len() < cfg.population {
+                    offspring_genomes.push(c2);
                 }
             }
+            let offspring = evaluate_wave(problem, offspring_genomes, &mut evaluations);
 
             // Environmental selection over parents + offspring.
             pop.extend(offspring);
@@ -232,6 +232,34 @@ impl Nsga2 {
             generations: executed,
         }
     }
+}
+
+/// Score one wave of genomes through [`IntProblem::evaluate_batch`]
+/// and account every genome as one evaluation (cache hits inside a
+/// batching problem do not reduce the count: `evaluations` reports
+/// candidate evaluations requested, not inner-problem work performed).
+///
+/// # Panics
+///
+/// Panics if the problem's `evaluate_batch` returns the wrong number
+/// of evaluations.
+fn evaluate_wave<P: IntProblem>(
+    problem: &P,
+    genomes: Vec<Vec<u32>>,
+    evaluations: &mut u64,
+) -> Vec<Individual> {
+    let evals = problem.evaluate_batch(&genomes);
+    assert_eq!(
+        evals.len(),
+        genomes.len(),
+        "evaluate_batch must return one Evaluation per genome"
+    );
+    *evaluations += genomes.len() as u64;
+    genomes
+        .into_iter()
+        .zip(evals)
+        .map(|(genes, e)| Individual::new(genes, e))
+        .collect()
 }
 
 /// Binary tournament by the crowded-comparison operator.
@@ -407,6 +435,50 @@ mod tests {
         .run(&problem);
         // init + generations * population.
         assert_eq!(result.evaluations, 10 + 5 * 10);
+    }
+
+    #[test]
+    fn every_wave_goes_through_evaluate_batch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Counting {
+            bounds: Vec<u32>,
+            batches: AtomicUsize,
+            singles: AtomicUsize,
+        }
+        impl IntProblem for Counting {
+            fn bounds(&self) -> &[u32] {
+                &self.bounds
+            }
+            fn evaluate(&self, genes: &[u32]) -> Evaluation {
+                self.singles.fetch_add(1, Ordering::Relaxed);
+                let x = f64::from(genes[0]);
+                Evaluation::feasible(vec![x, 100.0 - x])
+            }
+            fn evaluate_batch(&self, genomes: &[Vec<u32>]) -> Vec<Evaluation> {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                genomes.iter().map(|g| self.evaluate(g)).collect()
+            }
+        }
+
+        let problem = Counting {
+            bounds: vec![101],
+            batches: AtomicUsize::new(0),
+            singles: AtomicUsize::new(0),
+        };
+        let result = Nsga2::new(NsgaConfig {
+            population: 8,
+            generations: 5,
+            ..NsgaConfig::default()
+        })
+        .run(&problem);
+        // One batch per wave: the initial population plus one per
+        // generation — never one call per genome.
+        assert_eq!(problem.batches.load(Ordering::Relaxed), 1 + 5);
+        assert_eq!(
+            problem.singles.load(Ordering::Relaxed) as u64,
+            result.evaluations
+        );
     }
 
     #[test]

@@ -52,7 +52,41 @@ pub trait IntProblem {
     fn bounds(&self) -> &[u32];
 
     /// Evaluate a genome.
+    ///
+    /// Evaluation must be a pure, deterministic function of the genes:
+    /// the optimizer is free to reorder, parallelize or memoize calls
+    /// (see [`evaluate_batch`](Self::evaluate_batch)) without changing
+    /// results.
     fn evaluate(&self, genes: &[u32]) -> Evaluation;
+
+    /// Evaluate a whole wave of genomes, returning one [`Evaluation`]
+    /// per genome **in input order**.
+    ///
+    /// The default implementation is a plain serial loop over
+    /// [`evaluate`](Self::evaluate); implementations with a faster
+    /// bulk path (thread-pool fan-out, memoization, vectorized
+    /// inference) override it. [`Nsga2`](crate::Nsga2) funnels the
+    /// initial population and every offspring wave through this single
+    /// entry point, so an override accelerates the whole run.
+    fn evaluate_batch(&self, genomes: &[Vec<u32>]) -> Vec<Evaluation> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+}
+
+/// Any reference to a problem is itself a problem, so wrappers (e.g. a
+/// caching evaluator) can borrow rather than own their inner problem.
+impl<T: IntProblem + ?Sized> IntProblem for &T {
+    fn bounds(&self) -> &[u32] {
+        (**self).bounds()
+    }
+
+    fn evaluate(&self, genes: &[u32]) -> Evaluation {
+        (**self).evaluate(genes)
+    }
+
+    fn evaluate_batch(&self, genomes: &[Vec<u32>]) -> Vec<Evaluation> {
+        (**self).evaluate_batch(genomes)
+    }
 }
 
 /// Deb's constrained-domination: `a` dominates `b` iff

@@ -74,7 +74,7 @@ fn selected_design_accuracy_is_reproducible_from_the_network() {
 }
 
 #[test]
-fn studies_are_bit_reproducible_and_match_the_legacy_shim() {
+fn studies_are_bit_reproducible() {
     let cfg = StudyConfig::quick(11);
     let tech = TechLibrary::egfet();
     let run = || {
@@ -89,17 +89,11 @@ fn studies_are_bit_reproducible_and_match_the_legacy_shim() {
     let a = run();
     let b = run();
     assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.outcome.evaluations, b.outcome.evaluations);
     assert_eq!(a.outcome.front.len(), b.outcome.front.len());
     for (x, y) in a.outcome.front.iter().zip(&b.outcome.front) {
         assert_eq!(x.network, y.network);
         assert_eq!(x.report.area_cm2, y.report.area_cm2);
     }
-
-    // The deprecated one-call entry point is a true shim: identical
-    // output for identical input.
-    #[allow(deprecated)]
-    let legacy = printed_mlps::axc::run_study(Dataset::RedWine, &cfg, &tech);
-    assert_eq!(legacy.baseline, a.baseline);
-    assert_eq!(legacy.outcome.front, a.outcome.front);
-    assert_eq!(legacy.selected, a.selected);
+    assert_eq!(a.selected, b.selected);
 }
