@@ -178,6 +178,93 @@ impl AdderAreaEstimator {
         }
     }
 
+    /// The gate-count summary of one neuron, computed without
+    /// materializing the summand list, the per-column
+    /// [`ColumnProfile`] or the [`AdderAreaReport`] — the memoized GA
+    /// hot path runs this once per *distinct* neuron, so it is written
+    /// to allocate exactly one height vector.
+    ///
+    /// Identical by construction (and pinned by tests) to
+    /// `NeuronGateCounts::from(&self.estimate(spec))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed specs exactly like
+    /// [`estimate`](Self::estimate).
+    #[must_use]
+    pub fn counts_of(&self, spec: &NeuronArithSpec) -> NeuronGateCounts {
+        // Accumulator width, mirroring `ColumnProfile::accumulator_width`
+        // over the implicit summand list (active weights + bias).
+        let mut pos: u64 = 0;
+        let mut neg: u64 = 0;
+        let mut not_gates: u32 = 0;
+        for w in spec.weights.iter().filter(|w| w.mask != 0) {
+            let magnitude = w.mask << w.shift;
+            if w.negative {
+                neg += magnitude;
+                not_gates += w.mask.count_ones();
+            } else {
+                pos += magnitude;
+            }
+        }
+        if spec.bias >= 0 {
+            pos += spec.bias.unsigned_abs();
+        } else {
+            neg += spec.bias.unsigned_abs();
+        }
+        let acc_bits = crate::fixed::unsigned_width(pos.max(neg).max(1)) + 1;
+
+        // Column heights, mirroring `ColumnProfile::from_summands`:
+        // variable mask bits in place, negation corrections and the
+        // bias folded into one constant whose set bits join the
+        // profile.
+        let mut heights = vec![0u32; acc_bits as usize];
+        let modulus_mask = (1u64 << acc_bits) - 1;
+        let mut folded_constant: u64 = 0;
+        let well_formed = "neuron spec must be well-formed";
+        for w in spec.weights.iter().filter(|w| w.mask != 0) {
+            let summand = Summand::MaskedInput {
+                input_bits: spec.input_bits,
+                mask: w.mask,
+                shift: w.shift,
+                negative: w.negative,
+            };
+            summand.validate().expect(well_formed);
+            let mut mask = w.mask;
+            while mask != 0 {
+                let pos = mask.trailing_zeros() + w.shift;
+                assert!(pos < acc_bits, "{well_formed}");
+                heights[pos as usize] += 1;
+                mask &= mask - 1;
+            }
+            if let Some(k) = summand.negation_constant(acc_bits).expect(well_formed) {
+                folded_constant = folded_constant.wrapping_add(k) & modulus_mask;
+            }
+        }
+        if spec.bias != 0 {
+            let pattern =
+                crate::summand::constant_bit_pattern(spec.bias, acc_bits).expect(well_formed);
+            folded_constant = folded_constant.wrapping_add(pattern) & modulus_mask;
+        }
+        for b in 0..acc_bits {
+            if folded_constant >> b & 1 == 1 {
+                heights[b as usize] += 1;
+            }
+        }
+        while heights.last() == Some(&0) {
+            heights.pop();
+        }
+
+        let stats = self.reducer.reduce_in_place(&mut heights);
+        NeuronGateCounts {
+            full_adders: stats.full_adders(),
+            half_adders: stats.half_adders(),
+            not_gates,
+            stages: stats.stages,
+            accumulator_bits: acc_bits,
+        }
+    }
+
     /// Estimate a whole layer / MLP: the sum of per-neuron FA-equivalents
     /// (paper Eq. (2): `Area(θ) = Σ AdderArea(θ_j^(l))`).
     #[must_use]
@@ -293,7 +380,7 @@ impl MemoAreaEstimator {
         if let Some(counts) = cache.get(spec) {
             return counts;
         }
-        let counts = NeuronGateCounts::from(&self.inner.estimate(spec));
+        let counts = self.inner.counts_of(spec);
         cache.insert(spec.clone(), counts);
         counts
     }
@@ -480,6 +567,44 @@ mod tests {
         let (hits, misses) = memo.cache_stats();
         assert_eq!(misses, specs.len() as u64);
         assert_eq!(hits, specs.len() as u64);
+    }
+
+    #[test]
+    fn counts_of_equals_the_full_estimate_on_random_specs() {
+        // The lean hot path must agree with the reference estimate on
+        // every field, for both reduction kinds, across a broad sweep
+        // of masks, shifts, signs and biases (deterministic LCG).
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for kind in [ReductionKind::FaOnly, ReductionKind::FaHa] {
+            let est = AdderAreaEstimator::with_kind(kind);
+            for _ in 0..500 {
+                let input_bits = 1 + (next() % 8) as u32;
+                let weights: Vec<WeightArith> = (0..(next() % 20))
+                    .map(|_| WeightArith {
+                        mask: next() & ((1 << input_bits) - 1),
+                        shift: (next() % 7) as u32,
+                        negative: next() % 2 == 0,
+                    })
+                    .collect();
+                let bias = (next() as i64 % 4096) - 2048;
+                let s = NeuronArithSpec {
+                    input_bits,
+                    weights,
+                    bias,
+                };
+                assert_eq!(
+                    est.counts_of(&s),
+                    NeuronGateCounts::from(&est.estimate(&s)),
+                    "spec {s:?} kind {kind:?}"
+                );
+            }
+        }
     }
 
     #[test]

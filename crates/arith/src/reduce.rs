@@ -102,28 +102,45 @@ impl Reducer {
     /// all columns are ≤ 2 high.
     #[must_use]
     pub fn reduce(&self, profile: &ColumnProfile) -> ReductionStats {
-        let mut stats = ReductionStats::default();
         let mut heights: Vec<u32> = profile.as_heights().to_vec();
+        let mut stats = self.reduce_in_place(&mut heights);
+        stats.final_profile = ColumnProfile::from_heights(heights);
+        stats
+    }
 
+    /// [`reduce`](Self::reduce) directly on a mutable height vector,
+    /// leaving the final two rows in `heights` and
+    /// `final_profile` empty — the allocation-free core shared with the
+    /// memoized estimator hot path.
+    pub(crate) fn reduce_in_place(&self, heights: &mut Vec<u32>) -> ReductionStats {
+        let mut stats = ReductionStats::default();
+
+        // Stages update in place with a single carry rail (carries of
+        // column `c − 1` arrive while `c`'s original height is still in
+        // hand), so the loop — run a few thousand times per genome by
+        // the GA's area objective — allocates nothing per stage.
         while heights.iter().any(|&h| h > 2) {
             stats.stages += 1;
-            let mut next = vec![0u32; heights.len() + 1];
-            for (c, &h) in heights.iter().enumerate() {
-                let fas = h / 3;
-                let mut rem = h % 3;
+            let mut carry_in = 0u32;
+            for h in &mut *heights {
+                let fas = *h / 3;
+                let mut rem = *h % 3;
                 stats.tree_full_adders += fas;
                 // Each FA leaves one sum bit here and one carry left.
-                next[c] += fas;
-                next[c + 1] += fas;
-                if self.kind == ReductionKind::FaHa && rem == 2 && h > 2 {
+                let mut kept = fas;
+                let mut carry_out = fas;
+                if self.kind == ReductionKind::FaHa && rem == 2 && *h > 2 {
                     stats.tree_half_adders += 1;
-                    next[c] += 1;
-                    next[c + 1] += 1;
+                    kept += 1;
+                    carry_out += 1;
                     rem = 0;
                 }
-                next[c] += rem;
+                *h = kept + rem + carry_in;
+                carry_in = carry_out;
             }
-            heights = next;
+            if carry_in > 0 {
+                heights.push(carry_in);
+            }
             while heights.last() == Some(&0) {
                 heights.pop();
             }
@@ -135,7 +152,7 @@ impl Reducer {
         // (counted as an FA under FaOnly, matching the paper's
         // FA-only assumption); one bit without carry is wiring.
         let mut carry = false;
-        for &h in &heights {
+        for &h in heights.iter() {
             match (h, carry) {
                 (0, false) => {}
                 (0, true) => {
@@ -161,7 +178,6 @@ impl Reducer {
             }
         }
 
-        stats.final_profile = ColumnProfile::from_heights(heights);
         stats
     }
 }

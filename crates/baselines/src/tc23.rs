@@ -17,7 +17,7 @@ use pe_hw::{
     Elaborator, ExactNeuronSpec, HardwareReport, LayerActivation, LayerSpec, MlpHardwareSpec,
     NeuronSpec,
 };
-use pe_mlp::FixedMlp;
+use pe_mlp::{FixedMlp, QuantMatrix};
 
 use crate::cheap_weights::{cheap_values, nearest};
 
@@ -97,13 +97,14 @@ impl Tc23Design {
         0
     }
 
-    /// Accuracy over quantized rows.
+    /// Accuracy over quantized rows. Empty datasets score `0.0`, the
+    /// workspace-wide convention.
     ///
     /// # Panics
     ///
     /// Panics if `rows` and `labels` differ in length.
     #[must_use]
-    pub fn accuracy(&self, rows: &[Vec<u8>], labels: &[usize]) -> f64 {
+    pub fn accuracy(&self, rows: &QuantMatrix, labels: &[usize]) -> f64 {
         assert_eq!(rows.len(), labels.len());
         if rows.is_empty() {
             return 0.0;
@@ -184,7 +185,7 @@ impl Tc23Design {
 #[must_use]
 pub fn approximate_tc23(
     baseline: &FixedMlp,
-    rows: &[Vec<u8>],
+    rows: &QuantMatrix,
     labels: &[usize],
     config: &Tc23Config,
 ) -> Tc23Design {
@@ -261,7 +262,7 @@ mod tests {
     use pe_hw::TechLibrary;
     use pe_mlp::FixedLayer;
 
-    fn threshold_baseline() -> (FixedMlp, Vec<Vec<u8>>, Vec<usize>) {
+    fn threshold_baseline() -> (FixedMlp, QuantMatrix, Vec<usize>) {
         let mlp = FixedMlp {
             input_bits: 4,
             layers: vec![FixedLayer {
@@ -271,6 +272,7 @@ mod tests {
             }],
         };
         let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let rows = QuantMatrix::from_rows(&rows);
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
         (mlp, rows, labels)
     }

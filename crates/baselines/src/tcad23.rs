@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use pe_hw::{Elaborator, HardwareReport, VddModel};
-use pe_mlp::FixedMlp;
+use pe_mlp::{FixedMlp, QuantMatrix};
 
 use crate::cheap_weights::{cheap_values, nearest};
 use crate::tc23::{approximate_tc23, Tc23Config, Tc23Design};
@@ -103,7 +103,7 @@ pub fn timing_error_rate(delay_ms: f64, period_ms: f64) -> f64 {
 #[must_use]
 pub fn approximate_tcad23(
     baseline: &FixedMlp,
-    rows: &[Vec<u8>],
+    rows: &QuantMatrix,
     labels: &[usize],
     classes: usize,
     config: &Tcad23Config,
@@ -154,7 +154,7 @@ mod tests {
     use pe_hw::TechLibrary;
     use pe_mlp::FixedLayer;
 
-    fn setup() -> (FixedMlp, Vec<Vec<u8>>, Vec<usize>) {
+    fn setup() -> (FixedMlp, QuantMatrix, Vec<usize>) {
         let mlp = FixedMlp {
             input_bits: 4,
             layers: vec![FixedLayer {
@@ -163,7 +163,7 @@ mod tests {
                 qrelu: None,
             }],
         };
-        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let rows = QuantMatrix::from_rows(&(0..16u8).map(|v| vec![v]).collect::<Vec<_>>());
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
         (mlp, rows, labels)
     }

@@ -26,12 +26,14 @@ fn bench(c: &mut Criterion) {
     // Breast Cancer baseline from the study's stage artifacts.
     let bc = &selected[0].searched.costed;
     let train = &bc.float.prepared.train;
+    let n = 200.min(train.features.len());
+    let tuning_rows = train.features.head(n);
     c.bench_function("tc23_search_bc", |b| {
         b.iter(|| {
             approximate_tc23(
                 &bc.baseline,
-                &train.features[..200.min(train.features.len())],
-                &train.labels[..200.min(train.labels.len())],
+                &tuning_rows,
+                &train.labels[..n],
                 &Tc23Config::default(),
             )
             .trunc_bits

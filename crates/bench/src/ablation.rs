@@ -107,7 +107,7 @@ pub fn doping(dataset: Dataset, population: usize, generations: usize, seed: u64
     let n = 500.min(train.len());
     let problem = AxTrainProblem::new(
         genome.clone(),
-        train.features[..n].to_vec(),
+        train.features.head(n),
         train.labels[..n].to_vec(),
         costed.baseline_train_accuracy,
         cfg.max_accuracy_loss,

@@ -6,10 +6,15 @@
 //! ([`printed_axc::derive_seed`]), so the resulting JSON artifacts are
 //! byte-identical whether one thread or many executed them.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use pe_datasets::Dataset;
 use pe_hw::TechLibrary;
 use pe_nsga::NsgaConfig;
-use printed_axc::{AxTrainConfig, DatasetStudy, Pipeline, RunManyOptions, Selected, StudyConfig};
+use printed_axc::{
+    AxTrainConfig, DatasetStudy, Pipeline, ProgressEvent, RunManyOptions, Selected, StudyConfig,
+};
 
 /// How much compute an experiment run may spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +81,103 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
     }
 }
 
+/// Accumulates the per-generation
+/// [`ProgressEvent::EvalCache`] streams of every study into one
+/// run-wide tally, so the bench bins can print how hard the genome
+/// memo and the neuron-column cache worked. Robust to several GA runs
+/// per dataset (each search's cumulative counters restart at zero; a
+/// decrease folds the finished run into the total).
+#[derive(Debug, Default)]
+pub struct EvalCacheSummary {
+    tallies: Mutex<HashMap<Dataset, CacheTally>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CacheTally {
+    genome_hits: u64,
+    genome_misses: u64,
+    column_hits: u64,
+    column_misses: u64,
+    /// Cumulative counters of the GA run currently streaming.
+    last: [u64; 4],
+}
+
+impl CacheTally {
+    fn fold_last(&mut self) {
+        self.genome_hits += self.last[0];
+        self.genome_misses += self.last[1];
+        self.column_hits += self.last[2];
+        self.column_misses += self.last[3];
+        self.last = [0; 4];
+    }
+}
+
+impl EvalCacheSummary {
+    /// Feed one tagged progress event. A `GaGeneration` with
+    /// `generation == 0` marks the start of a new GA run (its
+    /// cumulative counters restart), so the previous run's totals are
+    /// folded deterministically; a component-wise decrease is kept as
+    /// a backstop for engines that skip the marker.
+    pub fn observe(&self, dataset: Dataset, event: &ProgressEvent) {
+        let current = match *event {
+            ProgressEvent::GaGeneration { generation: 0, .. } => {
+                let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
+                tallies.entry(dataset).or_default().fold_last();
+                return;
+            }
+            ProgressEvent::EvalCache {
+                hits,
+                misses,
+                column_hits,
+                column_misses,
+                ..
+            } => [hits, misses, column_hits, column_misses],
+            _ => return,
+        };
+        let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
+        let tally = tallies.entry(dataset).or_default();
+        if current.iter().zip(&tally.last).any(|(c, l)| c < l) {
+            tally.fold_last(); // backstop: counters restarted unannounced
+        }
+        tally.last = current;
+    }
+
+    /// One summary line over every dataset seen so far.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
+        let mut total = CacheTally::default();
+        for tally in tallies.values() {
+            let mut t = *tally;
+            t.fold_last();
+            total.genome_hits += t.genome_hits;
+            total.genome_misses += t.genome_misses;
+            total.column_hits += t.column_hits;
+            total.column_misses += t.column_misses;
+        }
+        let pct = |hits: u64, misses: u64| {
+            let n = hits + misses;
+            if n == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / n as f64
+            }
+        };
+        format!(
+            "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit)",
+            total.genome_hits,
+            total.genome_misses,
+            pct(total.genome_hits, total.genome_misses),
+            total.column_hits,
+            total.column_misses,
+            pct(total.column_hits, total.column_misses),
+        )
+    }
+}
+
 /// Run studies for all five datasets at the given budget on a worker
-/// pool (one thread per core, capped at the dataset count).
+/// pool (one thread per core, capped at the dataset count), printing
+/// the run-wide evaluation-cache summary when done.
 ///
 /// # Panics
 ///
@@ -85,13 +185,16 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
 /// cancels them, so a failure here is a bug.
 #[must_use]
 pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> {
-    Pipeline::run_many(
+    let (opts, summary) = observed_options();
+    let studies = Pipeline::run_many(
         &Dataset::ALL,
         &study_config(budget, master_seed),
         &TechLibrary::egfet(),
-        &run_many_options(),
+        &opts,
     )
-    .expect("bench presets are valid and uncancelled")
+    .expect("bench presets are valid and uncancelled");
+    println!("{}", summary.render());
+    studies
 }
 
 /// Worker-pool options honoring the shared `PE_THREADS` budget
@@ -104,6 +207,19 @@ pub fn run_many_options() -> RunManyOptions {
     RunManyOptions::with_threads(printed_axc::eval::thread_budget())
 }
 
+/// [`run_many_options`] plus an attached [`EvalCacheSummary`] observer
+/// (the summary is shared with the returned handle for rendering).
+#[must_use]
+pub fn observed_options() -> (RunManyOptions, Arc<EvalCacheSummary>) {
+    let summary = Arc::new(EvalCacheSummary::default());
+    let mut opts = run_many_options();
+    let observer = Arc::clone(&summary);
+    opts.progress = Some(Arc::new(move |dataset, event| {
+        observer.observe(dataset, event);
+    }));
+    (opts, summary)
+}
+
 /// [`run_studies`], returning the full [`Selected`] stage artifacts
 /// (needed by experiments that reuse the float-model lineage, e.g.
 /// Fig. 4's engine comparison).
@@ -113,13 +229,16 @@ pub fn run_many_options() -> RunManyOptions {
 /// Panics if a study fails (see [`run_studies`]).
 #[must_use]
 pub fn run_selected(budget: BudgetPreset, master_seed: u64) -> Vec<Selected> {
-    Pipeline::run_many_selected(
+    let (opts, summary) = observed_options();
+    let selected = Pipeline::run_many_selected(
         &Dataset::ALL,
         &study_config(budget, master_seed),
         &TechLibrary::egfet(),
-        &run_many_options(),
+        &opts,
     )
-    .expect("bench presets are valid and uncancelled")
+    .expect("bench presets are valid and uncancelled");
+    println!("{}", summary.render());
+    selected
 }
 
 #[cfg(test)]

@@ -1,0 +1,309 @@
+//! The population-level neuron-column cache.
+//!
+//! A hidden neuron's post-QReLU output **column** over the (fixed)
+//! fitness dataset is a pure function of its decoded spec — weights,
+//! bias, layer input width, QReLU — plus, for deeper layers, the
+//! identity of the previous layer's column set. NSGA-II's elitist
+//! (μ+λ) selection and low mutation rates mean offspring share most
+//! hidden neurons with their parents, so without a cache the same
+//! columns are recomputed thousands of times per study.
+//!
+//! [`NeuronColumnCache`] memoizes those columns in a bounded
+//! [`pe_arith::BoundedCache`] shared across the whole population and
+//! every evaluation thread (interior mutability behind a mutex, so one
+//! cache serves `&self` evaluators):
+//!
+//! * **hidden columns** — `Arc<[u8]>` post-QReLU activations. Lookups
+//!   are keyed by a cheap `Copy` key — `(layer, input-signature,
+//!   input_bits, qrelu, neuron-fingerprint)` — and each entry carries
+//!   its full neuron spec, which is compared on every hit: a
+//!   fingerprint collision is simply treated as a miss, so hashing can
+//!   never alias two different neurons.
+//! * **input signatures** — deeper layers see the previous layer's
+//!   columns as input. Signatures are *interned*, not hashed-and-hoped:
+//!   a full `(layer, previous-signature, qrelu, neurons)` key maps to a
+//!   unique id from a monotone counter, and ids are never reused even when the
+//!   intern table evicts — two different column sets can never alias.
+//!
+//! Output (argmax) layers are deliberately **not** cached: their
+//! accumulators depend on every hidden column at once, so any upstream
+//! mutation would invalidate them wholesale, and exact genome repeats
+//! are already absorbed by the genome memo in
+//! [`crate::eval::CachedEvaluator`]; the columnar kernels recompute
+//! them directly into scratch.
+//!
+//! Caching is an optimization, never a semantic: every value is a pure
+//! function of its full key, so any mix of hits, misses, evictions and
+//! thread interleavings yields byte-identical evaluations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use pe_arith::cache::fx_hash_of;
+use pe_arith::BoundedCache;
+use pe_mlp::{AxNeuron, QReluCfg};
+
+/// The signature of the *dataset itself* — the input of layer 0.
+pub const ROOT_SIGNATURE: u64 = 0;
+
+/// Snapshot of a [`NeuronColumnCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnCacheStats {
+    /// Neuron columns served from the cache (lifetime).
+    pub hits: u64,
+    /// Neuron columns actually computed (lifetime).
+    pub misses: u64,
+    /// Columns currently resident.
+    pub entries: usize,
+}
+
+/// Cache key of one hidden neuron's column. The layer index, input
+/// signature, input width and QReLU pin down the neuron's entire input
+/// context; the fingerprint stands in for the neuron spec itself (the
+/// cached entry carries the full spec for exact confirmation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct HiddenKey {
+    layer: u32,
+    signature: u64,
+    input_bits: u32,
+    qrelu: QReluCfg,
+    fingerprint: u64,
+}
+
+/// Intern key of one layer's column set (the next layer's input): the
+/// producing layer's full configuration — neurons *and* the QReLU that
+/// shaped its activations — on top of its own input signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LayerKey {
+    layer: u32,
+    signature: u64,
+    qrelu: QReluCfg,
+    neurons: Vec<AxNeuron>,
+}
+
+/// One cached column: the full neuron spec (for exact key
+/// confirmation) plus the post-QReLU activation column itself.
+type HiddenEntry = (Arc<AxNeuron>, Arc<[u8]>);
+
+/// Bounded, thread-shared memo of hidden-neuron output columns. See
+/// the [module docs](self).
+#[derive(Debug)]
+pub struct NeuronColumnCache {
+    hidden: Mutex<BoundedCache<HiddenKey, HiddenEntry>>,
+    layers: Mutex<BoundedCache<LayerKey, u64>>,
+    /// Next intern id. Starts above [`ROOT_SIGNATURE`] and only grows,
+    /// so a signature can never collide with the dataset's or a
+    /// previously interned layer's.
+    next_signature: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NeuronColumnCache {
+    /// A cache bounded to roughly `capacity` columns per eviction
+    /// generation.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            hidden: Mutex::new(BoundedCache::new(capacity)),
+            layers: Mutex::new(BoundedCache::new(capacity)),
+            next_signature: AtomicU64::new(ROOT_SIGNATURE + 1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache sized for a dataset of `samples` rows: the bound targets
+    /// a fixed memory budget (tens of MB at paper-scale subsamples),
+    /// clamped to a useful range.
+    #[must_use]
+    pub fn for_samples(samples: usize) -> Self {
+        // ~32 MiB of u8 columns per hot generation (double that
+        // transiently across generations).
+        const BUDGET_BYTES: usize = 32 << 20;
+        let capacity = (BUDGET_BYTES / samples.max(1)).clamp(128, 1 << 15);
+        Self::new(capacity)
+    }
+
+    fn lock<'a, K: std::hash::Hash + Eq + Clone, V: Clone>(
+        cache: &'a Mutex<BoundedCache<K, V>>,
+    ) -> MutexGuard<'a, BoundedCache<K, V>> {
+        cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn stats(&self) -> ColumnCacheStats {
+        let entries = Self::lock(&self.hidden).len();
+        ColumnCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// A hidden neuron's post-QReLU column: served from the cache, or
+    /// computed by `compute` and published. `compute` runs outside the
+    /// cache lock; concurrent misses on one key may both compute (pure,
+    /// identical results) and the last insert wins. A fingerprint
+    /// collision (same key hash, different neuron) is handled as a
+    /// miss whose result replaces the colliding entry.
+    pub fn hidden_column(
+        &self,
+        layer: usize,
+        signature: u64,
+        input_bits: u32,
+        qrelu: QReluCfg,
+        neuron: &AxNeuron,
+        compute: impl FnOnce() -> Arc<[u8]>,
+    ) -> Arc<[u8]> {
+        let key = HiddenKey {
+            layer: layer as u32,
+            signature,
+            input_bits,
+            qrelu,
+            fingerprint: fx_hash_of(neuron),
+        };
+        if let Some((stored, col)) = Self::lock(&self.hidden).get(&key) {
+            if *stored == *neuron {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return col;
+            }
+        }
+        let col = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::lock(&self.hidden).insert(key, (Arc::new(neuron.clone()), col.clone()));
+        col
+    }
+
+    /// Intern a layer's column set, returning the signature that keys
+    /// the *next* layer's columns. Equal `(layer, signature, qrelu,
+    /// neurons)` always return the same id while resident; an evicted
+    /// entry is re-interned under a **fresh** id (never reused),
+    /// trading cache warmth for guaranteed exactness.
+    pub fn layer_signature(
+        &self,
+        layer: usize,
+        signature: u64,
+        qrelu: QReluCfg,
+        neurons: &[AxNeuron],
+    ) -> u64 {
+        let key = LayerKey {
+            layer: layer as u32,
+            signature,
+            qrelu,
+            neurons: neurons.to_vec(),
+        };
+        let mut layers = Self::lock(&self.layers);
+        if let Some(id) = layers.get(&key) {
+            return id;
+        }
+        let id = self.next_signature.fetch_add(1, Ordering::Relaxed);
+        layers.insert(key, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_mlp::AxWeight;
+
+    fn neuron(bias: i32) -> AxNeuron {
+        AxNeuron {
+            weights: vec![AxWeight {
+                mask: 0b1111,
+                shift: 1,
+                negative: false,
+            }],
+            bias,
+        }
+    }
+
+    const Q: QReluCfg = QReluCfg {
+        out_bits: 8,
+        shift: 0,
+    };
+
+    #[test]
+    fn hidden_columns_are_memoized_by_full_key() {
+        let cache = NeuronColumnCache::new(8);
+        let n = neuron(3);
+        let col: Arc<[u8]> = Arc::from(vec![1u8, 2, 3].as_slice());
+        let a = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &n, || col.clone());
+        // Second lookup: served from cache, compute must not run.
+        let b = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &n, || unreachable!());
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different bias is a different key.
+        let c = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &neuron(4), || {
+            Arc::from(vec![9u8].as_slice())
+        });
+        assert_eq!(&c[..], &[9]);
+        // A different signature is a different key too.
+        let d = cache.hidden_column(0, 17, 4, Q, &n, || Arc::from(vec![7u8].as_slice()));
+        assert_eq!(&d[..], &[7]);
+        // And so is a different QReLU at the same layer/signature.
+        let q2 = QReluCfg {
+            out_bits: 4,
+            shift: 2,
+        };
+        let e = cache.hidden_column(0, ROOT_SIGNATURE, 4, q2, &n, || {
+            Arc::from(vec![5u8].as_slice())
+        });
+        assert_eq!(&e[..], &[5]);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn layer_signatures_are_stable_and_distinct() {
+        let cache = NeuronColumnCache::new(8);
+        let a = vec![neuron(1), neuron(2)];
+        let b = vec![neuron(1), neuron(3)];
+        let sig_a = cache.layer_signature(0, ROOT_SIGNATURE, Q, &a);
+        let sig_b = cache.layer_signature(0, ROOT_SIGNATURE, Q, &b);
+        assert_ne!(sig_a, sig_b);
+        assert_ne!(sig_a, ROOT_SIGNATURE);
+        assert_eq!(cache.layer_signature(0, ROOT_SIGNATURE, Q, &a), sig_a);
+        // The same neurons fed by different inputs sign differently.
+        assert_ne!(cache.layer_signature(0, sig_a, Q, &a), sig_a);
+        // And the same neurons under a different QReLU produce a
+        // different column set, so they must sign differently too.
+        let q2 = QReluCfg {
+            out_bits: 4,
+            shift: 2,
+        };
+        assert_ne!(cache.layer_signature(0, ROOT_SIGNATURE, q2, &a), sig_a);
+    }
+
+    #[test]
+    fn evicted_signatures_are_never_reused() {
+        let cache = NeuronColumnCache::new(1); // evicts almost immediately
+        let mut seen = std::collections::HashSet::new();
+        for bias in 0..50 {
+            let sig = cache.layer_signature(0, ROOT_SIGNATURE, Q, &[neuron(bias)]);
+            assert!(seen.insert(sig), "signature {sig} reused");
+        }
+        // Re-interning an evicted key yields a fresh (still unique) id.
+        let again = cache.layer_signature(0, ROOT_SIGNATURE, Q, &[neuron(0)]);
+        assert!(seen.insert(again), "evicted signature was reused");
+    }
+
+    #[test]
+    fn capacity_scales_with_sample_count() {
+        // Tiny datasets get the upper clamp, huge ones the lower.
+        let small = NeuronColumnCache::for_samples(16);
+        let large = NeuronColumnCache::for_samples(10_000_000);
+        // Both behave as caches; the clamp bounds are internal, so just
+        // exercise them.
+        let n = neuron(1);
+        let _ = small.hidden_column(0, 0, 4, Q, &n, || Arc::from(vec![0u8].as_slice()));
+        let _ = large.hidden_column(0, 0, 4, Q, &n, || Arc::from(vec![0u8].as_slice()));
+        assert_eq!(small.stats().misses, 1);
+        assert_eq!(large.stats().misses, 1);
+        assert_eq!(small.stats().entries, 1);
+    }
+}

@@ -66,8 +66,9 @@ pub struct SearchContext<'a> {
     /// The reporting accuracy-loss budget (5% in the paper).
     pub loss_budget: f64,
     /// Worker budget for the engine's within-study batch evaluation
-    /// (see [`crate::eval`]). [`Pipeline::run_many`]
-    /// (crate::Pipeline::run_many) divides the global
+    /// (see [`crate::eval`]).
+    /// [`Pipeline::run_many`](crate::Pipeline::run_many) divides the
+    /// global
     /// [`thread_budget`](crate::eval::thread_budget) across its
     /// concurrent dataset workers, so the two pool levels multiply to
     /// the budget instead of oversubscribing it. Thread count never
@@ -221,6 +222,7 @@ impl SearchEngine for PlainGaEngine {
             ctx.eval_threads,
             ctl,
             &mut history,
+            &|| None,
         );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;

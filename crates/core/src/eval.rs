@@ -285,6 +285,10 @@ impl<P: IntProblem + Sync> IntProblem for CachedEvaluator<P> {
 /// cancellation is honored at generation granularity. The single
 /// implementation behind [`HwAwareTrainer`](crate::HwAwareTrainer) and
 /// [`PlainGaEngine`](crate::PlainGaEngine).
+///
+/// `column_stats` snapshots the problem's neuron-column cache for the
+/// [`ProgressEvent::EvalCache`] event (`None` for problems without
+/// one, e.g. the plain GA — its column counters report zero).
 pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     nsga: &pe_nsga::Nsga2,
     problem: &P,
@@ -292,6 +296,7 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     eval_threads: usize,
     ctl: &crate::progress::RunControl<'_>,
     history: &mut Vec<pe_nsga::GenerationStats>,
+    column_stats: &(dyn Fn() -> Option<crate::columns::ColumnCacheStats> + Sync),
 ) -> pe_nsga::NsgaResult {
     use crate::progress::ProgressEvent;
     let generations = nsga.config().generations;
@@ -304,10 +309,14 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
             evaluations: s.evaluations,
         });
         let cache = evaluator.stats();
+        let columns = column_stats().unwrap_or_default();
         ctl.emit(&ProgressEvent::EvalCache {
             hits: cache.hits,
             misses: cache.misses,
             entries: cache.entries,
+            column_hits: columns.hits,
+            column_misses: columns.misses,
+            column_entries: columns.entries,
         });
         !ctl.is_cancelled()
     })

@@ -7,12 +7,16 @@
 //! constrained domination rather than a penalty term, so infeasible
 //! chromosomes are still ordered by how close to feasibility they are.
 
+use std::sync::Arc;
+
 use pe_arith::{AdderAreaEstimator, MemoAreaEstimator};
 use pe_hw::{argmax_gate_counts, qrelu_gate_counts, TechLibrary};
+use pe_mlp::columnar::{self, ColumnMatrix, QuantMatrix};
 use pe_mlp::InferenceScratch;
 use pe_nsga::{Evaluation, IntProblem};
 use serde::{Deserialize, Serialize};
 
+use crate::columns::{ColumnCacheStats, NeuronColumnCache, ROOT_SIGNATURE};
 use crate::genome::GenomeSpec;
 
 /// Which area model the GA minimizes.
@@ -43,15 +47,29 @@ impl Default for AreaObjective {
 ///
 /// Scoring is a pure function of the genes, so the problem composes
 /// with [`crate::eval::CachedEvaluator`] for memoized, batch-parallel
-/// evaluation; internally, per-neuron gate counts are memoized by
-/// weight signature ([`MemoAreaEstimator`], shared across clones and
-/// threads), so sibling genomes only pay for the neurons they changed.
+/// evaluation.
+///
+/// Internally the accuracy objective runs on the **columnar engine**:
+/// the dataset is transposed once into a [`ColumnMatrix`], every
+/// weight becomes a branch-free LUT kernel
+/// ([`pe_mlp::columnar`]), and neuron output columns are memoized in a
+/// population-level [`NeuronColumnCache`] shared across clones and
+/// threads — sibling genomes only pay for the neurons mutation
+/// actually touched. Per-neuron gate counts are likewise memoized by
+/// weight signature ([`MemoAreaEstimator`]). The columnar path is
+/// bit-exact with the per-row oracle ([`score_with`](Self::score_with),
+/// i.e. [`pe_mlp::AxMlp::predict_with`] per sample), which the parity
+/// test-suite proves.
 #[derive(Debug, Clone)]
 pub struct AxTrainProblem {
     spec: GenomeSpec,
-    rows: Vec<Vec<u8>>,
+    rows: QuantMatrix,
+    /// The transposed dataset the columnar kernels stream over.
+    columns: ColumnMatrix,
     labels: Vec<usize>,
     estimator: MemoAreaEstimator,
+    /// Population-level neuron-column memo (shared by clones).
+    col_cache: Arc<NeuronColumnCache>,
     objective: AreaObjective,
     tech: TechLibrary,
     /// Exact-baseline accuracy on the same rows.
@@ -65,26 +83,35 @@ impl AxTrainProblem {
     ///
     /// `rows`/`labels` are the (possibly subsampled) quantized training
     /// split; `baseline_accuracy` is the exact baseline's accuracy used
-    /// for the feasibility bound.
+    /// for the feasibility bound. The dataset is transposed to the
+    /// columnar layout once, here, and a fresh neuron-column cache
+    /// (sized to the sample count) is attached.
     ///
     /// # Panics
     ///
-    /// Panics if rows and labels differ in length or are empty.
+    /// Panics if rows and labels differ in length or are empty. (The
+    /// accuracy APIs themselves define empty data as `0.0`, but a GA
+    /// fitness over zero samples is always a configuration bug, so the
+    /// constructor rejects it outright.)
     #[must_use]
     pub fn new(
         spec: GenomeSpec,
-        rows: Vec<Vec<u8>>,
+        rows: QuantMatrix,
         labels: Vec<usize>,
         baseline_accuracy: f64,
         max_loss: f64,
     ) -> Self {
         assert_eq!(rows.len(), labels.len());
         assert!(!rows.is_empty(), "fitness data must be non-empty");
+        let columns = rows.columns();
+        let col_cache = Arc::new(NeuronColumnCache::for_samples(rows.len()));
         Self {
             spec,
             rows,
+            columns,
             labels,
             estimator: MemoAreaEstimator::new(AdderAreaEstimator::paper()),
+            col_cache,
             objective: AreaObjective::GateEquivalents,
             tech: TechLibrary::egfet(),
             baseline_accuracy,
@@ -120,18 +147,30 @@ impl AxTrainProblem {
 
     /// Score a decoded network directly (shared by the GA and the
     /// ablation benches). Returns `(accuracy, estimated area)` in the
-    /// units of the configured [`AreaObjective`].
+    /// units of the configured [`AreaObjective`]. Runs on the columnar
+    /// engine with the shared neuron-column cache — bit-exact with the
+    /// per-row oracle [`score_with`](Self::score_with).
     #[must_use]
     pub fn score(&self, mlp: &pe_mlp::AxMlp) -> (f64, f64) {
-        self.score_with(mlp, &mut InferenceScratch::new())
+        let mut scratch = ColumnarEvalScratch::default();
+        (self.columnar_accuracy(mlp, &mut scratch), self.area_of(mlp))
     }
 
-    /// [`score`](Self::score) against caller-provided inference
-    /// scratch buffers — the allocation-free batch hot path.
+    /// The per-row **reference oracle**: one
+    /// [`predict_with`](pe_mlp::AxMlp::predict_with) per sample against
+    /// caller-provided scratch buffers. The columnar engine behind
+    /// [`score`](Self::score) / [`IntProblem::evaluate`] is proven
+    /// bit-exact against this path by the parity test-suite; keep new
+    /// scoring fast paths checked against it too.
     #[must_use]
     pub fn score_with(&self, mlp: &pe_mlp::AxMlp, scratch: &mut InferenceScratch) -> (f64, f64) {
         let accuracy = mlp.accuracy_batch(&self.rows, &self.labels, scratch);
-        let area = match self.objective {
+        (accuracy, self.area_of(mlp))
+    }
+
+    /// Estimated area under the configured [`AreaObjective`].
+    fn area_of(&self, mlp: &pe_mlp::AxMlp) -> f64 {
+        match self.objective {
             AreaObjective::FaCount => mlp
                 .arith_specs()
                 .iter()
@@ -139,8 +178,164 @@ impl AxTrainProblem {
                 .map(|n| self.estimator.counts(n).fa_equivalent())
                 .sum(),
             AreaObjective::GateEquivalents => self.gate_equivalents(mlp),
+        }
+    }
+
+    /// Snapshot the shared neuron-column cache's counters (surfaced per
+    /// GA generation as
+    /// [`ProgressEvent::EvalCache`](crate::ProgressEvent::EvalCache)).
+    #[must_use]
+    pub fn column_cache_stats(&self) -> ColumnCacheStats {
+        self.col_cache.stats()
+    }
+
+    /// Training accuracy of a decoded network on the columnar engine:
+    /// hidden and output neuron columns come from the shared
+    /// [`NeuronColumnCache`] when the population has already computed
+    /// them; misses run the branch-free LUT kernels over the transposed
+    /// dataset. Bit-exact with the per-row oracle.
+    fn columnar_accuracy(&self, mlp: &pe_mlp::AxMlp, scratch: &mut ColumnarEvalScratch) -> f64 {
+        let n = self.labels.len();
+        if n == 0 {
+            return 0.0; // the workspace-wide empty-data convention
+        }
+        let cache = &*self.col_cache;
+        let mut signature = ROOT_SIGNATURE;
+        // The previous *hidden* layer's neurons, not yet interned: the
+        // signature is only needed to key columns of a deeper hidden
+        // layer, so interning is deferred until one actually appears
+        // (the ubiquitous one-hidden-layer topology never pays for it).
+        let mut pending_signature: Option<(&[pe_mlp::AxNeuron], pe_mlp::QReluCfg)> = None;
+        let mut act: Vec<Arc<[u8]>> = Vec::new();
+        let mut first = true;
+        for (li, layer) in mlp.layers.iter().enumerate() {
+            let refs: Vec<&[u8]> = if first {
+                self.columns.col_refs()
+            } else {
+                act.iter().map(|c| &c[..]).collect()
+            };
+            match layer.qrelu {
+                Some(q) => {
+                    if let Some((prev, prev_q)) = pending_signature.take() {
+                        signature = cache.layer_signature(li - 1, signature, prev_q, prev);
+                    }
+                    let mut out = Vec::with_capacity(layer.neurons.len());
+                    for neuron in &layer.neurons {
+                        out.push(cache.hidden_column(
+                            li,
+                            signature,
+                            layer.input_bits,
+                            q,
+                            neuron,
+                            || {
+                                columnar::accumulate_neuron_column(
+                                    neuron,
+                                    &refs,
+                                    n,
+                                    &mut scratch.acc,
+                                    &mut scratch.narrow,
+                                );
+                                columnar::qrelu_column(q, &scratch.acc, &mut scratch.col);
+                                Arc::from(scratch.col.as_slice())
+                            },
+                        ));
+                    }
+                    pending_signature = Some((&layer.neurons, q));
+                    drop(refs);
+                    act = out;
+                    first = false;
+                }
+                None => {
+                    // Output (argmax) layer: computed directly into
+                    // scratch, uncached — its accumulators depend on
+                    // *every* hidden column, so any upstream mutation
+                    // would invalidate them anyway, and exact repeats
+                    // are already absorbed by the genome memo upstream.
+                    // The whole layer stays at i32 width (accumulate,
+                    // argmax) whenever every neuron provably fits —
+                    // bit-exact, and twice the SIMD lanes.
+                    let count = layer.neurons.len();
+                    let hits = if layer.neurons.iter().all(columnar::fits_i32) {
+                        scratch.out_narrow.resize(count, Vec::new());
+                        for (neuron, out) in layer.neurons.iter().zip(scratch.out_narrow.iter_mut())
+                        {
+                            columnar::accumulate_neuron_column_narrow(
+                                neuron,
+                                &refs,
+                                n,
+                                &mut scratch.narrow,
+                            );
+                            std::mem::swap(&mut scratch.narrow, out);
+                        }
+                        argmax_hits(
+                            &scratch.out_narrow[..count],
+                            &self.labels,
+                            &mut scratch.best_index,
+                            &mut scratch.best_narrow,
+                        )
+                    } else {
+                        scratch.out_accs.resize(count, Vec::new());
+                        for (neuron, out) in layer.neurons.iter().zip(scratch.out_accs.iter_mut()) {
+                            columnar::accumulate_neuron_column(
+                                neuron,
+                                &refs,
+                                n,
+                                &mut scratch.acc,
+                                &mut scratch.narrow,
+                            );
+                            std::mem::swap(&mut scratch.acc, out);
+                        }
+                        argmax_hits(
+                            &scratch.out_accs[..count],
+                            &self.labels,
+                            &mut scratch.best_index,
+                            &mut scratch.best_value,
+                        )
+                    };
+                    return hits as f64 / n as f64;
+                }
+            }
+        }
+        // A network whose last layer has a QReLU (unusual): argmax over
+        // the final activation columns, mirroring the row oracle.
+        let refs: Vec<&[u8]> = if first {
+            self.columns.col_refs()
+        } else {
+            act.iter().map(|c| &c[..]).collect()
         };
-        (accuracy, area)
+        let preds = columnar::argmax_columns(&refs, n);
+        let hits = preds
+            .iter()
+            .zip(&self.labels)
+            .filter(|&(p, l)| p == l)
+            .count();
+        hits as f64 / n as f64
+    }
+
+    /// Assemble the Eq. (3) [`Evaluation`] from a scored
+    /// `(accuracy, area)` pair: minimized objectives plus the 10%
+    /// feasibility bound as a constrained-domination violation. The
+    /// single definition of the fitness formula — reference oracles
+    /// (bench, parity tests) build their evaluations through this too,
+    /// so they can never drift from the real path.
+    #[must_use]
+    pub fn evaluation_of(&self, accuracy: f64, area: f64) -> Evaluation {
+        let objectives = vec![1.0 - accuracy, area];
+        let floor = self.accuracy_floor();
+        if accuracy + 1e-12 >= floor {
+            Evaluation::feasible(objectives)
+        } else {
+            Evaluation::infeasible(objectives, floor - accuracy)
+        }
+    }
+
+    /// Full evaluation (objectives + feasibility) against reusable
+    /// columnar scratch buffers.
+    fn evaluate_with(&self, genes: &[u32], scratch: &mut ColumnarEvalScratch) -> Evaluation {
+        let mlp = self.spec.decode(genes);
+        let accuracy = self.columnar_accuracy(&mlp, scratch);
+        let area = self.area_of(&mlp);
+        self.evaluation_of(accuracy, area)
     }
 
     /// Analytic gate-equivalent area of a decoded network, mirroring
@@ -149,9 +344,25 @@ impl AxTrainProblem {
     /// output accumulators.
     #[must_use]
     pub fn gate_equivalents(&self, mlp: &pe_mlp::AxMlp) -> f64 {
-        let mlp = &pe_mlp::fold_constants(mlp);
+        // Constant folding only changes anything when some hidden
+        // neuron is fully masked; skipping it otherwise keeps the hot
+        // path free of a whole-network clone.
+        let folded;
+        let mlp = if has_constant_hidden_neuron(mlp) {
+            folded = pe_mlp::fold_constants(mlp);
+            &folded
+        } else {
+            mlp
+        };
         let mut ge = 0.0f64;
         let last = mlp.layers.len().saturating_sub(1);
+        // One reused spec buffer: the memo probe below is borrowed, so
+        // the warm path allocates nothing per neuron.
+        let mut spec = pe_arith::NeuronArithSpec {
+            input_bits: 0,
+            weights: Vec::new(),
+            bias: 0,
+        };
         for (li, layer) in mlp.layers.iter().enumerate() {
             let bias_shift = if li == last {
                 layer.neurons.iter().map(|n| n.bias).min().unwrap_or(0)
@@ -160,7 +371,7 @@ impl AxTrainProblem {
             };
             let mut max_width = 1u32;
             for n in &layer.neurons {
-                let mut spec = n.to_arith_spec(layer.input_bits);
+                n.to_arith_spec_into(layer.input_bits, &mut spec);
                 spec.bias -= i64::from(bias_shift);
                 let counts = self.estimator.counts(&spec);
                 ge += f64::from(counts.full_adders) * self.tech.ge(pe_hw::Cell::Fa)
@@ -188,29 +399,96 @@ impl AxTrainProblem {
     }
 }
 
+/// Whether [`pe_mlp::fold_constants`] could change `mlp` at all: some
+/// hidden (pre-output) layer holds a fully-masked (constant) neuron.
+fn has_constant_hidden_neuron(mlp: &pe_mlp::AxMlp) -> bool {
+    let last = mlp.layers.len().saturating_sub(1);
+    mlp.layers.iter().take(last).any(|layer| {
+        layer.qrelu.is_some()
+            && layer
+                .neurons
+                .iter()
+                .any(|n| n.weights.iter().all(|w| w.mask == 0))
+    })
+}
+
+/// Reusable buffers for the cached columnar scoring path (LUT,
+/// accumulator column, activation column). One per worker thread / per
+/// batch; grows to the dataset size once.
+#[derive(Debug, Default)]
+struct ColumnarEvalScratch {
+    acc: Vec<i64>,
+    narrow: Vec<i32>,
+    col: Vec<u8>,
+    out_accs: Vec<Vec<i64>>,
+    out_narrow: Vec<Vec<i32>>,
+    best_value: Vec<i64>,
+    best_narrow: Vec<i32>,
+    best_index: Vec<u32>,
+}
+
+/// Per-sample argmax over neuron-major accumulator columns, ties to
+/// the lowest index (the hardware comparator / row oracle), counting
+/// agreements with `labels`. Neuron-major sweep with a running best
+/// value/index pair per sample: every pass is a linear walk over
+/// contiguous columns.
+fn argmax_hits<T: Copy + PartialOrd>(
+    accs: &[Vec<T>],
+    labels: &[usize],
+    best_index: &mut Vec<u32>,
+    best_value: &mut Vec<T>,
+) -> usize {
+    best_value.clear();
+    best_value.extend_from_slice(&accs[0]);
+    best_index.clear();
+    best_index.resize(labels.len(), 0);
+    for (j, acc) in accs.iter().enumerate().skip(1) {
+        let j = j as u32;
+        for ((b, v), &x) in best_index
+            .iter_mut()
+            .zip(best_value.iter_mut())
+            .zip(acc.iter())
+        {
+            if x > *v {
+                *b = j;
+                *v = x;
+            }
+        }
+    }
+    best_index
+        .iter()
+        .zip(labels)
+        .filter(|&(&b, &l)| b as usize == l)
+        .count()
+}
+
 impl IntProblem for AxTrainProblem {
     fn bounds(&self) -> &[u32] {
         self.spec.bounds()
     }
 
     fn evaluate(&self, genes: &[u32]) -> Evaluation {
-        // One inference scratch per worker thread, reused across every
-        // genome that thread scores — the per-sample *and* per-genome
-        // buffer allocations both leave the hot loop.
+        // One columnar scratch per worker thread, reused across every
+        // genome that thread scores — the per-column buffer
+        // allocations leave the hot loop entirely.
         thread_local! {
-            static SCRATCH: std::cell::RefCell<InferenceScratch> =
-                std::cell::RefCell::new(InferenceScratch::new());
+            static SCRATCH: std::cell::RefCell<ColumnarEvalScratch> =
+                std::cell::RefCell::new(ColumnarEvalScratch::default());
         }
-        let mlp = self.spec.decode(genes);
-        let (accuracy, area) =
-            SCRATCH.with(|scratch| self.score_with(&mlp, &mut scratch.borrow_mut()));
-        let objectives = vec![1.0 - accuracy, area];
-        let floor = self.accuracy_floor();
-        if accuracy + 1e-12 >= floor {
-            Evaluation::feasible(objectives)
-        } else {
-            Evaluation::infeasible(objectives, floor - accuracy)
-        }
+        SCRATCH.with(|scratch| self.evaluate_with(genes, &mut scratch.borrow_mut()))
+    }
+
+    /// Native batch path: one scratch for the whole wave, every genome
+    /// scored through the shared neuron-column cache (so intra-wave
+    /// siblings reuse each other's columns immediately). Results are in
+    /// input order and identical to per-genome
+    /// [`evaluate`](IntProblem::evaluate) calls.
+    fn evaluate_batch(&self, genomes: &[Vec<u32>]) -> Vec<Evaluation> {
+        let mut scratch = ColumnarEvalScratch::default();
+        genomes
+            .iter()
+            .map(|genes| self.evaluate_with(genes, &mut scratch))
+            .collect()
     }
 }
 
@@ -234,7 +512,7 @@ mod tests {
         );
         let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
-        AxTrainProblem::new(spec, rows, labels, 1.0, max_loss)
+        AxTrainProblem::new(spec, QuantMatrix::from_rows(&rows), labels, 1.0, max_loss)
     }
 
     /// Genome: neuron0 = const 0 (zero mask, bias 0), neuron1 = x − 7,
@@ -288,7 +566,7 @@ mod tests {
         );
         let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v, v, v]).collect();
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
-        let p = AxTrainProblem::new(spec, rows, labels, 1.0, 1.0);
+        let p = AxTrainProblem::new(spec, QuantMatrix::from_rows(&rows), labels, 1.0, 1.0);
         // Neuron 0: three full-mask positive weights; neuron 1 inactive.
         let mut full = vec![0u32; p.genome_spec().gene_count()];
         for w in 0..3 {

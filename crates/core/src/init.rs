@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pe_mlp::{AxMlp, FixedMlp};
+use pe_mlp::{AxMlp, FixedMlp, QuantMatrix};
 
 use crate::genome::GenomeSpec;
 
@@ -29,7 +29,15 @@ pub fn doped_seeds(
     doped_count: usize,
     seed: u64,
 ) -> Vec<Vec<u32>> {
-    doped_seeds_calibrated(spec, baseline, max_shift, bias_bits, doped_count, seed, &[])
+    doped_seeds_calibrated(
+        spec,
+        baseline,
+        max_shift,
+        bias_bits,
+        doped_count,
+        seed,
+        &QuantMatrix::default(),
+    )
 }
 
 /// [`doped_seeds`] with data-calibrated pow2 conversion (see
@@ -44,7 +52,7 @@ pub fn doped_seeds_calibrated(
     bias_bits: u32,
     doped_count: usize,
     seed: u64,
-    calibration_rows: &[Vec<u8>],
+    calibration_rows: &QuantMatrix,
 ) -> Vec<Vec<u32>> {
     doped_seeds_refined(
         spec,
@@ -69,8 +77,8 @@ pub fn doped_seeds_refined(
     bias_bits: u32,
     doped_count: usize,
     seed: u64,
-    calibration_rows: &[Vec<u8>],
-    refine: Option<(&[Vec<u8>], &[usize])>,
+    calibration_rows: &QuantMatrix,
+    refine: Option<(&QuantMatrix, &[usize])>,
 ) -> Vec<Vec<u32>> {
     let mut doped: AxMlp =
         AxMlp::from_fixed_calibrated(baseline, max_shift, bias_bits, calibration_rows);
@@ -153,7 +161,7 @@ fn for_each_mask_gene(spec: &GenomeSpec, mut visit: impl FnMut(usize)) {
 #[must_use]
 pub fn refine_doped(
     mlp: &pe_mlp::AxMlp,
-    rows: &[Vec<u8>],
+    rows: &QuantMatrix,
     labels: &[usize],
     max_shift: u8,
     bias_bits: u32,

@@ -36,6 +36,10 @@
 //!   any `IntProblem` with a bounded genome memo and a deterministic
 //!   thread-pool batch path (results in input order, byte-identical to
 //!   serial), and [`thread_budget`] centralizes the `PE_THREADS` knob.
+//! * [`columns`] — the population-level [`NeuronColumnCache`] behind
+//!   the columnar fitness engine: hidden/output neuron columns over
+//!   the fitness dataset, memoized across the population and threads
+//!   with interned layer signatures (bit-exact by construction).
 //! * [`progress`] / [`error`] — [`ProgressEvent`] + [`CancelToken`]
 //!   observability and the [`FlowError`] error surface.
 //! * [`flow`] — the [`StudyConfig`] / [`DatasetStudy`] record types of
@@ -68,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -81,6 +86,7 @@ pub mod pipeline;
 pub mod progress;
 pub mod train;
 
+pub use columns::{ColumnCacheStats, NeuronColumnCache};
 pub use config::AxTrainConfig;
 pub use engine::{
     fingerprint_json, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine, SearchOutcome,

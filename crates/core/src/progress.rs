@@ -121,10 +121,14 @@ pub enum ProgressEvent {
         /// Chromosome evaluations so far.
         evaluations: u64,
     },
-    /// Cumulative cache counters of the search stage's batch evaluator
-    /// (see [`crate::eval::CachedEvaluator`]), emitted once per GA
+    /// Cumulative cache counters of the search stage's evaluation
+    /// caches — the genome memo ([`crate::eval::CachedEvaluator`]) and
+    /// the neuron-column cache behind the columnar fitness engine
+    /// ([`crate::columns::NeuronColumnCache`]) — emitted once per GA
     /// generation right after its
-    /// [`GaGeneration`](ProgressEvent::GaGeneration) event.
+    /// [`GaGeneration`](ProgressEvent::GaGeneration) event. Engines
+    /// whose problems have no column cache (e.g. the plain GA) report
+    /// zero column counters.
     EvalCache {
         /// Genome evaluations served from the memo so far.
         hits: u64,
@@ -132,6 +136,12 @@ pub enum ProgressEvent {
         misses: u64,
         /// Genomes currently resident in the memo.
         entries: usize,
+        /// Neuron columns served from the column cache so far.
+        column_hits: u64,
+        /// Neuron columns actually computed by the columnar kernels.
+        column_misses: u64,
+        /// Neuron columns currently resident in the column cache.
+        column_entries: usize,
     },
 }
 

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use pe_datasets::QuantizedData;
 use pe_hw::Elaborator;
-use pe_mlp::{AxMlp, FixedMlp, QReluCfg};
+use pe_mlp::{AxMlp, FixedMlp, QReluCfg, QuantMatrix};
 use pe_nsga::{Evaluation, GenerationStats, IntProblem, Nsga2};
 
 use crate::config::AxTrainConfig;
@@ -129,7 +129,8 @@ impl HwAwareTrainer {
     }
 
     /// [`train`](Self::train) with progress reporting and cooperative
-    /// cancellation: one [`ProgressEvent::GaGeneration`] per
+    /// cancellation: one
+    /// [`ProgressEvent::GaGeneration`](crate::ProgressEvent::GaGeneration) per
     /// generation, and cancellation honored at generation granularity.
     ///
     /// # Errors
@@ -167,6 +168,8 @@ impl HwAwareTrainer {
             .round() as usize)
             .max(1);
         let refine_n = problem.sample_count().min(600);
+        let calibration_rows = train.features.head(train.len().min(1000));
+        let refine_rows = train.features.head(refine_n);
         let seeds = crate::init::doped_seeds_refined(
             &spec,
             baseline,
@@ -174,8 +177,8 @@ impl HwAwareTrainer {
             self.config.bias_bits,
             doped_count,
             self.config.nsga.seed,
-            &train.features[..train.len().min(1000)],
-            Some((&train.features[..refine_n], &train.labels[..refine_n])),
+            &calibration_rows,
+            Some((&refine_rows, &train.labels[..refine_n])),
         );
 
         // The evaluation core: every NSGA-II wave is deduplicated
@@ -192,6 +195,7 @@ impl HwAwareTrainer {
             eval_threads,
             ctl,
             &mut history,
+            &|| Some(problem.column_cache_stats()),
         );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
@@ -225,10 +229,11 @@ impl HwAwareTrainer {
                 .total_cmp(&estimated_front[a].train_accuracy)
         });
         let refine_n = train.len().min(2500);
+        let polish_rows = train.features.head(refine_n);
         for &idx in by_acc.iter().take(5) {
             let polished = crate::init::refine_doped(
                 &estimated_front[idx].mlp,
-                &train.features[..refine_n],
+                &polish_rows,
                 &train.labels[..refine_n],
                 self.config.max_shift(),
                 self.config.bias_bits,
@@ -237,7 +242,7 @@ impl HwAwareTrainer {
             if polished != estimated_front[idx].mlp {
                 let problem_view = AxTrainProblem::new(
                     spec.clone(),
-                    train.features[..refine_n].to_vec(),
+                    polish_rows.clone(),
                     train.labels[..refine_n].to_vec(),
                     baseline_train_accuracy,
                     self.config.max_accuracy_loss,
@@ -268,9 +273,9 @@ impl HwAwareTrainer {
 
 /// Deterministic subsample: the first `limit` rows (splits are already
 /// shuffled).
-fn subsample(data: &QuantizedData, limit: Option<usize>) -> (Vec<Vec<u8>>, Vec<usize>) {
+fn subsample(data: &QuantizedData, limit: Option<usize>) -> (QuantMatrix, Vec<usize>) {
     let n = limit.unwrap_or(usize::MAX).min(data.len());
-    (data.features[..n].to_vec(), data.labels[..n].to_vec())
+    (data.features.head(n), data.labels[..n].to_vec())
 }
 
 /// The hardware-unaware GA reference of Table III: same NSGA-II engine,
@@ -280,7 +285,7 @@ fn subsample(data: &QuantizedData, limit: Option<usize>) -> (Vec<Vec<u8>>, Vec<u
 pub struct PlainGaProblem {
     bounds: Vec<u32>,
     shape: Vec<(usize, usize, u32, Option<QReluCfg>)>,
-    rows: Vec<Vec<u8>>,
+    rows: QuantMatrix,
     labels: Vec<usize>,
     weight_bits: u32,
     bias_bits: u32,
@@ -399,7 +404,7 @@ mod tests {
         let features: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
         let data = QuantizedData {
-            features,
+            features: QuantMatrix::from_rows(&features),
             labels,
             classes: 2,
             input_bits: 4,

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use pe_mlp::columnar::QuantMatrix;
+
 use crate::error::DatasetError;
 
 /// A labelled tabular dataset with `f32` features.
@@ -128,10 +130,15 @@ impl TabularData {
 
 /// A dataset quantized for bespoke hardware: unsigned integer features
 /// of `input_bits` each (the paper uses 4-bit inputs, §III-B).
+///
+/// Features live in a flat [`QuantMatrix`] (one contiguous buffer plus
+/// a stride) rather than a `Vec<Vec<u8>>`, so inference engines can
+/// stream rows without pointer chasing and transpose to the columnar
+/// layout ([`QuantMatrix::columns`]) once per study.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuantizedData {
     /// One row per sample, each value in `0 .. 2^input_bits`.
-    pub features: Vec<Vec<u8>>,
+    pub features: QuantMatrix,
     /// Class label per sample.
     pub labels: Vec<usize>,
     /// Number of classes.
@@ -156,7 +163,7 @@ impl QuantizedData {
     /// Number of features per sample.
     #[must_use]
     pub fn feature_count(&self) -> usize {
-        self.features.first().map_or(0, Vec::len)
+        self.features.width()
     }
 }
 
@@ -171,21 +178,18 @@ impl QuantizedData {
 ///
 /// let data = TabularData::new(vec![vec![0.0, 0.5, 1.0]], vec![0], 1).unwrap();
 /// let q = quantize(&data, 4);
-/// assert_eq!(q.features[0], vec![0, 8, 15]);
+/// assert_eq!(&q.features[0], &[0, 8, 15]);
 /// ```
 #[must_use]
 pub fn quantize(data: &TabularData, input_bits: u32) -> QuantizedData {
     let max = ((1u32 << input_bits) - 1) as f32;
+    let width = data.feature_count();
+    let mut flat = Vec::with_capacity(width * data.len());
+    for row in &data.features {
+        flat.extend(row.iter().map(|&v| (v.clamp(0.0, 1.0) * max).round() as u8));
+    }
     QuantizedData {
-        features: data
-            .features
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| (v.clamp(0.0, 1.0) * max).round() as u8)
-                    .collect()
-            })
-            .collect(),
+        features: QuantMatrix::from_flat(flat, width, data.len()),
         labels: data.labels.clone(),
         classes: data.classes,
         input_bits,
@@ -223,7 +227,8 @@ mod tests {
     fn quantization_covers_full_range() {
         let d = TabularData::new(vec![vec![0.0, 1.0, 0.49, 2.0, -1.0]], vec![0], 1).unwrap();
         let q = quantize(&d, 4);
-        assert_eq!(q.features[0], vec![0, 15, 7, 15, 0]);
+        assert_eq!(&q.features[0], &[0, 15, 7, 15, 0]);
+        assert_eq!(q.features.width(), 5);
         assert_eq!(q.input_bits, 4);
     }
 

@@ -36,7 +36,7 @@ pub mod split;
 pub mod synth;
 
 pub use csv::{load_csv, parse_csv, CsvError};
-pub use data::{quantize, QuantizedData, TabularData};
+pub use data::{quantize, QuantMatrix, QuantizedData, TabularData};
 pub use error::DatasetError;
 pub use spec::{ClassArrangement, Dataset, DatasetSpec, PaperBaseline, SgdHint, SynthParams};
 pub use split::{stratified_split, Split};

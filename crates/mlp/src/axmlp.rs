@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use pe_arith::{NeuronArithSpec, WeightArith};
 
+use crate::columnar::QuantMatrix;
 use crate::quant::{FixedMlp, QReluCfg};
 
 /// One approximate weight: the `(m, s, k)` triple of Eq. (1)/(4).
@@ -27,6 +28,7 @@ pub struct AxWeight {
 
 impl AxWeight {
     /// The represented weight value `s · 2^k` (0 when fully masked).
+    #[inline]
     #[must_use]
     pub fn value(self) -> i32 {
         if self.mask == 0 {
@@ -43,7 +45,10 @@ impl AxWeight {
 }
 
 /// One approximate neuron: weights plus an integer bias.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Hashable so evaluation layers can memoize per-neuron results (gate
+/// counts, output columns) by the decoded spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AxNeuron {
     /// Per-input approximate weights.
     pub weights: Vec<AxWeight>,
@@ -57,6 +62,7 @@ impl AxNeuron {
     /// # Panics
     ///
     /// Panics if `x` and the weights disagree in length.
+    #[inline]
     #[must_use]
     pub fn accumulate(&self, x: &[u8]) -> i64 {
         assert_eq!(x.len(), self.weights.len(), "input width mismatch");
@@ -79,19 +85,29 @@ impl AxNeuron {
     /// the hardware elaborator.
     #[must_use]
     pub fn to_arith_spec(&self, input_bits: u32) -> NeuronArithSpec {
-        NeuronArithSpec {
+        let mut spec = NeuronArithSpec {
             input_bits,
-            weights: self
-                .weights
-                .iter()
-                .map(|w| WeightArith {
-                    mask: u64::from(w.mask),
-                    shift: u32::from(w.shift),
-                    negative: w.negative,
-                })
-                .collect(),
-            bias: i64::from(self.bias),
-        }
+            weights: Vec::new(),
+            bias: 0,
+        };
+        self.to_arith_spec_into(input_bits, &mut spec);
+        spec
+    }
+
+    /// [`to_arith_spec`](Self::to_arith_spec) into a reused spec buffer
+    /// — the GA's area objective probes a per-neuron memo with a spec
+    /// per neuron per genome, and reusing one buffer keeps that probe
+    /// allocation-free.
+    pub fn to_arith_spec_into(&self, input_bits: u32, spec: &mut NeuronArithSpec) {
+        spec.input_bits = input_bits;
+        spec.bias = i64::from(self.bias);
+        spec.weights.clear();
+        spec.weights
+            .extend(self.weights.iter().map(|w| WeightArith {
+                mask: u64::from(w.mask),
+                shift: u32::from(w.shift),
+                negative: w.negative,
+            }));
     }
 }
 
@@ -205,7 +221,11 @@ impl AxMlp {
         argmax_i64(&scratch.acc)
     }
 
-    /// Accuracy over quantized rows.
+    /// Accuracy over quantized rows. An empty dataset scores `0.0` —
+    /// the workspace-wide convention shared by
+    /// [`accuracy_batch`](Self::accuracy_batch),
+    /// [`FixedMlp::accuracy`](crate::FixedMlp::accuracy) and
+    /// [`columnar::accuracy_columns`](crate::columnar::accuracy_columns).
     ///
     /// Allocates one scratch for the whole batch; use
     /// [`accuracy_batch`](Self::accuracy_batch) to reuse buffers across
@@ -215,12 +235,14 @@ impl AxMlp {
     ///
     /// Panics if `rows` and `labels` differ in length.
     #[must_use]
-    pub fn accuracy(&self, rows: &[Vec<u8>], labels: &[usize]) -> f64 {
+    pub fn accuracy(&self, rows: &QuantMatrix, labels: &[usize]) -> f64 {
         self.accuracy_batch(rows, labels, &mut InferenceScratch::new())
     }
 
-    /// Accuracy over quantized rows with reusable scratch buffers: the
-    /// GA fitness entry point — zero allocations per sample.
+    /// Accuracy over quantized rows with reusable scratch buffers —
+    /// the per-row reference path (one [`predict_with`](Self::predict_with)
+    /// per sample), kept as the oracle the columnar engine is proven
+    /// against. Empty datasets score `0.0` by convention.
     ///
     /// # Panics
     ///
@@ -228,7 +250,7 @@ impl AxMlp {
     #[must_use]
     pub fn accuracy_batch(
         &self,
-        rows: &[Vec<u8>],
+        rows: &QuantMatrix,
         labels: &[usize],
         scratch: &mut InferenceScratch,
     ) -> f64 {
@@ -256,7 +278,7 @@ impl AxMlp {
     /// positive scaling of the final layer, so this is free accuracy).
     #[must_use]
     pub fn from_fixed(fixed: &FixedMlp, max_shift: u8, bias_bits: u32) -> Self {
-        Self::from_fixed_calibrated(fixed, max_shift, bias_bits, &[])
+        Self::from_fixed_calibrated(fixed, max_shift, bias_bits, &QuantMatrix::default())
     }
 
     /// [`AxMlp::from_fixed`] with data-driven bias compensation: the
@@ -269,7 +291,7 @@ impl AxMlp {
         fixed: &FixedMlp,
         max_shift: u8,
         bias_bits: u32,
-        calibration_rows: &[Vec<u8>],
+        calibration_rows: &QuantMatrix,
     ) -> Self {
         let bias_max = (1i64 << (bias_bits - 1)) - 1;
         let bias_min = -(1i64 << (bias_bits - 1));
@@ -382,6 +404,7 @@ impl AxMlp {
 
 /// Integer argmax with ties to the lowest index (the hardware
 /// comparator's behavior).
+#[inline]
 fn argmax_i64(accs: &[i64]) -> usize {
     let mut best = 0;
     for (i, &a) in accs.iter().enumerate().skip(1) {
@@ -472,7 +495,7 @@ pub fn fold_constants(mlp: &AxMlp) -> AxMlp {
 
 /// Mean input activation of every layer of `fixed` over calibration
 /// rows (empty input → all-zero means, disabling error feedback).
-fn mean_layer_inputs(fixed: &FixedMlp, rows: &[Vec<u8>]) -> Vec<Vec<f64>> {
+fn mean_layer_inputs(fixed: &FixedMlp, rows: &QuantMatrix) -> Vec<Vec<f64>> {
     let mut sums: Vec<Vec<f64>> = fixed
         .layers
         .iter()
@@ -851,12 +874,15 @@ mod tests {
             }],
         };
         let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let rows = QuantMatrix::from_rows(&rows);
         let labels: Vec<usize> = (0..16).map(|v| usize::from(v <= 5)).collect();
         let mut scratch = InferenceScratch::new();
         let batch = mlp.accuracy_batch(&rows, &labels, &mut scratch);
         assert!((batch - mlp.accuracy(&rows, &labels)).abs() < 1e-15);
-        // Empty input stays well-defined.
-        assert_eq!(mlp.accuracy_batch(&[], &[], &mut scratch), 0.0);
+        // Empty input stays well-defined: 0.0 by convention.
+        let empty = QuantMatrix::default();
+        assert_eq!(mlp.accuracy_batch(&empty, &[], &mut scratch), 0.0);
+        assert_eq!(mlp.accuracy(&empty, &[]), 0.0);
     }
 
     #[test]
@@ -886,7 +912,7 @@ mod tests {
             }],
         };
         // Neuron0 = x, neuron1 = 10 - x: class 0 iff x > 5.
-        let rows = vec![vec![9u8], vec![1], vec![7], vec![3]];
+        let rows = QuantMatrix::from_rows(&[vec![9u8], vec![1], vec![7], vec![3]]);
         let labels = vec![0, 1, 0, 0];
         assert!((mlp.accuracy(&rows, &labels) - 0.75).abs() < 1e-12);
     }

@@ -1,0 +1,856 @@
+//! Columnar (structure-of-arrays) inference: flat quantized datasets
+//! and branch-free per-weight LUT kernels.
+//!
+//! The GA fitness loop scores every genome against the full training
+//! split. The row-major path ([`AxMlp::predict_with`]) walks one sample
+//! at a time through `Vec<Vec<u8>>` rows, paying a mask branch, a sign
+//! branch and a pointer chase per weight. This module flips the loop
+//! nest to neuron-major over a column-major dataset:
+//!
+//! * [`QuantMatrix`] stores a quantized dataset as **one contiguous
+//!   `Vec<u8>` plus a stride** — the end-to-end container used by
+//!   `pe-datasets`' `QuantizedData` and every accuracy API.
+//! * [`ColumnMatrix`] is its transpose: each *feature* column is
+//!   contiguous, so a neuron's accumulation streams samples linearly.
+//! * [`weight_lut`] compiles one [`AxWeight`] into a small `i32`
+//!   lookup table (16 entries for the paper's 4-bit inputs): for every
+//!   possible activation `x`, `lut[x] = s · ((x ⊙ m) ≪ k)`. The inner
+//!   loop over samples is the branch-free, contiguous
+//!   `acc[s] += lut[x[s]]` — with the LUT entry evaluated
+//!   *analytically* (AND, widening shift, add; sign hoisted out of the
+//!   loop) so the compiler vectorizes it without a gather, and at
+//!   `i32` lane width whenever the accumulator provably fits
+//!   ([`fits_i32`], [`accumulate_neuron_column`]).
+//! * [`qrelu_column`] applies the saturation of Eq. (4) to a whole
+//!   accumulator column at once via the precomputed
+//!   [`QReluKernel`](crate::quant::QReluKernel).
+//!
+//! [`predictions_columns`] / [`accuracy_columns`] drive a whole
+//! [`AxMlp`] this way. They are **bit-exact** with the row-major path —
+//! same integer accumulators, same QReLU saturation, same
+//! argmax-ties-to-lowest — which the test-suite proves exhaustively and
+//! by property tests; the per-row API stays available as the reference
+//! oracle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::axmlp::{AxMlp, AxNeuron, AxWeight};
+use crate::quant::QReluCfg;
+
+/// A quantized dataset as one flat row-major buffer plus a stride.
+///
+/// `row(i)` is `data[i * width .. (i + 1) * width]` — the same bytes a
+/// `Vec<Vec<u8>>` would hold, without the per-row allocation and
+/// pointer chase. [`ColumnMatrix`] (via [`QuantMatrix::columns`]) is
+/// the transposed view the columnar kernels consume.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    data: Vec<u8>,
+    width: usize,
+    rows: usize,
+}
+
+impl QuantMatrix {
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * rows`.
+    #[must_use]
+    pub fn from_flat(data: Vec<u8>, width: usize, rows: usize) -> Self {
+        assert_eq!(data.len(), width * rows, "flat buffer size mismatch");
+        Self { data, width, rows }
+    }
+
+    /// Build from per-sample rows (all rows must share one length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    #[must_use]
+    pub fn from_rows<R: AsRef<[u8]>>(rows: &[R]) -> Self {
+        let width = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = Vec::with_capacity(width * rows.len());
+        for row in rows {
+            assert_eq!(row.as_ref().len(), width, "ragged row");
+            data.extend_from_slice(row.as_ref());
+        }
+        Self {
+            data,
+            width,
+            rows: rows.len(),
+        }
+    }
+
+    /// Number of samples (rows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Features per sample (the stride).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// One sample's features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u8] {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterate the sample rows in order.
+    pub fn iter(&self) -> Rows<'_> {
+        Rows {
+            matrix: self,
+            index: 0,
+        }
+    }
+
+    /// The underlying flat row-major buffer.
+    #[must_use]
+    pub fn as_flat(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// An owned copy of the first `n` rows (deterministic subsampling —
+    /// splits are already shuffled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    #[must_use]
+    pub fn head(&self, n: usize) -> Self {
+        assert!(n <= self.rows, "head {n} out of {}", self.rows);
+        Self {
+            data: self.data[..n * self.width].to_vec(),
+            width: self.width,
+            rows: n,
+        }
+    }
+
+    /// An owned copy of the selected rows (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.width);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Self {
+            data,
+            width: self.width,
+            rows: indices.len(),
+        }
+    }
+
+    /// Transpose into the column-major layout the kernels consume.
+    #[must_use]
+    pub fn columns(&self) -> ColumnMatrix {
+        let mut data = vec![0u8; self.data.len()];
+        for f in 0..self.width {
+            let col = &mut data[f * self.rows..(f + 1) * self.rows];
+            for (s, slot) in col.iter_mut().enumerate() {
+                *slot = self.data[s * self.width + f];
+            }
+        }
+        ColumnMatrix {
+            data,
+            samples: self.rows,
+            width: self.width,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for QuantMatrix {
+    type Output = [u8];
+
+    fn index(&self, i: usize) -> &[u8] {
+        self.row(i)
+    }
+}
+
+impl<'a> IntoIterator for &'a QuantMatrix {
+    type Item = &'a [u8];
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`QuantMatrix`]'s sample rows, in order.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    matrix: &'a QuantMatrix,
+    index: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.index >= self.matrix.rows {
+            return None;
+        }
+        let row = self.matrix.row(self.index);
+        self.index += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.matrix.rows - self.index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+/// The transpose of a [`QuantMatrix`]: each feature's values over all
+/// samples are contiguous (`col(f)`), which is what makes the
+/// neuron-major kernels stream linearly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnMatrix {
+    data: Vec<u8>,
+    samples: usize,
+    width: usize,
+}
+
+impl ColumnMatrix {
+    /// Number of samples (each column's length).
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of feature columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// One feature's values over all samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= width()`.
+    #[inline]
+    #[must_use]
+    pub fn col(&self, f: usize) -> &[u8] {
+        assert!(f < self.width, "column {f} out of {}", self.width);
+        &self.data[f * self.samples..(f + 1) * self.samples]
+    }
+
+    /// All columns, in feature order.
+    #[must_use]
+    pub fn col_refs(&self) -> Vec<&[u8]> {
+        (0..self.width).map(|f| self.col(f)).collect()
+    }
+}
+
+/// Compile one weight into its activation lookup table:
+/// `lut[x] = s · ((x ⊙ m) ≪ k)` for every reachable activation `x`.
+///
+/// The table covers `2^input_bits` entries — 16 for the paper's 4-bit
+/// inputs — widened (up to the full 256 `u8` values) when a hand-built
+/// weight carries mask bits above `input_bits`, so the kernel is exact
+/// for *any* `u8` activation stream: indexing wraps with
+/// `x & (lut.len() - 1)`, and every mask bit that can ever meet a set
+/// activation bit lies inside the table.
+///
+/// Entries fit `i32` for every encodable weight (`x ⊙ m ≤ 255`,
+/// `k ≤ 22`); the per-sample accumulation widens to `i64`, exactly like
+/// [`AxNeuron::accumulate`].
+pub fn weight_lut(w: AxWeight, input_bits: u32, lut: &mut Vec<i32>) {
+    debug_assert!(w.shift <= 22, "shift {} overflows the i32 LUT", w.shift);
+    // Bits that can influence `x & mask` for a u8 activation.
+    let mask8 = w.mask & 0xFF;
+    let need = 16 - mask8.leading_zeros();
+    let bits = input_bits.max(need).min(8);
+    let size = 1usize << bits;
+    lut.clear();
+    lut.resize(size, 0);
+    if w.mask == 0 {
+        return;
+    }
+    for (x, slot) in lut.iter_mut().enumerate() {
+        let v = i32::from(x as u16 & w.mask) << w.shift;
+        *slot = if w.negative { -v } else { v };
+    }
+}
+
+/// Accumulate one neuron's Eq. (4) sum over a whole dataset at once:
+/// `acc[s] = bias + Σ_i lut_i[x_i[s]]`, one branch-free pass per
+/// weight over its contiguous input column.
+///
+/// The weight's LUT entry `lut[x] = s · ((x ⊙ m) ≪ k)` is evaluated
+/// *analytically* in the inner loop — an AND, a widening shift and an
+/// add with the sign branch hoisted out of the loop — rather than
+/// through an indexed load: the arithmetic form auto-vectorizes (no
+/// gather), which is worth several× on the miss path. [`weight_lut`]
+/// remains the executable specification of the same function and the
+/// parity tests pin the two to each other.
+///
+/// Bit-exact with running [`AxNeuron::accumulate`] on every sample.
+///
+/// # Panics
+///
+/// Panics if `inputs` and the weights disagree in count, or a column's
+/// length differs from `samples`.
+pub fn accumulate_neuron_column(
+    neuron: &AxNeuron,
+    inputs: &[&[u8]],
+    samples: usize,
+    acc: &mut Vec<i64>,
+    narrow: &mut Vec<i32>,
+) {
+    // When the worst-case |accumulator| provably fits `i32`
+    // ([`fits_i32`]), run the whole accumulation at half the lane
+    // width (twice the SIMD throughput) and widen once at the end —
+    // bit-exact, because integer addition without overflow is
+    // width-agnostic. Every genome-encodable neuron fits by orders of
+    // magnitude; the i64 path covers hand-built extremes.
+    if fits_i32(neuron) {
+        accumulate_neuron_column_narrow(neuron, inputs, samples, narrow);
+        acc.clear();
+        acc.extend(narrow.iter().map(|&a| i64::from(a)));
+        return;
+    }
+    assert_eq!(
+        inputs.len(),
+        neuron.weights.len(),
+        "input column count mismatch"
+    );
+    for col in inputs {
+        assert_eq!(col.len(), samples, "column length mismatch");
+    }
+    acc.clear();
+    acc.resize(samples, i64::from(neuron.bias));
+    for (w, col) in neuron.weights.iter().zip(inputs) {
+        if w.mask == 0 {
+            continue;
+        }
+        let mask = (w.mask & 0xFF) as u8;
+        let shift = w.shift;
+        if w.negative {
+            for (a, &x) in acc.iter_mut().zip(*col) {
+                *a -= i64::from(x & mask) << shift;
+            }
+        } else {
+            for (a, &x) in acc.iter_mut().zip(*col) {
+                *a += i64::from(x & mask) << shift;
+            }
+        }
+    }
+}
+
+/// Whether `neuron`'s accumulator provably fits an `i32` for every
+/// possible `u8` activation stream (the precondition of
+/// [`accumulate_neuron_column_narrow`]). True for every
+/// genome-encodable neuron by orders of magnitude.
+#[must_use]
+pub fn fits_i32(neuron: &AxNeuron) -> bool {
+    let small_shifts = neuron.weights.iter().all(|w| w.mask == 0 || w.shift <= 22);
+    small_shifts && {
+        let bound: i64 = neuron
+            .weights
+            .iter()
+            .filter(|w| w.mask != 0)
+            .map(|w| i64::from(w.mask & 0xFF) << w.shift)
+            .sum::<i64>()
+            + i64::from(neuron.bias).abs();
+        bound <= i64::from(i32::MAX)
+    }
+}
+
+/// [`accumulate_neuron_column`] at `i32` width, for neurons where
+/// [`fits_i32`] holds: downstream consumers that only compare or
+/// saturate the accumulators (argmax, QReLU) can then stay at the
+/// narrow width end to end. Bit-exact with the `i64` path — integer
+/// addition without overflow is width-agnostic.
+///
+/// # Panics
+///
+/// Panics if `inputs` and the weights disagree in count, a column's
+/// length differs from `samples`, or `fits_i32` is violated (debug).
+pub fn accumulate_neuron_column_narrow(
+    neuron: &AxNeuron,
+    inputs: &[&[u8]],
+    samples: usize,
+    acc: &mut Vec<i32>,
+) {
+    debug_assert!(fits_i32(neuron), "narrow accumulation would overflow");
+    assert_eq!(
+        inputs.len(),
+        neuron.weights.len(),
+        "input column count mismatch"
+    );
+    // The first active weight *writes* `bias ± term` instead of adding
+    // onto a pre-filled buffer, saving one full store pass per neuron.
+    let bias = neuron.bias;
+    acc.clear();
+    for (w, col) in neuron.weights.iter().zip(inputs) {
+        if w.mask == 0 {
+            continue;
+        }
+        assert_eq!(col.len(), samples, "column length mismatch");
+        let mask = (w.mask & 0xFF) as u8;
+        let shift = w.shift;
+        match (acc.is_empty(), w.negative) {
+            (true, true) => acc.extend(col.iter().map(|&x| bias - (i32::from(x & mask) << shift))),
+            (true, false) => {
+                acc.extend(col.iter().map(|&x| bias + (i32::from(x & mask) << shift)));
+            }
+            (false, true) => {
+                for (a, &x) in acc.iter_mut().zip(*col) {
+                    *a -= i32::from(x & mask) << shift;
+                }
+            }
+            (false, false) => {
+                for (a, &x) in acc.iter_mut().zip(*col) {
+                    *a += i32::from(x & mask) << shift;
+                }
+            }
+        }
+    }
+    if acc.is_empty() {
+        acc.resize(samples, bias);
+    }
+}
+
+/// Apply a QReLU to a whole accumulator column (into a reused buffer).
+pub fn qrelu_column(q: QReluCfg, acc: &[i64], out: &mut Vec<u8>) {
+    let kernel = q.kernel();
+    out.clear();
+    out.extend(acc.iter().map(|&a| kernel.apply(a)));
+}
+
+/// Column-major argmax with ties to the lowest index — the hardware
+/// comparator's behavior, applied per sample across neuron columns.
+///
+/// # Panics
+///
+/// Panics if `columns` is empty or lengths disagree with `samples`.
+pub fn argmax_columns<T: Copy + PartialOrd>(columns: &[&[T]], samples: usize) -> Vec<usize> {
+    assert!(!columns.is_empty(), "argmax over zero neurons");
+    for col in columns {
+        assert_eq!(col.len(), samples, "column length mismatch");
+    }
+    // Neuron-major sweep with a running best *value* per sample: each
+    // pass is a linear walk over two contiguous arrays (no indexed
+    // loads through the winner's column), and strictly-greater keeps
+    // ties at the lowest index.
+    let mut best = vec![0usize; samples];
+    let mut best_value: Vec<T> = columns[0].to_vec();
+    for (j, col) in columns.iter().enumerate().skip(1) {
+        for ((b, v), &x) in best.iter_mut().zip(best_value.iter_mut()).zip(*col) {
+            if x > *v {
+                *b = j;
+                *v = x;
+            }
+        }
+    }
+    best
+}
+
+/// Reusable buffers for the columnar forward pass: LUT and accumulator
+/// scratch plus double-buffered activation columns. Buffers grow to the
+/// widest layer once; steady-state inference allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarScratch {
+    acc: Vec<i64>,
+    narrow: Vec<i32>,
+    act: Vec<Vec<u8>>,
+    next: Vec<Vec<u8>>,
+    out_accs: Vec<Vec<i64>>,
+}
+
+impl ColumnarScratch {
+    /// A fresh (empty) scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-sample class predictions of `mlp` over a column-major dataset,
+/// written into `preds` — the allocation-free batch entry point.
+///
+/// Bit-exact with [`AxMlp::predict_with`] per row (same accumulators,
+/// same QReLU, argmax ties to the lowest class).
+///
+/// # Panics
+///
+/// Panics if the dataset width disagrees with the first layer's fan-in.
+pub fn predictions_columns_with(
+    mlp: &AxMlp,
+    cols: &ColumnMatrix,
+    scratch: &mut ColumnarScratch,
+    preds: &mut Vec<usize>,
+) {
+    let samples = cols.samples();
+    preds.clear();
+    if samples == 0 {
+        return;
+    }
+    let ColumnarScratch {
+        acc,
+        narrow,
+        act,
+        next,
+        out_accs,
+    } = scratch;
+    let mut first = true;
+    for layer in &mlp.layers {
+        let refs: Vec<&[u8]> = if first {
+            cols.col_refs()
+        } else {
+            act.iter().map(Vec::as_slice).collect()
+        };
+        match layer.qrelu {
+            Some(q) => {
+                next.resize(layer.neurons.len(), Vec::new());
+                for (neuron, out) in layer.neurons.iter().zip(next.iter_mut()) {
+                    accumulate_neuron_column(neuron, &refs, samples, acc, narrow);
+                    qrelu_column(q, acc, out);
+                }
+                drop(refs);
+                std::mem::swap(act, next);
+                first = false;
+            }
+            None => {
+                out_accs.resize(layer.neurons.len(), Vec::new());
+                for (neuron, out) in layer.neurons.iter().zip(out_accs.iter_mut()) {
+                    accumulate_neuron_column(neuron, &refs, samples, acc, narrow);
+                    std::mem::swap(acc, out);
+                }
+                let acc_refs: Vec<&[i64]> = out_accs.iter().map(Vec::as_slice).collect();
+                *preds = argmax_columns(&acc_refs, samples);
+                return;
+            }
+        }
+    }
+    // A network whose last layer has a QReLU (unusual): argmax over the
+    // final activation columns, mirroring the row-major path. With no
+    // layers at all, the argmax runs over the inputs themselves.
+    let refs: Vec<&[u8]> = if first {
+        cols.col_refs()
+    } else {
+        act.iter().map(Vec::as_slice).collect()
+    };
+    *preds = argmax_columns(&refs, samples);
+}
+
+/// [`predictions_columns_with`] with a fresh scratch, returning the
+/// predictions.
+#[must_use]
+pub fn predictions_columns(mlp: &AxMlp, cols: &ColumnMatrix) -> Vec<usize> {
+    let mut preds = Vec::new();
+    predictions_columns_with(mlp, cols, &mut ColumnarScratch::new(), &mut preds);
+    preds
+}
+
+/// Accuracy of `mlp` over a column-major dataset. Empty datasets score
+/// `0.0`, the workspace-wide convention of every accuracy API.
+///
+/// # Panics
+///
+/// Panics if `labels` disagrees with the sample count.
+#[must_use]
+pub fn accuracy_columns(mlp: &AxMlp, cols: &ColumnMatrix, labels: &[usize]) -> f64 {
+    assert_eq!(cols.samples(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = predictions_columns(mlp, cols);
+    let hits = preds.iter().zip(labels).filter(|&(p, l)| p == l).count();
+    hits as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axmlp::{AxLayer, InferenceScratch};
+
+    fn weight(mask: u16, shift: u8, negative: bool) -> AxWeight {
+        AxWeight {
+            mask,
+            shift,
+            negative,
+        }
+    }
+
+    fn two_layer_net() -> AxMlp {
+        AxMlp {
+            layers: vec![
+                AxLayer {
+                    input_bits: 4,
+                    neurons: vec![
+                        AxNeuron {
+                            weights: vec![weight(0b1011, 2, false), weight(0b0110, 1, true)],
+                            bias: -7,
+                        },
+                        AxNeuron {
+                            weights: vec![weight(0, 3, true), weight(0b1111, 0, false)],
+                            bias: 40,
+                        },
+                        AxNeuron {
+                            weights: vec![weight(0b1111, 3, false), weight(0b1001, 0, true)],
+                            bias: -120,
+                        },
+                    ],
+                    qrelu: Some(QReluCfg {
+                        out_bits: 8,
+                        shift: 1,
+                    }),
+                },
+                AxLayer {
+                    input_bits: 8,
+                    neurons: vec![
+                        AxNeuron {
+                            weights: vec![
+                                weight(0xFF, 0, false),
+                                weight(0x0F, 2, true),
+                                weight(0xF0, 0, false),
+                            ],
+                            bias: 17,
+                        },
+                        AxNeuron {
+                            weights: vec![
+                                weight(0xFF, 1, true),
+                                weight(0, 0, false),
+                                weight(0xFF, 0, false),
+                            ],
+                            bias: 90,
+                        },
+                    ],
+                    qrelu: None,
+                },
+            ],
+        }
+    }
+
+    fn exhaustive_rows() -> QuantMatrix {
+        let rows: Vec<Vec<u8>> = (0..=255u16)
+            .map(|v| vec![(v & 0x0F) as u8, (v >> 4) as u8])
+            .collect();
+        QuantMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn quant_matrix_layout_round_trips() {
+        let rows = vec![vec![1u8, 2, 3], vec![4, 5, 6]];
+        let m = QuantMatrix::from_rows(&rows);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.width(), 3);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(&m[0], &[1, 2, 3]);
+        assert_eq!(m.as_flat(), &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(m, QuantMatrix::from_flat(vec![1, 2, 3, 4, 5, 6], 3, 2));
+        let collected: Vec<&[u8]> = m.iter().collect();
+        assert_eq!(collected, vec![&[1u8, 2, 3][..], &[4, 5, 6][..]]);
+        assert_eq!(m.head(1).row(0), &[1, 2, 3]);
+        assert_eq!(m.select(&[1, 0, 1]).row(0), &[4, 5, 6]);
+        let cols = m.columns();
+        assert_eq!(cols.samples(), 2);
+        assert_eq!(cols.col(0), &[1, 4]);
+        assert_eq!(cols.col(2), &[3, 6]);
+    }
+
+    #[test]
+    fn empty_matrix_is_well_defined() {
+        let m = QuantMatrix::default();
+        assert!(m.is_empty());
+        assert_eq!(m.width(), 0);
+        assert_eq!(m.columns().samples(), 0);
+        // Width survives even with zero rows.
+        let m = QuantMatrix::from_flat(Vec::new(), 5, 0);
+        assert_eq!(m.width(), 5);
+        assert_eq!(m.head(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_are_rejected() {
+        let _ = QuantMatrix::from_rows(&[vec![1u8, 2], vec![3u8]]);
+    }
+
+    #[test]
+    fn lut_matches_the_scalar_weight_math() {
+        for &(mask, shift, negative) in &[
+            (0b1010u16, 1u8, false),
+            (0b0110, 2, true),
+            (0, 5, true),
+            (0b1111, 0, false),
+        ] {
+            let w = weight(mask, shift, negative);
+            let mut lut = Vec::new();
+            weight_lut(w, 4, &mut lut);
+            assert_eq!(lut.len(), 16);
+            let n = AxNeuron {
+                weights: vec![w],
+                bias: 0,
+            };
+            for x in 0..16u8 {
+                assert_eq!(
+                    i64::from(lut[usize::from(x)]),
+                    n.accumulate(&[x]),
+                    "mask {mask:#b} shift {shift} neg {negative} x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_widens_for_masks_beyond_the_declared_input_width() {
+        // A hand-built weight with mask bits above input_bits=4 must
+        // still agree with `accumulate` on every u8 activation.
+        let w = weight(0xFFFF, 1, false);
+        let mut lut = Vec::new();
+        weight_lut(w, 4, &mut lut);
+        assert_eq!(lut.len(), 256);
+        let idx_mask = lut.len() - 1;
+        let n = AxNeuron {
+            weights: vec![w],
+            bias: 0,
+        };
+        for x in 0..=255u8 {
+            assert_eq!(
+                i64::from(lut[usize::from(x) & idx_mask]),
+                n.accumulate(&[x])
+            );
+        }
+    }
+
+    #[test]
+    fn neuron_column_equals_per_sample_accumulate() {
+        let neuron = AxNeuron {
+            weights: vec![weight(0b1011, 3, true), weight(0b0101, 1, false)],
+            bias: 23,
+        };
+        let m = exhaustive_rows();
+        let cols = m.columns();
+        let refs = cols.col_refs();
+        let (mut acc, mut narrow) = (Vec::new(), Vec::new());
+        accumulate_neuron_column(&neuron, &refs, m.len(), &mut acc, &mut narrow);
+        for (s, row) in m.iter().enumerate() {
+            assert_eq!(acc[s], neuron.accumulate(row), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn argmax_ties_break_to_the_lowest_index() {
+        let a = [5i64, 1, 7];
+        let b = [5i64, 2, 6];
+        let c = [4i64, 2, 7];
+        // s0: tie between neurons 0 and 1 -> 0; s1: tie between 1 and
+        // 2 -> 1; s2: tie between 0 and 2 -> 0.
+        let preds = argmax_columns(&[&a, &b, &c], 3);
+        assert_eq!(preds, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn columnar_forward_is_bit_exact_with_the_row_oracle() {
+        let mlp = two_layer_net();
+        let m = exhaustive_rows();
+        let cols = m.columns();
+        let preds = predictions_columns(&mlp, &cols);
+        let mut scratch = InferenceScratch::new();
+        for (s, row) in m.iter().enumerate() {
+            assert_eq!(preds[s], mlp.predict_with(row, &mut scratch), "sample {s}");
+        }
+        // Accuracy agrees with the row-major API on the same labels.
+        let labels: Vec<usize> = (0..m.len()).map(|i| i % 2).collect();
+        assert_eq!(
+            accuracy_columns(&mlp, &cols, &labels),
+            mlp.accuracy(&m, &labels)
+        );
+    }
+
+    #[test]
+    fn trailing_qrelu_network_argmaxes_the_activations() {
+        // All-QReLU network: the row path argmaxes final activations.
+        let mlp = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![weight(0b1111, 0, false)],
+                        bias: 0,
+                    },
+                    AxNeuron {
+                        weights: vec![weight(0b1111, 0, true)],
+                        bias: 9,
+                    },
+                ],
+                qrelu: Some(QReluCfg {
+                    out_bits: 4,
+                    shift: 0,
+                }),
+            }],
+        };
+        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let m = QuantMatrix::from_rows(&rows);
+        let preds = predictions_columns(&mlp, &m.columns());
+        let mut scratch = InferenceScratch::new();
+        for (s, row) in m.iter().enumerate() {
+            assert_eq!(preds[s], mlp.predict_with(row, &mut scratch), "x={s}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_scores_zero_by_convention() {
+        let mlp = two_layer_net();
+        let empty = QuantMatrix::from_flat(Vec::new(), 2, 0);
+        assert_eq!(accuracy_columns(&mlp, &empty.columns(), &[]), 0.0);
+        assert!(predictions_columns(&mlp, &empty.columns()).is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_network_shapes() {
+        let wide = two_layer_net();
+        let narrow = AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![weight(0b1111, 0, false), weight(0, 0, false)],
+                        bias: 0,
+                    },
+                    AxNeuron {
+                        weights: vec![weight(0, 0, false), weight(0, 0, false)],
+                        bias: 3,
+                    },
+                ],
+                qrelu: None,
+            }],
+        };
+        let m = exhaustive_rows();
+        let cols = m.columns();
+        let mut scratch = ColumnarScratch::new();
+        let mut preds = Vec::new();
+        for mlp in [&wide, &narrow, &wide] {
+            predictions_columns_with(mlp, &cols, &mut scratch, &mut preds);
+            let mut row_scratch = InferenceScratch::new();
+            for (s, row) in m.iter().enumerate() {
+                assert_eq!(preds[s], mlp.predict_with(row, &mut row_scratch));
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@
 //!   exactly, so software accuracy equals circuit accuracy.
 //!
 //! [`hardware`] lowers the integer networks into `pe-hw` circuit
-//! descriptions; [`metrics`] provides accuracy/confusion helpers.
+//! descriptions; [`metrics`] provides accuracy/confusion helpers;
+//! [`columnar`] holds the structure-of-arrays inference engine —
+//! [`QuantMatrix`] flat datasets, per-weight LUT kernels and
+//! column-major batch prediction, bit-exact with the per-row path.
 //!
 //! # Example: train, quantize, approximate
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod axmlp;
+pub mod columnar;
 pub mod dense;
 pub mod hardware;
 pub mod metrics;
@@ -42,8 +46,9 @@ pub mod topology;
 pub mod train;
 
 pub use axmlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, InferenceScratch};
+pub use columnar::{ColumnMatrix, ColumnarScratch, QuantMatrix};
 pub use dense::{argmax, DenseMlp};
 pub use hardware::{ax_to_hardware, fixed_to_hardware};
-pub use quant::{FixedLayer, FixedMlp, QReluCfg, QuantConfig};
+pub use quant::{FixedLayer, FixedMlp, QReluCfg, QReluKernel, QuantConfig};
 pub use topology::Topology;
 pub use train::{train_best_of, train_best_of_observed, SgdTrainer, TrainConfig, TrainReport};

@@ -10,10 +10,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::columnar::QuantMatrix;
 use crate::dense::DenseMlp;
 
 /// Configuration of one QReLU stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct QReluCfg {
     /// Output width in bits (8 in the paper).
     pub out_bits: u32,
@@ -30,10 +31,43 @@ impl QReluCfg {
     /// assert_eq!(q.apply(40), 10);
     /// assert_eq!(q.apply(9999), 255);
     /// ```
+    #[inline]
     #[must_use]
     pub fn apply(self, acc: i64) -> u8 {
-        let max = (1i64 << self.out_bits) - 1;
-        (acc >> self.shift).clamp(0, max) as u8
+        self.kernel().apply(acc)
+    }
+
+    /// Precompile the stage into a [`QReluKernel`]: the saturation
+    /// ceiling `2^out_bits − 1` is computed once instead of once per
+    /// activation, which matters in the columnar inner loops that apply
+    /// one QReLU to a whole dataset column.
+    #[inline]
+    #[must_use]
+    pub fn kernel(self) -> QReluKernel {
+        QReluKernel {
+            shift: self.shift,
+            max: (1i64 << self.out_bits) - 1,
+        }
+    }
+}
+
+/// A [`QReluCfg`] with its saturation ceiling precomputed.
+///
+/// [`apply`](QReluKernel::apply) is branch-free: a shift followed by a
+/// `clamp`, which lowers to conditional-move min/max instructions — no
+/// `2^out_bits` recompute and no data-dependent branch per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QReluKernel {
+    shift: u32,
+    max: i64,
+}
+
+impl QReluKernel {
+    /// Apply the QReLU: `clamp(acc >> shift, 0, max)`.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, acc: i64) -> u8 {
+        (acc >> self.shift).clamp(0, self.max) as u8
     }
 }
 
@@ -213,13 +247,14 @@ impl FixedMlp {
         best
     }
 
-    /// Accuracy over quantized rows.
+    /// Accuracy over quantized rows. An empty dataset scores `0.0`,
+    /// the workspace-wide convention of every accuracy API.
     ///
     /// # Panics
     ///
     /// Panics if `rows` and `labels` differ in length.
     #[must_use]
-    pub fn accuracy(&self, rows: &[Vec<u8>], labels: &[usize]) -> f64 {
+    pub fn accuracy(&self, rows: &QuantMatrix, labels: &[usize]) -> f64 {
         assert_eq!(rows.len(), labels.len());
         if rows.is_empty() {
             return 0.0;
@@ -264,6 +299,52 @@ mod tests {
         assert_eq!(q.apply(8), 1);
         assert_eq!(q.apply(255 * 8), 255);
         assert_eq!(q.apply(i64::MAX / 2), 255);
+    }
+
+    #[test]
+    fn qrelu_kernel_pins_the_saturation_boundaries() {
+        // The precompiled kernel and the per-call path must agree at
+        // (and just beyond) both clamp boundaries, for the widest and
+        // narrowest stages the flow configures.
+        for q in [
+            QReluCfg {
+                out_bits: 8,
+                shift: 0,
+            },
+            QReluCfg {
+                out_bits: 8,
+                shift: 5,
+            },
+            QReluCfg {
+                out_bits: 4,
+                shift: 3,
+            },
+        ] {
+            let k = q.kernel();
+            let max = (1i64 << q.out_bits) - 1;
+            let at_max = max << q.shift;
+            for acc in [
+                i64::MIN,
+                -1,
+                0,
+                1,
+                (1i64 << q.shift) - 1,
+                1i64 << q.shift,
+                at_max - 1,
+                at_max,
+                at_max + (1i64 << q.shift) - 1, // still rounds down to max
+                at_max + (1i64 << q.shift),     // first saturating value
+                i64::MAX,
+            ] {
+                let expected = (acc >> q.shift).clamp(0, max) as u8;
+                assert_eq!(q.apply(acc), expected, "cfg {q:?} acc {acc}");
+                assert_eq!(k.apply(acc), expected, "kernel {q:?} acc {acc}");
+            }
+            // Exact boundary values.
+            assert_eq!(q.apply(at_max), max as u8);
+            assert_eq!(q.apply(at_max + (1i64 << q.shift)), max as u8);
+            assert_eq!(q.apply(-1), 0);
+        }
     }
 
     #[test]
@@ -326,6 +407,7 @@ mod tests {
             .iter()
             .map(|r| r.iter().map(|&v| (v * 15.0).round() as u8).collect())
             .collect();
+        let q_rows = QuantMatrix::from_rows(&q_rows);
         let float_acc = mlp.accuracy(&rows, &labels);
         let fixed_acc = q.accuracy(&q_rows, &labels);
         assert!(float_acc > 0.95);
