@@ -74,7 +74,12 @@ impl SearchEngine for Tc23Engine {
         );
         let wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
-        let report = design.hardware_report(ctx.elaborator, &format!("{}_tc23", ctx.name));
+        // Cost through the study's model: the report lands at the
+        // scenario's technology and operating supply like every other
+        // engine's.
+        let report = ctx
+            .cost
+            .report(&design.hardware_spec(&format!("{}_tc23", ctx.name)));
         let point = DesignPoint {
             network: DesignNetwork::Truncated {
                 mlp: design.mlp.clone(),
@@ -91,6 +96,12 @@ impl SearchEngine for Tc23Engine {
 
 /// TCAD'23 (ref. \[7\]): milder coefficient approximation plus Voltage
 /// Over-Scaling below 0.8 V with a timing-error model.
+///
+/// Voltage over-scaling **is** this method: its reports land at the
+/// VOS voltage its own search selects, not at the study scenario's
+/// operating supply (the documented [`SearchContext::scenario`]
+/// carve-out). Costing still flows through the scenario's technology
+/// via [`SearchContext::cost`].
 #[derive(Debug, Clone)]
 pub struct Tcad23Engine {
     /// The method's search configuration.
@@ -140,8 +151,12 @@ impl SearchEngine for Tcad23Engine {
         );
         let wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
-        let report =
-            design.hardware_report(ctx.elaborator, &self.vdd, &format!("{}_tcad23", ctx.name));
+        // Cost through the study's model, then move to the design's own
+        // over-scaled operating voltage.
+        let report = ctx
+            .cost
+            .report(&design.design.hardware_spec(&format!("{}_tcad23", ctx.name)))
+            .at_vdd(&self.vdd, design.vdd);
         let raw_test = design.design.accuracy(&ctx.test.features, &ctx.test.labels);
         let point = DesignPoint {
             network: DesignNetwork::Truncated {
@@ -193,7 +208,14 @@ impl SearchEngine for ScEngine {
         let sc = ScMlp::from_dense(ctx.float_mlp, &ctx.float_train.features, &self.config);
         let wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
-        let report = sc.hardware_report(ctx.tech, &format!("{}_sc", ctx.name));
+        // SC designs are not bespoke-MLP specs (no adder trees to
+        // elaborate), so they cost directly from their gate content in
+        // the scenario's technology — then move to the scenario's
+        // operating supply like every other engine's report (a no-op
+        // at the nominal supply).
+        let report = ctx
+            .scenario
+            .scale_report(sc.hardware_report(ctx.tech(), &format!("{}_sc", ctx.name)));
         let n = ctx.float_train.features.len().min(SC_TRAIN_ACCURACY_ROWS);
         let point = DesignPoint {
             network: DesignNetwork::Stochastic,
@@ -211,7 +233,7 @@ impl SearchEngine for ScEngine {
 mod tests {
     use super::*;
     use pe_datasets::Dataset;
-    use pe_hw::{Elaborator, TechLibrary};
+    use pe_hw::TechLibrary;
     use printed_axc::{Study, StudyConfig};
 
     fn costed_stage() -> printed_axc::BaselineCosted {
@@ -231,9 +253,8 @@ mod tests {
     #[test]
     fn all_three_prior_work_engines_report_one_costed_design() {
         let costed = costed_stage();
-        let tech = TechLibrary::egfet();
-        let elab = Elaborator::new(tech.clone());
-        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let model = pe_hw::ExactCostModel::new(pe_hw::CostScenario::default());
+        let ctx = costed.search_context(&model, 0.05);
         let engines: [&dyn SearchEngine; 3] = [
             &Tc23Engine::default(),
             &Tcad23Engine::default(),
@@ -263,9 +284,8 @@ mod tests {
     #[test]
     fn engines_are_cancellable() {
         let costed = costed_stage();
-        let tech = TechLibrary::egfet();
-        let elab = Elaborator::new(tech.clone());
-        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let model = pe_hw::ExactCostModel::new(pe_hw::CostScenario::default());
+        let ctx = costed.search_context(&model, 0.05);
         let token = printed_axc::CancelToken::new();
         token.cancel();
         let ctl = RunControl::new(None, Some(&token));

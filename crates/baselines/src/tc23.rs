@@ -118,9 +118,20 @@ impl Tc23Design {
     }
 
     /// Lower to the bespoke hardware description (with per-neuron
-    /// truncation) and cost it.
+    /// truncation) and cost it at the elaborator's nominal supply.
+    /// Equal by construction to costing
+    /// [`hardware_spec`](Self::hardware_spec) through any
+    /// [`pe_hw::CostModel`] at the nominal scenario.
     #[must_use]
     pub fn hardware_report(&self, elaborator: &Elaborator, name: &str) -> HardwareReport {
+        elaborator.elaborate(&self.hardware_spec(name)).report
+    }
+
+    /// Lower to the bespoke hardware description (with per-neuron
+    /// truncation and explicit CSD multipliers), ready for any
+    /// [`pe_hw::CostModel`].
+    #[must_use]
+    pub fn hardware_spec(&self, name: &str) -> MlpHardwareSpec {
         let mut input_bits = self.mlp.input_bits;
         let inputs = self.mlp.layers.first().map_or(0, |l| l.weights[0].len());
         let layers: Vec<LayerSpec> = self
@@ -161,13 +172,12 @@ impl Tc23Design {
                 }
             })
             .collect();
-        let spec = MlpHardwareSpec {
+        MlpHardwareSpec {
             name: name.to_owned(),
             inputs,
             input_bits: self.mlp.input_bits,
             layers,
-        };
-        elaborator.elaborate(&spec).report
+        }
     }
 }
 

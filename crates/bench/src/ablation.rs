@@ -32,7 +32,7 @@ fn ablation_config(seed: u64, ga: AxTrainConfig) -> StudyConfig {
         seed,
         ga,
         sgd_epochs_scale: 0.4,
-        accuracy_loss_budget: 0.05,
+        ..StudyConfig::default()
     }
 }
 
@@ -227,9 +227,8 @@ pub fn objective(
         .expect("valid ablation config");
     let costed = pipeline.baseline_costed().expect("stages 1-3");
 
-    let tech = TechLibrary::egfet();
-    let elaborator = Elaborator::new(tech.clone());
-    let ctx = costed.search_context(&tech, &elaborator, loss_budget);
+    let model = pe_hw::ExactCostModel::new(pe_hw::CostScenario::default());
+    let ctx = costed.search_context(&model, loss_budget);
 
     let run = |objective: AreaObjective| {
         let engine = NsgaEngine::new(AxTrainConfig {

@@ -1,0 +1,21 @@
+//! Multi-technology / multi-voltage cost sweep over the studies'
+//! designs, emitting `BENCH_cost.json`.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin cost_sweep` (set
+//! `PE_BUDGET=quick` for a fast pass). Every point is costed through
+//! the fast analytic model and cross-checked against the exact
+//! netlist model, so the sweep doubles as an end-to-end cost-layer
+//! parity check on real, GA-trained designs.
+
+use pe_bench::format::write_json;
+use pe_bench::study::run_studies;
+use pe_bench::{sweep, BudgetPreset};
+
+fn main() {
+    let budget = BudgetPreset::from_env(BudgetPreset::Full);
+    let studies = run_studies(budget, 0);
+    let points = sweep::sweep(&studies);
+    println!("{}", sweep::render(&points));
+    println!("{}", sweep::deployable_summary(&points));
+    write_json("BENCH_cost", &points);
+}

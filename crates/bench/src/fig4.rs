@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use pe_baselines::{ScEngine, Tc23Engine, Tcad23Engine};
-use pe_hw::{Elaborator, TechLibrary};
+use pe_hw::{CostScenario, ExactCostModel, TechLibrary};
 use printed_axc::{select_within_loss, RunControl, SearchEngine, Selected};
 
 use crate::format::render_table;
@@ -79,9 +79,9 @@ pub fn paper_engines() -> Vec<Box<dyn SearchEngine>> {
 pub fn row(selected: &Selected, engines: &[Box<dyn SearchEngine>], tech: &TechLibrary) -> Fig4Row {
     let costed = &selected.searched.costed;
     let spec = costed.float.prepared.dataset.spec();
-    let elaborator = Elaborator::new(tech.clone());
+    let model = ExactCostModel::new(CostScenario::nominal(tech.clone()));
     let budget = selected.loss_budget;
-    let ctx = costed.search_context(tech, &elaborator, budget);
+    let ctx = costed.search_context(&model, budget);
     let base_area = costed.baseline_report.area_cm2;
     let base_power = costed.baseline_report.power_mw;
 

@@ -15,7 +15,9 @@
 //! Experiment index (see DESIGN.md §4): [`table1`] baselines,
 //! [`table2`] our approximate MLPs, [`table3`] training times,
 //! [`fig4`] state-of-the-art comparison, [`fig5`] power-source
-//! feasibility, plus the [`ablation`] studies.
+//! feasibility, plus the [`ablation`] studies and the
+//! multi-technology / multi-voltage cost [`sweep`]
+//! (`BENCH_cost.json`).
 //!
 //! Everything executes through `printed-axc`'s staged pipeline:
 //! [`study::run_studies`] fans the five datasets out over a worker pool
@@ -30,6 +32,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod format;
 pub mod study;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;

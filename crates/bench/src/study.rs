@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use pe_datasets::Dataset;
-use pe_hw::TechLibrary;
+
 use pe_nsga::NsgaConfig;
 use printed_axc::{
     AxTrainConfig, DatasetStudy, Pipeline, ProgressEvent, RunManyOptions, Selected, StudyConfig,
@@ -59,7 +59,7 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
                 ..AxTrainConfig::default()
             },
             sgd_epochs_scale: 0.3,
-            accuracy_loss_budget: 0.05,
+            ..StudyConfig::default()
         },
         BudgetPreset::Full => StudyConfig {
             seed,
@@ -76,7 +76,7 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
                 ..AxTrainConfig::default()
             },
             sgd_epochs_scale: 1.0,
-            accuracy_loss_budget: 0.05,
+            ..StudyConfig::default()
         },
     }
 }
@@ -84,7 +84,8 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
 /// Accumulates the per-generation
 /// [`ProgressEvent::EvalCache`] streams of every study into one
 /// run-wide tally, so the bench bins can print how hard the genome
-/// memo and the neuron-column cache worked. Robust to several GA runs
+/// memo, the neuron-column cache and the cost layer's gate-count memo
+/// worked. Robust to several GA runs
 /// per dataset (each search's cumulative counters restart at zero; a
 /// decrease folds the finished run into the total).
 #[derive(Debug, Default)]
@@ -98,8 +99,10 @@ struct CacheTally {
     genome_misses: u64,
     column_hits: u64,
     column_misses: u64,
+    cost_hits: u64,
+    cost_misses: u64,
     /// Cumulative counters of the GA run currently streaming.
-    last: [u64; 4],
+    last: [u64; 6],
 }
 
 impl CacheTally {
@@ -108,7 +111,9 @@ impl CacheTally {
         self.genome_misses += self.last[1];
         self.column_hits += self.last[2];
         self.column_misses += self.last[3];
-        self.last = [0; 4];
+        self.cost_hits += self.last[4];
+        self.cost_misses += self.last[5];
+        self.last = [0; 6];
     }
 }
 
@@ -130,8 +135,17 @@ impl EvalCacheSummary {
                 misses,
                 column_hits,
                 column_misses,
+                cost_hits,
+                cost_misses,
                 ..
-            } => [hits, misses, column_hits, column_misses],
+            } => [
+                hits,
+                misses,
+                column_hits,
+                column_misses,
+                cost_hits,
+                cost_misses,
+            ],
             _ => return,
         };
         let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
@@ -154,6 +168,8 @@ impl EvalCacheSummary {
             total.genome_misses += t.genome_misses;
             total.column_hits += t.column_hits;
             total.column_misses += t.column_misses;
+            total.cost_hits += t.cost_hits;
+            total.cost_misses += t.cost_misses;
         }
         let pct = |hits: u64, misses: u64| {
             let n = hits + misses;
@@ -164,13 +180,16 @@ impl EvalCacheSummary {
             }
         };
         format!(
-            "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit)",
+            "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit) | cost-model memo {} hits / {} misses ({:.1}% hit)",
             total.genome_hits,
             total.genome_misses,
             pct(total.genome_hits, total.genome_misses),
             total.column_hits,
             total.column_misses,
             pct(total.column_hits, total.column_misses),
+            total.cost_hits,
+            total.cost_misses,
+            pct(total.cost_hits, total.cost_misses),
         )
     }
 }
@@ -186,13 +205,8 @@ impl EvalCacheSummary {
 #[must_use]
 pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> {
     let (opts, summary) = observed_options();
-    let studies = Pipeline::run_many(
-        &Dataset::ALL,
-        &study_config(budget, master_seed),
-        &TechLibrary::egfet(),
-        &opts,
-    )
-    .expect("bench presets are valid and uncancelled");
+    let studies = Pipeline::run_many(&Dataset::ALL, &study_config(budget, master_seed), &opts)
+        .expect("bench presets are valid and uncancelled");
     println!("{}", summary.render());
     studies
 }
@@ -230,13 +244,9 @@ pub fn observed_options() -> (RunManyOptions, Arc<EvalCacheSummary>) {
 #[must_use]
 pub fn run_selected(budget: BudgetPreset, master_seed: u64) -> Vec<Selected> {
     let (opts, summary) = observed_options();
-    let selected = Pipeline::run_many_selected(
-        &Dataset::ALL,
-        &study_config(budget, master_seed),
-        &TechLibrary::egfet(),
-        &opts,
-    )
-    .expect("bench presets are valid and uncancelled");
+    let selected =
+        Pipeline::run_many_selected(&Dataset::ALL, &study_config(budget, master_seed), &opts)
+            .expect("bench presets are valid and uncancelled");
     println!("{}", summary.render());
     selected
 }

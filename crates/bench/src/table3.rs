@@ -13,7 +13,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use pe_datasets::Dataset;
-use pe_hw::{Elaborator, TechLibrary};
+use pe_hw::TechLibrary;
 use pe_mlp::{DenseMlp, SgdTrainer, Topology, TrainConfig};
 use pe_nsga::NsgaConfig;
 use printed_axc::{
@@ -155,9 +155,8 @@ pub fn measure(dataset: Dataset, budget: &Table3Budget, seed: u64) -> Table3Row 
         .expect("baseline stage");
 
     // (2) + (3): both GA trainers through the engine interface.
-    let tech = TechLibrary::egfet();
-    let elaborator = Elaborator::new(tech.clone());
-    let ctx = costed.search_context(&tech, &elaborator, 0.05);
+    let model = pe_hw::ExactCostModel::new(pe_hw::CostScenario::default());
+    let ctx = costed.search_context(&model, 0.05);
     let engines: [Box<dyn SearchEngine>; 2] = [
         Box::new(PlainGaEngine::new(nsga_cfg, Some(budget.subsample))),
         Box::new(NsgaEngine::new(ga_cfg)),

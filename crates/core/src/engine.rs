@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use pe_datasets::{Dataset, QuantizedData, TabularData};
-use pe_hw::{Elaborator, TechLibrary};
+use pe_hw::{CostModel, CostScenario, Elaborator, TechLibrary};
 use pe_mlp::{fixed_to_hardware, DenseMlp, FixedMlp};
 use pe_nsga::{Nsga2, NsgaConfig};
 
@@ -28,10 +28,10 @@ use crate::train::{HwAwareTrainer, PlainGaProblem};
 pub use crate::train::TrainingOutcome as SearchOutcome;
 
 /// The inputs every engine searches against: one dataset's prepared
-/// splits, the float and exact-baseline lineage, and the shared
-/// technology model. Borrowed from the pipeline's stage artifacts (see
+/// splits, the float and exact-baseline lineage, and the shared cost
+/// model. Borrowed from the pipeline's stage artifacts (see
 /// [`BaselineCosted::search_context`](crate::pipeline::BaselineCosted::search_context)).
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct SearchContext<'a> {
     /// Which dataset is being searched.
     pub dataset: Dataset,
@@ -59,9 +59,20 @@ pub struct SearchContext<'a> {
     pub float_train: &'a TabularData,
     /// Normalized float test split.
     pub float_test: &'a TabularData,
-    /// The technology library costs are reported in.
-    pub tech: &'a TechLibrary,
-    /// A circuit elaborator over `tech`.
+    /// The cost scenario the study runs under: technology, Vdd model,
+    /// operating supply and the optional power budget. Engines must
+    /// report their designs under these conditions — with one carve-out:
+    /// an engine whose *method* is defined by its own operating voltage
+    /// (the TCAD'23 voltage-over-scaling search) reports at the voltage
+    /// its search selects, since pinning it to the scenario supply
+    /// would misrepresent the prior work being reproduced.
+    pub scenario: &'a CostScenario,
+    /// The study's cost model at [`scenario`](Self::scenario) — the
+    /// single costing interface all engines report through.
+    pub cost: &'a dyn CostModel,
+    /// A circuit elaborator over the scenario's technology (for
+    /// engines that need netlists or custom voltage loops, e.g. the
+    /// TCAD'23 voltage-over-scaling search).
     pub elaborator: &'a Elaborator,
     /// The reporting accuracy-loss budget (5% in the paper).
     pub loss_budget: f64,
@@ -74,6 +85,26 @@ pub struct SearchContext<'a> {
     /// the budget instead of oversubscribing it. Thread count never
     /// affects results.
     pub eval_threads: usize,
+}
+
+impl SearchContext<'_> {
+    /// The technology library costs are reported in (the scenario's).
+    #[must_use]
+    pub fn tech(&self) -> &TechLibrary {
+        &self.scenario.tech
+    }
+}
+
+impl std::fmt::Debug for SearchContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchContext")
+            .field("dataset", &self.dataset)
+            .field("scenario", &self.scenario.label())
+            .field("cost_model", &self.cost.name())
+            .field("loss_budget", &self.loss_budget)
+            .field("eval_threads", &self.eval_threads)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A design-space search strategy: objectives in, evaluated
@@ -156,7 +187,7 @@ impl SearchEngine for NsgaEngine {
                 ctx.baseline_train_accuracy,
                 ctx.train,
                 ctx.test,
-                ctx.elaborator,
+                ctx.cost,
                 ctx.name,
                 ctl,
             )
@@ -236,9 +267,8 @@ impl SearchEngine for PlainGaEngine {
             .map(|best| {
                 let mlp = problem.decode(&best.genes);
                 let report = ctx
-                    .elaborator
-                    .cost(&fixed_to_hardware(&mlp, format!("{}_plain_ga", ctx.name)))
-                    .report;
+                    .cost
+                    .report(&fixed_to_hardware(&mlp, format!("{}_plain_ga", ctx.name)));
                 let trunc_bits = vec![0; mlp.layers.len()];
                 DesignPoint {
                     network: DesignNetwork::Truncated {
@@ -288,9 +318,8 @@ mod tests {
     #[test]
     fn plain_ga_engine_returns_an_evaluated_design() {
         let costed = tiny_context_stage();
-        let tech = TechLibrary::egfet();
-        let elab = Elaborator::new(tech.clone());
-        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let model = pe_hw::ExactCostModel::new(CostScenario::default());
+        let ctx = costed.search_context(&model, 0.05);
         let engine = PlainGaEngine::new(
             NsgaConfig {
                 population: 12,
@@ -311,9 +340,8 @@ mod tests {
     #[test]
     fn engines_honor_cancellation() {
         let costed = tiny_context_stage();
-        let tech = TechLibrary::egfet();
-        let elab = Elaborator::new(tech.clone());
-        let ctx = costed.search_context(&tech, &elab, 0.05);
+        let model = pe_hw::ExactCostModel::new(CostScenario::default());
+        let ctx = costed.search_context(&model, 0.05);
         let token = CancelToken::new();
         token.cancel();
         let ctl = RunControl::new(None, Some(&token));

@@ -286,9 +286,10 @@ impl<P: IntProblem + Sync> IntProblem for CachedEvaluator<P> {
 /// implementation behind [`HwAwareTrainer`](crate::HwAwareTrainer) and
 /// [`PlainGaEngine`](crate::PlainGaEngine).
 ///
-/// `column_stats` snapshots the problem's neuron-column cache for the
+/// `problem_stats` snapshots the problem's own caches — the
+/// neuron-column cache and the cost layer's gate-count memo — for the
 /// [`ProgressEvent::EvalCache`] event (`None` for problems without
-/// one, e.g. the plain GA — its column counters report zero).
+/// them, e.g. the plain GA — those counters report zero).
 pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     nsga: &pe_nsga::Nsga2,
     problem: &P,
@@ -296,7 +297,7 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     eval_threads: usize,
     ctl: &crate::progress::RunControl<'_>,
     history: &mut Vec<pe_nsga::GenerationStats>,
-    column_stats: &(dyn Fn() -> Option<crate::columns::ColumnCacheStats> + Sync),
+    problem_stats: &(dyn Fn() -> Option<ProblemCacheStats> + Sync),
 ) -> pe_nsga::NsgaResult {
     use crate::progress::ProgressEvent;
     let generations = nsga.config().generations;
@@ -309,7 +310,8 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
             evaluations: s.evaluations,
         });
         let cache = evaluator.stats();
-        let columns = column_stats().unwrap_or_default();
+        let problem = problem_stats().unwrap_or_default();
+        let columns = problem.columns;
         ctl.emit(&ProgressEvent::EvalCache {
             hits: cache.hits,
             misses: cache.misses,
@@ -317,9 +319,22 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
             column_hits: columns.hits,
             column_misses: columns.misses,
             column_entries: columns.entries,
+            cost_hits: problem.cost_hits,
+            cost_misses: problem.cost_misses,
         });
         !ctl.is_cancelled()
     })
+}
+
+/// Snapshot of an [`IntProblem`]'s internal caches for the
+/// [`ProgressEvent::EvalCache`](crate::ProgressEvent::EvalCache)
+/// stream: the columnar engine's neuron-column cache plus the cost
+/// layer's per-neuron gate-count memo.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProblemCacheStats {
+    pub(crate) columns: crate::columns::ColumnCacheStats,
+    pub(crate) cost_hits: u64,
+    pub(crate) cost_misses: u64,
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for CachedEvaluator<P> {

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use pe_arith::{AdderAreaEstimator, MemoAreaEstimator};
-use pe_hw::{argmax_gate_counts, qrelu_gate_counts, TechLibrary};
+use pe_hw::{argmax_gate_counts, qrelu_gate_counts, CostScenario};
 use pe_mlp::columnar::{self, ColumnMatrix, QuantMatrix};
 use pe_mlp::InferenceScratch;
 use pe_nsga::{Evaluation, IntProblem};
@@ -71,7 +71,13 @@ pub struct AxTrainProblem {
     /// Population-level neuron-column memo (shared by clones).
     col_cache: Arc<NeuronColumnCache>,
     objective: AreaObjective,
-    tech: TechLibrary,
+    /// The cost scenario the GA optimizes under: technology (GE
+    /// weights and per-GE power), operating supply, and the optional
+    /// power budget enforced through constrained domination.
+    scenario: CostScenario,
+    /// Estimated mW per gate equivalent at the scenario's supply
+    /// (precomputed: `power_per_ge_mw × power_scale(supply)`).
+    power_per_ge_at_supply: f64,
     /// Exact-baseline accuracy on the same rows.
     baseline_accuracy: f64,
     /// Maximum tolerated accuracy loss during training (0.10).
@@ -105,6 +111,8 @@ impl AxTrainProblem {
         assert!(!rows.is_empty(), "fitness data must be non-empty");
         let columns = rows.columns();
         let col_cache = Arc::new(NeuronColumnCache::for_samples(rows.len()));
+        let scenario = CostScenario::default();
+        let power_per_ge_at_supply = power_per_ge_at_supply(&scenario);
         Self {
             spec,
             rows,
@@ -113,7 +121,8 @@ impl AxTrainProblem {
             estimator: MemoAreaEstimator::new(AdderAreaEstimator::paper()),
             col_cache,
             objective: AreaObjective::GateEquivalents,
-            tech: TechLibrary::egfet(),
+            scenario,
+            power_per_ge_at_supply,
             baseline_accuracy,
             max_loss,
         }
@@ -124,6 +133,44 @@ impl AxTrainProblem {
     pub fn with_objective(mut self, objective: AreaObjective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// Optimize under a [`CostScenario`]: the technology supplies the
+    /// GE weights and per-GE power, the supply voltage scales the power
+    /// estimate, and a power budget (if any) becomes an additional
+    /// constrained-domination violation — the GA then searches for
+    /// designs a given printed power source can actually drive.
+    ///
+    /// The default scenario (nominal EGFET, no budget) reproduces the
+    /// historical fitness bit for bit.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: CostScenario) -> Self {
+        self.power_per_ge_at_supply = power_per_ge_at_supply(&scenario);
+        self.scenario = scenario;
+        self
+    }
+
+    /// The active cost scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &CostScenario {
+        &self.scenario
+    }
+
+    /// Estimated power in mW of `area_ge` gate equivalents at the
+    /// scenario's operating supply — the per-cell GE→mW roll-up the
+    /// fast cost layer uses for the power constraint.
+    ///
+    /// This is a *training-time* estimate: it excludes the netlist's
+    /// two shared tie cells (≤ 0.66 GE for the whole design), so it
+    /// sits a hair below the evaluated report power. The authoritative
+    /// budget check is
+    /// [`select_within_budgets`](crate::pareto::select_within_budgets)
+    /// on the costed front — a design grazing the budget during
+    /// training can still be excluded there, which only tightens the
+    /// reported selection, never loosens it.
+    #[must_use]
+    pub fn estimated_power_mw(&self, area_ge: f64) -> f64 {
+        area_ge * self.power_per_ge_at_supply
     }
 
     /// The genome layout being optimized.
@@ -187,6 +234,15 @@ impl AxTrainProblem {
     #[must_use]
     pub fn column_cache_stats(&self) -> ColumnCacheStats {
         self.col_cache.stats()
+    }
+
+    /// Lifetime `(hits, misses)` of the per-neuron gate-count memo —
+    /// the fast cost layer's memoization — surfaced per GA generation
+    /// as the `cost_*` counters of
+    /// [`ProgressEvent::EvalCache`](crate::ProgressEvent::EvalCache).
+    #[must_use]
+    pub fn cost_cache_stats(&self) -> (u64, u64) {
+        self.estimator.cache_stats()
     }
 
     /// Training accuracy of a decoded network on the columnar engine:
@@ -314,18 +370,42 @@ impl AxTrainProblem {
 
     /// Assemble the Eq. (3) [`Evaluation`] from a scored
     /// `(accuracy, area)` pair: minimized objectives plus the 10%
-    /// feasibility bound as a constrained-domination violation. The
+    /// feasibility bound — and, under a power-budgeted
+    /// [`CostScenario`], the power excess — as a constrained-domination
+    /// violation (Deb's rule sums the normalized violations). The
     /// single definition of the fitness formula — reference oracles
     /// (bench, parity tests) build their evaluations through this too,
     /// so they can never drift from the real path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a power budget is configured together with the
+    /// [`AreaObjective::FaCount`] proxy: the FA count carries no
+    /// gate-equivalent information, so no power figure can be derived
+    /// from it (the pipeline validates this at configuration time).
     #[must_use]
     pub fn evaluation_of(&self, accuracy: f64, area: f64) -> Evaluation {
         let objectives = vec![1.0 - accuracy, area];
         let floor = self.accuracy_floor();
-        if accuracy + 1e-12 >= floor {
-            Evaluation::feasible(objectives)
+        let mut violation = if accuracy + 1e-12 >= floor {
+            0.0
         } else {
-            Evaluation::infeasible(objectives, floor - accuracy)
+            floor - accuracy
+        };
+        if let Some(budget) = self.scenario.power_budget_mw {
+            assert!(
+                self.objective == AreaObjective::GateEquivalents,
+                "a power budget requires the GateEquivalents area objective"
+            );
+            let power = self.estimated_power_mw(area);
+            if power > budget {
+                violation += (power - budget) / budget.max(f64::MIN_POSITIVE);
+            }
+        }
+        if violation > 0.0 {
+            Evaluation::infeasible(objectives, violation)
+        } else {
+            Evaluation::feasible(objectives)
         }
     }
 
@@ -354,6 +434,7 @@ impl AxTrainProblem {
         } else {
             mlp
         };
+        let tech = &self.scenario.tech;
         let mut ge = 0.0f64;
         let last = mlp.layers.len().saturating_sub(1);
         // One reused spec buffer: the memo probe below is borrowed, so
@@ -374,29 +455,26 @@ impl AxTrainProblem {
                 n.to_arith_spec_into(layer.input_bits, &mut spec);
                 spec.bias -= i64::from(bias_shift);
                 let counts = self.estimator.counts(&spec);
-                ge += f64::from(counts.full_adders) * self.tech.ge(pe_hw::Cell::Fa)
-                    + f64::from(counts.half_adders) * self.tech.ge(pe_hw::Cell::Ha)
-                    + f64::from(counts.not_gates) * self.tech.ge(pe_hw::Cell::Not);
+                // The single pe-arith → pe-hw gate-count conversion.
+                ge += tech.ge_total(&pe_hw::CellCounts::from(&counts));
                 max_width = max_width.max(counts.accumulator_bits);
                 if let Some(q) = layer.qrelu {
                     let gates = qrelu_gate_counts(counts.accumulator_bits, q.out_bits, q.shift);
-                    ge += self.counts_ge(&gates);
+                    ge += tech.ge_total(&gates);
                 }
             }
             if layer.qrelu.is_none() {
                 let gates = argmax_gate_counts(layer.neurons.len(), max_width);
-                ge += self.counts_ge(&gates);
+                ge += tech.ge_total(&gates);
             }
         }
         ge
     }
+}
 
-    fn counts_ge(&self, counts: &pe_hw::CellCounts) -> f64 {
-        pe_hw::Cell::ALL
-            .iter()
-            .map(|&c| f64::from(counts.get(c)) * self.tech.ge(c))
-            .sum()
-    }
+/// Estimated mW per gate equivalent at a scenario's operating supply.
+fn power_per_ge_at_supply(scenario: &CostScenario) -> f64 {
+    scenario.tech.power_per_ge_mw * scenario.vdd.power_scale(scenario.supply_v)
 }
 
 /// Whether [`pe_mlp::fold_constants`] could change `mlp` at all: some
@@ -592,5 +670,77 @@ mod tests {
     fn floor_clamps_at_zero() {
         let p = threshold_problem(5.0);
         assert_eq!(p.accuracy_floor(), 0.0);
+    }
+
+    #[test]
+    fn default_scenario_reproduces_the_unbudgeted_fitness() {
+        // `with_scenario(default)` must be a no-op on the evaluation —
+        // the bit-identity guarantee behind the refactor.
+        let p = threshold_problem(0.10);
+        let scoped = threshold_problem(0.10).with_scenario(pe_hw::CostScenario::default());
+        let genes = good_genes(&p);
+        assert_eq!(p.evaluate(&genes), scoped.evaluate(&genes));
+    }
+
+    #[test]
+    fn power_budget_marks_hungry_designs_infeasible() {
+        let genes = good_genes(&threshold_problem(0.10));
+        // Unconstrained: the perfect classifier is feasible.
+        let free = threshold_problem(0.10);
+        let e_free = free.evaluate(&genes);
+        assert!(e_free.is_feasible());
+        let area_ge = e_free.objectives[1];
+        let power = free.estimated_power_mw(area_ge);
+        assert!(power > 0.0);
+
+        // A budget just above the estimate keeps it feasible (the
+        // boundary is inclusive)…
+        let roomy = threshold_problem(0.10)
+            .with_scenario(pe_hw::CostScenario::default().with_power_budget_mw(power));
+        assert!(roomy.evaluate(&genes).is_feasible());
+
+        // …a budget below it pushes the design into constrained
+        // domination with a violation that grows with the excess.
+        let tight = threshold_problem(0.10)
+            .with_scenario(pe_hw::CostScenario::default().with_power_budget_mw(power * 0.5));
+        let e_tight = tight.evaluate(&genes);
+        assert!(!e_tight.is_feasible());
+        assert!(e_tight.violation > 0.0);
+        let tighter = threshold_problem(0.10)
+            .with_scenario(pe_hw::CostScenario::default().with_power_budget_mw(power * 0.25));
+        assert!(tighter.evaluate(&genes).violation > e_tight.violation);
+        // Objectives themselves are unchanged — the budget acts purely
+        // through Deb's constrained domination.
+        assert_eq!(e_tight.objectives, e_free.objectives);
+    }
+
+    #[test]
+    fn undervolted_scenario_relaxes_the_power_constraint() {
+        let genes = good_genes(&threshold_problem(0.10));
+        let free = threshold_problem(0.10);
+        let area_ge = free.evaluate(&genes).objectives[1];
+        let nominal_power = free.estimated_power_mw(area_ge);
+        // A budget that is too tight at 1 V…
+        let at_1v = threshold_problem(0.10).with_scenario(
+            pe_hw::CostScenario::default().with_power_budget_mw(nominal_power * 0.5),
+        );
+        assert!(!at_1v.evaluate(&genes).is_feasible());
+        // …fits at 0.6 V, where power drops ~4.5×.
+        let at_0v6 = threshold_problem(0.10).with_scenario(
+            pe_hw::CostScenario::default()
+                .at_supply(0.6)
+                .with_power_budget_mw(nominal_power * 0.5),
+        );
+        assert!(at_0v6.evaluate(&genes).is_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the GateEquivalents")]
+    fn power_budget_rejects_the_fa_count_proxy() {
+        let p = threshold_problem(0.10)
+            .with_objective(AreaObjective::FaCount)
+            .with_scenario(pe_hw::CostScenario::default().with_power_budget_mw(1.0));
+        let genes = vec![0u32; p.genome_spec().gene_count()];
+        let _ = p.evaluate(&genes);
     }
 }

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use pe_datasets::{Dataset, DatasetSpec, QuantizedData};
-use pe_hw::HardwareReport;
+use pe_hw::{CostScenario, HardwareReport};
 use pe_mlp::{FixedMlp, TrainConfig};
 
 use crate::config::AxTrainConfig;
@@ -35,6 +35,14 @@ pub struct StudyConfig {
     pub sgd_epochs_scale: f64,
     /// Reporting accuracy-loss budget (5% in Tables II / Fig. 4-5).
     pub accuracy_loss_budget: f64,
+    /// The cost scenario the whole study runs under — technology
+    /// library, Vdd model, operating supply, optional power budget. A
+    /// first-class serializable input: it keys the stage caches, drives
+    /// the GA's objectives and constraints, costs the baseline, and
+    /// sets the voltage every report lands at. Defaults to nominal
+    /// EGFET with no budget (the paper's conditions).
+    #[serde(default)]
+    pub scenario: CostScenario,
 }
 
 impl Default for StudyConfig {
@@ -44,6 +52,7 @@ impl Default for StudyConfig {
             ga: AxTrainConfig::default(),
             sgd_epochs_scale: 1.0,
             accuracy_loss_budget: 0.05,
+            scenario: CostScenario::default(),
         }
     }
 }
@@ -57,6 +66,7 @@ impl StudyConfig {
             ga: AxTrainConfig::quick(seed),
             sgd_epochs_scale: 0.3,
             accuracy_loss_budget: 0.05,
+            scenario: CostScenario::default(),
         }
     }
 

@@ -17,7 +17,10 @@
 //! * [`genome`] — the chromosome encoding of Fig. 3 (`m, s, k, b` genes
 //!   grouped by weight, neuron, layer).
 //! * [`fitness`] — the two-objective evaluation with the 10% accuracy
-//!   feasibility bound as a constrained-domination violation.
+//!   feasibility bound (and, under a power-budgeted
+//!   [`pe_hw::CostScenario`], the power excess) as a
+//!   constrained-domination violation; the area/power models are the
+//!   fast side of `pe-hw`'s unified cost layer.
 //! * [`init`] — semi-random initial populations doped with ~10% nearly
 //!   non-approximate (baseline-derived) chromosomes.
 //! * [`train`] — the NSGA-II training loop ([`HwAwareTrainer`]) and the
@@ -98,7 +101,8 @@ pub use flow::{DatasetStudy, StudyConfig};
 pub use genome::{GenomeSpec, LayerGenomeSpec};
 pub use init::{doped_seeds, doped_seeds_calibrated, doped_seeds_refined, refine_doped};
 pub use pareto::{
-    select_within_loss, true_pareto_front, DesignCandidate, DesignNetwork, DesignPoint,
+    select_within_budgets, select_within_loss, true_pareto_front, DesignCandidate, DesignNetwork,
+    DesignPoint,
 };
 pub use pipeline::{
     derive_seed, BaselineCosted, Budget, EngineFactory, FloatTrained, Pipeline, Prepared,

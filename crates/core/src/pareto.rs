@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pe_hw::{Elaborator, HardwareReport};
+use pe_hw::{CostModel, HardwareReport};
 use pe_mlp::{ax_to_hardware, AxMlp, FixedMlp};
 
 /// The network realization behind a [`DesignPoint`].
@@ -75,27 +75,30 @@ impl DesignPoint {
     }
 }
 
-/// Evaluate a set of candidate networks in hardware and keep the true
-/// Pareto front.
+/// Evaluate a set of candidate networks in hardware through a
+/// [`CostModel`] and keep the true Pareto front.
 ///
-/// Returns the front sorted by ascending area. `name_prefix` labels the
-/// elaborated circuits (e.g. the dataset name).
+/// The model defines the costing conditions (technology, supply
+/// voltage): reports land at the model's scenario, so a 0.6 V study
+/// produces a 0.6 V front. Returns the front sorted by ascending area.
+/// `name_prefix` labels the costed circuits (e.g. the dataset name).
 #[must_use]
 pub fn true_pareto_front(
     candidates: Vec<DesignCandidate>,
-    elaborator: &Elaborator,
+    model: &dyn CostModel,
     name_prefix: &str,
 ) -> Vec<DesignPoint> {
     let mut points: Vec<DesignPoint> = candidates
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
-            // The netlist-free memoized costing path: front members are
-            // sibling designs sharing most of their neurons, so
-            // repeated neurons are costed once (`Elaborator::cost`
-            // reports are identical to full elaboration).
+            // Front members are sibling designs sharing most of their
+            // neurons, so the models' per-neuron memoization costs each
+            // distinct neuron once (and fast ≡ exact is
+            // property-tested, so which model backs this is a
+            // performance choice, not a semantic one).
             let spec = ax_to_hardware(&c.mlp, format!("{name_prefix}_p{i}"));
-            let report = elaborator.cost(&spec).report;
+            let report = model.report(&spec);
             DesignPoint {
                 network: DesignNetwork::Ax(c.mlp),
                 train_accuracy: c.train_accuracy,
@@ -152,9 +155,27 @@ pub fn select_within_loss(
     baseline_accuracy: f64,
     max_loss: f64,
 ) -> Option<&DesignPoint> {
+    select_within_budgets(front, baseline_accuracy, max_loss, None)
+}
+
+/// [`select_within_loss`] under an additional power budget: the
+/// smallest-area front member within the accuracy-loss bound **and**
+/// whose evaluated power fits `power_budget_mw` (inclusive boundary,
+/// matching the Fig. 5 zone classifier). `None` as the budget imposes
+/// no power constraint; `None` as the result means the feasible set is
+/// empty — a real outcome for tight budgets, which callers must
+/// surface rather than paper over.
+#[must_use]
+pub fn select_within_budgets(
+    front: &[DesignPoint],
+    baseline_accuracy: f64,
+    max_loss: f64,
+    power_budget_mw: Option<f64>,
+) -> Option<&DesignPoint> {
     front
         .iter()
         .filter(|p| p.test_accuracy + 1e-12 >= baseline_accuracy - max_loss)
+        .filter(|p| power_budget_mw.is_none_or(|budget| p.report.power_mw <= budget))
         .min_by(|a, b| {
             a.report
                 .area_cm2
@@ -166,8 +187,12 @@ pub fn select_within_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pe_hw::TechLibrary;
+    use pe_hw::{CostScenario, ExactCostModel};
     use pe_mlp::{AxLayer, AxNeuron, AxWeight};
+
+    fn model() -> ExactCostModel {
+        ExactCostModel::new(CostScenario::default())
+    }
 
     fn tiny_mlp(mask: u16) -> AxMlp {
         // Three identical summands: every kept mask bit forms a 3-high
@@ -215,7 +240,7 @@ mod tests {
 
     #[test]
     fn dominated_points_are_filtered() {
-        let elab = Elaborator::new(TechLibrary::egfet());
+        let elab = model();
         // Full mask with *lower* accuracy is dominated by the cheaper,
         // more accurate pruned design.
         let front = true_pareto_front(
@@ -229,7 +254,7 @@ mod tests {
 
     #[test]
     fn trade_off_points_both_survive() {
-        let elab = Elaborator::new(TechLibrary::egfet());
+        let elab = model();
         let front = true_pareto_front(
             vec![candidate(0b1111, 0.95), candidate(0b0001, 0.85)],
             &elab,
@@ -243,7 +268,7 @@ mod tests {
 
     #[test]
     fn selection_honors_the_loss_budget() {
-        let elab = Elaborator::new(TechLibrary::egfet());
+        let elab = model();
         let front = true_pareto_front(
             vec![
                 candidate(0b1111, 0.95),
@@ -272,7 +297,7 @@ mod tests {
 
     #[test]
     fn selection_when_every_candidate_exceeds_the_budget_is_none() {
-        let elab = Elaborator::new(TechLibrary::egfet());
+        let elab = model();
         let front = true_pareto_front(
             vec![candidate(0b1111, 0.80), candidate(0b0001, 0.60)],
             &elab,
@@ -285,7 +310,7 @@ mod tests {
 
     #[test]
     fn selection_keeps_an_exact_tie_on_the_loss_boundary() {
-        let elab = Elaborator::new(TechLibrary::egfet());
+        let elab = model();
         // 0.90 sits exactly on baseline − budget; the cheaper design at
         // the boundary must win over the pricier, more accurate one.
         let front = true_pareto_front(
@@ -301,6 +326,53 @@ mod tests {
             pick.test_accuracy
         );
         assert!(pick.report.area_cm2 <= front[1].report.area_cm2);
+    }
+
+    #[test]
+    fn power_budget_filters_the_selection() {
+        let elab = model();
+        // Full mask: big and accurate. Narrow mask: small and cheap.
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.95), candidate(0b0001, 0.91)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 2);
+        let (small, big) = (&front[0], &front[1]);
+        assert!(small.report.power_mw < big.report.power_mw);
+
+        // Unbudgeted: the small design already wins on area.
+        let pick = select_within_budgets(&front, 0.95, 0.05, None).expect("selects");
+        assert_eq!(pick.report.area_cm2, small.report.area_cm2);
+
+        // A budget between the two powers forces the small design even
+        // under a loss bound the big one also meets.
+        let budget = (small.report.power_mw + big.report.power_mw) / 2.0;
+        let pick = select_within_budgets(&front, 0.95, 0.05, Some(budget)).expect("selects");
+        assert_eq!(pick.report.area_cm2, small.report.area_cm2);
+
+        // Exactly on the boundary: inclusive, the design still counts.
+        let pick = select_within_budgets(&front, 0.95, 0.05, Some(small.report.power_mw))
+            .expect("boundary is inclusive");
+        assert_eq!(pick.report.area_cm2, small.report.area_cm2);
+    }
+
+    #[test]
+    fn power_budget_with_empty_feasible_set_is_none() {
+        let elab = model();
+        let front = true_pareto_front(
+            vec![candidate(0b1111, 0.95), candidate(0b0001, 0.91)],
+            &elab,
+            "t",
+        );
+        assert_eq!(front.len(), 2);
+        // A budget below every design's draw: nothing qualifies, and
+        // the selection reports that honestly.
+        let tiny = front[0].report.power_mw / 1e6;
+        assert!(select_within_budgets(&front, 0.95, 0.05, Some(tiny)).is_none());
+        // Both constraints empty at once stays well-defined.
+        assert!(select_within_budgets(&front, 2.0, 0.0, Some(tiny)).is_none());
+        assert!(select_within_budgets(&[], 0.9, 0.05, Some(1.0)).is_none());
     }
 
     #[test]

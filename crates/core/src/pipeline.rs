@@ -31,13 +31,16 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 use pe_datasets::{generate, quantize, stratified_split, Dataset, QuantizedData, TabularData};
-use pe_hw::{Elaborator, HardwareReport, TechLibrary};
+use pe_hw::{
+    CostModel, CostScenario, ExactCostModel, HardwareReport, PowerSource, TechLibrary, VddModel,
+};
 use pe_mlp::{fixed_to_hardware, train_best_of_observed, DenseMlp, FixedMlp, QuantConfig};
 
 use crate::engine::{NsgaEngine, SearchContext, SearchEngine, SearchOutcome};
 use crate::error::FlowError;
+use crate::fitness::AreaObjective;
 use crate::flow::{DatasetStudy, StudyConfig};
-use crate::pareto::{select_within_loss, DesignPoint};
+use crate::pareto::{select_within_budgets, DesignPoint};
 use crate::progress::{CancelToken, ProgressEvent, ProgressObserver, RunControl, StageKind};
 
 // ---------------------------------------------------------------- stages
@@ -87,13 +90,14 @@ pub struct BaselineCosted {
 }
 
 impl BaselineCosted {
-    /// Borrow this stage (plus a technology model) as the generic
-    /// [`SearchContext`] every [`SearchEngine`] consumes.
+    /// Borrow this stage (plus the study's cost model) as the generic
+    /// [`SearchContext`] every [`SearchEngine`] consumes. The model's
+    /// [`CostScenario`] defines the technology, supply voltage and
+    /// power budget every engine searches and reports under.
     #[must_use]
     pub fn search_context<'a>(
         &'a self,
-        tech: &'a TechLibrary,
-        elaborator: &'a Elaborator,
+        model: &'a ExactCostModel,
         loss_budget: f64,
     ) -> SearchContext<'a> {
         let prepared = &self.float.prepared;
@@ -110,8 +114,9 @@ impl BaselineCosted {
             float_mlp: &self.float.float_mlp,
             float_train: &prepared.float_train,
             float_test: &prepared.float_test,
-            tech,
-            elaborator,
+            scenario: model.scenario(),
+            cost: model,
+            elaborator: model.elaborator(),
             loss_budget,
             eval_threads: crate::eval::thread_budget(),
         }
@@ -206,6 +211,8 @@ pub struct Study {
     budget: Budget,
     config: Option<StudyConfig>,
     tech: Option<TechLibrary>,
+    supply_v: Option<f64>,
+    power_budget_mw: Option<f64>,
     engine: Option<Arc<dyn SearchEngine + Send + Sync>>,
     progress: Option<ProgressObserver>,
     cancel: Option<CancelToken>,
@@ -222,6 +229,8 @@ impl Study {
             budget: Budget::Full,
             config: None,
             tech: None,
+            supply_v: None,
+            power_budget_mw: None,
             engine: None,
             progress: None,
             cancel: None,
@@ -252,9 +261,34 @@ impl Study {
     }
 
     /// Technology library for baseline and approximate circuit
-    /// evaluation (defaults to [`TechLibrary::egfet`]).
+    /// evaluation (defaults to [`TechLibrary::egfet`]). Overrides the
+    /// technology inside a [`config`](Self::config)'s scenario, if both
+    /// are given, and re-anchors the Vdd scaling laws to the library's
+    /// voltage range.
     pub fn tech(mut self, tech: TechLibrary) -> Self {
         self.tech = Some(tech);
+        self
+    }
+
+    /// Operate (search, cost, report) at `supply_v` volts instead of
+    /// the technology's nominal supply — the paper's §V-C low-voltage
+    /// regime as a first-class study input.
+    pub fn supply(mut self, supply_v: f64) -> Self {
+        self.supply_v = Some(supply_v);
+        self
+    }
+
+    /// Constrain the study to designs the printed `source` can drive:
+    /// the GA treats over-budget designs as constraint violators and
+    /// the selection stage only reports designs within the budget.
+    pub fn power_source(self, source: PowerSource) -> Self {
+        self.power_budget_mw(source.budget_mw())
+    }
+
+    /// [`power_source`](Self::power_source) with an explicit budget in
+    /// mW.
+    pub fn power_budget_mw(mut self, budget_mw: f64) -> Self {
+        self.power_budget_mw = Some(budget_mw);
         self
     }
 
@@ -309,8 +343,11 @@ impl Study {
     ///
     /// [`FlowError::InvalidConfig`] when the configuration cannot run:
     /// GA population below 2, zero generations, non-positive SGD epoch
-    /// scale, an accuracy budget outside `[0, 1]`, or a weight width
-    /// below 2 bits.
+    /// scale, an accuracy budget outside `[0, 1]`, a weight width
+    /// below 2 bits, an operating supply outside the technology's
+    /// range, a non-positive power budget, or a power budget combined
+    /// with the FA-count area proxy (which carries no power
+    /// information).
     pub fn finish(self) -> Result<Pipeline, FlowError> {
         let mut config = match (self.config, self.budget) {
             (Some(config), _) => config,
@@ -321,8 +358,52 @@ impl Study {
             config.seed = seed;
             config.ga.nsga.seed = seed;
         }
+        // Builder-level scenario knobs override the config's scenario.
+        if let Some(tech) = self.tech {
+            // Re-anchor the Vdd laws to the new library's voltage range
+            // while preserving any custom scaling exponents the config's
+            // scenario carried (the exponents are a property of the
+            // logic family, not of the library swap).
+            config.scenario.vdd = VddModel {
+                nominal_vdd: tech.nominal_vdd,
+                min_vdd: tech.min_vdd,
+                ..config.scenario.vdd
+            };
+            if config.scenario.supply_v == config.scenario.tech.nominal_vdd {
+                config.scenario.supply_v = tech.nominal_vdd;
+            }
+            config.scenario.tech = tech;
+        }
+        if let Some(supply_v) = self.supply_v {
+            config.scenario.supply_v = supply_v;
+        }
+        if let Some(budget_mw) = self.power_budget_mw {
+            config.scenario.power_budget_mw = Some(budget_mw);
+        }
 
         let invalid = |reason: String| Err(FlowError::InvalidConfig { reason });
+        let scenario = &config.scenario;
+        if !pe_hw::cost::supply_in_range(&scenario.tech, scenario.supply_v) {
+            return invalid(format!(
+                "operating supply {} V outside the {} range [{}, {}] V",
+                scenario.supply_v,
+                scenario.tech.name,
+                scenario.tech.min_vdd,
+                scenario.tech.nominal_vdd
+            ));
+        }
+        if let Some(budget) = scenario.power_budget_mw {
+            if !(budget.is_finite() && budget > 0.0) {
+                return invalid(format!("power budget must be positive, got {budget} mW"));
+            }
+            if config.ga.objective != AreaObjective::GateEquivalents {
+                return invalid(
+                    "a power budget requires the GateEquivalents area objective \
+                     (the FA-count proxy carries no power information)"
+                        .into(),
+                );
+            }
+        }
         if config.ga.nsga.population < 2 {
             return invalid(format!(
                 "GA population must be at least 2, got {}",
@@ -357,7 +438,6 @@ impl Study {
         Ok(Pipeline {
             dataset: self.dataset,
             config,
-            tech: self.tech.unwrap_or_else(TechLibrary::egfet),
             engine,
             progress: self.progress,
             cancel: self.cancel,
@@ -379,7 +459,6 @@ impl Study {
 pub struct Pipeline {
     dataset: Dataset,
     config: StudyConfig,
-    tech: TechLibrary,
     engine: Arc<dyn SearchEngine + Send + Sync>,
     progress: Option<ProgressObserver>,
     cancel: Option<CancelToken>,
@@ -398,6 +477,18 @@ impl Pipeline {
     #[must_use]
     pub fn config(&self) -> &StudyConfig {
         &self.config
+    }
+
+    /// The cost scenario the study runs under.
+    #[must_use]
+    pub fn scenario(&self) -> &CostScenario {
+        &self.config.scenario
+    }
+
+    /// The study's exact cost model at its scenario (fresh per call;
+    /// clones share no memo — stage code builds one per stage run).
+    fn cost_model(&self) -> ExactCostModel {
+        ExactCostModel::new(self.config.scenario.clone())
     }
 
     /// The active engine's name.
@@ -517,9 +608,11 @@ impl Pipeline {
             baseline.accuracy(&prepared.train.features, &prepared.train.labels);
         let baseline_test_accuracy =
             baseline.accuracy(&prepared.test.features, &prepared.test.labels);
-        let baseline_report = Elaborator::new(self.tech.clone())
-            .cost(&fixed_to_hardware(&baseline, spec.name))
-            .report;
+        // The baseline costs through the same model the search and the
+        // selection use — one cost layer end to end.
+        let baseline_report = self
+            .cost_model()
+            .report(&fixed_to_hardware(&baseline, spec.name));
         ctl.emit(&ProgressEvent::StageFinished {
             stage: StageKind::BaselineCosted,
         });
@@ -544,10 +637,9 @@ impl Pipeline {
         ctl.emit(&ProgressEvent::StageStarted {
             stage: StageKind::Searched,
         });
-        let elaborator = Elaborator::new(self.tech.clone());
+        let model = self.cost_model();
         let outcome = {
-            let mut ctx =
-                costed.search_context(&self.tech, &elaborator, self.config.accuracy_loss_budget);
+            let mut ctx = costed.search_context(&model, self.config.accuracy_loss_budget);
             if let Some(threads) = self.eval_threads {
                 ctx.eval_threads = threads;
             }
@@ -564,7 +656,9 @@ impl Pipeline {
     }
 
     /// Compute stage 5: select the smallest design within the loss
-    /// budget (the Table II row).
+    /// budget — and, when the scenario carries one, the power budget
+    /// (the Table II row; `selected: None` when the feasible set is
+    /// empty).
     ///
     /// # Errors
     ///
@@ -575,10 +669,11 @@ impl Pipeline {
         ctl.emit(&ProgressEvent::StageStarted {
             stage: StageKind::Selected,
         });
-        let selected = select_within_loss(
+        let selected = select_within_budgets(
             &searched.outcome.front,
             searched.costed.baseline_test_accuracy,
             self.config.accuracy_loss_budget,
+            self.config.scenario.power_budget_mw,
         )
         .cloned();
         ctl.emit(&ProgressEvent::StageFinished {
@@ -754,7 +849,10 @@ impl Pipeline {
         h ^= crate::engine::fingerprint_json(&(
             cfg.ga.weight_bits,
             cfg.ga.activation_bits,
-            &self.tech,
+            // The full scenario: baseline costing depends on tech and
+            // supply, the search additionally on the power budget —
+            // hashing it whole keeps every scenario's artifacts apart.
+            &cfg.scenario,
         ))
         .rotate_left(2);
         if matches!(stage, StageKind::BaselineCosted) {
@@ -822,10 +920,9 @@ impl Pipeline {
     pub fn run_many(
         datasets: &[Dataset],
         base: &StudyConfig,
-        tech: &TechLibrary,
         opts: &RunManyOptions,
     ) -> Result<Vec<DatasetStudy>, FlowError> {
-        Ok(Self::run_many_selected(datasets, base, tech, opts)?
+        Ok(Self::run_many_selected(datasets, base, opts)?
             .into_iter()
             .map(Selected::into_study)
             .collect())
@@ -844,7 +941,6 @@ impl Pipeline {
     pub fn run_many_selected(
         datasets: &[Dataset],
         base: &StudyConfig,
-        tech: &TechLibrary,
         opts: &RunManyOptions,
     ) -> Result<Vec<Selected>, FlowError> {
         let n = datasets.len();
@@ -871,7 +967,7 @@ impl Pipeline {
                     let Some(&dataset) = datasets.get(i) else {
                         break;
                     };
-                    let result = Self::run_one_of_many(dataset, base, tech, opts, eval_threads);
+                    let result = Self::run_one_of_many(dataset, base, opts, eval_threads);
                     *slots[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
@@ -892,7 +988,6 @@ impl Pipeline {
     fn run_one_of_many(
         dataset: Dataset,
         base: &StudyConfig,
-        tech: &TechLibrary,
         opts: &RunManyOptions,
         eval_threads: usize,
     ) -> Result<Selected, FlowError> {
@@ -903,7 +998,6 @@ impl Pipeline {
 
         let mut builder = Study::for_dataset(dataset)
             .config(config.clone())
-            .tech(tech.clone())
             .eval_threads(eval_threads);
         if let Some(dir) = &opts.cache_dir {
             builder = builder.cache_dir(dir);
@@ -1156,6 +1250,81 @@ mod tests {
                 "{stage}"
             );
         }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_scenarios_but_keeps_early_stages() {
+        // Tech / supply / power budget are search-and-costing inputs:
+        // they must re-key BaselineCosted onward while the expensive
+        // data and SGD artifacts stay shared.
+        let base = StudyConfig::quick(1);
+        let nominal = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .finish()
+            .expect("valid");
+        for build in [
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(base.clone())
+                .tech(TechLibrary::egfet_lowpower()),
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(base.clone())
+                .supply(0.6),
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(base.clone())
+                .power_source(PowerSource::Harvester),
+        ] {
+            let scoped = build.finish().expect("valid");
+            for stage in [StageKind::Prepared, StageKind::FloatTrained] {
+                assert_eq!(nominal.cache_key(stage), scoped.cache_key(stage), "{stage}");
+            }
+            for stage in [
+                StageKind::BaselineCosted,
+                StageKind::Searched,
+                StageKind::Selected,
+            ] {
+                assert_ne!(
+                    nominal.cache_key(stage),
+                    scoped.cache_key(stage),
+                    "{stage} under {}",
+                    scoped.scenario().label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_scenarios() {
+        // Undervolted supply.
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .supply(0.2)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+        // Non-positive power budget.
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .power_budget_mw(0.0)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+        // Power budget with the FA-count proxy (no power information).
+        let fa_cfg = StudyConfig {
+            ga: crate::AxTrainConfig {
+                objective: crate::AreaObjective::FaCount,
+                ..StudyConfig::quick(0).ga
+            },
+            ..StudyConfig::quick(0)
+        };
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(fa_cfg)
+                .power_source(PowerSource::Molex)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

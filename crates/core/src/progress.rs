@@ -122,13 +122,14 @@ pub enum ProgressEvent {
         evaluations: u64,
     },
     /// Cumulative cache counters of the search stage's evaluation
-    /// caches — the genome memo ([`crate::eval::CachedEvaluator`]) and
-    /// the neuron-column cache behind the columnar fitness engine
-    /// ([`crate::columns::NeuronColumnCache`]) — emitted once per GA
-    /// generation right after its
+    /// caches — the genome memo ([`crate::eval::CachedEvaluator`]), the
+    /// neuron-column cache behind the columnar fitness engine
+    /// ([`crate::columns::NeuronColumnCache`]), and the cost layer's
+    /// per-neuron gate-count memo (the fast cost model's
+    /// memoization) — emitted once per GA generation right after its
     /// [`GaGeneration`](ProgressEvent::GaGeneration) event. Engines
-    /// whose problems have no column cache (e.g. the plain GA) report
-    /// zero column counters.
+    /// whose problems have no column or cost cache (e.g. the plain GA)
+    /// report those counters as zero.
     EvalCache {
         /// Genome evaluations served from the memo so far.
         hits: u64,
@@ -142,6 +143,10 @@ pub enum ProgressEvent {
         column_misses: u64,
         /// Neuron columns currently resident in the column cache.
         column_entries: usize,
+        /// Neuron gate-count lookups served from the cost-model memo.
+        cost_hits: u64,
+        /// Neuron gate-count computations the cost model ran.
+        cost_misses: u64,
     },
 }
 

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use pe_datasets::QuantizedData;
-use pe_hw::Elaborator;
+use pe_hw::CostModel;
 use pe_mlp::{AxMlp, FixedMlp, QReluCfg, QuantMatrix};
 use pe_nsga::{Evaluation, GenerationStats, IntProblem, Nsga2};
 
@@ -101,6 +101,10 @@ impl HwAwareTrainer {
     /// accuracies.
     ///
     /// `baseline_train_accuracy` anchors the 10% feasibility bound.
+    /// `cost` names the conditions the study runs under: its
+    /// [`CostScenario`](pe_hw::CostScenario) drives the GA's area/power
+    /// objectives and constraints, and the model itself evaluates the
+    /// final front — one cost layer from fitness to report.
     ///
     /// # Panics
     ///
@@ -113,7 +117,7 @@ impl HwAwareTrainer {
         baseline_train_accuracy: f64,
         train: &QuantizedData,
         test: &QuantizedData,
-        elaborator: &Elaborator,
+        cost: &dyn CostModel,
         name: &str,
     ) -> TrainingOutcome {
         self.train_controlled(
@@ -121,7 +125,7 @@ impl HwAwareTrainer {
             baseline_train_accuracy,
             train,
             test,
-            elaborator,
+            cost,
             name,
             &RunControl::NONE,
         )
@@ -147,7 +151,7 @@ impl HwAwareTrainer {
         baseline_train_accuracy: f64,
         train: &QuantizedData,
         test: &QuantizedData,
-        elaborator: &Elaborator,
+        cost: &dyn CostModel,
         name: &str,
         ctl: &RunControl<'_>,
     ) -> Result<TrainingOutcome, FlowError> {
@@ -155,6 +159,9 @@ impl HwAwareTrainer {
         let spec = self.genome_spec_for(baseline);
         let (rows, labels) = subsample(train, self.config.fitness_subsample);
 
+        // The GA optimizes the same scenario the front is reported
+        // under: one cost layer from the fitness objective to the
+        // final hardware report.
         let problem = AxTrainProblem::new(
             spec.clone(),
             rows,
@@ -162,7 +169,8 @@ impl HwAwareTrainer {
             baseline_train_accuracy,
             self.config.max_accuracy_loss,
         )
-        .with_objective(self.config.objective);
+        .with_objective(self.config.objective)
+        .with_scenario(cost.scenario().clone());
 
         let doped_count = ((self.config.nsga.population as f64 * self.config.doping_fraction)
             .round() as usize)
@@ -195,7 +203,14 @@ impl HwAwareTrainer {
             eval_threads,
             ctl,
             &mut history,
-            &|| Some(problem.column_cache_stats()),
+            &|| {
+                let (cost_hits, cost_misses) = problem.cost_cache_stats();
+                Some(crate::eval::ProblemCacheStats {
+                    columns: problem.column_cache_stats(),
+                    cost_hits,
+                    cost_misses,
+                })
+            },
         );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;
@@ -247,7 +262,8 @@ impl HwAwareTrainer {
                     baseline_train_accuracy,
                     self.config.max_accuracy_loss,
                 )
-                .with_objective(self.config.objective);
+                .with_objective(self.config.objective)
+                .with_scenario(cost.scenario().clone());
                 let (train_acc, area) = problem_view.score(&polished);
                 let test_accuracy = polished.accuracy(&test.features, &test.labels);
                 estimated_front.push(DesignCandidate {
@@ -259,7 +275,7 @@ impl HwAwareTrainer {
             }
         }
 
-        let front = true_pareto_front(estimated_front.clone(), elaborator, name);
+        let front = true_pareto_front(estimated_front.clone(), cost, name);
 
         Ok(TrainingOutcome {
             front,
@@ -387,7 +403,6 @@ impl IntProblem for PlainGaProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pe_hw::TechLibrary;
     use pe_mlp::FixedLayer;
     use pe_nsga::NsgaConfig;
 
@@ -428,8 +443,8 @@ mod tests {
             ..AxTrainConfig::default()
         };
         let trainer = HwAwareTrainer::new(cfg);
-        let elab = Elaborator::new(TechLibrary::egfet());
-        let outcome = trainer.train(&baseline, baseline_acc, &train, &test, &elab, "tiny");
+        let model = pe_hw::ExactCostModel::new(pe_hw::CostScenario::default());
+        let outcome = trainer.train(&baseline, baseline_acc, &train, &test, &model, "tiny");
         assert!(!outcome.front.is_empty());
         let best_acc = outcome
             .front

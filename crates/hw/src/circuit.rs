@@ -46,16 +46,19 @@ pub struct ElaboratedMlp {
     pub neuron_stats: Vec<NeuronStats>,
 }
 
-/// Memoized per-neuron elaboration cost: the scratch netlist's gate
-/// content *without* tie cells (those are shared once per full
-/// netlist), plus flags recording whether the neuron needs them.
+/// Per-neuron cost: the neuron's gate content *without* tie cells
+/// (those are shared once per full netlist), plus flags recording
+/// whether the neuron needs them. Produced either by scratch-netlist
+/// elaboration ([`Elaborator::cost`]) or analytically
+/// ([`crate::cost::FastCostModel`]); the two are proven equal by the
+/// cost-model parity property suite.
 #[derive(Debug, Clone, Copy)]
-struct NeuronCost {
-    counts: CellCounts,
-    uses_tie_hi: bool,
-    uses_tie_lo: bool,
-    stages: u32,
-    accumulator_bits: u32,
+pub(crate) struct NeuronCost {
+    pub(crate) counts: CellCounts,
+    pub(crate) uses_tie_hi: bool,
+    pub(crate) uses_tie_lo: bool,
+    pub(crate) stages: u32,
+    pub(crate) accumulator_bits: u32,
 }
 
 /// A costed bespoke MLP without its netlist: what
@@ -226,62 +229,7 @@ impl Elaborator {
     /// inconsistent specs.
     #[must_use]
     pub fn cost(&self, spec: &MlpHardwareSpec) -> CostedMlp {
-        let mut counts = CellCounts::new();
-        let mut neuron_stats = Vec::new();
-        let mut critical_fa_depth = 0u32;
-        let mut uses_tie_hi = false;
-        let mut uses_tie_lo = false;
-        let mut fan_in = spec.inputs;
-
-        for (li, layer) in spec.layers.iter().enumerate() {
-            let mut layer_depth = 0u32;
-            let mut max_width = 1u32;
-            for (ni, neuron) in layer.neurons.iter().enumerate() {
-                assert_eq!(
-                    neuron.fan_in(),
-                    fan_in,
-                    "layer {li} neuron {ni}: fan-in mismatch"
-                );
-                let cost = self.neuron_cost(neuron);
-                counts.merge(&cost.counts);
-                uses_tie_hi |= cost.uses_tie_hi;
-                uses_tie_lo |= cost.uses_tie_lo;
-                layer_depth = layer_depth.max(cost.stages + cost.accumulator_bits + 1);
-                max_width = max_width.max(cost.accumulator_bits);
-                neuron_stats.push(NeuronStats {
-                    layer: li,
-                    neuron: ni,
-                    full_adders: cost.counts.get(Cell::Fa),
-                    stages: cost.stages,
-                    accumulator_bits: cost.accumulator_bits,
-                });
-                if let LayerActivation::QRelu { out_bits, shift } = layer.activation {
-                    counts.merge(&qrelu_gate_counts(cost.accumulator_bits, out_bits, shift));
-                }
-            }
-            critical_fa_depth += layer_depth;
-            match layer.activation {
-                LayerActivation::QRelu { .. } => fan_in = layer.neurons.len(),
-                LayerActivation::Argmax => {
-                    counts.merge(&argmax_gate_counts(layer.neurons.len(), max_width));
-                    fan_in = 0;
-                }
-            }
-        }
-
-        // The full netlist shares one tie cell of each polarity.
-        if uses_tie_hi {
-            counts.add(Cell::TieHi, 1);
-        }
-        if uses_tie_lo {
-            counts.add(Cell::TieLo, 1);
-        }
-        let report =
-            HardwareReport::at_nominal(spec.name.clone(), &self.tech, counts, critical_fa_depth);
-        CostedMlp {
-            report,
-            neuron_stats,
-        }
+        cost_with(spec, &self.tech, &mut |neuron| self.neuron_cost(neuron))
     }
 
     /// Per-neuron elaboration cost, memoized by the neuron's spec.
@@ -323,6 +271,81 @@ impl Elaborator {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(neuron.clone(), cost);
         cost
+    }
+}
+
+/// The netlist-free cost aggregation shared by [`Elaborator::cost`] and
+/// the analytic [`crate::cost::FastCostModel`]: walk the spec layer by
+/// layer, merge each neuron's gate content (from `neuron_cost` — either
+/// scratch-elaborated or analytic), charge the QReLU/argmax macros
+/// through the same formulas the netlist instantiates, share one tie
+/// cell of each polarity across the whole netlist, and accumulate the
+/// critical FA depth. Mirrors [`Elaborator::elaborate`] step for step,
+/// which is what makes the two costing paths provably equal.
+///
+/// # Panics
+///
+/// Panics on structurally inconsistent specs, as
+/// [`Elaborator::elaborate`] does.
+pub(crate) fn cost_with(
+    spec: &MlpHardwareSpec,
+    tech: &TechLibrary,
+    neuron_cost: &mut dyn FnMut(&NeuronSpec) -> NeuronCost,
+) -> CostedMlp {
+    let mut counts = CellCounts::new();
+    let mut neuron_stats = Vec::new();
+    let mut critical_fa_depth = 0u32;
+    let mut uses_tie_hi = false;
+    let mut uses_tie_lo = false;
+    let mut fan_in = spec.inputs;
+
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let mut layer_depth = 0u32;
+        let mut max_width = 1u32;
+        for (ni, neuron) in layer.neurons.iter().enumerate() {
+            assert_eq!(
+                neuron.fan_in(),
+                fan_in,
+                "layer {li} neuron {ni}: fan-in mismatch"
+            );
+            let cost = neuron_cost(neuron);
+            counts.merge(&cost.counts);
+            uses_tie_hi |= cost.uses_tie_hi;
+            uses_tie_lo |= cost.uses_tie_lo;
+            layer_depth = layer_depth.max(cost.stages + cost.accumulator_bits + 1);
+            max_width = max_width.max(cost.accumulator_bits);
+            neuron_stats.push(NeuronStats {
+                layer: li,
+                neuron: ni,
+                full_adders: cost.counts.get(Cell::Fa),
+                stages: cost.stages,
+                accumulator_bits: cost.accumulator_bits,
+            });
+            if let LayerActivation::QRelu { out_bits, shift } = layer.activation {
+                counts.merge(&qrelu_gate_counts(cost.accumulator_bits, out_bits, shift));
+            }
+        }
+        critical_fa_depth += layer_depth;
+        match layer.activation {
+            LayerActivation::QRelu { .. } => fan_in = layer.neurons.len(),
+            LayerActivation::Argmax => {
+                counts.merge(&argmax_gate_counts(layer.neurons.len(), max_width));
+                fan_in = 0;
+            }
+        }
+    }
+
+    // The full netlist shares one tie cell of each polarity.
+    if uses_tie_hi {
+        counts.add(Cell::TieHi, 1);
+    }
+    if uses_tie_lo {
+        counts.add(Cell::TieLo, 1);
+    }
+    let report = HardwareReport::at_nominal(spec.name.clone(), tech, counts, critical_fa_depth);
+    CostedMlp {
+        report,
+        neuron_stats,
     }
 }
 

@@ -14,6 +14,10 @@
 //!   same FA counts the fast [`pe_arith::AdderAreaEstimator`] predicts.
 //! * [`circuit`] — whole-MLP elaboration to a [`HardwareReport`]
 //!   (area cm², power mW, delay ms).
+//! * [`cost`] — the unified [`CostModel`] layer: one trait mapping a
+//!   spec to a [`HwCost`] under a named [`CostScenario`] (technology +
+//!   Vdd + power budget), with interchangeable fast-analytic and
+//!   exact-netlist implementations proven equal by property test.
 //! * [`vdd`] — supply-voltage scaling (1 V → 0.6 V operation, §V-C).
 //! * [`power_source`] — printed batteries / harvester classes and the
 //!   Fig. 5 feasibility zones.
@@ -49,6 +53,7 @@
 
 pub mod adder_tree;
 pub mod circuit;
+pub mod cost;
 pub mod netlist;
 pub mod neuron;
 pub mod power_source;
@@ -61,6 +66,7 @@ pub mod verilog;
 pub use circuit::{
     argmax_gate_counts, qrelu_gate_counts, CostedMlp, ElaboratedMlp, Elaborator, NeuronStats,
 };
+pub use cost::{CostModel, CostScenario, ExactCostModel, FastCostModel, HwCost};
 pub use netlist::{Instance, MacroBlock, NetId, Netlist, Port};
 pub use power_source::{Feasibility, FeasibilityZones, PowerSource};
 pub use report::HardwareReport;

@@ -13,7 +13,7 @@ use pe_arith::{ColumnProfile, CsdDigit, NeuronArithSpec, ReductionKind, Summand}
 
 use crate::adder_tree::TreeBuilder;
 use crate::netlist::{NetId, Netlist};
-use crate::spec::ExactNeuronSpec;
+use crate::spec::{ExactNeuronSpec, NeuronSpec};
 
 /// A summand together with the nets of the input signal it draws from.
 #[derive(Debug, Clone)]
@@ -101,54 +101,94 @@ pub fn bind_exact(spec: &ExactNeuronSpec, inputs: &[Vec<NetId>]) -> Vec<BoundSum
         spec.weights.len(),
         "one input per weight required"
     );
-    let full_mask = (1u64 << spec.input_bits) - 1;
     let mut out = Vec::new();
     for (&w, nets) in spec.weights.iter().zip(inputs) {
-        if w == 0 {
-            continue;
-        }
-        let digits = if spec.csd_multipliers {
-            pe_arith::csd_digits(w)
-        } else {
-            binary_digits(w)
-        };
-        for (p, digit) in digits {
-            // Accumulation truncation (TC'23 style): partial-product
-            // bits landing below `trunc_bits` are hard-wired out.
-            let mask = if spec.trunc_bits > p {
-                full_mask & !((1u64 << (spec.trunc_bits - p).min(63)) - 1)
-            } else {
-                full_mask
-            };
-            if mask == 0 {
-                continue;
-            }
+        for summand in exact_weight_summands(spec, w) {
             out.push(BoundSummand {
-                summand: Summand::MaskedInput {
-                    input_bits: spec.input_bits,
-                    mask,
-                    shift: p,
-                    negative: digit == CsdDigit::MinusOne,
-                },
+                summand,
                 input_nets: nets.clone(),
             });
         }
     }
-    if spec.bias != 0 {
-        // The bias keeps its bits above the truncation line.
-        let bias = if spec.trunc_bits > 0 {
-            (spec.bias >> spec.trunc_bits) << spec.trunc_bits
-        } else {
-            spec.bias
-        };
-        if bias != 0 {
-            out.push(BoundSummand {
-                summand: Summand::Constant(bias),
-                input_nets: vec![],
-            });
-        }
+    if let Some(summand) = exact_bias_summand(spec) {
+        out.push(BoundSummand {
+            summand,
+            input_nets: vec![],
+        });
     }
     out
+}
+
+/// The partial-product summands of one exact weight `w` (empty for
+/// zero weights). The single lowering shared by the netlist binder
+/// ([`bind_exact`]) and the analytic cost model
+/// ([`neuron_summands`]), so the two can never disagree about a
+/// weight's decomposition.
+fn exact_weight_summands(spec: &ExactNeuronSpec, w: i64) -> Vec<Summand> {
+    if w == 0 {
+        return Vec::new();
+    }
+    let full_mask = (1u64 << spec.input_bits) - 1;
+    let digits = if spec.csd_multipliers {
+        pe_arith::csd_digits(w)
+    } else {
+        binary_digits(w)
+    };
+    let mut out = Vec::new();
+    for (p, digit) in digits {
+        // Accumulation truncation (TC'23 style): partial-product
+        // bits landing below `trunc_bits` are hard-wired out.
+        let mask = if spec.trunc_bits > p {
+            full_mask & !((1u64 << (spec.trunc_bits - p).min(63)) - 1)
+        } else {
+            full_mask
+        };
+        if mask == 0 {
+            continue;
+        }
+        out.push(Summand::MaskedInput {
+            input_bits: spec.input_bits,
+            mask,
+            shift: p,
+            negative: digit == CsdDigit::MinusOne,
+        });
+    }
+    out
+}
+
+/// The bias constant of an exact neuron, if any survives truncation.
+fn exact_bias_summand(spec: &ExactNeuronSpec) -> Option<Summand> {
+    if spec.bias == 0 {
+        return None;
+    }
+    // The bias keeps its bits above the truncation line.
+    let bias = if spec.trunc_bits > 0 {
+        (spec.bias >> spec.trunc_bits) << spec.trunc_bits
+    } else {
+        spec.bias
+    };
+    (bias != 0).then_some(Summand::Constant(bias))
+}
+
+/// The full summand list of a neuron's accumulation, without binding
+/// to nets — exactly the summands [`bind_exact`] / [`bind_approximate`]
+/// would bind, in the same order. This is what the analytic
+/// [`FastCostModel`](crate::cost::FastCostModel) costs, so fast and
+/// exact models lower every neuron identically by construction.
+#[must_use]
+pub fn neuron_summands(neuron: &NeuronSpec) -> Vec<Summand> {
+    match neuron {
+        NeuronSpec::Approximate(a) => a.summands(),
+        NeuronSpec::Exact(e) => {
+            let mut out: Vec<Summand> = e
+                .weights
+                .iter()
+                .flat_map(|&w| exact_weight_summands(e, w))
+                .collect();
+            out.extend(exact_bias_summand(e));
+            out
+        }
+    }
 }
 
 /// Binary digit positions of `w`: one `(position, sign)` pair per set

@@ -155,6 +155,47 @@ mod tests {
     }
 
     #[test]
+    fn classification_boundaries_are_inclusive() {
+        // A cost exactly on a zone edge belongs to the zone it closes:
+        // budgets are `<=` (a 5.0 mW draw is Blue Spark, not Zinergy)
+        // and the area limit is `>` (exactly 30 cm² is still
+        // sustainable). Pinning the edges keeps Fig. 5 deterministic
+        // for designs that land on them.
+        let zones = FeasibilityZones::paper();
+        for src in PowerSource::ALL {
+            assert_eq!(
+                zones.classify(1.0, src.budget_mw()),
+                Feasibility::Powered(src),
+                "{}",
+                src.name()
+            );
+            // The next representable power above the budget spills over.
+            let above = src.budget_mw() + 1e-9;
+            assert_ne!(
+                zones.classify(1.0, above),
+                Feasibility::Powered(src),
+                "{}",
+                src.name()
+            );
+        }
+        // Exactly on the area edge: sustainable; just above: red zone.
+        assert_eq!(
+            zones.classify(zones.max_area_cm2, 1.0),
+            Feasibility::Powered(PowerSource::Harvester)
+        );
+        assert_eq!(
+            zones.classify(zones.max_area_cm2 + 1e-9, 1.0),
+            Feasibility::UnsustainableArea
+        );
+        // Both edges at once: area is checked first, so the design is
+        // classified by power.
+        assert_eq!(
+            zones.classify(zones.max_area_cm2, 30.0),
+            Feasibility::Powered(PowerSource::Molex)
+        );
+    }
+
+    #[test]
     fn oversized_circuits_are_red_even_if_low_power() {
         let zones = FeasibilityZones::paper();
         assert_eq!(zones.classify(50.0, 0.1), Feasibility::UnsustainableArea);

@@ -47,12 +47,17 @@ impl HardwareReport {
     /// Re-evaluate this report at a different supply voltage.
     ///
     /// Area is unchanged; power and delay scale per the [`VddModel`].
+    /// Rescaling to the report's current voltage is an exact no-op
+    /// (bit-identical), so chains of `at_vdd` hops are idempotent.
     ///
     /// # Panics
     ///
     /// Panics if `vdd` is below the model's minimum operating voltage.
     #[must_use]
     pub fn at_vdd(&self, model: &VddModel, vdd: f64) -> Self {
+        if vdd == self.vdd {
+            return self.clone();
+        }
         let power = self.power_mw / model.power_scale(self.vdd) * model.power_scale(vdd);
         let delay = self.delay_ms / model.delay_scale(self.vdd) * model.delay_scale(vdd);
         Self {
@@ -103,5 +108,38 @@ mod tests {
         assert!(low.power_mw < r.power_mw);
         assert!(low.delay_ms > r.delay_ms);
         assert_eq!(low.vdd, 0.6);
+    }
+
+    #[test]
+    fn vdd_rescale_chains_associatively_and_idempotently() {
+        // `at_vdd` always rescales *from the stored report's vdd*, so
+        // hopping through an intermediate voltage must land on the same
+        // operating point as going there directly, and re-requesting
+        // the current voltage must be a fixed point. (Each hop divides
+        // and re-multiplies by a power-law scale, so equality is exact
+        // up to float round-off — pinned here to a tight relative
+        // tolerance.)
+        let tech = TechLibrary::egfet();
+        let model = VddModel::egfet();
+        let mut cells = CellCounts::new();
+        cells.add(Cell::Fa, 123);
+        cells.add(Cell::Not, 17);
+        let nominal = HardwareReport::at_nominal("toy", &tech, cells, 9);
+
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+        for (a, b) in [(0.8, 0.6), (0.6, 0.9), (0.7, 0.7), (1.0, 0.6), (0.6, 1.0)] {
+            let chained = nominal.at_vdd(&model, a).at_vdd(&model, b);
+            let direct = nominal.at_vdd(&model, b);
+            assert_eq!(chained.vdd, direct.vdd);
+            assert!(close(chained.power_mw, direct.power_mw), "{a}->{b}");
+            assert!(close(chained.delay_ms, direct.delay_ms), "{a}->{b}");
+            assert_eq!(chained.area_cm2, direct.area_cm2, "area never rescales");
+            assert_eq!(chained.cells, direct.cells);
+        }
+        // Idempotence at the stored voltage: an exact fixed point
+        // (scale ratio is exactly 1.0, and x / 1.0 * 1.0 == x).
+        let low = nominal.at_vdd(&model, 0.6);
+        assert_eq!(low.at_vdd(&model, 0.6), low);
+        assert_eq!(nominal.at_vdd(&model, 1.0), nominal);
     }
 }

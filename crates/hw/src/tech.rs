@@ -10,6 +10,7 @@
 //! retuned afterwards, so all reported reduction factors are genuine
 //! model outputs.
 
+use pe_arith::NeuronGateCounts;
 use serde::{Deserialize, Serialize};
 
 /// Primitive cells available in the printed EGFET library.
@@ -150,6 +151,23 @@ impl CellCounts {
     }
 }
 
+/// The **one** conversion point between `pe-arith`'s adder-tree
+/// gate-count summary and `pe-hw`'s cell-count currency: full adders,
+/// half adders and sign-inversion NOTs map to their library cells; a
+/// neuron's adder tree instantiates nothing else. Every consumer that
+/// needs a [`NeuronGateCounts`] as cells must come through here (the
+/// round-trip is pinned by test), so the two crates' gate-count types
+/// cannot drift apart.
+impl From<&NeuronGateCounts> for CellCounts {
+    fn from(g: &NeuronGateCounts) -> Self {
+        let mut counts = CellCounts::new();
+        counts.add(Cell::Fa, g.full_adders);
+        counts.add(Cell::Ha, g.half_adders);
+        counts.add(Cell::Not, g.not_gates);
+        counts
+    }
+}
+
 /// A printed technology library: per-cell costs and electrical limits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TechLibrary {
@@ -189,6 +207,38 @@ impl TechLibrary {
             nominal_vdd: 1.0,
             min_vdd: 0.6,
         }
+    }
+
+    /// A hypothetical low-power EGFET process corner: thicker gate
+    /// dielectric and longer channels trade area and speed for a much
+    /// better power figure. Cells are ~40% larger and ~75% slower but
+    /// burn ~60% less power per gate equivalent — the corner a
+    /// battery-constrained deployment would pick. GE weights are
+    /// identical (the logic family is unchanged), so designs keep their
+    /// relative ordering and only the absolute cost surface moves.
+    #[must_use]
+    pub fn egfet_lowpower() -> Self {
+        Self {
+            name: "egfet-lp".to_owned(),
+            area_per_ge_cm2: 4.27e-3,
+            power_per_ge_mw: 4.48e-3,
+            fa_delay_ms: 7.0,
+            nominal_vdd: 1.0,
+            min_vdd: 0.6,
+        }
+    }
+
+    /// All built-in technology libraries, default first.
+    #[must_use]
+    pub fn builtin() -> Vec<Self> {
+        vec![Self::egfet(), Self::egfet_lowpower()]
+    }
+
+    /// Look a built-in library up by its `name` (e.g. from a config
+    /// file or a sweep specification).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::builtin().into_iter().find(|t| t.name == name)
     }
 
     /// Gate-equivalent weight of a cell (NAND2 = 1 GE).
@@ -236,6 +286,17 @@ impl TechLibrary {
             .map(|&c| f64::from(counts.get(c)) * self.cell_power_mw(c))
             .sum()
     }
+
+    /// Total gate equivalents of a set of cell counts (the
+    /// technology-independent area/power currency; identical across the
+    /// built-in libraries, which differ only in their per-GE constants).
+    #[must_use]
+    pub fn ge_total(&self, counts: &CellCounts) -> f64 {
+        Cell::ALL
+            .iter()
+            .map(|&c| f64::from(counts.get(c)) * self.ge(c))
+            .sum()
+    }
 }
 
 impl Default for TechLibrary {
@@ -280,6 +341,50 @@ mod tests {
         ten.add(Cell::Fa, 10);
         assert!((lib.area_cm2(&ten) - 10.0 * lib.area_cm2(&one)).abs() < 1e-12);
         assert!((lib.power_mw(&ten) - 10.0 * lib.power_mw(&one)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neuron_gate_counts_convert_through_one_point() {
+        // Round-trip: the adder-tree summary maps onto exactly the
+        // three cell kinds a tree instantiates, and maps back losslessly.
+        let g = NeuronGateCounts {
+            full_adders: 7,
+            half_adders: 3,
+            not_gates: 11,
+            stages: 2,
+            accumulator_bits: 9,
+        };
+        let cells = CellCounts::from(&g);
+        assert_eq!(cells.get(Cell::Fa), g.full_adders);
+        assert_eq!(cells.get(Cell::Ha), g.half_adders);
+        assert_eq!(cells.get(Cell::Not), g.not_gates);
+        // Nothing else is charged: the conversion is exactly FA+HA+NOT.
+        assert_eq!(cells.total(), g.full_adders + g.half_adders + g.not_gates);
+        // GE roll-up through the conversion equals the hand formula the
+        // GA objective historically used — the drift this conversion
+        // point exists to prevent.
+        let tech = TechLibrary::egfet();
+        let by_hand = f64::from(g.full_adders) * tech.ge(Cell::Fa)
+            + f64::from(g.half_adders) * tech.ge(Cell::Ha)
+            + f64::from(g.not_gates) * tech.ge(Cell::Not);
+        assert!((tech.ge_total(&cells) - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builtin_libraries_are_named_and_distinct() {
+        let libs = TechLibrary::builtin();
+        assert_eq!(libs[0].name, "egfet-1v");
+        assert_eq!(TechLibrary::by_name("egfet-lp"), Some(libs[1].clone()));
+        assert_eq!(TechLibrary::by_name("no-such-tech"), None);
+        // The low-power corner trades area and delay for power.
+        let (hp, lp) = (TechLibrary::egfet(), TechLibrary::egfet_lowpower());
+        assert!(lp.area_per_ge_cm2 > hp.area_per_ge_cm2);
+        assert!(lp.power_per_ge_mw < hp.power_per_ge_mw);
+        assert!(lp.fa_delay_ms > hp.fa_delay_ms);
+        // Same logic family: GE weights are identical, so rankings hold.
+        for cell in Cell::ALL {
+            assert!((hp.ge(cell) - lp.ge(cell)).abs() < 1e-12);
+        }
     }
 
     #[test]

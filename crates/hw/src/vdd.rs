@@ -43,6 +43,21 @@ impl VddModel {
         }
     }
 
+    /// The calibrated EGFET scaling laws anchored to a technology's own
+    /// voltage range: the exponents are a property of the logic family,
+    /// the nominal/minimum rails come from the library. This is the
+    /// model [`CostScenario::nominal`](crate::cost::CostScenario::nominal)
+    /// attaches, so multi-technology sweeps scale each library from its
+    /// own nominal point.
+    #[must_use]
+    pub fn for_tech(tech: &crate::tech::TechLibrary) -> Self {
+        Self {
+            nominal_vdd: tech.nominal_vdd,
+            min_vdd: tech.min_vdd,
+            ..Self::egfet()
+        }
+    }
+
     /// Relative power at `vdd` (1.0 at the nominal supply).
     ///
     /// # Panics

@@ -9,7 +9,7 @@ use std::error::Error;
 
 use printed_mlps::axc::{AxTrainConfig, HwAwareTrainer};
 use printed_mlps::datasets::{parse_csv, quantize, stratified_split, TabularData};
-use printed_mlps::hw::{Elaborator, TechLibrary};
+use printed_mlps::hw::{CostScenario, ExactCostModel, TechLibrary};
 use printed_mlps::mlp::train::train_best_of;
 use printed_mlps::mlp::{FixedMlp, QuantConfig, Topology, TrainConfig};
 use printed_mlps::nsga::NsgaConfig;
@@ -79,13 +79,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         },
         ..AxTrainConfig::default()
     };
-    let elaborator = Elaborator::new(TechLibrary::egfet());
+    let cost = ExactCostModel::new(CostScenario::nominal(TechLibrary::egfet()));
     let outcome = HwAwareTrainer::new(ga).train(
         &baseline,
         baseline_train,
         &train_q,
         &test_q,
-        &elaborator,
+        &cost,
         "custom",
     );
 

@@ -116,7 +116,6 @@ fn main() {
     let studies = Pipeline::run_many(
         &[Dataset::BreastCancer, Dataset::RedWine],
         &printed_mlps::axc::StudyConfig::quick(0),
-        &tech,
         &RunManyOptions::default(),
     )
     .expect("quick configs are valid");

@@ -1,0 +1,161 @@
+//! The contract of the unified cost layer: the *fast* analytic
+//! [`FastCostModel`] and the *exact* netlist-backed [`ExactCostModel`]
+//! produce identical hardware reports — cell counts, area, power,
+//! delay, per-neuron statistics — for arbitrary bespoke-MLP specs,
+//! mixing both neuron flavours, under both compressor policies and at
+//! scaled supplies. The exact model is itself pinned against full
+//! netlist elaboration, closing the chain GA-objective → analytic cost
+//! → netlist.
+
+use proptest::prelude::*;
+
+use printed_mlps::arith::{NeuronArithSpec, ReductionKind, WeightArith};
+use printed_mlps::hw::cost::{CostModel, CostScenario, ExactCostModel, FastCostModel};
+use printed_mlps::hw::spec::{
+    ExactNeuronSpec, LayerActivation, LayerSpec, MlpHardwareSpec, NeuronSpec,
+};
+use printed_mlps::hw::{Elaborator, TechLibrary};
+
+fn approx_neuron(input_bits: u32, fan_in: usize) -> impl Strategy<Value = NeuronSpec> {
+    let mask_max = (1u64 << input_bits) - 1;
+    (
+        proptest::collection::vec(
+            (0..=mask_max, 0u32..7, any::<bool>()).prop_map(|(mask, shift, negative)| {
+                WeightArith {
+                    mask,
+                    shift,
+                    negative,
+                }
+            }),
+            fan_in..=fan_in,
+        ),
+        -2000i64..2000,
+    )
+        .prop_map(move |(weights, bias)| {
+            NeuronSpec::Approximate(NeuronArithSpec {
+                input_bits,
+                weights,
+                bias,
+            })
+        })
+}
+
+fn exact_neuron(input_bits: u32, fan_in: usize) -> impl Strategy<Value = NeuronSpec> {
+    (
+        proptest::collection::vec(-200i64..200, fan_in..=fan_in),
+        -500i64..500,
+        0u32..3,
+        any::<bool>(),
+    )
+        .prop_map(move |(weights, bias, trunc_bits, csd_multipliers)| {
+            NeuronSpec::Exact(ExactNeuronSpec {
+                input_bits,
+                weights,
+                bias,
+                trunc_bits,
+                csd_multipliers,
+            })
+        })
+}
+
+fn neuron(input_bits: u32, fan_in: usize) -> impl Strategy<Value = NeuronSpec> {
+    prop_oneof![
+        approx_neuron(input_bits, fan_in),
+        exact_neuron(input_bits, fan_in)
+    ]
+}
+
+/// A random one- or two-layer bespoke MLP mixing neuron flavours.
+fn network_strategy() -> impl Strategy<Value = MlpHardwareSpec> {
+    (1usize..4, 1usize..4, any::<bool>()).prop_flat_map(|(inputs, hidden, two_layers)| {
+        let input_bits = 4u32;
+        if two_layers {
+            (
+                proptest::collection::vec(neuron(input_bits, inputs), hidden..=hidden),
+                proptest::collection::vec(neuron(8, hidden), 2..4),
+            )
+                .prop_map(move |(h, out)| MlpHardwareSpec {
+                    name: "parity".into(),
+                    inputs,
+                    input_bits,
+                    layers: vec![
+                        LayerSpec {
+                            neurons: h,
+                            activation: LayerActivation::QRelu {
+                                out_bits: 8,
+                                shift: 2,
+                            },
+                        },
+                        LayerSpec {
+                            neurons: out,
+                            activation: LayerActivation::Argmax,
+                        },
+                    ],
+                })
+                .boxed()
+        } else {
+            proptest::collection::vec(neuron(input_bits, inputs), 2..4)
+                .prop_map(move |out| MlpHardwareSpec {
+                    name: "parity".into(),
+                    inputs,
+                    input_bits,
+                    layers: vec![LayerSpec {
+                        neurons: out,
+                        activation: LayerActivation::Argmax,
+                    }],
+                })
+                .boxed()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// fast ≡ exact: full report equality (cells included) plus
+    /// per-neuron statistics, under both compressor policies.
+    #[test]
+    fn fast_model_equals_exact_model(spec in network_strategy()) {
+        for kind in [ReductionKind::FaOnly, ReductionKind::FaHa] {
+            let scenario = CostScenario::default();
+            let fast = FastCostModel::new(scenario.clone()).with_kind(kind);
+            let exact = ExactCostModel::new(scenario).with_kind(kind);
+            let f = fast.costed(&spec);
+            let e = exact.costed(&spec);
+            prop_assert_eq!(&f.report, &e.report, "{:?}", kind);
+            prop_assert_eq!(&f.report.cells, &e.report.cells, "{:?}", kind);
+            prop_assert_eq!(&f.neuron_stats, &e.neuron_stats, "{:?}", kind);
+            prop_assert_eq!(fast.cost(&spec), exact.cost(&spec), "{:?}", kind);
+        }
+    }
+
+    /// The exact model is itself the full elaboration: the chain
+    /// fast ≡ exact ≡ netlist closes on the same random specs.
+    #[test]
+    fn exact_model_equals_full_elaboration(spec in network_strategy()) {
+        let exact = ExactCostModel::new(CostScenario::default());
+        let full = Elaborator::new(TechLibrary::egfet()).elaborate(&spec);
+        prop_assert_eq!(&exact.report(&spec), &full.report);
+        prop_assert_eq!(&exact.costed(&spec).report.cells, &full.netlist.cell_counts());
+    }
+
+    /// Parity survives scenario scaling: at a sub-nominal supply and on
+    /// the second technology both models still agree exactly (they
+    /// share the same rescale), and the physics is sane.
+    #[test]
+    fn parity_holds_under_scaled_scenarios(spec in network_strategy()) {
+        for tech in TechLibrary::builtin() {
+            let scenario = CostScenario::nominal(tech).at_supply(0.6);
+            let fast = FastCostModel::new(scenario.clone());
+            let exact = ExactCostModel::new(scenario.clone());
+            let f = fast.report(&spec);
+            prop_assert_eq!(&f, &exact.report(&spec), "{}", scenario.label());
+            prop_assert_eq!(f.vdd, 0.6);
+            let nominal = FastCostModel::new(CostScenario::nominal(scenario.tech.clone()));
+            let n = nominal.report(&spec);
+            prop_assert_eq!(n.area_cm2, f.area_cm2);
+            prop_assert!(f.power_mw <= n.power_mw);
+            prop_assert!(f.delay_ms >= n.delay_ms);
+        }
+    }
+}

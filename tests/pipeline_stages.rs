@@ -29,7 +29,7 @@ fn micro_config(seed: u64) -> StudyConfig {
             ..AxTrainConfig::default()
         },
         sgd_epochs_scale: 0.05, // clamps to the 10-epoch floor
-        accuracy_loss_budget: 0.05,
+        ..StudyConfig::default()
     }
 }
 
@@ -156,14 +156,11 @@ fn cached_results_equal_uncached_results() {
 fn run_many_is_parallel_scheduling_invariant() {
     let datasets = [Dataset::BreastCancer, Dataset::RedWine, Dataset::Cardio];
     let base = micro_config(5);
-    let tech = TechLibrary::egfet();
 
-    let mut sequential =
-        Pipeline::run_many(&datasets, &base, &tech, &RunManyOptions::with_threads(1))
-            .expect("sequential run");
-    let mut parallel =
-        Pipeline::run_many(&datasets, &base, &tech, &RunManyOptions::with_threads(3))
-            .expect("parallel run");
+    let mut sequential = Pipeline::run_many(&datasets, &base, &RunManyOptions::with_threads(1))
+        .expect("sequential run");
+    let mut parallel = Pipeline::run_many(&datasets, &base, &RunManyOptions::with_threads(3))
+        .expect("parallel run");
 
     // Byte-identical JSON artifacts regardless of scheduling, once the
     // wall-clock metadata (never part of the table artifacts) is

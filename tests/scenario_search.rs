@@ -1,0 +1,171 @@
+//! Scenario-aware search end to end: the same study run under the
+//! default scenario, under a power budget, at low voltage and on the
+//! second technology library must produce *distinct, sane* fronts —
+//! the acceptance contract of the unified cost layer.
+
+use printed_mlps::axc::{AxTrainConfig, Pipeline, Selected, Study, StudyConfig};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::{FeasibilityZones, PowerSource, TechLibrary};
+use printed_mlps::nsga::NsgaConfig;
+
+/// A small-but-real GA budget: big enough to shape distinct fronts,
+/// small enough for CI.
+fn base_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        ga: AxTrainConfig {
+            fitness_subsample: Some(150),
+            nsga: NsgaConfig {
+                population: 16,
+                generations: 8,
+                seed,
+                ..NsgaConfig::default()
+            },
+            ..AxTrainConfig::default()
+        },
+        sgd_epochs_scale: 0.05,
+        ..StudyConfig::default()
+    }
+}
+
+fn run(study: Study) -> Selected {
+    study
+        .finish()
+        .expect("scenario configs are valid")
+        .run()
+        .expect("uncancelled study succeeds")
+}
+
+fn sane(selected: &Selected) {
+    let front = &selected.searched.outcome.front;
+    assert!(!front.is_empty(), "front must not be empty");
+    for p in front {
+        assert!(p.report.area_cm2 > 0.0);
+        assert!(p.report.power_mw > 0.0);
+        assert!((0.0..=1.0).contains(&p.test_accuracy));
+    }
+    // Area-sorted, as every front is.
+    for w in front.windows(2) {
+        assert!(w[0].report.area_cm2 <= w[1].report.area_cm2);
+    }
+}
+
+fn front_json(selected: &Selected) -> String {
+    serde_json::to_string(&selected.searched.outcome.front).expect("serializable front")
+}
+
+#[test]
+fn power_budget_and_second_technology_produce_distinct_sane_fronts() {
+    let dataset = Dataset::BreastCancer;
+    let default_run = run(Study::for_dataset(dataset).config(base_config(7)));
+    sane(&default_run);
+    let default_front = front_json(&default_run);
+    let default_selected = default_run.selected.as_ref().expect("default run selects");
+    assert_eq!(
+        default_selected.report.vdd, 1.0,
+        "default scenario reports at nominal supply"
+    );
+
+    // ---- A power-budgeted run: every reported design must fit the
+    // printed harvester's 2 mW envelope at 0.6 V.
+    let budgeted = run(Study::for_dataset(dataset)
+        .config(base_config(7))
+        .supply(0.6)
+        .power_source(PowerSource::Harvester));
+    sane(&budgeted);
+    let budget = PowerSource::Harvester.budget_mw();
+    assert_ne!(
+        front_json(&budgeted),
+        default_front,
+        "the budgeted scenario must reshape the front"
+    );
+    for p in &budgeted.searched.outcome.front {
+        assert_eq!(p.report.vdd, 0.6, "front reports land at the study supply");
+    }
+    if let Some(selected) = &budgeted.selected {
+        assert!(
+            selected.report.power_mw <= budget,
+            "selected design draws {} mW over the {} mW budget",
+            selected.report.power_mw,
+            budget
+        );
+        // The budgeted pick really is harvester-deployable in the
+        // Fig. 5 sense.
+        assert!(FeasibilityZones::paper()
+            .classify(selected.report.area_cm2, selected.report.power_mw)
+            .is_deployable());
+    }
+
+    // ---- An impossible budget: the selection honestly reports that
+    // nothing qualifies instead of papering over it.
+    let impossible = run(Study::for_dataset(dataset)
+        .config(base_config(7))
+        .power_budget_mw(1e-6));
+    assert!(
+        impossible.selected.is_none(),
+        "a sub-µW budget cannot be met by any printed design"
+    );
+
+    // ---- The second technology: same logic, different cost surface.
+    let low_power = run(Study::for_dataset(dataset)
+        .config(base_config(7))
+        .tech(TechLibrary::egfet_lowpower()));
+    sane(&low_power);
+    assert_ne!(
+        front_json(&low_power),
+        default_front,
+        "the LP technology must move the front's absolute costs"
+    );
+    let (d, l) = (
+        &default_run.searched.costed.baseline_report,
+        &low_power.searched.costed.baseline_report,
+    );
+    assert!(
+        l.power_mw < d.power_mw && l.area_cm2 > d.area_cm2,
+        "the LP corner trades area ({} vs {} cm²) for power ({} vs {} mW)",
+        l.area_cm2,
+        d.area_cm2,
+        l.power_mw,
+        d.power_mw
+    );
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    // The scenario knobs must not break the workspace's determinism
+    // guarantee: identical configurations produce identical artifacts.
+    let study = || {
+        Study::for_dataset(Dataset::RedWine)
+            .config(base_config(3))
+            .supply(0.8)
+            .power_source(PowerSource::Zinergy)
+    };
+    let (a, b) = (run(study()), run(study()));
+    assert_eq!(front_json(&a), front_json(&b));
+    assert_eq!(a.selected.is_some(), b.selected.is_some());
+}
+
+#[test]
+fn run_many_threads_scenarios_through_every_dataset() {
+    // Multi-dataset runs inherit the base config's scenario.
+    let mut config = base_config(11);
+    config.scenario = printed_mlps::hw::CostScenario::nominal(TechLibrary::egfet_lowpower())
+        .at_supply(0.7)
+        .powered_by(PowerSource::Molex);
+    let selected = Pipeline::run_many_selected(
+        &[Dataset::BreastCancer, Dataset::RedWine],
+        &config,
+        &printed_mlps::axc::RunManyOptions::with_threads(2),
+    )
+    .expect("scenario run_many succeeds");
+    assert_eq!(selected.len(), 2);
+    for s in &selected {
+        sane(s);
+        for p in &s.searched.outcome.front {
+            assert_eq!(p.report.vdd, 0.7);
+        }
+        if let Some(pick) = &s.selected {
+            assert!(pick.report.power_mw <= PowerSource::Molex.budget_mw());
+        }
+    }
+}
