@@ -15,9 +15,10 @@
 //! Experiment index (see DESIGN.md §4): [`table1`] baselines,
 //! [`table2`] our approximate MLPs, [`table3`] training times,
 //! [`fig4`] state-of-the-art comparison, [`fig5`] power-source
-//! feasibility, plus the [`ablation`] studies and the
+//! feasibility, plus the [`ablation`] studies, the
 //! multi-technology / multi-voltage cost [`sweep`]
-//! (`BENCH_cost.json`).
+//! (`BENCH_cost.json`) and the nominal-vs-robust variation
+//! comparison [`robust`] (`BENCH_robust.json`).
 //!
 //! Everything executes through `printed-axc`'s staged pipeline:
 //! [`study::run_studies`] fans the five datasets out over a worker pool
@@ -31,6 +32,7 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod format;
+pub mod robust;
 pub mod study;
 pub mod sweep;
 pub mod table1;

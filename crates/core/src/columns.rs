@@ -60,13 +60,18 @@ pub struct ColumnCacheStats {
 /// Cache key of one hidden neuron's column. The layer index, input
 /// signature, input width and QReLU pin down the neuron's entire input
 /// context; the fingerprint stands in for the neuron spec itself (the
-/// cached entry carries the full spec for exact confirmation).
+/// cached entry carries the full spec for exact confirmation). The
+/// `device` slot separates Monte-Carlo variation trials: `0` is the
+/// nominal device, `t + 1` is the perturbed device of trial `t`, whose
+/// column differs through the trial's gain/offset draw and perturbed
+/// inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct HiddenKey {
     layer: u32,
     signature: u64,
     input_bits: u32,
     qrelu: QReluCfg,
+    device: u32,
     fingerprint: u64,
 }
 
@@ -149,13 +154,17 @@ impl NeuronColumnCache {
     /// cache lock; concurrent misses on one key may both compute (pure,
     /// identical results) and the last insert wins. A fingerprint
     /// collision (same key hash, different neuron) is handled as a
-    /// miss whose result replaces the colliding entry.
+    /// miss whose result replaces the colliding entry. `device` is `0`
+    /// for the nominal device and `t + 1` for Monte-Carlo variation
+    /// trial `t` (whose draws reshape the column).
+    #[allow(clippy::too_many_arguments)] // the five cache coordinates + payload
     pub fn hidden_column(
         &self,
         layer: usize,
         signature: u64,
         input_bits: u32,
         qrelu: QReluCfg,
+        device: u32,
         neuron: &AxNeuron,
         compute: impl FnOnce() -> Arc<[u8]>,
     ) -> Arc<[u8]> {
@@ -164,6 +173,7 @@ impl NeuronColumnCache {
             signature,
             input_bits,
             qrelu,
+            device,
             fingerprint: fx_hash_of(neuron),
         };
         if let Some((stored, col)) = Self::lock(&self.hidden).get(&key) {
@@ -232,30 +242,35 @@ mod tests {
         let cache = NeuronColumnCache::new(8);
         let n = neuron(3);
         let col: Arc<[u8]> = Arc::from(vec![1u8, 2, 3].as_slice());
-        let a = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &n, || col.clone());
+        let a = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &n, || col.clone());
         // Second lookup: served from cache, compute must not run.
-        let b = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &n, || unreachable!());
+        let b = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &n, || unreachable!());
         assert_eq!(a, b);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         // A different bias is a different key.
-        let c = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, &neuron(4), || {
+        let c = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &neuron(4), || {
             Arc::from(vec![9u8].as_slice())
         });
         assert_eq!(&c[..], &[9]);
         // A different signature is a different key too.
-        let d = cache.hidden_column(0, 17, 4, Q, &n, || Arc::from(vec![7u8].as_slice()));
+        let d = cache.hidden_column(0, 17, 4, Q, 0, &n, || Arc::from(vec![7u8].as_slice()));
         assert_eq!(&d[..], &[7]);
         // And so is a different QReLU at the same layer/signature.
         let q2 = QReluCfg {
             out_bits: 4,
             shift: 2,
         };
-        let e = cache.hidden_column(0, ROOT_SIGNATURE, 4, q2, &n, || {
+        let e = cache.hidden_column(0, ROOT_SIGNATURE, 4, q2, 0, &n, || {
             Arc::from(vec![5u8].as_slice())
         });
         assert_eq!(&e[..], &[5]);
-        assert_eq!(cache.stats().misses, 4);
+        // A Monte-Carlo trial device never aliases the nominal column.
+        let f = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, &n, || {
+            Arc::from(vec![6u8].as_slice())
+        });
+        assert_eq!(&f[..], &[6]);
+        assert_eq!(cache.stats().misses, 5);
     }
 
     #[test]
@@ -300,8 +315,8 @@ mod tests {
         // Both behave as caches; the clamp bounds are internal, so just
         // exercise them.
         let n = neuron(1);
-        let _ = small.hidden_column(0, 0, 4, Q, &n, || Arc::from(vec![0u8].as_slice()));
-        let _ = large.hidden_column(0, 0, 4, Q, &n, || Arc::from(vec![0u8].as_slice()));
+        let _ = small.hidden_column(0, 0, 4, Q, 0, &n, || Arc::from(vec![0u8].as_slice()));
+        let _ = large.hidden_column(0, 0, 4, Q, 0, &n, || Arc::from(vec![0u8].as_slice()));
         assert_eq!(small.stats().misses, 1);
         assert_eq!(large.stats().misses, 1);
         assert_eq!(small.stats().entries, 1);

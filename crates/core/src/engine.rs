@@ -85,6 +85,16 @@ pub struct SearchContext<'a> {
     /// the budget instead of oversubscribing it. Thread count never
     /// affects results.
     pub eval_threads: usize,
+    /// Monte-Carlo variation request of a robust study
+    /// ([`StudyConfig::variation`](crate::flow::StudyConfig)). `None`
+    /// — the default every
+    /// [`search_context`](crate::pipeline::BaselineCosted::search_context)
+    /// starts from — keeps every engine's nominal behavior bit for
+    /// bit; the GA engines under `Some` optimize the robust statistic
+    /// instead of nominal accuracy. Engines that don't understand
+    /// variation simply ignore it (their fronts are then evaluated
+    /// under variation downstream, e.g. by the `fig_robust` bench).
+    pub variation: Option<&'a pe_hw::VariationConfig>,
 }
 
 impl SearchContext<'_> {
@@ -103,6 +113,7 @@ impl std::fmt::Debug for SearchContext<'_> {
             .field("cost_model", &self.cost.name())
             .field("loss_budget", &self.loss_budget)
             .field("eval_threads", &self.eval_threads)
+            .field("variation", &self.variation)
             .finish_non_exhaustive()
     }
 }
@@ -182,6 +193,7 @@ impl SearchEngine for NsgaEngine {
     ) -> Result<SearchOutcome, FlowError> {
         HwAwareTrainer::new(self.config.clone())
             .with_eval_threads(ctx.eval_threads)
+            .with_variation(ctx.variation.copied())
             .train_controlled(
                 ctx.baseline,
                 ctx.baseline_train_accuracy,

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use pe_arith::{AdderAreaEstimator, MemoAreaEstimator};
+use pe_hw::variation::{RobustStat, VariationConfig, VariationModel};
 use pe_hw::{argmax_gate_counts, qrelu_gate_counts, CostScenario};
 use pe_mlp::columnar::{self, ColumnMatrix, QuantMatrix};
 use pe_mlp::InferenceScratch;
@@ -82,6 +83,26 @@ pub struct AxTrainProblem {
     baseline_accuracy: f64,
     /// Maximum tolerated accuracy loss during training (0.10).
     max_loss: f64,
+    /// Monte-Carlo variation state when the search is robust
+    /// ([`with_variation`](Self::with_variation)); `None` keeps the
+    /// historical nominal fitness bit for bit.
+    robust: Option<RobustContext>,
+}
+
+/// Precomputed Monte-Carlo state of a variation-aware problem: the
+/// trial-major extended dataset (transposed once) plus the per-trial
+/// seeds. Built by [`AxTrainProblem::with_variation`].
+#[derive(Debug, Clone)]
+struct RobustContext {
+    model: VariationModel,
+    statistic: RobustStat,
+    /// `trial_seed(master, t)` for `t = 0..M`.
+    trial_seeds: Vec<u64>,
+    /// The extended dataset columns: trial `t`'s segment is
+    /// `[t·n, (t+1)·n)` of every feature column.
+    columns: ColumnMatrix,
+    /// Samples per trial (= the nominal dataset's row count).
+    segment: usize,
 }
 
 impl AxTrainProblem {
@@ -125,6 +146,7 @@ impl AxTrainProblem {
             power_per_ge_at_supply,
             baseline_accuracy,
             max_loss,
+            robust: None,
         }
     }
 
@@ -154,6 +176,43 @@ impl AxTrainProblem {
     #[must_use]
     pub fn scenario(&self) -> &CostScenario {
         &self.scenario
+    }
+
+    /// Optimize the robust accuracy statistic over Monte-Carlo
+    /// variation trials instead of the nominal accuracy.
+    ///
+    /// The M perturbed trials are appended as extra sample segments of
+    /// the columnar engine (one input-perturbed dataset copy per
+    /// trial, built here, transposed once), so a robust evaluation
+    /// costs ~M× a nominal one *in total* — per-trial hidden columns
+    /// are memoized in the shared [`NeuronColumnCache`] under device
+    /// slot `t + 1` exactly like nominal columns under slot `0`.
+    /// `master_seed` keys the deterministic per-trial samplers
+    /// ([`pe_hw::variation::trial_seed`]).
+    ///
+    /// With a zero-variance model every draw is an exact no-op and
+    /// every evaluation equals the nominal one bit for bit (proven by
+    /// the `robust_parity` suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`VariationConfig::validate`] (the
+    /// pipeline rejects such configs before they reach the trainer).
+    #[must_use]
+    pub fn with_variation(mut self, config: &VariationConfig, master_seed: u64) -> Self {
+        config.validate().expect("a valid variation config");
+        let input_bits = self.spec.layers().first().map_or(4, |l| l.input_bits);
+        let trial_seeds = crate::robust::trial_seeds(master_seed, config.trials);
+        let extended =
+            crate::robust::extended_matrix(&self.rows, &config.model, &trial_seeds, input_bits);
+        self.robust = Some(RobustContext {
+            model: config.model,
+            statistic: config.statistic,
+            trial_seeds,
+            columns: extended.columns(),
+            segment: self.rows.len(),
+        });
+        self
     }
 
     /// Estimated power in mW of `area_ge` gate equivalents at the
@@ -196,19 +255,22 @@ impl AxTrainProblem {
     /// ablation benches). Returns `(accuracy, estimated area)` in the
     /// units of the configured [`AreaObjective`]. Runs on the columnar
     /// engine with the shared neuron-column cache — bit-exact with the
-    /// per-row oracle [`score_with`](Self::score_with).
+    /// per-row oracle [`score_with`](Self::score_with). Under
+    /// [`with_variation`](Self::with_variation) the accuracy is the
+    /// configured robust statistic over the Monte-Carlo trials.
     #[must_use]
     pub fn score(&self, mlp: &pe_mlp::AxMlp) -> (f64, f64) {
         let mut scratch = ColumnarEvalScratch::default();
-        (self.columnar_accuracy(mlp, &mut scratch), self.area_of(mlp))
+        (self.fitness_accuracy(mlp, &mut scratch), self.area_of(mlp))
     }
 
-    /// The per-row **reference oracle**: one
+    /// The per-row **nominal reference oracle**: one
     /// [`predict_with`](pe_mlp::AxMlp::predict_with) per sample against
     /// caller-provided scratch buffers. The columnar engine behind
     /// [`score`](Self::score) / [`IntProblem::evaluate`] is proven
     /// bit-exact against this path by the parity test-suite; keep new
-    /// scoring fast paths checked against it too.
+    /// scoring fast paths checked against it too. Always nominal: the
+    /// robust counterpart is [`crate::robust::mc_accuracy`].
     #[must_use]
     pub fn score_with(&self, mlp: &pe_mlp::AxMlp, scratch: &mut InferenceScratch) -> (f64, f64) {
         let accuracy = mlp.accuracy_batch(&self.rows, &self.labels, scratch);
@@ -243,6 +305,158 @@ impl AxTrainProblem {
     #[must_use]
     pub fn cost_cache_stats(&self) -> (u64, u64) {
         self.estimator.cache_stats()
+    }
+
+    /// The accuracy the GA optimizes: nominal columnar accuracy, or —
+    /// under [`with_variation`](Self::with_variation) — the robust
+    /// statistic over the Monte-Carlo trials. With a zero-variance
+    /// model the two are equal bit for bit.
+    fn fitness_accuracy(&self, mlp: &pe_mlp::AxMlp, scratch: &mut ColumnarEvalScratch) -> f64 {
+        match &self.robust {
+            Some(robust) => self.robust_accuracy(mlp, robust, scratch),
+            None => self.columnar_accuracy(mlp, scratch),
+        }
+    }
+
+    /// The robust statistic over the per-trial accuracies of the
+    /// extended columns (one trial = one segment; see
+    /// [`with_variation`](Self::with_variation)).
+    fn robust_accuracy(
+        &self,
+        mlp: &pe_mlp::AxMlp,
+        robust: &RobustContext,
+        scratch: &mut ColumnarEvalScratch,
+    ) -> f64 {
+        let n = robust.segment;
+        if n == 0 {
+            return 0.0; // the workspace-wide empty-data convention
+        }
+        let accs: Vec<f64> = (0..robust.trial_seeds.len())
+            .map(|t| self.trial_hits(mlp, robust, t, scratch) as f64 / n as f64)
+            .collect();
+        robust.statistic.statistic(&accs)
+    }
+
+    /// One Monte-Carlo trial's hit count: the same cached layer walk
+    /// as [`columnar_accuracy`](Self::columnar_accuracy), but over
+    /// trial `t`'s segment of the extended columns, with the trial's
+    /// per-device gain/offset draws applied to every accumulator
+    /// pre-activation. Hidden columns are cached under device slot
+    /// `t + 1`, so they never alias nominal (slot `0`) columns and
+    /// population siblings still share everything mutation didn't
+    /// touch. The output layer stays at i64 width — the draw
+    /// adjustment is i64 arithmetic — and remains uncached like the
+    /// nominal path's.
+    fn trial_hits(
+        &self,
+        mlp: &pe_mlp::AxMlp,
+        robust: &RobustContext,
+        trial: usize,
+        scratch: &mut ColumnarEvalScratch,
+    ) -> usize {
+        let n = robust.segment;
+        let base = trial * n;
+        let tseed = robust.trial_seeds[trial];
+        let device = trial as u32 + 1;
+        let model = &robust.model;
+        let cache = &*self.col_cache;
+        let mut signature = ROOT_SIGNATURE;
+        let mut pending_signature: Option<(&[pe_mlp::AxNeuron], pe_mlp::QReluCfg)> = None;
+        let mut act: Vec<Arc<[u8]>> = Vec::new();
+        let mut first = true;
+        for (li, layer) in mlp.layers.iter().enumerate() {
+            let refs: Vec<&[u8]> = if first {
+                (0..robust.columns.width())
+                    .map(|f| &robust.columns.col(f)[base..base + n])
+                    .collect()
+            } else {
+                act.iter().map(|c| &c[..]).collect()
+            };
+            match layer.qrelu {
+                Some(q) => {
+                    if let Some((prev, prev_q)) = pending_signature.take() {
+                        signature = cache.layer_signature(li - 1, signature, prev_q, prev);
+                    }
+                    let mut out = Vec::with_capacity(layer.neurons.len());
+                    for (ni, neuron) in layer.neurons.iter().enumerate() {
+                        let draw = model.device_draw(tseed, li, ni, layer.input_bits);
+                        out.push(cache.hidden_column(
+                            li,
+                            signature,
+                            layer.input_bits,
+                            q,
+                            device,
+                            neuron,
+                            || {
+                                columnar::accumulate_neuron_column(
+                                    neuron,
+                                    &refs,
+                                    n,
+                                    &mut scratch.acc,
+                                    &mut scratch.narrow,
+                                );
+                                if !draw.is_identity() {
+                                    for a in scratch.acc.iter_mut() {
+                                        *a = draw.apply(*a);
+                                    }
+                                }
+                                columnar::qrelu_column(q, &scratch.acc, &mut scratch.col);
+                                Arc::from(scratch.col.as_slice())
+                            },
+                        ));
+                    }
+                    pending_signature = Some((&layer.neurons, q));
+                    drop(refs);
+                    act = out;
+                    first = false;
+                }
+                None => {
+                    let count = layer.neurons.len();
+                    scratch.out_accs.resize(count, Vec::new());
+                    for (ni, (neuron, out)) in layer
+                        .neurons
+                        .iter()
+                        .zip(scratch.out_accs.iter_mut())
+                        .enumerate()
+                    {
+                        columnar::accumulate_neuron_column(
+                            neuron,
+                            &refs,
+                            n,
+                            &mut scratch.acc,
+                            &mut scratch.narrow,
+                        );
+                        let draw = model.device_draw(tseed, li, ni, layer.input_bits);
+                        if !draw.is_identity() {
+                            for a in scratch.acc.iter_mut() {
+                                *a = draw.apply(*a);
+                            }
+                        }
+                        std::mem::swap(&mut scratch.acc, out);
+                    }
+                    return argmax_hits(
+                        &scratch.out_accs[..count],
+                        &self.labels,
+                        &mut scratch.best_index,
+                        &mut scratch.best_value,
+                    );
+                }
+            }
+        }
+        // Trailing-QReLU topology: argmax over the final activations.
+        let refs: Vec<&[u8]> = if first {
+            (0..robust.columns.width())
+                .map(|f| &robust.columns.col(f)[base..base + n])
+                .collect()
+        } else {
+            act.iter().map(|c| &c[..]).collect()
+        };
+        let preds = columnar::argmax_columns(&refs, n);
+        preds
+            .iter()
+            .zip(&self.labels)
+            .filter(|&(p, l)| p == l)
+            .count()
     }
 
     /// Training accuracy of a decoded network on the columnar engine:
@@ -282,6 +496,7 @@ impl AxTrainProblem {
                             signature,
                             layer.input_bits,
                             q,
+                            0, // the nominal device
                             neuron,
                             || {
                                 columnar::accumulate_neuron_column(
@@ -413,7 +628,7 @@ impl AxTrainProblem {
     /// columnar scratch buffers.
     fn evaluate_with(&self, genes: &[u32], scratch: &mut ColumnarEvalScratch) -> Evaluation {
         let mlp = self.spec.decode(genes);
-        let accuracy = self.columnar_accuracy(&mlp, scratch);
+        let accuracy = self.fitness_accuracy(&mlp, scratch);
         let area = self.area_of(&mlp);
         self.evaluation_of(accuracy, area)
     }
@@ -732,6 +947,106 @@ mod tests {
                 .with_power_budget_mw(nominal_power * 0.5),
         );
         assert!(at_0v6.evaluate(&genes).is_feasible());
+    }
+
+    /// A two-layer (hidden QReLU + argmax) problem over the same
+    /// threshold data, exercising the cached hidden-column path.
+    fn deep_problem() -> (AxTrainProblem, QuantMatrix, Vec<usize>) {
+        let spec = GenomeSpec::new(
+            vec![
+                LayerGenomeSpec {
+                    fan_in: 1,
+                    neurons: 3,
+                    input_bits: 4,
+                    qrelu: Some(pe_mlp::QReluCfg {
+                        out_bits: 4,
+                        shift: 0,
+                    }),
+                },
+                LayerGenomeSpec {
+                    fan_in: 3,
+                    neurons: 2,
+                    input_bits: 4,
+                    qrelu: None,
+                },
+            ],
+            8,
+            8,
+        );
+        let rows: Vec<Vec<u8>> = (0..16u8).map(|v| vec![v]).collect();
+        let labels: Vec<usize> = (0..16).map(|v| usize::from(v > 7)).collect();
+        let matrix = QuantMatrix::from_rows(&rows);
+        let p = AxTrainProblem::new(spec, matrix.clone(), labels.clone(), 1.0, 1.0);
+        (p, matrix, labels)
+    }
+
+    #[test]
+    fn zero_variance_robust_evaluation_equals_nominal() {
+        let nominal = threshold_problem(0.10);
+        let genes = good_genes(&nominal);
+        for trials in [1, 3, 8] {
+            let config = pe_hw::VariationConfig::new(pe_hw::VariationModel::nominal(), trials);
+            let robust = threshold_problem(0.10).with_variation(&config, 42);
+            assert_eq!(nominal.evaluate(&genes), robust.evaluate(&genes));
+            let p95 = threshold_problem(0.10)
+                .with_variation(&config.with_statistic(pe_hw::RobustStat::P95), 42);
+            assert_eq!(nominal.evaluate(&genes), p95.evaluate(&genes));
+        }
+        // Deep topology too — the cached hidden-column path.
+        let (deep, _, _) = deep_problem();
+        let genes = vec![1u32; deep.genome_spec().gene_count()];
+        let (deep_robust, _, _) = deep_problem();
+        let deep_robust = deep_robust.with_variation(
+            &pe_hw::VariationConfig::new(pe_hw::VariationModel::nominal(), 4),
+            11,
+        );
+        assert_eq!(deep.evaluate(&genes), deep_robust.evaluate(&genes));
+    }
+
+    #[test]
+    fn cached_robust_path_matches_the_uncached_oracle() {
+        let model = pe_hw::VariationModel {
+            input_noise_lsb: 1.2,
+            threshold_sigma: 0.04,
+            mobility_sigma: 0.05,
+            supply_droop: 0.08,
+        };
+        let (master, trials) = (7u64, 9usize);
+        let (problem, rows, labels) = deep_problem();
+        let problem = problem.with_variation(&pe_hw::VariationConfig::new(model, trials), master);
+        // A deterministic in-bounds genome with structure (varied
+        // masks/shifts/biases) so hidden columns actually vary.
+        let genes: Vec<u32> = problem
+            .bounds()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32 * 7 + 3) % b)
+            .collect();
+        let e = problem.evaluate(&genes);
+        let mlp = problem.genome_spec().decode(&genes);
+        let oracle = crate::robust::mc_accuracy(&mlp, &rows, &labels, &model, trials, master);
+        assert_eq!(
+            1.0 - e.objectives[0],
+            oracle.worst,
+            "cached worst-case accuracy must equal the uncached oracle"
+        );
+        // Same check for the P95 statistic.
+        let (p95_problem, _, _) = deep_problem();
+        let p95_problem = p95_problem.with_variation(
+            &pe_hw::VariationConfig::new(model, trials).with_statistic(pe_hw::RobustStat::P95),
+            master,
+        );
+        let e95 = p95_problem.evaluate(&genes);
+        assert_eq!(1.0 - e95.objectives[0], oracle.p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials must be >= 1")]
+    fn with_variation_rejects_zero_trials() {
+        let _ = threshold_problem(0.10).with_variation(
+            &pe_hw::VariationConfig::new(pe_hw::VariationModel::nominal(), 0),
+            1,
+        );
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub struct StudyConfig {
     /// EGFET with no budget (the paper's conditions).
     #[serde(default)]
     pub scenario: CostScenario,
+    /// Monte-Carlo variation request of a robust study: the search
+    /// optimizes the configured robust statistic over M perturbed
+    /// trials instead of nominal accuracy (see
+    /// [`pe_hw::VariationConfig`] and the
+    /// [`Study::variation`](crate::pipeline::Study::variation)
+    /// builder). `None` (the default, and what any pre-variation cached
+    /// config deserializes to) reproduces the nominal pipeline bit for
+    /// bit. Keys the stage caches.
+    #[serde(default)]
+    pub variation: Option<pe_hw::VariationConfig>,
 }
 
 impl Default for StudyConfig {
@@ -53,6 +63,7 @@ impl Default for StudyConfig {
             sgd_epochs_scale: 1.0,
             accuracy_loss_budget: 0.05,
             scenario: CostScenario::default(),
+            variation: None,
         }
     }
 }
@@ -67,6 +78,7 @@ impl StudyConfig {
             sgd_epochs_scale: 0.3,
             accuracy_loss_budget: 0.05,
             scenario: CostScenario::default(),
+            variation: None,
         }
     }
 

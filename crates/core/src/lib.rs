@@ -39,6 +39,10 @@
 //!   any `IntProblem` with a bounded genome memo and a deterministic
 //!   thread-pool batch path (results in input order, byte-identical to
 //!   serial), and [`thread_budget`] centralizes the `PE_THREADS` knob.
+//! * [`robust`] — Monte-Carlo variation-aware evaluation: the
+//!   trial-major extended dataset behind the batched robust fitness
+//!   path and the uncached [`robust::mc_accuracy`] reference oracle
+//!   (the variation corner itself is [`pe_hw::VariationModel`]).
 //! * [`columns`] — the population-level [`NeuronColumnCache`] behind
 //!   the columnar fitness engine: hidden/output neuron columns over
 //!   the fitness dataset, memoized across the population and threads
@@ -87,6 +91,7 @@ pub mod init;
 pub mod pareto;
 pub mod pipeline;
 pub mod progress;
+pub mod robust;
 pub mod train;
 
 pub use columns::{ColumnCacheStats, NeuronColumnCache};
@@ -109,4 +114,5 @@ pub use pipeline::{
     RunManyOptions, Searched, Selected, Study, STAGE_CACHE_VERSION,
 };
 pub use progress::{CancelToken, ProgressEvent, RunControl, StageKind};
+pub use robust::{mc_accuracy, RobustSummary};
 pub use train::{HwAwareTrainer, PlainGaProblem, TrainingOutcome};

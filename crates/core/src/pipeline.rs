@@ -119,6 +119,10 @@ impl BaselineCosted {
             elaborator: model.elaborator(),
             loss_budget,
             eval_threads: crate::eval::thread_budget(),
+            // Nominal by default; `Pipeline::search` injects the
+            // study's variation request. Direct callers (benches,
+            // engine comparisons) stay nominal bit for bit.
+            variation: None,
         }
     }
 }
@@ -218,6 +222,8 @@ pub struct Study {
     cancel: Option<CancelToken>,
     cache_dir: Option<PathBuf>,
     eval_threads: Option<usize>,
+    variation: Option<pe_hw::VariationConfig>,
+    variation_statistic: Option<pe_hw::RobustStat>,
 }
 
 impl Study {
@@ -236,6 +242,8 @@ impl Study {
             cancel: None,
             cache_dir: None,
             eval_threads: None,
+            variation: None,
+            variation_statistic: None,
         }
     }
 
@@ -292,6 +300,28 @@ impl Study {
         self
     }
 
+    /// Search robustly under process variation: the GA optimizes a
+    /// Monte-Carlo robust statistic (worst-case accuracy by default,
+    /// see [`variation_statistic`](Self::variation_statistic)) over
+    /// `trials` perturbed device instances drawn from `model`, instead
+    /// of nominal accuracy. Overrides the variation inside a
+    /// [`config`](Self::config), if both are given. A zero-variance
+    /// model reproduces the nominal search bit for bit.
+    pub fn variation(mut self, model: pe_hw::VariationModel, trials: usize) -> Self {
+        self.variation = Some(pe_hw::VariationConfig::new(model, trials));
+        self
+    }
+
+    /// The robust statistic a [`variation`](Self::variation) search
+    /// optimizes (default
+    /// [`RobustStat::WorstCase`](pe_hw::RobustStat::WorstCase)).
+    /// Applies to the builder's variation and to one carried by a
+    /// [`config`](Self::config).
+    pub fn variation_statistic(mut self, statistic: pe_hw::RobustStat) -> Self {
+        self.variation_statistic = Some(statistic);
+        self
+    }
+
     /// Swap the search engine (defaults to the paper's [`NsgaEngine`]
     /// built from the study's GA configuration).
     pub fn engine(mut self, engine: Arc<dyn SearchEngine + Send + Sync>) -> Self {
@@ -345,9 +375,10 @@ impl Study {
     /// GA population below 2, zero generations, non-positive SGD epoch
     /// scale, an accuracy budget outside `[0, 1]`, a weight width
     /// below 2 bits, an operating supply outside the technology's
-    /// range, a non-positive power budget, or a power budget combined
+    /// range, a non-positive power budget, a power budget combined
     /// with the FA-count area proxy (which carries no power
-    /// information).
+    /// information), or an invalid variation request (zero trials, a
+    /// negative spread, droop outside `[0, 1)`).
     pub fn finish(self) -> Result<Pipeline, FlowError> {
         let mut config = match (self.config, self.budget) {
             (Some(config), _) => config,
@@ -379,6 +410,14 @@ impl Study {
         }
         if let Some(budget_mw) = self.power_budget_mw {
             config.scenario.power_budget_mw = Some(budget_mw);
+        }
+        if let Some(variation) = self.variation {
+            config.variation = Some(variation);
+        }
+        if let Some(statistic) = self.variation_statistic {
+            if let Some(variation) = &mut config.variation {
+                variation.statistic = statistic;
+            }
         }
 
         let invalid = |reason: String| Err(FlowError::InvalidConfig { reason });
@@ -430,6 +469,11 @@ impl Study {
                 "weight width must be at least 2 bits, got {}",
                 config.ga.weight_bits
             ));
+        }
+        if let Some(variation) = &config.variation {
+            if let Err(reason) = variation.validate() {
+                return invalid(format!("invalid variation config: {reason}"));
+            }
         }
 
         let engine = self
@@ -643,6 +687,7 @@ impl Pipeline {
             if let Some(threads) = self.eval_threads {
                 ctx.eval_threads = threads;
             }
+            ctx.variation = self.config.variation.as_ref();
             self.engine.search(&ctx, &ctl)?
         };
         ctl.emit(&ProgressEvent::StageFinished {
@@ -861,6 +906,11 @@ impl Pipeline {
         h ^= crate::engine::fingerprint_json(&cfg.ga).rotate_left(3);
         h ^= fnv1a64(self.engine.name().as_bytes());
         h ^= self.engine.cache_fingerprint();
+        // Only mixed when present, so every nominal key — and with it
+        // every artifact cached before variation existed — is unchanged.
+        if let Some(variation) = &cfg.variation {
+            h ^= crate::engine::fingerprint_json(variation).rotate_left(5);
+        }
         if matches!(stage, StageKind::Searched) {
             return h;
         }
@@ -1322,6 +1372,79 @@ mod tests {
             Study::for_dataset(Dataset::BreastCancer)
                 .config(fa_cfg)
                 .power_source(PowerSource::Molex)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_variation_but_keeps_nominal_keys() {
+        // A robust study must never be served a nominal cached front
+        // (or vice versa), while the data/SGD/baseline artifacts stay
+        // shared — and a config with `variation: None` must key exactly
+        // like one predating the field, so pre-variation caches and the
+        // nominal artifact set survive untouched.
+        let base = StudyConfig::quick(1);
+        let nominal = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .finish()
+            .expect("valid");
+        let robust = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .variation(pe_hw::VariationModel::printed_egfet(), 8)
+            .finish()
+            .expect("valid");
+        for stage in [
+            StageKind::Prepared,
+            StageKind::FloatTrained,
+            StageKind::BaselineCosted,
+        ] {
+            assert_eq!(nominal.cache_key(stage), robust.cache_key(stage), "{stage}");
+        }
+        for stage in [StageKind::Searched, StageKind::Selected] {
+            assert_ne!(nominal.cache_key(stage), robust.cache_key(stage), "{stage}");
+        }
+        // The statistic and the trial count are part of the key too.
+        let p95 = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .variation(pe_hw::VariationModel::printed_egfet(), 8)
+            .variation_statistic(pe_hw::RobustStat::P95)
+            .finish()
+            .expect("valid");
+        let more_trials = Study::for_dataset(Dataset::BreastCancer)
+            .config(base)
+            .variation(pe_hw::VariationModel::printed_egfet(), 16)
+            .finish()
+            .expect("valid");
+        assert_ne!(
+            robust.cache_key(StageKind::Searched),
+            p95.cache_key(StageKind::Searched)
+        );
+        assert_ne!(
+            robust.cache_key(StageKind::Searched),
+            more_trials.cache_key(StageKind::Searched)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_variation() {
+        // Zero Monte-Carlo trials.
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .variation(pe_hw::VariationModel::printed_egfet(), 0)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+        // Negative spread.
+        let negative = pe_hw::VariationModel {
+            threshold_sigma: -0.1,
+            ..pe_hw::VariationModel::nominal()
+        };
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .variation(negative, 4)
                 .finish(),
             Err(FlowError::InvalidConfig { .. })
         ));

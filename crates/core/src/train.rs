@@ -44,6 +44,7 @@ pub struct TrainingOutcome {
 pub struct HwAwareTrainer {
     config: AxTrainConfig,
     eval_threads: Option<usize>,
+    variation: Option<pe_hw::VariationConfig>,
 }
 
 impl HwAwareTrainer {
@@ -53,6 +54,7 @@ impl HwAwareTrainer {
         Self {
             config,
             eval_threads: None,
+            variation: None,
         }
     }
 
@@ -63,6 +65,18 @@ impl HwAwareTrainer {
     #[must_use]
     pub fn with_eval_threads(mut self, threads: usize) -> Self {
         self.eval_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Train against Monte-Carlo process variation: the fitness
+    /// accuracy becomes the configured robust statistic over the
+    /// variation trials (see
+    /// [`AxTrainProblem::with_variation`]), seeded from the GA seed so
+    /// the trials are deterministic per study. `None` (the default)
+    /// keeps the nominal fitness bit for bit.
+    #[must_use]
+    pub fn with_variation(mut self, variation: Option<pe_hw::VariationConfig>) -> Self {
+        self.variation = variation;
         self
     }
 
@@ -162,7 +176,7 @@ impl HwAwareTrainer {
         // The GA optimizes the same scenario the front is reported
         // under: one cost layer from the fitness objective to the
         // final hardware report.
-        let problem = AxTrainProblem::new(
+        let mut problem = AxTrainProblem::new(
             spec.clone(),
             rows,
             labels,
@@ -171,6 +185,12 @@ impl HwAwareTrainer {
         )
         .with_objective(self.config.objective)
         .with_scenario(cost.scenario().clone());
+        if let Some(variation) = &self.variation {
+            // The GA seed is the per-study master: trials decorrelate
+            // across datasets exactly like the GA streams do.
+            problem = problem.with_variation(variation, self.config.nsga.seed);
+        }
+        let problem = problem;
 
         let doped_count = ((self.config.nsga.population as f64 * self.config.doping_fraction)
             .round() as usize)
@@ -255,7 +275,7 @@ impl HwAwareTrainer {
                 3,
             );
             if polished != estimated_front[idx].mlp {
-                let problem_view = AxTrainProblem::new(
+                let mut problem_view = AxTrainProblem::new(
                     spec.clone(),
                     polish_rows.clone(),
                     train.labels[..refine_n].to_vec(),
@@ -264,6 +284,12 @@ impl HwAwareTrainer {
                 )
                 .with_objective(self.config.objective)
                 .with_scenario(cost.scenario().clone());
+                if let Some(variation) = &self.variation {
+                    // Same statistic, same master seed: the polish view
+                    // scores candidates the way the GA did (the keyed
+                    // sampler makes the draws row-subset independent).
+                    problem_view = problem_view.with_variation(variation, self.config.nsga.seed);
+                }
                 let (train_acc, area) = problem_view.score(&polished);
                 let test_accuracy = polished.accuracy(&test.features, &test.labels);
                 estimated_front.push(DesignCandidate {

@@ -19,6 +19,10 @@
 //!   Vdd + power budget), with interchangeable fast-analytic and
 //!   exact-netlist implementations proven equal by property test.
 //! * [`vdd`] — supply-voltage scaling (1 V → 0.6 V operation, §V-C).
+//! * [`variation`] — the Monte-Carlo process-variation model
+//!   ([`VariationModel`]) with a deterministic keyed sampler, and the
+//!   robust statistics ([`RobustStat`]) the variation-aware search
+//!   optimizes.
 //! * [`power_source`] — printed batteries / harvester classes and the
 //!   Fig. 5 feasibility zones.
 //! * [`verilog`] — structural Verilog emission of the bespoke netlists.
@@ -60,6 +64,7 @@ pub mod power_source;
 pub mod report;
 pub mod spec;
 pub mod tech;
+pub mod variation;
 pub mod vdd;
 pub mod verilog;
 
@@ -72,5 +77,6 @@ pub use power_source::{Feasibility, FeasibilityZones, PowerSource};
 pub use report::HardwareReport;
 pub use spec::{ExactNeuronSpec, LayerActivation, LayerSpec, MlpHardwareSpec, NeuronSpec};
 pub use tech::{Cell, CellCounts, TechLibrary};
+pub use variation::{DeviceDraw, RobustStat, VariationConfig, VariationModel};
 pub use vdd::VddModel;
 pub use verilog::emit_verilog;

@@ -128,6 +128,58 @@ fn cached_searched_stage_resumes_without_rerunning_the_ga() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn nominal_cached_search_is_not_reused_by_a_robust_study() {
+    use printed_mlps::hw::VariationModel;
+    let dir = fresh_dir("robust-key");
+
+    // Seed the cache with a nominal search.
+    let (nominal, nominal_events) = recording_pipeline(Dataset::BreastCancer, 29, Some(&dir));
+    let nominal_searched = nominal.searched().expect("nominal run");
+    assert!(ga_generations(&nominal_events) > 0);
+
+    // The same study with a variation request must miss the Searched
+    // cache entry (its key covers the variation config) and re-run the
+    // GA — while still resuming the variation-independent early stages.
+    let events: EventLog = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let robust = Study::for_dataset(Dataset::BreastCancer)
+        .config(micro_config(29))
+        .tech(TechLibrary::egfet())
+        .variation(VariationModel::printed_egfet(), 2)
+        .progress(move |e| sink.lock().expect("unpoisoned").push(e.clone()))
+        .cache_dir(&dir)
+        .finish()
+        .expect("valid robust micro config");
+    let robust_searched = robust.searched().expect("robust run");
+    assert!(
+        ga_generations(&events) > 0,
+        "the robust study must re-search, not reuse the nominal front"
+    );
+    let loaded = loaded_stages(&events);
+    assert!(
+        !loaded.contains(&StageKind::Searched),
+        "the nominal Searched artifact must not satisfy a robust study, loaded {loaded:?}"
+    );
+    assert!(
+        loaded.contains(&StageKind::BaselineCosted),
+        "variation-independent early stages must still resume, loaded {loaded:?}"
+    );
+    assert_ne!(
+        serde_json::to_string(&robust_searched.outcome.front).expect("serialize"),
+        serde_json::to_string(&nominal_searched.outcome.front).expect("serialize"),
+        "a real variation corner must reshape the front"
+    );
+
+    // And the nominal pipeline keeps hitting its own entry: the robust
+    // run wrote beside it, not over it.
+    let (again, again_events) = recording_pipeline(Dataset::BreastCancer, 29, Some(&dir));
+    let _ = again.searched().expect("nominal resume");
+    assert_eq!(ga_generations(&again_events), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Zero the only non-deterministic field (wall-clock search time) so
 /// equality means "same computation", not "same machine load". The
 /// table artifacts the bins write never include this field.

@@ -1,0 +1,189 @@
+//! The robustness subsystem's contract: a zero-variance variation
+//! model reproduces the nominal search byte for byte, robust runs are
+//! thread-count-invariant, and the Monte-Carlo trial seeds are pinned
+//! by value so cached artifacts never silently shift.
+
+use printed_mlps::axc::{
+    AxTrainConfig, FlowError, Pipeline, RunManyOptions, Selected, Study, StudyConfig,
+};
+use printed_mlps::datasets::Dataset;
+use printed_mlps::hw::variation::trial_seed;
+use printed_mlps::hw::{RobustStat, VariationModel};
+use printed_mlps::nsga::NsgaConfig;
+
+/// A small-but-real GA budget: big enough to shape distinct fronts,
+/// small enough for CI (robust fitness costs ~M× nominal).
+fn base_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        ga: AxTrainConfig {
+            fitness_subsample: Some(100),
+            nsga: NsgaConfig {
+                population: 12,
+                generations: 5,
+                seed,
+                ..NsgaConfig::default()
+            },
+            ..AxTrainConfig::default()
+        },
+        sgd_epochs_scale: 0.05,
+        ..StudyConfig::default()
+    }
+}
+
+fn run(study: Study) -> Selected {
+    study
+        .finish()
+        .expect("robust configs are valid")
+        .run()
+        .expect("uncancelled study succeeds")
+}
+
+/// The full stage artifact as JSON, with the one legitimately
+/// non-deterministic field (the GA's wall-clock timing) zeroed so the
+/// rest can be compared byte for byte.
+fn json(selected: &Selected) -> String {
+    let mut untimed = selected.clone();
+    untimed.searched.outcome.ga_wall = std::time::Duration::ZERO;
+    serde_json::to_string(&untimed).expect("serializable stage artifact")
+}
+
+#[test]
+fn zero_variance_robust_search_is_byte_identical_to_nominal() {
+    // The parity pin: with every spread at zero, each Monte-Carlo
+    // trial's perturbations are exact arithmetic no-ops, so the robust
+    // statistic equals nominal accuracy *exactly* and the whole GA
+    // trajectory — fronts, evaluation counts, the selected design, the
+    // full serialized stage artifact — must be byte-identical to the
+    // nominal study's, for any trial count and either statistic.
+    let dataset = Dataset::BreastCancer;
+    let nominal = run(Study::for_dataset(dataset).config(base_config(7)));
+    let nominal_json = json(&nominal);
+    assert!(nominal.searched.outcome.evaluations > 0);
+
+    for (trials, statistic) in [
+        (1, RobustStat::WorstCase),
+        (3, RobustStat::WorstCase),
+        (5, RobustStat::P95),
+    ] {
+        let robust = run(Study::for_dataset(dataset)
+            .config(base_config(7))
+            .variation(VariationModel::nominal(), trials)
+            .variation_statistic(statistic));
+        assert_eq!(
+            robust.searched.outcome.evaluations, nominal.searched.outcome.evaluations,
+            "zero-variance robust search must spend identical evaluations (M={trials})"
+        );
+        assert_eq!(
+            json(&robust),
+            nominal_json,
+            "zero-variance robust artifact must be byte-identical (M={trials}, {statistic:?})"
+        );
+    }
+}
+
+#[test]
+fn real_variation_reshapes_the_search() {
+    // The complement of the parity pin: a non-zero corner must change
+    // the GA's fitness landscape (otherwise the robust path is dead
+    // code), while the front stays sane.
+    let dataset = Dataset::BreastCancer;
+    let nominal = run(Study::for_dataset(dataset).config(base_config(7)));
+    let robust = run(Study::for_dataset(dataset)
+        .config(base_config(7))
+        .variation(VariationModel::printed_egfet(), 4));
+    let front = &robust.searched.outcome.front;
+    assert!(!front.is_empty());
+    for p in front {
+        assert!(p.report.area_cm2 > 0.0);
+        assert!((0.0..=1.0).contains(&p.test_accuracy));
+    }
+    assert_ne!(
+        serde_json::to_string(front).expect("serializable front"),
+        serde_json::to_string(&nominal.searched.outcome.front).expect("serializable front"),
+        "a real variation corner must reshape the front"
+    );
+}
+
+#[test]
+fn robust_runs_are_deterministic_across_thread_counts() {
+    // The workspace's determinism guarantee extends to robust runs:
+    // per-trial seeds derive from the per-dataset study seed, never
+    // from scheduling, so 1 worker and 4 workers (with different
+    // within-study eval-thread splits) produce byte-identical
+    // artifacts.
+    let datasets = [Dataset::BreastCancer, Dataset::RedWine];
+    let mut config = base_config(11);
+    config.variation = Some(printed_mlps::hw::VariationConfig::new(
+        VariationModel::printed_egfet(),
+        3,
+    ));
+    let run_at = |threads| {
+        Pipeline::run_many_selected(&datasets, &config, &RunManyOptions::with_threads(threads))
+            .expect("robust run_many succeeds")
+    };
+    let (serial, parallel) = (run_at(1), run_at(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(json(s), json(p));
+    }
+}
+
+#[test]
+fn trial_seeds_are_pinned() {
+    // Frozen values: robust artifacts (and their cache keys) depend on
+    // the exact trial-seed stream — a derivation change must fail here
+    // loudly instead of silently shifting every robust result.
+    let pinned_master0: Vec<u64> = (0..4).map(|t| trial_seed(0, t)).collect();
+    assert_eq!(
+        pinned_master0,
+        [
+            0x6e78_9e6a_a1b9_65f4,
+            0x06c4_5d18_8009_454f,
+            0xf88b_b8a8_724c_81ec,
+            0x1b39_896a_51a8_749b,
+        ]
+    );
+    let pinned_master42: Vec<u64> = (0..3).map(|t| trial_seed(42, t)).collect();
+    assert_eq!(
+        pinned_master42,
+        [
+            0x28ef_e333_b266_f103,
+            0x4752_6757_130f_9f52,
+            0x581c_e1ff_0e4a_e394,
+        ]
+    );
+    // Distinct across trials and masters.
+    let mut all: Vec<u64> = pinned_master0
+        .iter()
+        .chain(&pinned_master42)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), 7);
+}
+
+#[test]
+fn builder_rejects_invalid_variation_requests() {
+    // M = 0 evaluates nothing.
+    assert!(matches!(
+        Study::for_dataset(Dataset::BreastCancer)
+            .config(base_config(0))
+            .variation(VariationModel::printed_egfet(), 0)
+            .finish(),
+        Err(FlowError::InvalidConfig { .. })
+    ));
+    // Negative spreads are not a distribution.
+    let negative = VariationModel {
+        mobility_sigma: -0.5,
+        ..VariationModel::nominal()
+    };
+    assert!(matches!(
+        Study::for_dataset(Dataset::BreastCancer)
+            .config(base_config(0))
+            .variation(negative, 4)
+            .finish(),
+        Err(FlowError::InvalidConfig { .. })
+    ));
+}

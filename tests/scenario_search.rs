@@ -146,6 +146,41 @@ fn scenario_runs_are_deterministic() {
 }
 
 #[test]
+fn variation_composes_with_scenario_knobs() {
+    // A robust search under a non-nominal scenario: the variation
+    // request and the scenario knobs must compose — distinct from the
+    // plain scenario run, sane, reported at the study supply, and
+    // deterministic like every other study.
+    use printed_mlps::hw::VariationModel;
+    let dataset = Dataset::BreastCancer;
+    let scenario_only = run(Study::for_dataset(dataset)
+        .config(base_config(13))
+        .supply(0.8));
+    sane(&scenario_only);
+    let robust = || {
+        run(Study::for_dataset(dataset)
+            .config(base_config(13))
+            .supply(0.8)
+            .variation(VariationModel::printed_egfet(), 3))
+    };
+    let first = robust();
+    sane(&first);
+    for p in &first.searched.outcome.front {
+        assert_eq!(p.report.vdd, 0.8, "robust fronts land at the study supply");
+    }
+    assert_ne!(
+        front_json(&first),
+        front_json(&scenario_only),
+        "the variation corner must reshape the scenario front"
+    );
+    assert_eq!(
+        front_json(&first),
+        front_json(&robust()),
+        "robust scenario runs stay deterministic"
+    );
+}
+
+#[test]
 fn run_many_threads_scenarios_through_every_dataset() {
     // Multi-dataset runs inherit the base config's scenario.
     let mut config = base_config(11);
