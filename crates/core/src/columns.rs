@@ -15,7 +15,9 @@
 //!
 //! * **hidden columns** — `Arc<[u8]>` post-QReLU activations. Lookups
 //!   are keyed by a cheap `Copy` key — `(layer, input-signature,
-//!   input_bits, qrelu, neuron-fingerprint)` — and each entry carries
+//!   input_bits, qrelu, device, position, neuron-fingerprint)`, where
+//!   `device`/`position` separate Monte-Carlo variation trials and the
+//!   position-dependent per-device draws — and each entry carries
 //!   its full neuron spec, which is compared on every hit: a
 //!   fingerprint collision is simply treated as a miss, so hashing can
 //!   never alias two different neurons.
@@ -64,7 +66,12 @@ pub struct ColumnCacheStats {
 /// `device` slot separates Monte-Carlo variation trials: `0` is the
 /// nominal device, `t + 1` is the perturbed device of trial `t`, whose
 /// column differs through the trial's gain/offset draw and perturbed
-/// inputs.
+/// inputs. Because a trial's per-device draw is keyed by the neuron's
+/// *position* within its layer, variation devices also carry that
+/// position: identical specs at different positions produce different
+/// perturbed columns and must never alias. The nominal column is
+/// position-independent, so nominal lookups use position `0` and
+/// duplicate specs keep sharing one entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct HiddenKey {
     layer: u32,
@@ -72,6 +79,7 @@ struct HiddenKey {
     input_bits: u32,
     qrelu: QReluCfg,
     device: u32,
+    position: u32,
     fingerprint: u64,
 }
 
@@ -156,8 +164,13 @@ impl NeuronColumnCache {
     /// collision (same key hash, different neuron) is handled as a
     /// miss whose result replaces the colliding entry. `device` is `0`
     /// for the nominal device and `t + 1` for Monte-Carlo variation
-    /// trial `t` (whose draws reshape the column).
-    #[allow(clippy::too_many_arguments)] // the five cache coordinates + payload
+    /// trial `t` (whose draws reshape the column); `position` is the
+    /// neuron's index within its layer and **must** be passed for every
+    /// variation device, because the trial's gain/offset draw is keyed
+    /// by it — identical specs at different positions get different
+    /// draws, hence different columns. Nominal columns are
+    /// position-independent: pass `0` there so duplicate specs share.
+    #[allow(clippy::too_many_arguments)] // the six cache coordinates + payload
     pub fn hidden_column(
         &self,
         layer: usize,
@@ -165,6 +178,7 @@ impl NeuronColumnCache {
         input_bits: u32,
         qrelu: QReluCfg,
         device: u32,
+        position: u32,
         neuron: &AxNeuron,
         compute: impl FnOnce() -> Arc<[u8]>,
     ) -> Arc<[u8]> {
@@ -174,6 +188,7 @@ impl NeuronColumnCache {
             input_bits,
             qrelu,
             device,
+            position,
             fingerprint: fx_hash_of(neuron),
         };
         if let Some((stored, col)) = Self::lock(&self.hidden).get(&key) {
@@ -242,35 +257,64 @@ mod tests {
         let cache = NeuronColumnCache::new(8);
         let n = neuron(3);
         let col: Arc<[u8]> = Arc::from(vec![1u8, 2, 3].as_slice());
-        let a = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &n, || col.clone());
+        let a = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, 0, &n, || col.clone());
         // Second lookup: served from cache, compute must not run.
-        let b = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &n, || unreachable!());
+        let b = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, 0, &n, || unreachable!());
         assert_eq!(a, b);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         // A different bias is a different key.
-        let c = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, &neuron(4), || {
+        let c = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, 0, &neuron(4), || {
             Arc::from(vec![9u8].as_slice())
         });
         assert_eq!(&c[..], &[9]);
         // A different signature is a different key too.
-        let d = cache.hidden_column(0, 17, 4, Q, 0, &n, || Arc::from(vec![7u8].as_slice()));
+        let d = cache.hidden_column(0, 17, 4, Q, 0, 0, &n, || Arc::from(vec![7u8].as_slice()));
         assert_eq!(&d[..], &[7]);
         // And so is a different QReLU at the same layer/signature.
         let q2 = QReluCfg {
             out_bits: 4,
             shift: 2,
         };
-        let e = cache.hidden_column(0, ROOT_SIGNATURE, 4, q2, 0, &n, || {
+        let e = cache.hidden_column(0, ROOT_SIGNATURE, 4, q2, 0, 0, &n, || {
             Arc::from(vec![5u8].as_slice())
         });
         assert_eq!(&e[..], &[5]);
         // A Monte-Carlo trial device never aliases the nominal column.
-        let f = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, &n, || {
+        let f = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, 0, &n, || {
             Arc::from(vec![6u8].as_slice())
         });
         assert_eq!(&f[..], &[6]);
         assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn variation_devices_key_columns_by_neuron_position() {
+        // Under a variation device the per-device draw depends on the
+        // neuron's position, so the *same spec* at two positions must
+        // occupy two entries — while the nominal device stays
+        // position-blind and keeps sharing one column.
+        let cache = NeuronColumnCache::new(8);
+        let n = neuron(3);
+        let p0 = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, 0, &n, || {
+            Arc::from(vec![1u8].as_slice())
+        });
+        let p2 = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, 2, &n, || {
+            Arc::from(vec![2u8].as_slice())
+        });
+        assert_eq!(&p0[..], &[1]);
+        assert_eq!(
+            &p2[..],
+            &[2],
+            "positions must not alias under a trial device"
+        );
+        // Both entries stay resident and are served independently.
+        let p0_again = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, 0, &n, || unreachable!());
+        let p2_again = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 1, 2, &n, || unreachable!());
+        assert_eq!(p0, p0_again);
+        assert_eq!(p2, p2_again);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 2);
     }
 
     #[test]
@@ -315,8 +359,8 @@ mod tests {
         // Both behave as caches; the clamp bounds are internal, so just
         // exercise them.
         let n = neuron(1);
-        let _ = small.hidden_column(0, 0, 4, Q, 0, &n, || Arc::from(vec![0u8].as_slice()));
-        let _ = large.hidden_column(0, 0, 4, Q, 0, &n, || Arc::from(vec![0u8].as_slice()));
+        let _ = small.hidden_column(0, 0, 4, Q, 0, 0, &n, || Arc::from(vec![0u8].as_slice()));
+        let _ = large.hidden_column(0, 0, 4, Q, 0, 0, &n, || Arc::from(vec![0u8].as_slice()));
         assert_eq!(small.stats().misses, 1);
         assert_eq!(large.stats().misses, 1);
         assert_eq!(small.stats().entries, 1);

@@ -342,9 +342,11 @@ impl AxTrainProblem {
     /// trial `t`'s segment of the extended columns, with the trial's
     /// per-device gain/offset draws applied to every accumulator
     /// pre-activation. Hidden columns are cached under device slot
-    /// `t + 1`, so they never alias nominal (slot `0`) columns and
-    /// population siblings still share everything mutation didn't
-    /// touch. The output layer stays at i64 width — the draw
+    /// `t + 1` *and* the neuron's position within its layer (the draw
+    /// is keyed by both), so they never alias nominal (slot `0`)
+    /// columns, duplicate specs at different positions never alias
+    /// each other, and population siblings still share everything
+    /// mutation didn't touch. The output layer stays at i64 width — the draw
     /// adjustment is i64 arithmetic — and remains uncached like the
     /// nominal path's.
     fn trial_hits(
@@ -380,12 +382,16 @@ impl AxTrainProblem {
                     let mut out = Vec::with_capacity(layer.neurons.len());
                     for (ni, neuron) in layer.neurons.iter().enumerate() {
                         let draw = model.device_draw(tseed, li, ni, layer.input_bits);
+                        // The draw above depends on `ni`, so the cache
+                        // key must too: identical specs at different
+                        // positions are *different* perturbed columns.
                         out.push(cache.hidden_column(
                             li,
                             signature,
                             layer.input_bits,
                             q,
                             device,
+                            ni as u32,
                             neuron,
                             || {
                                 columnar::accumulate_neuron_column(
@@ -496,7 +502,8 @@ impl AxTrainProblem {
                             signature,
                             layer.input_bits,
                             q,
-                            0, // the nominal device
+                            0, // the nominal device…
+                            0, // …whose columns are position-independent
                             neuron,
                             || {
                                 columnar::accumulate_neuron_column(
@@ -1038,6 +1045,52 @@ mod tests {
         );
         let e95 = p95_problem.evaluate(&genes);
         assert_eq!(1.0 - e95.objectives[0], oracle.p95);
+    }
+
+    #[test]
+    fn duplicate_neurons_get_their_own_position_draws() {
+        // Two identical hidden specs at different positions receive
+        // *different* per-device draws, so the cached robust path must
+        // not serve one position's perturbed column to another — the
+        // cache keys variation devices by neuron position. Regression
+        // for an aliasing bug the zero-variance parity tests cannot
+        // see (identity draws) and that only bites with duplicate
+        // specs inside one layer.
+        let model = pe_hw::VariationModel {
+            threshold_sigma: 0.15,
+            mobility_sigma: 0.10,
+            supply_droop: 0.05,
+            input_noise_lsb: 0.0,
+        };
+        let (master, trials) = (5u64, 8usize);
+        let (problem, rows, labels) = deep_problem();
+        let problem = problem.with_variation(&pe_hw::VariationConfig::new(model, trials), master);
+        let mut genes = vec![0u32; problem.genome_spec().gene_count()];
+        // Hidden layer (genes 0..12): three *identical* neurons —
+        // full mask, positive, k = 1, bias 0.
+        for ni in 0..3 {
+            genes[ni * 4] = 0b1111;
+            genes[ni * 4 + 2] = 1;
+            genes[ni * 4 + 3] = 128;
+        }
+        // Output layer (genes 12..32): each class reads different
+        // hidden positions, so an aliased hidden column would visibly
+        // move the argmax.
+        genes[12] = 0b1111; // class 0 ← hidden 0
+        genes[21] = 128 - 4; // class-0 bias −4
+        genes[25] = 0b1111; // class 1 ← hidden 1
+        genes[28] = 0b0011; // … plus the low bits of hidden 2
+        genes[31] = 128; // class-1 bias 0
+        let mlp = problem.genome_spec().decode(&genes);
+        assert_eq!(mlp.layers[0].neurons[0], mlp.layers[0].neurons[1]);
+        assert_eq!(mlp.layers[0].neurons[0], mlp.layers[0].neurons[2]);
+        let e = problem.evaluate(&genes);
+        let oracle = crate::robust::mc_accuracy(&mlp, &rows, &labels, &model, trials, master);
+        assert_eq!(
+            1.0 - e.objectives[0],
+            oracle.worst,
+            "cached robust path must match the oracle with duplicate neurons"
+        );
     }
 
     #[test]

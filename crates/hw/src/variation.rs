@@ -137,11 +137,21 @@ impl DeviceDraw {
     }
 
     /// The perturbed accumulator value.
+    ///
+    /// The gain path rounds through `f64`, which represents integers
+    /// exactly only up to `2^53` — accumulators sit orders of
+    /// magnitude below that in any realizable topology (a layer of F
+    /// fan-in at B activation bits sums to well under `F · 2^(B+7)`),
+    /// and the debug assertion pins the bound this relies on.
     #[must_use]
     pub fn apply(&self, acc: i64) -> i64 {
         if self.is_identity() {
             acc
         } else {
+            debug_assert!(
+                acc.unsigned_abs() < 1u64 << 53,
+                "accumulator {acc} exceeds f64's exact-integer range"
+            );
             (acc as f64 * self.gain).round() as i64 + self.offset
         }
     }
