@@ -6,15 +6,43 @@
 //! the fast analytic model and cross-checked against the exact
 //! netlist model, so the sweep doubles as an end-to-end cost-layer
 //! parity check on real, GA-trained designs.
+//!
+//! With `PE_STORE=<path>` pointing at a saved design store, the sweep
+//! re-costs each dataset's stored selected design instead of
+//! re-training — `BENCH_cost.json`'s "ours" rows then reproduce from
+//! the store alone in milliseconds (exact baselines are not stored, so
+//! the store-driven sweep has no "baseline" rows).
 
 use pe_bench::format::write_json;
 use pe_bench::study::run_studies;
 use pe_bench::{sweep, BudgetPreset};
+use pe_store::DesignStore;
 
 fn main() {
-    let budget = BudgetPreset::from_env(BudgetPreset::Full);
-    let studies = run_studies(budget, 0);
-    let points = sweep::sweep(&studies);
+    let points = match std::env::var_os("PE_STORE") {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            let store = match DesignStore::load(&path) {
+                Ok(store) => store,
+                Err(err) => {
+                    eprintln!("error: cannot load design store {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let designs = sweep::designs_from_store(&store);
+            println!(
+                "re-costing {} stored selected design(s) from {} (no re-training)",
+                designs.len(),
+                path.display()
+            );
+            sweep::sweep_designs(&designs)
+        }
+        None => {
+            let budget = BudgetPreset::from_env(BudgetPreset::Full);
+            let studies = run_studies(budget, 0);
+            sweep::sweep(&studies)
+        }
+    };
     println!("{}", sweep::render(&points));
     println!("{}", sweep::deployable_summary(&points));
     write_json("BENCH_cost", &points);

@@ -17,8 +17,9 @@
 //! [`fig4`] state-of-the-art comparison, [`fig5`] power-source
 //! feasibility, plus the [`ablation`] studies, the
 //! multi-technology / multi-voltage cost [`sweep`]
-//! (`BENCH_cost.json`) and the nominal-vs-robust variation
-//! comparison [`robust`] (`BENCH_robust.json`).
+//! (`BENCH_cost.json`), the nominal-vs-robust variation
+//! comparison [`robust`] (`BENCH_robust.json`) and the design-store
+//! ingest/query benchmark [`store_query`] (`BENCH_store.json`).
 //!
 //! Everything executes through `printed-axc`'s staged pipeline:
 //! [`study::run_studies`] fans the five datasets out over a worker pool
@@ -33,6 +34,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod format;
 pub mod robust;
+pub mod store_query;
 pub mod study;
 pub mod sweep;
 pub mod table1;

@@ -85,7 +85,8 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
 /// [`ProgressEvent::EvalCache`] streams of every study into one
 /// run-wide tally, so the bench bins can print how hard the genome
 /// memo, the neuron-column cache and the cost layer's gate-count memo
-/// worked. Robust to several GA runs
+/// worked — plus the design-store ingest counters when `PE_STORE`
+/// attaches a store. Robust to several GA runs
 /// per dataset (each search's cumulative counters restart at zero; a
 /// decrease folds the finished run into the total).
 #[derive(Debug, Default)]
@@ -101,8 +102,11 @@ struct CacheTally {
     column_misses: u64,
     cost_hits: u64,
     cost_misses: u64,
+    store_ingested: u64,
+    store_deduplicated: u64,
+    store_bytes: u64,
     /// Cumulative counters of the GA run currently streaming.
-    last: [u64; 6],
+    last: [u64; 9],
 }
 
 impl CacheTally {
@@ -113,7 +117,10 @@ impl CacheTally {
         self.column_misses += self.last[3];
         self.cost_hits += self.last[4];
         self.cost_misses += self.last[5];
-        self.last = [0; 6];
+        self.store_ingested += self.last[6];
+        self.store_deduplicated += self.last[7];
+        self.store_bytes += self.last[8];
+        self.last = [0; 9];
     }
 }
 
@@ -137,6 +144,9 @@ impl EvalCacheSummary {
                 column_misses,
                 cost_hits,
                 cost_misses,
+                store_ingested,
+                store_deduplicated,
+                store_bytes,
                 ..
             } => [
                 hits,
@@ -145,6 +155,9 @@ impl EvalCacheSummary {
                 column_misses,
                 cost_hits,
                 cost_misses,
+                store_ingested,
+                store_deduplicated,
+                store_bytes,
             ],
             _ => return,
         };
@@ -170,6 +183,9 @@ impl EvalCacheSummary {
             total.column_misses += t.column_misses;
             total.cost_hits += t.cost_hits;
             total.cost_misses += t.cost_misses;
+            total.store_ingested += t.store_ingested;
+            total.store_deduplicated += t.store_deduplicated;
+            total.store_bytes += t.store_bytes;
         }
         let pct = |hits: u64, misses: u64| {
             let n = hits + misses;
@@ -179,7 +195,7 @@ impl EvalCacheSummary {
                 100.0 * hits as f64 / n as f64
             }
         };
-        format!(
+        let mut line = format!(
             "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit) | cost-model memo {} hits / {} misses ({:.1}% hit)",
             total.genome_hits,
             total.genome_misses,
@@ -190,7 +206,16 @@ impl EvalCacheSummary {
             total.cost_hits,
             total.cost_misses,
             pct(total.cost_hits, total.cost_misses),
-        )
+        );
+        if total.store_ingested + total.store_deduplicated > 0 {
+            line.push_str(&format!(
+                " | design store {} ingested / {} deduplicated ({} KiB written)",
+                total.store_ingested,
+                total.store_deduplicated,
+                total.store_bytes / 1024,
+            ));
+        }
+        line
     }
 }
 
@@ -218,7 +243,29 @@ pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> 
 /// evaluator, so one knob controls every pool the bench bins spin up.
 #[must_use]
 pub fn run_many_options() -> RunManyOptions {
-    RunManyOptions::with_threads(printed_axc::eval::thread_budget())
+    let mut opts = RunManyOptions::with_threads(printed_axc::eval::thread_budget());
+    opts.store = env_store();
+    opts
+}
+
+/// The shared design-store writer requested through the `PE_STORE`
+/// environment variable (a JSON-lines store path), or `None`.
+///
+/// Ingest-only: designs are recorded as a pure side channel, never
+/// warm-started, so every artifact a `PE_STORE`-enabled bench run
+/// emits is byte-identical to a storeless run's. A store that cannot
+/// be opened is reported to stderr and skipped — a broken store file
+/// must never fail a bench run.
+#[must_use]
+pub fn env_store() -> Option<Arc<pe_store::StoreWriter>> {
+    let path = std::env::var_os("PE_STORE")?;
+    match pe_store::StoreWriter::open(std::path::PathBuf::from(path)) {
+        Ok(writer) => Some(Arc::new(writer)),
+        Err(err) => {
+            eprintln!("warning: PE_STORE ignored: {err}");
+            None
+        }
+    }
 }
 
 /// [`run_many_options`] plus an attached [`EvalCacheSummary`] observer

@@ -9,6 +9,12 @@
 //! analytic [`FastCostModel`] produces the number, the
 //! [`ExactCostModel`] confirms it — so the sweep doubles as a live
 //! end-to-end parity check on real, GA-trained designs.
+//!
+//! The designs to re-cost come either from live studies
+//! ([`designs_of_studies`]) or from a saved design store
+//! ([`designs_from_store`]) — the `cost_sweep` bin reads `PE_STORE` to
+//! pick the source, so `BENCH_cost.json`'s "ours" rows reproduce from a
+//! store file in milliseconds, without re-training anything.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +23,7 @@ use pe_hw::{
     TechLibrary,
 };
 use pe_mlp::{ax_to_hardware, fixed_to_hardware};
+use pe_store::DesignStore;
 use printed_axc::{DatasetStudy, DesignNetwork};
 
 use crate::format::render_table;
@@ -86,6 +93,74 @@ fn cost_checked(
     pe_hw::HwCost::of(&f, &scenario.tech)
 }
 
+/// One design the sweep re-costs: its dataset code, its `"baseline"` /
+/// `"ours"` role, and the lowered hardware spec. Built from live
+/// studies ([`designs_of_studies`]) or from a saved design store
+/// ([`designs_from_store`]) — the sweep itself
+/// ([`sweep_designs`]) is source-agnostic.
+#[derive(Debug, Clone)]
+pub struct SweepDesign {
+    /// Two-letter dataset code.
+    pub dataset: String,
+    /// `"baseline"` or `"ours"` (see [`SweepPoint::design`]).
+    pub design: String,
+    /// The lowered circuit specification.
+    pub spec: MlpHardwareSpec,
+}
+
+/// The sweep inputs of live studies: each study's exact baseline plus
+/// its selected approximate design (when one was selected).
+#[must_use]
+pub fn designs_of_studies(studies: &[DatasetStudy]) -> Vec<SweepDesign> {
+    let mut designs = Vec::new();
+    for study in studies {
+        let code = study.dataset.spec().short_name.to_owned();
+        designs.push(SweepDesign {
+            dataset: code.clone(),
+            design: "baseline".to_owned(),
+            spec: fixed_to_hardware(&study.baseline, format!("{code}_baseline")),
+        });
+        if let Some(selected) = &study.selected {
+            if let DesignNetwork::Ax(mlp) = &selected.network {
+                designs.push(SweepDesign {
+                    dataset: code.clone(),
+                    design: "ours".to_owned(),
+                    spec: ax_to_hardware(mlp, format!("{code}_ours")),
+                });
+            }
+        }
+    }
+    designs
+}
+
+/// The sweep inputs of a saved design store: each dataset's
+/// `selected`-flagged record (the design the pipeline's select stage
+/// picked), reconstructed to hardware — so `BENCH_cost.json`'s "ours"
+/// rows reproduce from the store alone, without re-training anything.
+/// Exact baselines are not stored (the store holds approximate
+/// designs), so store-driven sweeps have no `"baseline"` rows.
+#[must_use]
+pub fn designs_from_store(store: &DesignStore) -> Vec<SweepDesign> {
+    let mut designs = Vec::new();
+    for name in store.datasets() {
+        let Some(record) = store.selected(name) else {
+            continue;
+        };
+        // Stored dataset names are display names; map back to the
+        // short code live sweeps use where possible.
+        let code = pe_datasets::Dataset::ALL
+            .iter()
+            .find(|d| d.spec().name == name)
+            .map_or_else(|| name.to_owned(), |d| d.spec().short_name.to_owned());
+        designs.push(SweepDesign {
+            dataset: code.clone(),
+            design: "ours".to_owned(),
+            spec: record.hardware_spec(format!("{code}_ours")),
+        });
+    }
+    designs
+}
+
 /// Sweep every study's baseline and selected design across the built-in
 /// technologies and the supply grid.
 ///
@@ -95,52 +170,49 @@ fn cost_checked(
 /// equal; a panic here is a real regression).
 #[must_use]
 pub fn sweep(studies: &[DatasetStudy]) -> Vec<SweepPoint> {
+    sweep_designs(&designs_of_studies(studies))
+}
+
+/// Sweep arbitrary designs across the built-in technologies and the
+/// supply grid (see [`sweep`]; store-driven runs feed
+/// [`designs_from_store`] here).
+///
+/// # Panics
+///
+/// Panics as [`sweep`] does.
+#[must_use]
+pub fn sweep_designs(designs: &[SweepDesign]) -> Vec<SweepPoint> {
     let zones = FeasibilityZones::paper();
     let mut points = Vec::new();
-    for study in studies {
-        let code = study.dataset.spec().short_name.to_owned();
-        let mut designs: Vec<(String, MlpHardwareSpec)> = vec![(
-            "baseline".to_owned(),
-            fixed_to_hardware(&study.baseline, format!("{code}_baseline")),
-        )];
-        if let Some(selected) = &study.selected {
-            if let DesignNetwork::Ax(mlp) = &selected.network {
-                designs.push((
-                    "ours".to_owned(),
-                    ax_to_hardware(mlp, format!("{code}_ours")),
-                ));
-            }
-        }
-        for tech in TechLibrary::builtin() {
-            let fast = FastCostModel::new(CostScenario::nominal(tech.clone()));
-            let exact = ExactCostModel::new(CostScenario::nominal(tech.clone()));
-            // Clamp the grid to the library's operating range (both
-            // ends — a future library may run nominally below 1 V) and
-            // drop the duplicates clamping can create, so no point is
-            // emitted or counted twice.
-            let mut supplies: Vec<f64> = SUPPLY_GRID
-                .iter()
-                .map(|v| v.clamp(tech.min_vdd, tech.nominal_vdd))
-                .collect();
-            supplies.dedup();
-            for supply in supplies {
-                let scenario = CostScenario::nominal(tech.clone()).at_supply(supply);
-                for (design, spec) in &designs {
-                    let cost = cost_checked(spec, &fast, &exact, &scenario);
-                    let feasibility = zones.classify(cost.area_cm2, cost.power_mw);
-                    points.push(SweepPoint {
-                        dataset: code.clone(),
-                        design: design.clone(),
-                        tech: tech.name.clone(),
-                        supply_v: supply,
-                        area_ge: cost.area_ge,
-                        area_cm2: cost.area_cm2,
-                        power_mw: cost.power_mw,
-                        delay_ms: cost.delay_ms,
-                        zone: zone_name(feasibility),
-                        deployable: feasibility.is_deployable(),
-                    });
-                }
+    for tech in TechLibrary::builtin() {
+        let fast = FastCostModel::new(CostScenario::nominal(tech.clone()));
+        let exact = ExactCostModel::new(CostScenario::nominal(tech.clone()));
+        // Clamp the grid to the library's operating range (both
+        // ends — a future library may run nominally below 1 V) and
+        // drop the duplicates clamping can create, so no point is
+        // emitted or counted twice.
+        let mut supplies: Vec<f64> = SUPPLY_GRID
+            .iter()
+            .map(|v| v.clamp(tech.min_vdd, tech.nominal_vdd))
+            .collect();
+        supplies.dedup();
+        for supply in supplies {
+            let scenario = CostScenario::nominal(tech.clone()).at_supply(supply);
+            for design in designs {
+                let cost = cost_checked(&design.spec, &fast, &exact, &scenario);
+                let feasibility = zones.classify(cost.area_cm2, cost.power_mw);
+                points.push(SweepPoint {
+                    dataset: design.dataset.clone(),
+                    design: design.design.clone(),
+                    tech: tech.name.clone(),
+                    supply_v: supply,
+                    area_ge: cost.area_ge,
+                    area_cm2: cost.area_cm2,
+                    power_mw: cost.power_mw,
+                    delay_ms: cost.delay_ms,
+                    zone: zone_name(feasibility),
+                    deployable: feasibility.is_deployable(),
+                });
             }
         }
     }

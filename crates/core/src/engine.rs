@@ -95,6 +95,14 @@ pub struct SearchContext<'a> {
     /// variation simply ignore it (their fronts are then evaluated
     /// under variation downstream, e.g. by the `fig_robust` bench).
     pub variation: Option<&'a pe_hw::VariationConfig>,
+    /// Design-store sink of a store-enabled study
+    /// ([`Study::design_store`](crate::Study::design_store)). `None` —
+    /// the default every
+    /// [`search_context`](crate::pipeline::BaselineCosted::search_context)
+    /// starts from — runs storeless. Ingest is a pure side channel
+    /// (fronts are byte-identical either way); engines that don't
+    /// understand stores simply ignore it.
+    pub store: Option<&'a crate::store::StoreSink>,
 }
 
 impl SearchContext<'_> {
@@ -114,6 +122,7 @@ impl std::fmt::Debug for SearchContext<'_> {
             .field("loss_budget", &self.loss_budget)
             .field("eval_threads", &self.eval_threads)
             .field("variation", &self.variation)
+            .field("store", &self.store)
             .finish_non_exhaustive()
     }
 }
@@ -194,6 +203,7 @@ impl SearchEngine for NsgaEngine {
         HwAwareTrainer::new(self.config.clone())
             .with_eval_threads(ctx.eval_threads)
             .with_variation(ctx.variation.copied())
+            .with_store(ctx.store.cloned())
             .train_controlled(
                 ctx.baseline,
                 ctx.baseline_train_accuracy,

@@ -29,6 +29,12 @@ pub enum FlowError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The design store could not be opened, read or written
+    /// (see [`pe_store::StoreError`]).
+    Store {
+        /// Human-readable reason (the underlying store error).
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -40,6 +46,7 @@ impl fmt::Display for FlowError {
             FlowError::Engine { engine, reason } => {
                 write!(f, "search engine {engine:?} failed: {reason}")
             }
+            FlowError::Store { reason } => write!(f, "design store error: {reason}"),
         }
     }
 }
@@ -56,6 +63,14 @@ impl std::error::Error for FlowError {
 impl From<DatasetError> for FlowError {
     fn from(e: DatasetError) -> Self {
         FlowError::Dataset(e)
+    }
+}
+
+impl From<pe_store::StoreError> for FlowError {
+    fn from(e: pe_store::StoreError) -> Self {
+        FlowError::Store {
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -76,5 +91,17 @@ mod tests {
         assert!(e.to_string().contains("tc23") && e.to_string().contains("boom"));
         let e: FlowError = DatasetError::NoClasses.into();
         assert!(e.to_string().contains("class"));
+        let e: FlowError = pe_store::StoreError::Corrupt {
+            path: "designs.jsonl".into(),
+            line: 3,
+            reason: "bad json".into(),
+        }
+        .into();
+        assert!(
+            e.to_string().contains("design store")
+                && e.to_string().contains("line 3")
+                && e.to_string().contains("bad json"),
+            "{e}"
+        );
     }
 }

@@ -321,6 +321,9 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
             column_entries: columns.entries,
             cost_hits: problem.cost_hits,
             cost_misses: problem.cost_misses,
+            store_ingested: problem.store.ingested,
+            store_deduplicated: problem.store.deduplicated,
+            store_bytes: problem.store.bytes_written,
         });
         !ctl.is_cancelled()
     })
@@ -328,13 +331,15 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
 
 /// Snapshot of an [`IntProblem`]'s internal caches for the
 /// [`ProgressEvent::EvalCache`](crate::ProgressEvent::EvalCache)
-/// stream: the columnar engine's neuron-column cache plus the cost
-/// layer's per-neuron gate-count memo.
+/// stream: the columnar engine's neuron-column cache, the cost layer's
+/// per-neuron gate-count memo, and the design-store sink counters
+/// (all-zero when no store is attached).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct ProblemCacheStats {
     pub(crate) columns: crate::columns::ColumnCacheStats,
     pub(crate) cost_hits: u64,
     pub(crate) cost_misses: u64,
+    pub(crate) store: pe_store::StoreStats,
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for CachedEvaluator<P> {

@@ -87,6 +87,10 @@ pub struct AxTrainProblem {
     /// ([`with_variation`](Self::with_variation)); `None` keeps the
     /// historical nominal fitness bit for bit.
     robust: Option<RobustContext>,
+    /// Design-store ingest hook ([`with_sink`](Self::with_sink)):
+    /// records every unique evaluated design. A pure side channel —
+    /// attaching a sink never changes any evaluation or RNG stream.
+    sink: Option<crate::store::StoreSink>,
 }
 
 /// Precomputed Monte-Carlo state of a variation-aware problem: the
@@ -147,6 +151,7 @@ impl AxTrainProblem {
             baseline_accuracy,
             max_loss,
             robust: None,
+            sink: None,
         }
     }
 
@@ -212,6 +217,19 @@ impl AxTrainProblem {
             columns: extended.columns(),
             segment: self.rows.len(),
         });
+        self
+    }
+
+    /// Attach a design-store sink: every *unique* design this problem
+    /// evaluates (the genome memo upstream already deduplicates
+    /// repeats) is recorded with its nominal training accuracy, the
+    /// robust statistic when the search runs under
+    /// [`with_variation`](Self::with_variation), and its area
+    /// objective. Ingest is a pure side effect — evaluations, RNG
+    /// streams and fronts are byte-identical with or without a sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Option<crate::store::StoreSink>) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -305,6 +323,17 @@ impl AxTrainProblem {
     #[must_use]
     pub fn cost_cache_stats(&self) -> (u64, u64) {
         self.estimator.cache_stats()
+    }
+
+    /// The attached sink's ingest counters (all zero without a sink) —
+    /// surfaced per GA generation as the `store_*` counters of
+    /// [`ProgressEvent::EvalCache`](crate::ProgressEvent::EvalCache).
+    #[must_use]
+    pub fn store_stats(&self) -> pe_store::StoreStats {
+        self.sink
+            .as_ref()
+            .map(crate::store::StoreSink::stats)
+            .unwrap_or_default()
     }
 
     /// The accuracy the GA optimizes: nominal columnar accuracy, or —
@@ -632,11 +661,22 @@ impl AxTrainProblem {
     }
 
     /// Full evaluation (objectives + feasibility) against reusable
-    /// columnar scratch buffers.
+    /// columnar scratch buffers. With a design-store sink attached the
+    /// scored design is recorded as a side effect — for robust
+    /// searches the record additionally carries the nominal accuracy
+    /// (one extra cached columnar pass per unique design).
     fn evaluate_with(&self, genes: &[u32], scratch: &mut ColumnarEvalScratch) -> Evaluation {
         let mlp = self.spec.decode(genes);
         let accuracy = self.fitness_accuracy(&mlp, scratch);
         let area = self.area_of(&mlp);
+        if let Some(sink) = &self.sink {
+            let (nominal, robust) = if self.robust.is_some() {
+                (self.columnar_accuracy(&mlp, scratch), Some(accuracy))
+            } else {
+                (accuracy, None)
+            };
+            sink.record_evaluation(&mlp, nominal, robust, area);
+        }
         self.evaluation_of(accuracy, area)
     }
 

@@ -47,6 +47,12 @@
 //!   the columnar fitness engine: hidden/output neuron columns over
 //!   the fitness dataset, memoized across the population and threads
 //!   with interned layer signatures (bit-exact by construction).
+//! * [`store`] — design-store integration over `pe-store`: the
+//!   [`StoreSink`] eval hook that persists every unique design a
+//!   search encounters (a pure side channel — fronts and artifacts
+//!   stay byte-identical), warm-start candidate capture, and scenario
+//!   queries ([`store::store_front`] / [`store::select_from_store`])
+//!   that reuse this crate's own Pareto selection over stored designs.
 //! * [`progress`] / [`error`] — [`ProgressEvent`] + [`CancelToken`]
 //!   observability and the [`FlowError`] error surface.
 //! * [`flow`] — the [`StudyConfig`] / [`DatasetStudy`] record types of
@@ -92,6 +98,7 @@ pub mod pareto;
 pub mod pipeline;
 pub mod progress;
 pub mod robust;
+pub mod store;
 pub mod train;
 
 pub use columns::{ColumnCacheStats, NeuronColumnCache};
@@ -115,4 +122,5 @@ pub use pipeline::{
 };
 pub use progress::{CancelToken, ProgressEvent, RunControl, StageKind};
 pub use robust::{mc_accuracy, RobustSummary};
+pub use store::{select_from_store, store_front, StoreSink};
 pub use train::{HwAwareTrainer, PlainGaProblem, TrainingOutcome};

@@ -119,10 +119,12 @@ impl BaselineCosted {
             elaborator: model.elaborator(),
             loss_budget,
             eval_threads: crate::eval::thread_budget(),
-            // Nominal by default; `Pipeline::search` injects the
-            // study's variation request. Direct callers (benches,
-            // engine comparisons) stay nominal bit for bit.
+            // Nominal and storeless by default; `Pipeline::search`
+            // injects the study's variation request and design-store
+            // sink. Direct callers (benches, engine comparisons) stay
+            // nominal bit for bit.
             variation: None,
+            store: None,
         }
     }
 }
@@ -224,6 +226,9 @@ pub struct Study {
     eval_threads: Option<usize>,
     variation: Option<pe_hw::VariationConfig>,
     variation_statistic: Option<pe_hw::RobustStat>,
+    design_store: Option<PathBuf>,
+    store_writer: Option<Arc<pe_store::StoreWriter>>,
+    warm_start: bool,
 }
 
 impl Study {
@@ -244,6 +249,9 @@ impl Study {
             eval_threads: None,
             variation: None,
             variation_statistic: None,
+            design_store: None,
+            store_writer: None,
+            warm_start: false,
         }
     }
 
@@ -352,6 +360,36 @@ impl Study {
         self
     }
 
+    /// Record every unique design the search evaluates into the
+    /// persistent, deduplicated design store at `path` (a JSON-lines
+    /// file, created on first use, appended across runs — see
+    /// [`pe_store`]). Ingest is a pure side channel: fronts, seeds and
+    /// artifacts are byte-identical with or without a store. Mutually
+    /// exclusive with [`design_store_shared`](Self::design_store_shared).
+    pub fn design_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.design_store = Some(path.into());
+        self
+    }
+
+    /// [`design_store`](Self::design_store) through an already-open
+    /// writer, so several pipelines (e.g. [`Pipeline::run_many`]
+    /// workers) append to one store file concurrently.
+    pub fn design_store_shared(mut self, writer: Arc<pe_store::StoreWriter>) -> Self {
+        self.store_writer = Some(writer);
+        self
+    }
+
+    /// Seed the GA's initial population from the design store's saved
+    /// front of this dataset (best test accuracy first, capped at a
+    /// quarter of the population) in addition to the doped seeds.
+    /// Requires a [`design_store`](Self::design_store); unlike plain
+    /// ingest, warm-start *does* steer the search, so the stage-cache
+    /// key mixes the warm pool's fingerprints whenever it is non-empty.
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
     /// Cache stage artifacts as JSON under `dir` and resume from them
     /// on the next run (see [`Pipeline::searched`] and friends).
     ///
@@ -377,8 +415,11 @@ impl Study {
     /// below 2 bits, an operating supply outside the technology's
     /// range, a non-positive power budget, a power budget combined
     /// with the FA-count area proxy (which carries no power
-    /// information), or an invalid variation request (zero trials, a
-    /// negative spread, droop outside `[0, 1)`).
+    /// information), an invalid variation request (zero trials, a
+    /// negative spread, droop outside `[0, 1)`), both a design-store
+    /// path and a shared writer, or warm-start without a design store.
+    /// [`FlowError::Store`] when the design-store file cannot be
+    /// opened or is corrupt.
     pub fn finish(self) -> Result<Pipeline, FlowError> {
         let mut config = match (self.config, self.budget) {
             (Some(config), _) => config,
@@ -475,6 +516,24 @@ impl Study {
                 return invalid(format!("invalid variation config: {reason}"));
             }
         }
+        let store = match (self.design_store, self.store_writer) {
+            (Some(_), Some(_)) => {
+                return invalid(
+                    "give either a design-store path or a shared writer, not both".into(),
+                );
+            }
+            (Some(path), None) => Some(Arc::new(pe_store::StoreWriter::open(&path)?)),
+            (None, writer) => writer,
+        };
+        if self.warm_start && store.is_none() {
+            return invalid("warm-start requires a design store".into());
+        }
+        // The sink (and with it the warm-start pool) is captured here,
+        // before this pipeline writes anything — deterministic even
+        // when several pipelines share one writer.
+        let store_sink = store.map(|writer| {
+            crate::store::StoreSink::new(writer, self.dataset.spec().name, self.warm_start)
+        });
 
         let engine = self
             .engine
@@ -487,6 +546,7 @@ impl Study {
             cancel: self.cancel,
             cache_dir: self.cache_dir,
             eval_threads: self.eval_threads,
+            store_sink,
         })
     }
 }
@@ -508,6 +568,7 @@ pub struct Pipeline {
     cancel: Option<CancelToken>,
     cache_dir: Option<PathBuf>,
     eval_threads: Option<usize>,
+    store_sink: Option<crate::store::StoreSink>,
 }
 
 impl Pipeline {
@@ -688,6 +749,7 @@ impl Pipeline {
                 ctx.eval_threads = threads;
             }
             ctx.variation = self.config.variation.as_ref();
+            ctx.store = self.store_sink.as_ref();
             self.engine.search(&ctx, &ctl)?
         };
         ctl.emit(&ProgressEvent::StageFinished {
@@ -721,6 +783,12 @@ impl Pipeline {
             self.config.scenario.power_budget_mw,
         )
         .cloned();
+        // The chosen design is flagged in the design store, so store
+        // queries (and `cost_sweep`'s store mode) can reproduce the
+        // study's own selection without re-running anything.
+        if let (Some(sink), Some(point)) = (&self.store_sink, &selected) {
+            sink.mark_selected(point);
+        }
         ctl.emit(&ProgressEvent::StageFinished {
             stage: StageKind::Selected,
         });
@@ -911,6 +979,17 @@ impl Pipeline {
         if let Some(variation) = &cfg.variation {
             h ^= crate::engine::fingerprint_json(variation).rotate_left(5);
         }
+        // Warm-start seeds steer the search, so the seed pool's
+        // identity is part of the key — but only when seeds actually
+        // exist: an ingest-only store (or warm-start over an empty
+        // store) keys exactly like a storeless run, keeping
+        // store-enabled artifacts byte-identical to storeless ones.
+        if let Some(sink) = &self.store_sink {
+            let fps = sink.warm_fingerprints();
+            if !fps.is_empty() {
+                h ^= crate::engine::fingerprint_json(&fps).rotate_left(6);
+            }
+        }
         if matches!(stage, StageKind::Searched) {
             return h;
         }
@@ -1062,6 +1141,9 @@ impl Pipeline {
         if let Some(token) = &opts.cancel {
             builder = builder.cancel_token(token.clone());
         }
+        if let Some(writer) = &opts.store {
+            builder = builder.design_store_shared(Arc::clone(writer));
+        }
         builder.finish()?.run()
     }
 }
@@ -1092,6 +1174,12 @@ pub struct RunManyOptions {
     pub progress: Option<Arc<dyn Fn(Dataset, &ProgressEvent) + Send + Sync>>,
     /// Cancellation token shared by all datasets.
     pub cancel: Option<CancelToken>,
+    /// Design-store writer shared by all datasets: every study ingests
+    /// its unique designs into the one store file (ingest only — the
+    /// [`Study::warm_start`] knob is per-study and not exposed here,
+    /// so multi-dataset artifacts stay byte-identical to storeless
+    /// runs).
+    pub store: Option<Arc<pe_store::StoreWriter>>,
 }
 
 impl RunManyOptions {
@@ -1113,6 +1201,7 @@ impl std::fmt::Debug for RunManyOptions {
             .field("engine", &self.engine.is_some())
             .field("progress", &self.progress.is_some())
             .field("cancel", &self.cancel.is_some())
+            .field("store", &self.store.as_ref().map(|w| w.path().to_owned()))
             .finish()
     }
 }
@@ -1504,5 +1593,143 @@ mod tests {
             a.cache_key(StageKind::Searched),
             c.cache_key(StageKind::Searched)
         );
+    }
+
+    fn store_scratch(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "printed-axc-pipeline-store-{}-{tag}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn store_rekeys_only_when_warm_seeds_exist() {
+        let base = StudyConfig::quick(1);
+        let storeless = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .finish()
+            .expect("valid");
+
+        // Ingest-only store: every key identical to storeless (the
+        // byte-identity guarantee behind `PE_STORE`-enabled artifact
+        // runs).
+        let path = store_scratch("ingest");
+        let ingest_only = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .design_store(&path)
+            .finish()
+            .expect("valid");
+        for stage in StageKind::ALL {
+            assert_eq!(
+                storeless.cache_key(stage),
+                ingest_only.cache_key(stage),
+                "{stage}"
+            );
+        }
+
+        // Warm-start over an *empty* store: still identical.
+        let warm_empty = Study::for_dataset(Dataset::BreastCancer)
+            .config(base.clone())
+            .design_store(&path)
+            .warm_start(true)
+            .finish()
+            .expect("valid");
+        for stage in StageKind::ALL {
+            assert_eq!(
+                storeless.cache_key(stage),
+                warm_empty.cache_key(stage),
+                "{stage}"
+            );
+        }
+
+        // Populate the store with one front member of this dataset;
+        // warm-start now re-keys the search (and selection) but never
+        // the data/SGD/baseline stages.
+        {
+            let writer = Arc::new(pe_store::StoreWriter::open(&path).expect("open for population"));
+            let sink = crate::store::StoreSink::new(
+                Arc::clone(&writer),
+                Dataset::BreastCancer.spec().name,
+                false,
+            );
+            sink.annotate_front(&crate::pareto::DesignCandidate {
+                mlp: pe_mlp::AxMlp {
+                    layers: vec![pe_mlp::AxLayer {
+                        input_bits: 4,
+                        neurons: vec![pe_mlp::AxNeuron {
+                            weights: vec![pe_mlp::AxWeight {
+                                mask: 0b1111,
+                                shift: 1,
+                                negative: false,
+                            }],
+                            bias: 2,
+                        }],
+                        qrelu: None,
+                    }],
+                },
+                train_accuracy: 0.9,
+                test_accuracy: 0.88,
+                estimated_area: 10.0,
+            });
+        }
+        let warm_full = Study::for_dataset(Dataset::BreastCancer)
+            .config(base)
+            .design_store(&path)
+            .warm_start(true)
+            .finish()
+            .expect("valid");
+        for stage in [
+            StageKind::Prepared,
+            StageKind::FloatTrained,
+            StageKind::BaselineCosted,
+        ] {
+            assert_eq!(
+                storeless.cache_key(stage),
+                warm_full.cache_key(stage),
+                "{stage}"
+            );
+        }
+        for stage in [StageKind::Searched, StageKind::Selected] {
+            assert_ne!(
+                storeless.cache_key(stage),
+                warm_full.cache_key(stage),
+                "{stage}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_store_configs() {
+        // Warm-start without a store.
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .warm_start(true)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+        // Both a path and a shared writer.
+        let path = store_scratch("both");
+        let writer = Arc::new(pe_store::StoreWriter::open(&path).expect("open"));
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .design_store(&path)
+                .design_store_shared(writer)
+                .finish(),
+            Err(FlowError::InvalidConfig { .. })
+        ));
+        // An unreadable store path surfaces as a store error.
+        assert!(matches!(
+            Study::for_dataset(Dataset::BreastCancer)
+                .config(StudyConfig::quick(0))
+                .design_store("/proc/definitely/not/writable/designs.jsonl")
+                .finish(),
+            Err(FlowError::Store { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

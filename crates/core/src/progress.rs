@@ -147,6 +147,13 @@ pub enum ProgressEvent {
         cost_hits: u64,
         /// Neuron gate-count computations the cost model ran.
         cost_misses: u64,
+        /// Unique designs this search has inserted into its design
+        /// store (zero when no store is attached).
+        store_ingested: u64,
+        /// Ingest calls deduplicated against an already-stored design.
+        store_deduplicated: u64,
+        /// Bytes this search has appended to the design store file.
+        store_bytes: u64,
     },
 }
 

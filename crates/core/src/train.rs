@@ -45,6 +45,7 @@ pub struct HwAwareTrainer {
     config: AxTrainConfig,
     eval_threads: Option<usize>,
     variation: Option<pe_hw::VariationConfig>,
+    store: Option<crate::store::StoreSink>,
 }
 
 impl HwAwareTrainer {
@@ -55,6 +56,7 @@ impl HwAwareTrainer {
             config,
             eval_threads: None,
             variation: None,
+            store: None,
         }
     }
 
@@ -77,6 +79,19 @@ impl HwAwareTrainer {
     #[must_use]
     pub fn with_variation(mut self, variation: Option<pe_hw::VariationConfig>) -> Self {
         self.variation = variation;
+        self
+    }
+
+    /// Attach a design-store sink: every unique design the GA
+    /// evaluates is persisted, front members are annotated with their
+    /// test accuracy when the run finishes, and — if the sink carries
+    /// warm-start candidates — shape-compatible stored designs join
+    /// the initial population alongside the doped seeds. Ingest is a
+    /// pure side channel (fronts are byte-identical with or without
+    /// it); warm-start seeds, by design, *do* steer the search.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<crate::store::StoreSink>) -> Self {
+        self.store = store;
         self
     }
 
@@ -190,7 +205,7 @@ impl HwAwareTrainer {
             // across datasets exactly like the GA streams do.
             problem = problem.with_variation(variation, self.config.nsga.seed);
         }
-        let problem = problem;
+        let problem = problem.with_sink(self.store.clone());
 
         let doped_count = ((self.config.nsga.population as f64 * self.config.doping_fraction)
             .round() as usize)
@@ -198,7 +213,7 @@ impl HwAwareTrainer {
         let refine_n = problem.sample_count().min(600);
         let calibration_rows = train.features.head(train.len().min(1000));
         let refine_rows = train.features.head(refine_n);
-        let seeds = crate::init::doped_seeds_refined(
+        let mut seeds = crate::init::doped_seeds_refined(
             &spec,
             baseline,
             self.config.max_shift(),
@@ -208,6 +223,10 @@ impl HwAwareTrainer {
             &calibration_rows,
             Some((&refine_rows, &train.labels[..refine_n])),
         );
+        if let Some(sink) = &self.store {
+            append_warm_seeds(&mut seeds, sink, &spec, self.config.nsga.population);
+        }
+        let seeds = seeds;
 
         // The evaluation core: every NSGA-II wave is deduplicated
         // against a genome memo and fanned out over the worker budget;
@@ -229,6 +248,7 @@ impl HwAwareTrainer {
                     columns: problem.column_cache_stats(),
                     cost_hits,
                     cost_misses,
+                    store: problem.store_stats(),
                 })
             },
         );
@@ -301,6 +321,15 @@ impl HwAwareTrainer {
             }
         }
 
+        // Front members reach the store with their held-out test
+        // accuracy: that is what store-side queries Pareto-filter and
+        // what a later warm-started run seeds from.
+        if let Some(sink) = &self.store {
+            for candidate in &estimated_front {
+                sink.annotate_front(candidate);
+            }
+        }
+
         let front = true_pareto_front(estimated_front.clone(), cost, name);
 
         Ok(TrainingOutcome {
@@ -311,6 +340,47 @@ impl HwAwareTrainer {
             ga_wall,
         })
     }
+}
+
+/// Append warm-start seeds from the sink's stored-front pool:
+/// shape-compatible designs of the same dataset, best test accuracy
+/// first, encoded and deduplicated, capped at a quarter of the
+/// population so fresh doped/random exploration still dominates the
+/// initial wave.
+fn append_warm_seeds(
+    seeds: &mut Vec<Vec<u32>>,
+    sink: &crate::store::StoreSink,
+    spec: &GenomeSpec,
+    population: usize,
+) {
+    let cap = (population / 4).max(1);
+    let mut added = 0usize;
+    for mlp in sink.warm_candidates() {
+        if added >= cap {
+            break;
+        }
+        // `GenomeSpec::encode` asserts on topology mismatch, and a
+        // store may hold designs from differently-shaped studies —
+        // check first.
+        if !shape_matches(spec, mlp) {
+            continue;
+        }
+        let genes = spec.encode(mlp);
+        if !seeds.contains(&genes) {
+            seeds.push(genes);
+            added += 1;
+        }
+    }
+}
+
+/// Whether a stored network has exactly the genome layout's topology
+/// (layer count, neurons per layer, fan-in per neuron).
+fn shape_matches(spec: &GenomeSpec, mlp: &AxMlp) -> bool {
+    let layers = spec.layers();
+    mlp.layers.len() == layers.len()
+        && mlp.layers.iter().zip(layers).all(|(l, ls)| {
+            l.neurons.len() == ls.neurons && l.neurons.iter().all(|n| n.weights.len() == ls.fan_in)
+        })
 }
 
 /// Deterministic subsample: the first `limit` rows (splits are already

@@ -1,0 +1,277 @@
+//! Scenario queries over stored designs: microsecond re-costing
+//! through the memoized fast cost model.
+//!
+//! A [`ScenarioQuery`] owns one [`FastCostModel`] for one
+//! [`CostScenario`]. Costing a [`DesignRecord`] reconstructs the
+//! hardware spec from the stored network and prices it exactly like
+//! the live search would — same lowering, same model — so stored
+//! answers are bit-equal to live ones. The model's per-neuron memo is
+//! shared across every record costed through the same query, which is
+//! what makes grid sweeps over a populated store a microseconds-scale
+//! operation instead of a GA re-run.
+//!
+//! Queries are pure reads: nothing here writes to the store.
+
+use pe_hw::{CostModel, CostScenario, FastCostModel, HardwareReport, HwCost};
+
+use crate::record::DesignRecord;
+
+/// A stored design priced under one scenario.
+#[derive(Debug, Clone)]
+pub struct CostedRecord<'a> {
+    /// The stored design.
+    pub record: &'a DesignRecord,
+    /// Full hardware report under the query's scenario.
+    pub report: HardwareReport,
+    /// The scalar cost summary of [`report`](Self::report).
+    pub cost: HwCost,
+}
+
+/// Re-costs stored designs under one [`CostScenario`].
+///
+/// # Example
+///
+/// Populate a store with two designs, then answer a budget query under
+/// a scaled supply without touching the GA:
+///
+/// ```
+/// use pe_hw::{CostScenario, TechLibrary};
+/// use pe_mlp::{AxLayer, AxMlp, AxNeuron, AxWeight};
+/// use pe_store::{DesignRecord, DesignStore, ScenarioQuery, StoreWriter};
+///
+/// fn design(masks: [u16; 3], accuracy: f64, area: f64) -> DesignRecord {
+///     let weight = |mask| AxWeight { mask, shift: 2, negative: false };
+///     let mlp = AxMlp {
+///         layers: vec![AxLayer {
+///             input_bits: 4,
+///             neurons: vec![AxNeuron {
+///                 weights: masks.map(weight).to_vec(),
+///                 bias: 1,
+///             }],
+///             qrelu: None,
+///         }],
+///     };
+///     DesignRecord::new("demo", mlp, accuracy, area)
+/// }
+///
+/// // Ingest during (or after) a search ...
+/// let path = std::env::temp_dir().join(format!("pe-store-query-doc-{}.jsonl", std::process::id()));
+/// let _ = std::fs::remove_file(&path);
+/// let writer = StoreWriter::open(&path).unwrap();
+/// writer.ingest(design([0b1111, 0b1101, 0b1011], 0.92, 40.0)).unwrap();
+/// writer.ingest(design([0b0001, 0, 0], 0.80, 4.0)).unwrap();
+/// drop(writer);
+///
+/// // ... then later, under any scenario, query without re-training.
+/// let store = DesignStore::load(&path).unwrap();
+/// let scenario = CostScenario::nominal(TechLibrary::egfet()).at_supply(0.8);
+/// let query = ScenarioQuery::new(scenario);
+///
+/// // Both designs trade off against each other, so the front keeps both.
+/// let front = query.non_dominated(store.dataset("demo"));
+/// assert_eq!(front.len(), 2);
+///
+/// // Within a 15% accuracy-loss budget the sparse design suffices —
+/// // and wins on area.
+/// let best = query
+///     .best_within_budget(store.dataset("demo"), 0.92, 0.15, None)
+///     .unwrap();
+/// assert_eq!(best.record.query_accuracy(), 0.80);
+/// let _ = std::fs::remove_file(&path);
+/// ```
+#[derive(Debug)]
+pub struct ScenarioQuery {
+    model: FastCostModel,
+}
+
+impl ScenarioQuery {
+    /// A query engine for `scenario`.
+    #[must_use]
+    pub fn new(scenario: CostScenario) -> Self {
+        Self {
+            model: FastCostModel::new(scenario),
+        }
+    }
+
+    /// The scenario designs are priced under.
+    #[must_use]
+    pub fn scenario(&self) -> &CostScenario {
+        self.model.scenario()
+    }
+
+    /// Price one stored design: reconstruct its hardware spec and run
+    /// it through the fast cost model — bit-equal to a live pass over
+    /// the same network.
+    #[must_use]
+    pub fn recost<'a>(&self, record: &'a DesignRecord) -> CostedRecord<'a> {
+        let spec = record.hardware_spec(format!("{}_{:016x}", record.dataset, record.fingerprint));
+        let report = self.model.report(&spec);
+        let cost = HwCost::of(&report, &self.model.scenario().tech);
+        CostedRecord {
+            record,
+            report,
+            cost,
+        }
+    }
+
+    /// Price every record, in input order.
+    pub fn costed<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a DesignRecord>,
+    ) -> Vec<CostedRecord<'a>> {
+        records.into_iter().map(|r| self.recost(r)).collect()
+    }
+
+    /// The non-dominated designs under this scenario — maximize
+    /// [`DesignRecord::query_accuracy`], minimize area — ascending in
+    /// area.
+    pub fn non_dominated<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a DesignRecord>,
+    ) -> Vec<CostedRecord<'a>> {
+        let costed = self.costed(records);
+        let mut front: Vec<CostedRecord<'a>> = costed
+            .iter()
+            .filter(|c| !costed.iter().any(|other| dominates(other, c)))
+            .cloned()
+            .collect();
+        front.sort_by(|a, b| a.report.area_cm2.total_cmp(&b.report.area_cm2));
+        front
+    }
+
+    /// The smallest design meeting an accuracy floor and an optional
+    /// power budget — the same rule `printed-axc`'s
+    /// `select_within_budgets` applies to a live front (epsilon
+    /// included).
+    pub fn best_within_budget<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a DesignRecord>,
+        baseline_accuracy: f64,
+        max_loss: f64,
+        power_budget_mw: Option<f64>,
+    ) -> Option<CostedRecord<'a>> {
+        self.costed(records)
+            .into_iter()
+            .filter(|c| c.record.query_accuracy() + 1e-12 >= baseline_accuracy - max_loss)
+            .filter(|c| power_budget_mw.is_none_or(|budget| c.report.power_mw <= budget))
+            .min_by(|a, b| a.report.area_cm2.total_cmp(&b.report.area_cm2))
+    }
+}
+
+/// Strict Pareto dominance on (query accuracy ↑, area ↓).
+fn dominates(a: &CostedRecord<'_>, b: &CostedRecord<'_>) -> bool {
+    let acc_a = a.record.query_accuracy();
+    let acc_b = b.record.query_accuracy();
+    let better_somewhere = acc_a > acc_b || a.report.area_cm2 < b.report.area_cm2;
+    acc_a >= acc_b && a.report.area_cm2 <= b.report.area_cm2 && better_somewhere
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_hw::TechLibrary;
+    use pe_mlp::{AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+
+    fn mlp(mask: u16, bias: i32) -> AxMlp {
+        AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight {
+                                mask,
+                                shift: 3,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0b0101,
+                                shift: 1,
+                                negative: true,
+                            },
+                        ],
+                        bias,
+                    },
+                    AxNeuron {
+                        weights: vec![
+                            AxWeight {
+                                mask: 0b0011,
+                                shift: 2,
+                                negative: false,
+                            },
+                            AxWeight {
+                                mask: 0,
+                                shift: 0,
+                                negative: false,
+                            },
+                        ],
+                        bias: -bias,
+                    },
+                ],
+                qrelu: Some(QReluCfg {
+                    out_bits: 8,
+                    shift: 2,
+                }),
+            }],
+        }
+    }
+
+    fn record(mask: u16, accuracy: f64) -> DesignRecord {
+        DesignRecord::new("demo", mlp(mask, 7), accuracy, f64::from(mask))
+    }
+
+    #[test]
+    fn recost_matches_a_live_fast_model_pass() {
+        for supply in [1.0, 0.8, 0.6] {
+            let scenario = CostScenario::nominal(TechLibrary::egfet()).at_supply(supply);
+            let query = ScenarioQuery::new(scenario.clone());
+            let r = record(0b1110, 0.9);
+            let stored = query.recost(&r);
+
+            let live_model = FastCostModel::new(scenario);
+            let spec = r.hardware_spec(format!("{}_{:016x}", r.dataset, r.fingerprint));
+            let live_report = live_model.report(&spec);
+            let live_cost = HwCost::of(&live_report, &live_model.scenario().tech);
+            assert_eq!(stored.cost, live_cost, "supply {supply}");
+            assert_eq!(stored.report.area_cm2, live_report.area_cm2);
+            assert_eq!(stored.report.power_mw, live_report.power_mw);
+        }
+    }
+
+    #[test]
+    fn non_dominated_drops_dominated_designs() {
+        // Same network, lower claimed accuracy: strictly dominated.
+        let good = record(0b1110, 0.95);
+        let mut bad = record(0b1110, 0.95);
+        bad.train_accuracy = 0.60;
+        // Recompute the dedup identity is irrelevant here — the query
+        // layer treats the slice as given.
+        let sparse = record(0b0010, 0.70);
+        let query = ScenarioQuery::new(CostScenario::nominal(TechLibrary::egfet()));
+        let front = query.non_dominated([&good, &bad, &sparse]);
+        assert_eq!(front.len(), 2);
+        assert!(front[0].report.area_cm2 <= front[1].report.area_cm2);
+        assert!(front.iter().all(|c| c.record.train_accuracy != 0.60));
+    }
+
+    #[test]
+    fn best_within_budget_applies_floor_and_power_cap() {
+        let big = record(0b1111, 0.95);
+        let small = record(0b0001, 0.80);
+        let query = ScenarioQuery::new(CostScenario::nominal(TechLibrary::egfet()));
+        // Tight accuracy budget: only the accurate design qualifies.
+        let strict = query
+            .best_within_budget([&big, &small], 0.95, 0.05, None)
+            .expect("big design qualifies");
+        assert_eq!(strict.record.query_accuracy(), 0.95);
+        // Loose budget: the sparse design wins on area.
+        let loose = query
+            .best_within_budget([&big, &small], 0.95, 0.20, None)
+            .expect("small design qualifies");
+        assert_eq!(loose.record.query_accuracy(), 0.80);
+        // An impossible power budget filters everything out.
+        assert!(query
+            .best_within_budget([&big, &small], 0.95, 0.20, Some(0.0))
+            .is_none());
+    }
+}

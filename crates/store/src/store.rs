@@ -1,0 +1,577 @@
+//! The persistence layer: an append-only ingest writer and a read-only
+//! query snapshot over one store file.
+//!
+//! # On-disk format
+//!
+//! One [`DesignRecord`] per line, `serde_json`-encoded (JSONL). The
+//! format is append-friendly — ingest never rewrites earlier bytes —
+//! and mergeable: multiple lines may share a `(dataset, fingerprint)`
+//! key, with later lines filling in the optional fields of earlier
+//! ones (test accuracy after a front evaluation, the `selected` flag
+//! after the pipeline's select stage). Loading replays the merge, so
+//! the in-memory index holds exactly one record per unique design
+//! regardless of how its information arrived.
+//!
+//! Corrupt input — a truncated final line after a crash, edited bytes,
+//! a fingerprint that no longer matches its network — surfaces as a
+//! [`StoreError`], never a panic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::record::{fingerprint_of, DesignRecord};
+
+/// Why a store file could not be opened, read or appended to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The underlying file operation failed.
+    Io {
+        /// The store file involved.
+        path: PathBuf,
+        /// The OS error description.
+        reason: String,
+    },
+    /// A line of the store file is not a valid record (truncated
+    /// write, edited bytes, or a fingerprint/network mismatch).
+    Corrupt {
+        /// The store file involved.
+        path: PathBuf,
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, reason } => {
+                write!(f, "design store {}: {reason}", path.display())
+            }
+            StoreError::Corrupt { path, line, reason } => {
+                write!(
+                    f,
+                    "design store {} is corrupt at line {line}: {reason}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Lifetime ingest counters of a [`StoreWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Unique designs inserted (new `(dataset, fingerprint)` keys).
+    pub ingested: u64,
+    /// Ingest calls that hit an already-stored design (including
+    /// annotation passes that only filled in optional fields).
+    pub deduplicated: u64,
+    /// Bytes appended to the store file.
+    pub bytes_written: u64,
+}
+
+/// What one [`StoreWriter::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// `true` when the record introduced a new unique design.
+    pub new_design: bool,
+    /// Bytes appended to the store file (0 for a pure duplicate).
+    pub bytes: u64,
+}
+
+/// Dedup key of a record: dataset plus design fingerprint.
+type Key = (String, u64);
+
+/// The merged in-memory view of a store: one record per unique design
+/// plus an index from dedup key to record position.
+#[derive(Debug, Clone, Default)]
+struct Table {
+    records: Vec<DesignRecord>,
+    index: HashMap<Key, usize>,
+}
+
+enum Merge {
+    /// A new unique design (or an unindexable 64-bit collision).
+    Inserted,
+    /// An existing design gained information (options filled,
+    /// `selected` set).
+    Updated,
+    /// Nothing new: the design was already stored with this content.
+    Duplicate,
+}
+
+impl Table {
+    fn merge(&mut self, record: DesignRecord) -> Merge {
+        let key = (record.dataset.clone(), record.fingerprint);
+        if let Some(&at) = self.index.get(&key) {
+            if self.records[at].mlp == record.mlp {
+                return if self.records[at].absorb(&record) {
+                    Merge::Updated
+                } else {
+                    Merge::Duplicate
+                };
+            }
+            // A genuine 64-bit fingerprint collision: keep both
+            // records (the newcomer stays unindexed, so it cannot be
+            // deduplicated against — conservative and vanishingly
+            // rare).
+            self.records.push(record);
+            return Merge::Inserted;
+        }
+        self.index.insert(key, self.records.len());
+        self.records.push(record);
+        Merge::Inserted
+    }
+}
+
+fn io_error(path: &Path, err: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        reason: err.to_string(),
+    }
+}
+
+/// Parse every line of a store file into records, verifying each
+/// record's fingerprint against its network. `missing_ok` treats an
+/// absent file as empty (the writer's create-on-open case); readers
+/// keep it strict.
+fn load_lines(path: &Path, missing_ok: bool) -> Result<Vec<DesignRecord>, StoreError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if missing_ok && err.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(err) => return Err(io_error(path, &err)),
+    };
+    let mut records = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: DesignRecord =
+            serde_json::from_str(line).map_err(|err| StoreError::Corrupt {
+                path: path.to_path_buf(),
+                line: at + 1,
+                reason: err.to_string(),
+            })?;
+        if record.fingerprint != fingerprint_of(&record.mlp) {
+            return Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                line: at + 1,
+                reason: "fingerprint does not match the stored network".into(),
+            });
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// The ingest side of a store file: thread-safe, append-only,
+/// deduplicating.
+///
+/// Opening loads any existing records (so dedup spans sessions), then
+/// every [`ingest`](Self::ingest) either appends one JSON line (new
+/// design, or new information about a stored one) or is a counted
+/// no-op (pure duplicate). All state is behind a mutex plus atomics,
+/// so one writer can be shared across search threads; the lifetime
+/// counters ([`stats`](Self::stats)) are totals and therefore
+/// independent of thread interleaving.
+#[derive(Debug)]
+pub struct StoreWriter {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    ingested: AtomicU64,
+    deduplicated: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    table: Table,
+}
+
+impl StoreWriter {
+    /// Open (creating if absent, including parent directories) the
+    /// store file at `path` and load its existing records.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be created or read;
+    /// [`StoreError::Corrupt`] when an existing line fails to parse or
+    /// verify.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|err| io_error(&path, &err))?;
+            }
+        }
+        let mut table = Table::default();
+        for record in load_lines(&path, true)? {
+            let _ = table.merge(record);
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|err| io_error(&path, &err))?;
+        Ok(Self {
+            path,
+            inner: Mutex::new(Inner { file, table }),
+            ingested: AtomicU64::new(0),
+            deduplicated: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// The store file this writer appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Ingest one record: deduplicate against the in-memory index and
+    /// append a JSON line when the record is new or carries new
+    /// information about a stored design.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails. The in-memory index
+    /// is updated first, so a failed append degrades to a
+    /// memory-only record rather than inconsistent state.
+    pub fn ingest(&self, record: DesignRecord) -> Result<IngestOutcome, StoreError> {
+        let line = serde_json::to_string(&record).map_err(|err| StoreError::Io {
+            path: self.path.clone(),
+            reason: format!("serialize record: {err}"),
+        })?;
+        let mut inner = self.lock();
+        let merge = inner.table.merge(record);
+        if matches!(merge, Merge::Duplicate) {
+            self.deduplicated.fetch_add(1, Ordering::Relaxed);
+            return Ok(IngestOutcome {
+                new_design: false,
+                bytes: 0,
+            });
+        }
+        inner
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.file.write_all(b"\n"))
+            .map_err(|err| io_error(&self.path, &err))?;
+        drop(inner);
+        let bytes = line.len() as u64 + 1;
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let new_design = matches!(merge, Merge::Inserted);
+        if new_design {
+            self.ingested.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.deduplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(IngestOutcome { new_design, bytes })
+    }
+
+    /// Snapshot the lifetime ingest counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            ingested: self.ingested.load(Ordering::Relaxed),
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Unique designs currently held (across all datasets).
+    pub fn len(&self) -> usize {
+        self.lock().table.records.len()
+    }
+
+    /// Whether the store holds no designs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone the current merged records, optionally restricted to one
+    /// dataset — the warm-start path captures this once, before the
+    /// run it seeds writes anything.
+    pub fn snapshot(&self, dataset: Option<&str>) -> Vec<DesignRecord> {
+        let inner = self.lock();
+        inner
+            .table
+            .records
+            .iter()
+            .filter(|r| dataset.is_none_or(|d| r.dataset == d))
+            .cloned()
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The query side: a read-only, fully merged snapshot of a store file.
+///
+/// Loading never writes; queries over a `DesignStore` are pure reads.
+#[derive(Debug, Clone)]
+pub struct DesignStore {
+    path: PathBuf,
+    table: Table,
+}
+
+impl DesignStore {
+    /// Load and merge every record of the store file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read (including when
+    /// it does not exist); [`StoreError::Corrupt`] when a line fails
+    /// to parse or verify.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let path = path.into();
+        let mut table = Table::default();
+        for record in load_lines(&path, false)? {
+            let _ = table.merge(record);
+        }
+        Ok(Self { path, table })
+    }
+
+    /// The file this snapshot was loaded from.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every unique design, in first-seen order.
+    #[must_use]
+    pub fn records(&self) -> &[DesignRecord] {
+        &self.table.records
+    }
+
+    /// The designs of one dataset, in first-seen order.
+    pub fn dataset<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a DesignRecord> + 'a {
+        let name = name.to_string();
+        self.table.records.iter().filter(move |r| r.dataset == name)
+    }
+
+    /// Sorted unique dataset names present in the store.
+    #[must_use]
+    pub fn datasets(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .table
+            .records
+            .iter()
+            .map(|r| r.dataset.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Look one design up by its dedup key.
+    #[must_use]
+    pub fn get(&self, dataset: &str, fingerprint: u64) -> Option<&DesignRecord> {
+        self.table
+            .index
+            .get(&(dataset.to_string(), fingerprint))
+            .map(|&at| &self.table.records[at])
+    }
+
+    /// The design a pipeline select stage marked for `dataset`, if
+    /// any.
+    #[must_use]
+    pub fn selected(&self, dataset: &str) -> Option<&DesignRecord> {
+        self.dataset(dataset).find(|r| r.selected)
+    }
+
+    /// Number of unique designs (across all datasets).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.records.len()
+    }
+
+    /// Whether the store holds no designs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_mlp::{AxLayer, AxMlp, AxNeuron, AxWeight, QReluCfg};
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pe-store-test-{}-{tag}-{unique}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn mlp(bias: i32) -> AxMlp {
+        AxMlp {
+            layers: vec![AxLayer {
+                input_bits: 4,
+                neurons: vec![AxNeuron {
+                    weights: vec![AxWeight {
+                        mask: 0b1011,
+                        shift: 2,
+                        negative: false,
+                    }],
+                    bias,
+                }],
+                qrelu: Some(QReluCfg {
+                    out_bits: 8,
+                    shift: 1,
+                }),
+            }],
+        }
+    }
+
+    fn record(bias: i32) -> DesignRecord {
+        DesignRecord::new("demo", mlp(bias), 0.9, 10.0)
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let path = scratch_path("round-trip");
+        let writer = StoreWriter::open(&path).expect("open");
+        for bias in [1, 2, 3] {
+            let outcome = writer.ingest(record(bias)).expect("ingest");
+            assert!(outcome.new_design);
+        }
+        let loaded = DesignStore::load(&path).expect("load");
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.records()[1], record(2));
+        assert_eq!(loaded.get("demo", record(3).fingerprint), Some(&record(3)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicates_collapse_and_are_counted() {
+        let path = scratch_path("dedup");
+        let writer = StoreWriter::open(&path).expect("open");
+        assert!(writer.ingest(record(5)).expect("ingest").new_design);
+        let dup = writer.ingest(record(5)).expect("ingest");
+        assert!(!dup.new_design);
+        assert_eq!(dup.bytes, 0);
+        assert_eq!(
+            writer.stats(),
+            StoreStats {
+                ingested: 1,
+                deduplicated: 1,
+                bytes_written: writer.stats().bytes_written,
+            }
+        );
+        assert!(writer.stats().bytes_written > 0);
+        assert_eq!(DesignStore::load(&path).expect("load").len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dedup_spans_sessions() {
+        let path = scratch_path("sessions");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(7)).expect("ingest");
+        }
+        let writer = StoreWriter::open(&path).expect("reopen");
+        assert!(!writer.ingest(record(7)).expect("ingest").new_design);
+        assert_eq!(writer.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn annotation_merges_into_the_same_design() {
+        let path = scratch_path("annotate");
+        let writer = StoreWriter::open(&path).expect("open");
+        let _ = writer.ingest(record(9)).expect("ingest");
+        let mut annotated = record(9);
+        annotated.test_accuracy = Some(0.87);
+        annotated.selected = true;
+        let outcome = writer.ingest(annotated).expect("annotate");
+        assert!(!outcome.new_design);
+        assert!(outcome.bytes > 0, "new information is persisted");
+        let loaded = DesignStore::load(&path).expect("load");
+        assert_eq!(loaded.len(), 1);
+        let merged = loaded.selected("demo").expect("selected design");
+        assert_eq!(merged.test_accuracy, Some(0.87));
+        assert_eq!(merged.train_accuracy, 0.9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_line_is_a_clean_error() {
+        let path = scratch_path("truncated");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(1)).expect("ingest");
+        }
+        // Simulate a crash mid-append: drop the trailing half of the
+        // file.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        let err = DesignStore::load(&path).expect_err("truncated store must not load");
+        assert!(matches!(err, StoreError::Corrupt { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_a_clean_error() {
+        let path = scratch_path("tampered");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(1)).expect("ingest");
+        }
+        let mut tampered = record(1);
+        tampered.fingerprint ^= 1;
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str(&serde_json::to_string(&tampered).expect("serialize"));
+        text.push('\n');
+        std::fs::write(&path, text).expect("write");
+        let err = DesignStore::load(&path).expect_err("bad fingerprint must not load");
+        assert!(matches!(err, StoreError::Corrupt { line: 2, .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_errors_for_readers_but_not_writers() {
+        let path = scratch_path("missing");
+        assert!(matches!(
+            DesignStore::load(&path),
+            Err(StoreError::Io { .. })
+        ));
+        let writer = StoreWriter::open(&path).expect("writer creates the file");
+        assert!(writer.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_filters_by_dataset() {
+        let path = scratch_path("snapshot");
+        let writer = StoreWriter::open(&path).expect("open");
+        let _ = writer.ingest(record(1)).expect("ingest");
+        let other = DesignRecord::new("other", mlp(2), 0.8, 9.0);
+        let _ = writer.ingest(other).expect("ingest");
+        assert_eq!(writer.snapshot(None).len(), 2);
+        assert_eq!(writer.snapshot(Some("demo")).len(), 1);
+        assert_eq!(writer.snapshot(Some("absent")).len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,6 +14,8 @@
 //!   trait and parallel multi-dataset runs
 //! * [`baselines`] — exact bespoke and state-of-the-art approximate
 //!   comparison points (each also a `SearchEngine`)
+//! * [`store`] — the persistent, deduplicated design store with
+//!   scenario re-costing queries and warm-start seeding
 
 pub use pe_arith as arith;
 pub use pe_baselines as baselines;
@@ -21,4 +23,5 @@ pub use pe_datasets as datasets;
 pub use pe_hw as hw;
 pub use pe_mlp as mlp;
 pub use pe_nsga as nsga;
+pub use pe_store as store;
 pub use printed_axc as axc;
