@@ -166,6 +166,19 @@ impl<K: Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
         self.hot.insert(key, value);
     }
 
+    /// Insert a key that a just-preceding [`get`](Self::get) reported
+    /// absent from both generations — skips the re-probes that
+    /// [`insert`](Self::insert) performs, so a memoized miss path
+    /// hashes the key once here instead of three times.
+    pub fn insert_missed(&mut self, key: K, value: V) {
+        debug_assert!(
+            !self.hot.contains_key(&key) && !self.cold.contains_key(&key),
+            "insert_missed requires a key absent from both generations"
+        );
+        self.rotate_if_full();
+        self.hot.insert(key, value);
+    }
+
     fn rotate_if_full(&mut self) {
         if self.hot.len() >= self.capacity {
             self.cold = std::mem::take(&mut self.hot);

@@ -193,6 +193,23 @@ impl AdderAreaEstimator {
     /// [`estimate`](Self::estimate).
     #[must_use]
     pub fn counts_of(&self, spec: &NeuronArithSpec) -> NeuronGateCounts {
+        self.counts_of_with(spec, &mut Vec::new())
+    }
+
+    /// [`counts_of`](Self::counts_of) with a caller-provided height
+    /// scratch vector, so a memoizing wrapper that runs this once per
+    /// cache miss allocates nothing at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed specs exactly like
+    /// [`estimate`](Self::estimate).
+    #[must_use]
+    pub fn counts_of_with(
+        &self,
+        spec: &NeuronArithSpec,
+        heights: &mut Vec<u32>,
+    ) -> NeuronGateCounts {
         // Accumulator width, mirroring `ColumnProfile::accumulator_width`
         // over the implicit summand list (active weights + bias).
         let mut pos: u64 = 0;
@@ -218,7 +235,8 @@ impl AdderAreaEstimator {
         // variable mask bits in place, negation corrections and the
         // bias folded into one constant whose set bits join the
         // profile.
-        let mut heights = vec![0u32; acc_bits as usize];
+        heights.clear();
+        heights.resize(acc_bits as usize, 0);
         let modulus_mask = (1u64 << acc_bits) - 1;
         let mut folded_constant: u64 = 0;
         let well_formed = "neuron spec must be well-formed";
@@ -255,7 +273,7 @@ impl AdderAreaEstimator {
             heights.pop();
         }
 
-        let stats = self.reducer.reduce_in_place(&mut heights);
+        let stats = self.reducer.reduce_in_place(heights);
         NeuronGateCounts {
             full_adders: stats.full_adders(),
             half_adders: stats.half_adders(),
@@ -340,7 +358,17 @@ impl From<&AdderAreaReport> for NeuronGateCounts {
 #[derive(Debug, Clone)]
 pub struct MemoAreaEstimator {
     inner: AdderAreaEstimator,
-    cache: std::sync::Arc<std::sync::Mutex<crate::BoundedCache<NeuronArithSpec, NeuronGateCounts>>>,
+    cache: std::sync::Arc<std::sync::Mutex<MemoState>>,
+}
+
+/// Everything behind the memo lock: the bounded spec → counts map plus
+/// the height-vector scratch the miss path reuses (it is only ever
+/// touched while the cache lock is held, so sharing the mutex costs
+/// nothing and keeps the miss path allocation-free).
+#[derive(Debug)]
+struct MemoState {
+    cache: crate::BoundedCache<NeuronArithSpec, NeuronGateCounts>,
+    heights: Vec<u32>,
 }
 
 /// Per-generation default: large enough for every distinct neuron a
@@ -360,7 +388,10 @@ impl MemoAreaEstimator {
     pub fn with_capacity(inner: AdderAreaEstimator, capacity: usize) -> Self {
         Self {
             inner,
-            cache: std::sync::Arc::new(std::sync::Mutex::new(crate::BoundedCache::new(capacity))),
+            cache: std::sync::Arc::new(std::sync::Mutex::new(MemoState {
+                cache: crate::BoundedCache::new(capacity),
+                heights: Vec::new(),
+            })),
         }
     }
 
@@ -373,26 +404,27 @@ impl MemoAreaEstimator {
     /// Gate counts of one neuron, memoized by its spec.
     #[must_use]
     pub fn counts(&self, spec: &NeuronArithSpec) -> NeuronGateCounts {
-        let mut cache = self
+        let mut state = self
             .cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(counts) = cache.get(spec) {
+        let state = &mut *state;
+        if let Some(counts) = state.cache.get(spec) {
             return counts;
         }
-        let counts = self.inner.counts_of(spec);
-        cache.insert(spec.clone(), counts);
+        let counts = self.inner.counts_of_with(spec, &mut state.heights);
+        state.cache.insert_missed(spec.clone(), counts);
         counts
     }
 
     /// Lifetime `(hits, misses)` of the shared neuron cache.
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
-        let cache = self
+        let state = self
             .cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        (cache.hits(), cache.misses())
+        (state.cache.hits(), state.cache.misses())
     }
 }
 

@@ -118,10 +118,14 @@ impl Reducer {
         // Stages update in place with a single carry rail (carries of
         // column `c − 1` arrive while `c`'s original height is still in
         // hand), so the loop — run a few thousand times per genome by
-        // the GA's area objective — allocates nothing per stage.
-        while heights.iter().any(|&h| h > 2) {
+        // the GA's area objective — allocates nothing per stage. The
+        // tallest column is tracked through each pass so deciding
+        // whether another stage is needed costs no extra scan.
+        let mut tallest = heights.iter().copied().max().unwrap_or(0);
+        while tallest > 2 {
             stats.stages += 1;
             let mut carry_in = 0u32;
+            tallest = 0;
             for h in &mut *heights {
                 let fas = *h / 3;
                 let mut rem = *h % 3;
@@ -136,10 +140,12 @@ impl Reducer {
                     rem = 0;
                 }
                 *h = kept + rem + carry_in;
+                tallest = tallest.max(*h);
                 carry_in = carry_out;
             }
             if carry_in > 0 {
                 heights.push(carry_in);
+                tallest = tallest.max(carry_in);
             }
             while heights.last() == Some(&0) {
                 heights.pop();

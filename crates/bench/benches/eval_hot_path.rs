@@ -18,10 +18,10 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use serde::Serialize;
 
 use pe_datasets::{generate, quantize, stratified_split, Dataset, QuantMatrix};
-use pe_mlp::columnar::accuracy_columns;
-use pe_mlp::{AxMlp, FixedMlp, InferenceScratch, QuantConfig, Topology, TrainConfig};
+use pe_mlp::columnar::{accuracy_columns, predictions_columns_with_kernel, ColumnarScratch};
+use pe_mlp::{AxMlp, FixedMlp, InferenceScratch, KernelKind, QuantConfig, Topology, TrainConfig};
 use pe_nsga::{random_genome, Evaluation, IntProblem};
-use printed_axc::eval::{thread_budget, CachedEvaluator};
+use printed_axc::eval::{thread_budget, CachedEvaluator, GENOME_CACHE_CAPACITY};
 use printed_axc::{AxTrainConfig, AxTrainProblem, GenomeSpec, HwAwareTrainer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -135,11 +135,46 @@ fn drift(population: &mut [Vec<u32>], bounds: &[u32], rng: &mut StdRng) {
     }
 }
 
+/// One raw-kernel timing: the full doped network pushed through
+/// [`predictions_columns_with_kernel`] in the given mode, no caches.
+#[derive(Debug, Serialize)]
+struct KernelEntry {
+    /// Kernel mode name (`scalar`/`lut`/`bitsliced`/`simd`).
+    kernel: String,
+    /// Whether the mode has hardware backing here (`simd` is `false`
+    /// on non-x86 targets or `--no-default-features` builds; it then
+    /// falls back to the scalar kernel and still runs bit-exactly).
+    available: bool,
+    /// Input vectors classified per second (samples × passes / time).
+    raw_kernel_evals_per_sec: f64,
+    /// Predictions byte-identical to the scalar reference kernel.
+    matches_scalar: bool,
+}
+
+/// One point of the thread-scaling curve: the GA-shaped generation
+/// stream re-run with an explicit evaluator worker count.
+#[derive(Serialize)]
+struct ThreadScalingEntry {
+    threads: usize,
+    ga_stream_evals_per_sec: f64,
+    speedup_vs_one_thread: f64,
+    /// All evaluations identical to the single-thread run
+    /// (serialized and compared byte-for-byte).
+    byte_identical_to_one_thread: bool,
+}
+
 #[derive(Serialize)]
 struct EvalBenchReport {
     threads: usize,
     population: usize,
     generation_rounds: usize,
+    /// The kernel mode the cached regimes below ran under
+    /// (`PE_KERNEL` or the auto-detected default).
+    kernel_mode: String,
+    /// Shards the neuron-column cache was split across.
+    column_shards: usize,
+    /// Column-cache probes that hit a contended shard lock.
+    column_contended: u64,
     /// The pre-columnar per-row algorithm (reference oracle).
     row_oracle_evals_per_sec: f64,
     /// Columnar LUT engine, one genome at a time (column cache warms
@@ -158,6 +193,111 @@ struct EvalBenchReport {
     cache_misses: u64,
     column_hits: u64,
     column_misses: u64,
+    /// Raw columnar-kernel throughput per [`KernelKind`].
+    kernels: Vec<KernelEntry>,
+    /// GA-stream throughput at explicit worker counts (1 → 32), each
+    /// proven byte-identical to the single-thread run.
+    thread_scaling: Vec<ThreadScalingEntry>,
+}
+
+/// Time the raw columnar kernel (no caches, no genome memo) in every
+/// mode and prove each bit-exact against the scalar reference.
+fn kernel_entries(setup: &Setup, repeats: usize) -> Vec<KernelEntry> {
+    let cols = setup.rows.columns();
+    let samples = cols.samples();
+    let passes = 50;
+    let mut scratch = ColumnarScratch::default();
+    let mut preds = Vec::new();
+    let mut reference = Vec::new();
+    predictions_columns_with_kernel(
+        &setup.doped,
+        &cols,
+        &mut scratch,
+        &mut reference,
+        KernelKind::Scalar,
+    );
+    [
+        KernelKind::Scalar,
+        KernelKind::Lut,
+        KernelKind::BitSliced,
+        KernelKind::Simd,
+    ]
+    .into_iter()
+    .map(|kernel| {
+        predictions_columns_with_kernel(&setup.doped, &cols, &mut scratch, &mut preds, kernel);
+        let matches_scalar = preds == reference;
+        let best = (0..repeats)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..passes {
+                    predictions_columns_with_kernel(
+                        &setup.doped,
+                        &cols,
+                        &mut scratch,
+                        &mut preds,
+                        kernel,
+                    );
+                    black_box(&preds);
+                }
+                started.elapsed()
+            })
+            .min()
+            .expect("repeats > 0");
+        KernelEntry {
+            kernel: kernel.name().to_owned(),
+            available: kernel != KernelKind::Simd || pe_mlp::simd::available(),
+            raw_kernel_evals_per_sec: (passes * samples) as f64 / best.as_secs_f64().max(1e-9),
+            matches_scalar,
+        }
+    })
+    .collect()
+}
+
+/// Re-run the GA-shaped generation stream at explicit worker counts
+/// and prove every point byte-identical to the single-thread run.
+fn thread_scaling_entries(setup: &Setup, rounds: usize, repeats: usize) -> Vec<ThreadScalingEntry> {
+    let mut one_thread_log: Option<String> = None;
+    let mut one_thread_rate = 0.0_f64;
+    [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&threads| {
+            let mut log = String::new();
+            let best = (0..repeats)
+                .map(|_| {
+                    let problem = setup.problem();
+                    let evaluator =
+                        CachedEvaluator::with_options(&problem, GENOME_CACHE_CAPACITY, threads);
+                    let mut wave = setup.population.clone();
+                    let mut rng = StdRng::seed_from_u64(11);
+                    let started = Instant::now();
+                    let mut evals: Vec<Vec<Evaluation>> = Vec::with_capacity(rounds);
+                    for _ in 0..rounds {
+                        evals.push(black_box(evaluator.evaluate_batch(&wave)));
+                        drift(&mut wave, problem.bounds(), &mut rng);
+                    }
+                    let elapsed = started.elapsed();
+                    log = serde_json::to_string(&evals).expect("evaluations serialize");
+                    elapsed
+                })
+                .min()
+                .expect("repeats > 0");
+            let rate = (rounds * setup.population.len()) as f64 / best.as_secs_f64().max(1e-9);
+            let byte_identical = match &one_thread_log {
+                None => {
+                    one_thread_log = Some(log);
+                    one_thread_rate = rate;
+                    true
+                }
+                Some(reference) => *reference == log,
+            };
+            ThreadScalingEntry {
+                threads,
+                ga_stream_evals_per_sec: rate,
+                speedup_vs_one_thread: rate / one_thread_rate.max(1e-9),
+                byte_identical_to_one_thread: byte_identical,
+            }
+        })
+        .collect()
 }
 
 /// Timed comparison written to `BENCH_eval.json` (independent of the
@@ -240,10 +380,25 @@ fn write_report(setup: &Setup) {
     let evals = (rounds * population.len()) as f64;
     let per_sec = |d: std::time::Duration| evals / d.as_secs_f64().max(1e-9);
     let (stats, columns) = ga_counters.expect("ga-stream regime ran");
+    let kernels = kernel_entries(setup, repeats);
+    let thread_scaling = thread_scaling_entries(setup, rounds, repeats);
+    assert!(
+        kernels.iter().all(|k| k.matches_scalar),
+        "kernel parity violated: {kernels:?} — every mode must match the scalar reference",
+    );
+    assert!(
+        thread_scaling
+            .iter()
+            .all(|t| t.byte_identical_to_one_thread),
+        "thread-count determinism violated — every worker count must reproduce the 1-thread run",
+    );
     let report = EvalBenchReport {
         threads,
         population: population.len(),
         generation_rounds: rounds,
+        kernel_mode: pe_mlp::columnar::kernel_mode().name().to_owned(),
+        column_shards: columns.shards,
+        column_contended: columns.contended,
         row_oracle_evals_per_sec: per_sec(row_oracle),
         serial_evals_per_sec: per_sec(serial),
         batch_cold_evals_per_sec: per_sec(batch_cold),
@@ -256,9 +411,11 @@ fn write_report(setup: &Setup) {
         cache_misses: stats.misses,
         column_hits: columns.hits,
         column_misses: columns.misses,
+        kernels,
+        thread_scaling,
     };
     println!(
-        "eval core: row-oracle {:.0} evals/s | columnar serial {:.0} evals/s | batch(x{threads}) {:.0} evals/s | ga-stream {:.0} evals/s ({:.2}x vs oracle; genome {} hits / {} misses; columns {} hits / {} misses)",
+        "eval core: row-oracle {:.0} evals/s | columnar serial {:.0} evals/s | batch(x{threads}) {:.0} evals/s | ga-stream {:.0} evals/s ({:.2}x vs oracle; genome {} hits / {} misses; columns {} hits / {} misses, {} shards, {} contended)",
         report.row_oracle_evals_per_sec,
         report.serial_evals_per_sec,
         report.batch_cold_evals_per_sec,
@@ -268,7 +425,27 @@ fn write_report(setup: &Setup) {
         report.cache_misses,
         report.column_hits,
         report.column_misses,
+        report.column_shards,
+        report.column_contended,
     );
+    for entry in &report.kernels {
+        println!(
+            "raw kernel [{}{}]: {:.0} sample-evals/s (matches scalar: {})",
+            entry.kernel,
+            if entry.available { "" } else { ", fallback" },
+            entry.raw_kernel_evals_per_sec,
+            entry.matches_scalar,
+        );
+    }
+    for entry in &report.thread_scaling {
+        println!(
+            "ga-stream @ {:>2} threads: {:.0} evals/s ({:.2}x vs 1 thread, byte-identical: {})",
+            entry.threads,
+            entry.ga_stream_evals_per_sec,
+            entry.speedup_vs_one_thread,
+            entry.byte_identical_to_one_thread,
+        );
+    }
     pe_bench::format::write_json("BENCH_eval", &report);
 }
 
@@ -315,6 +492,29 @@ fn bench(c: &mut Criterion) {
     c.bench_function("columnar_kernel/columnar_accuracy", |b| {
         b.iter(|| black_box(accuracy_columns(&setup.doped, &cols, &setup.labels)))
     });
+
+    // --- explicit kernel modes (raw, no caches) ----------------------
+    for kernel in [
+        KernelKind::Scalar,
+        KernelKind::Lut,
+        KernelKind::BitSliced,
+        KernelKind::Simd,
+    ] {
+        let mut scratch = ColumnarScratch::default();
+        let mut preds = Vec::new();
+        c.bench_function(&format!("columnar_kernel/{}", kernel.name()), |b| {
+            b.iter(|| {
+                predictions_columns_with_kernel(
+                    &setup.doped,
+                    &cols,
+                    &mut scratch,
+                    &mut preds,
+                    kernel,
+                );
+                black_box(&preds);
+            })
+        });
+    }
 
     // --- the neuron-column cache -------------------------------------
     let doped_genes = setup.genome_spec.encode(&setup.doped);

@@ -18,7 +18,7 @@ use pe_hw::{VariationConfig, VariationModel};
 use printed_axc::{derive_seed, mc_accuracy, Pipeline, Selected};
 
 use crate::format::render_table;
-use crate::study::{run_many_options, study_config, BudgetPreset};
+use crate::study::{observed_options, study_config, BudgetPreset};
 
 /// Monte-Carlo trials the *search* optimizes over (kept small — it
 /// multiplies the fitness cost of every robust evaluation).
@@ -82,10 +82,14 @@ pub fn compare(budget: BudgetPreset, master_seed: u64) -> Vec<RobustRow> {
     let mut robust_cfg = nominal_cfg.clone();
     robust_cfg.variation = Some(VariationConfig::new(model, SEARCH_TRIALS));
 
-    let nominal = Pipeline::run_many_selected(&Dataset::ALL, &nominal_cfg, &run_many_options())
+    let (nominal_opts, nominal_summary) = observed_options();
+    let nominal = Pipeline::run_many_selected(&Dataset::ALL, &nominal_cfg, &nominal_opts)
         .expect("bench presets are valid and uncancelled");
-    let robust = Pipeline::run_many_selected(&Dataset::ALL, &robust_cfg, &run_many_options())
+    println!("nominal {}", nominal_summary.render());
+    let (robust_opts, robust_summary) = observed_options();
+    let robust = Pipeline::run_many_selected(&Dataset::ALL, &robust_cfg, &robust_opts)
         .expect("bench presets are valid and uncancelled");
+    println!("robust {}", robust_summary.render());
 
     nominal
         .iter()

@@ -100,13 +100,17 @@ struct CacheTally {
     genome_misses: u64,
     column_hits: u64,
     column_misses: u64,
+    column_contended: u64,
+    /// Shard count of the column cache (a configuration echo, not a
+    /// cumulative counter — the latest reported value wins).
+    column_shards: u64,
     cost_hits: u64,
     cost_misses: u64,
     store_ingested: u64,
     store_deduplicated: u64,
     store_bytes: u64,
     /// Cumulative counters of the GA run currently streaming.
-    last: [u64; 9],
+    last: [u64; 10],
 }
 
 impl CacheTally {
@@ -120,7 +124,8 @@ impl CacheTally {
         self.store_ingested += self.last[6];
         self.store_deduplicated += self.last[7];
         self.store_bytes += self.last[8];
-        self.last = [0; 9];
+        self.column_contended += self.last[9];
+        self.last = [0; 10];
     }
 }
 
@@ -142,31 +147,39 @@ impl EvalCacheSummary {
                 misses,
                 column_hits,
                 column_misses,
+                column_contended,
+                column_shards,
                 cost_hits,
                 cost_misses,
                 store_ingested,
                 store_deduplicated,
                 store_bytes,
                 ..
-            } => [
-                hits,
-                misses,
-                column_hits,
-                column_misses,
-                cost_hits,
-                cost_misses,
-                store_ingested,
-                store_deduplicated,
-                store_bytes,
-            ],
+            } => (
+                [
+                    hits,
+                    misses,
+                    column_hits,
+                    column_misses,
+                    cost_hits,
+                    cost_misses,
+                    store_ingested,
+                    store_deduplicated,
+                    store_bytes,
+                    column_contended,
+                ],
+                column_shards as u64,
+            ),
             _ => return,
         };
+        let (current, shards) = current;
         let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
         let tally = tallies.entry(dataset).or_default();
         if current.iter().zip(&tally.last).any(|(c, l)| c < l) {
             tally.fold_last(); // backstop: counters restarted unannounced
         }
         tally.last = current;
+        tally.column_shards = tally.column_shards.max(shards);
     }
 
     /// One summary line over every dataset seen so far.
@@ -181,6 +194,8 @@ impl EvalCacheSummary {
             total.genome_misses += t.genome_misses;
             total.column_hits += t.column_hits;
             total.column_misses += t.column_misses;
+            total.column_contended += t.column_contended;
+            total.column_shards = total.column_shards.max(t.column_shards);
             total.cost_hits += t.cost_hits;
             total.cost_misses += t.cost_misses;
             total.store_ingested += t.store_ingested;
@@ -196,13 +211,15 @@ impl EvalCacheSummary {
             }
         };
         let mut line = format!(
-            "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit) | cost-model memo {} hits / {} misses ({:.1}% hit)",
+            "eval caches: genome memo {} hits / {} misses ({:.1}% hit) | neuron columns {} hits / {} misses ({:.1}% hit, {} shards, {} contended probes) | cost-model memo {} hits / {} misses ({:.1}% hit)",
             total.genome_hits,
             total.genome_misses,
             pct(total.genome_hits, total.genome_misses),
             total.column_hits,
             total.column_misses,
             pct(total.column_hits, total.column_misses),
+            total.column_shards,
+            total.column_contended,
             total.cost_hits,
             total.cost_misses,
             pct(total.cost_hits, total.cost_misses),

@@ -8,24 +8,38 @@
 //! hidden neurons with their parents, so without a cache the same
 //! columns are recomputed thousands of times per study.
 //!
-//! [`NeuronColumnCache`] memoizes those columns in a bounded
-//! [`pe_arith::BoundedCache`] shared across the whole population and
-//! every evaluation thread (interior mutability behind a mutex, so one
-//! cache serves `&self` evaluators):
+//! [`NeuronColumnCache`] memoizes those columns in an N-way **sharded**
+//! set of bounded [`pe_arith::BoundedCache`]s shared across the whole
+//! population and every evaluation thread (interior mutability behind
+//! per-shard mutexes, so one cache serves `&self` evaluators):
 //!
-//! * **hidden columns** — `Arc<[u8]>` post-QReLU activations. Lookups
-//!   are keyed by a cheap `Copy` key — `(layer, input-signature,
-//!   input_bits, qrelu, device, position, neuron-fingerprint)`, where
-//!   `device`/`position` separate Monte-Carlo variation trials and the
-//!   position-dependent per-device draws — and each entry carries
-//!   its full neuron spec, which is compared on every hit: a
-//!   fingerprint collision is simply treated as a miss, so hashing can
-//!   never alias two different neurons.
+//! * **hidden columns** — `Arc<[u8]>` post-QReLU activations. Each key
+//!   carries a **precomputed 64-bit fingerprint** over its entire
+//!   coordinate set — `(layer, input-signature, input_bits, qrelu,
+//!   device, position)` plus the full neuron spec — computed *once*
+//!   per probe: it selects the shard (top bits) and is the only thing
+//!   the shard map hashes, so a lookup no longer re-hashes the key per
+//!   map operation. The `device`/`position` coordinates separate
+//!   Monte-Carlo variation trials and the position-dependent
+//!   per-device draws. Each entry carries its full neuron spec, which
+//!   is compared on every hash hit: a fingerprint collision is simply
+//!   treated as a miss, so hashing can never alias two different
+//!   neurons.
 //! * **input signatures** — deeper layers see the previous layer's
 //!   columns as input. Signatures are *interned*, not hashed-and-hoped:
 //!   a full `(layer, previous-signature, qrelu, neurons)` key maps to a
 //!   unique id from a monotone counter, and ids are never reused even when the
 //!   intern table evicts — two different column sets can never alias.
+//!   The intern table is probed once per layer (not per neuron), so it
+//!   stays a single mutex.
+//!
+//! The shard count defaults to [`DEFAULT_SHARDS`], is overridable
+//! per-process with the `PE_CACHE_SHARDS` environment variable or
+//! per-cache with [`NeuronColumnCache::with_shards`], and is always a
+//! power of two in `1..=256`. Per-shard hit/miss/contention counters
+//! ([`ShardStats`], aggregated in [`ColumnCacheStats`]) make lock
+//! pressure observable; `contended` counts probes that found their
+//! shard lock held.
 //!
 //! Output (argmax) layers are deliberately **not** cached: their
 //! accumulators depend on every hidden column at once, so any upstream
@@ -35,20 +49,27 @@
 //! them directly into scratch.
 //!
 //! Caching is an optimization, never a semantic: every value is a pure
-//! function of its full key, so any mix of hits, misses, evictions and
-//! thread interleavings yields byte-identical evaluations.
+//! function of its full key, so any mix of hits, misses, evictions,
+//! shard counts and thread interleavings yields byte-identical
+//! evaluations — which the sharded-cache determinism test pins down.
 
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
 
-use pe_arith::cache::fx_hash_of;
+use pe_arith::cache::FxHasher;
 use pe_arith::BoundedCache;
 use pe_mlp::{AxNeuron, QReluCfg};
 
 /// The signature of the *dataset itself* — the input of layer 0.
 pub const ROOT_SIGNATURE: u64 = 0;
 
-/// Snapshot of a [`NeuronColumnCache`]'s counters.
+/// Shard count used when neither `PE_CACHE_SHARDS` nor
+/// [`NeuronColumnCache::with_shards`] says otherwise.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Snapshot of a [`NeuronColumnCache`]'s counters, aggregated over all
+/// shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ColumnCacheStats {
     /// Neuron columns served from the cache (lifetime).
@@ -57,13 +78,31 @@ pub struct ColumnCacheStats {
     pub misses: u64,
     /// Columns currently resident.
     pub entries: usize,
+    /// Probes that found their shard lock already held (lifetime).
+    pub contended: u64,
+    /// Number of shards the column map is split across.
+    pub shards: usize,
+}
+
+/// One shard's counter snapshot ([`NeuronColumnCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Columns this shard served from its map (lifetime).
+    pub hits: u64,
+    /// Columns computed after missing in this shard (lifetime).
+    pub misses: u64,
+    /// Probes that found this shard's lock already held (lifetime).
+    pub contended: u64,
+    /// Columns currently resident in this shard.
+    pub entries: usize,
 }
 
 /// Cache key of one hidden neuron's column. The layer index, input
 /// signature, input width and QReLU pin down the neuron's entire input
-/// context; the fingerprint stands in for the neuron spec itself (the
-/// cached entry carries the full spec for exact confirmation). The
-/// `device` slot separates Monte-Carlo variation trials: `0` is the
+/// context; `fingerprint` is the precomputed hash over *all* of that
+/// plus the neuron spec itself — the only thing the shard map hashes
+/// (the cached entry carries the full spec for exact confirmation).
+/// The `device` slot separates Monte-Carlo variation trials: `0` is the
 /// nominal device, `t + 1` is the perturbed device of trial `t`, whose
 /// column differs through the trial's gain/offset draw and perturbed
 /// inputs. Because a trial's per-device draw is keyed by the neuron's
@@ -72,7 +111,7 @@ pub struct ColumnCacheStats {
 /// perturbed columns and must never alias. The nominal column is
 /// position-independent, so nominal lookups use position `0` and
 /// duplicate specs keep sharing one entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct HiddenKey {
     layer: u32,
     signature: u64,
@@ -83,46 +122,140 @@ struct HiddenKey {
     fingerprint: u64,
 }
 
+impl Hash for HiddenKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The fingerprint already covers every coordinate (and the
+        // neuron spec); feeding only it means one hash computation per
+        // probe instead of one per map operation. `PartialEq` still
+        // compares all coordinates, and the entry's stored spec is
+        // confirmed on every hit, so collisions stay harmless.
+        state.write_u64(self.fingerprint);
+    }
+}
+
 /// Intern key of one layer's column set (the next layer's input): the
 /// producing layer's full configuration — neurons *and* the QReLU that
-/// shaped its activations — on top of its own input signature.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// shaped its activations — on top of its own input signature. Like
+/// [`HiddenKey`], the neurons themselves live in the entry (probing
+/// must not clone a whole layer); the key carries their fingerprint
+/// and every hit confirms the stored spec, so collisions cost a fresh
+/// signature, never a wrong one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LayerKey {
     layer: u32,
     signature: u64,
     qrelu: QReluCfg,
-    neurons: Vec<AxNeuron>,
+    /// One [`FxHasher`] pass over the coordinates above plus the
+    /// layer's neuron specs.
+    fingerprint: u64,
 }
+
+impl Hash for LayerKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The fingerprint already covers every coordinate; equality
+        // still compares them all, and the interned entry's stored
+        // spec is confirmed on every hit.
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// One interned layer signature: the producing layer's neuron specs
+/// (for exact key confirmation) plus the signature id itself.
+type LayerEntry = (Arc<[AxNeuron]>, u64);
 
 /// One cached column: the full neuron spec (for exact key
 /// confirmation) plus the post-QReLU activation column itself.
 type HiddenEntry = (Arc<AxNeuron>, Arc<[u8]>);
 
-/// Bounded, thread-shared memo of hidden-neuron output columns. See
-/// the [module docs](self).
+/// One lock-striped slice of the hidden-column map, with its own
+/// counters so contention is observable per shard.
+#[derive(Debug)]
+struct Shard {
+    map: Mutex<BoundedCache<HiddenKey, HiddenEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(BoundedCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock this shard's map, counting the probe as contended when the
+    /// lock is already held by another thread.
+    fn lock(&self) -> MutexGuard<'_, BoundedCache<HiddenKey, HiddenEntry>> {
+        match self.map.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.map
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        }
+    }
+}
+
+/// Round a requested shard count into the supported range: a power of
+/// two in `1..=256` (rounding up).
+fn clamp_shards(requested: usize) -> usize {
+    requested.clamp(1, 256).next_power_of_two()
+}
+
+/// The process-wide default shard count: `PE_CACHE_SHARDS` (clamped to
+/// a power of two in `1..=256`) or [`DEFAULT_SHARDS`]. Read once.
+fn env_shards() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::env::var("PE_CACHE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(DEFAULT_SHARDS, clamp_shards)
+    })
+}
+
+/// Bounded, thread-shared, sharded memo of hidden-neuron output
+/// columns. See the [module docs](self).
 #[derive(Debug)]
 pub struct NeuronColumnCache {
-    hidden: Mutex<BoundedCache<HiddenKey, HiddenEntry>>,
-    layers: Mutex<BoundedCache<LayerKey, u64>>,
+    /// Power-of-two shard array; a key's precomputed fingerprint picks
+    /// the shard by its top bits.
+    shards: Box<[Shard]>,
+    layers: Mutex<BoundedCache<LayerKey, LayerEntry>>,
     /// Next intern id. Starts above [`ROOT_SIGNATURE`] and only grows,
     /// so a signature can never collide with the dataset's or a
     /// previously interned layer's.
     next_signature: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl NeuronColumnCache {
     /// A cache bounded to roughly `capacity` columns per eviction
-    /// generation.
+    /// generation, split across the process-default shard count
+    /// (`PE_CACHE_SHARDS` or [`DEFAULT_SHARDS`]).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, env_shards())
+    }
+
+    /// A cache bounded to roughly `capacity` columns total, split
+    /// across an explicit shard count (clamped to a power of two in
+    /// `1..=256`). Shard count is a concurrency knob only: any count
+    /// produces byte-identical evaluations.
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = clamp_shards(shards);
+        let per_shard = (capacity / shards).max(1);
         Self {
-            hidden: Mutex::new(BoundedCache::new(capacity)),
+            shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
             layers: Mutex::new(BoundedCache::new(capacity)),
             next_signature: AtomicU64::new(ROOT_SIGNATURE + 1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
@@ -131,11 +264,22 @@ impl NeuronColumnCache {
     /// clamped to a useful range.
     #[must_use]
     pub fn for_samples(samples: usize) -> Self {
+        Self::new(Self::budget_capacity(samples))
+    }
+
+    /// [`NeuronColumnCache::for_samples`] with an explicit shard count
+    /// (the engine-level override used by determinism tests).
+    #[must_use]
+    pub fn for_samples_with_shards(samples: usize, shards: usize) -> Self {
+        Self::with_shards(Self::budget_capacity(samples), shards)
+    }
+
+    /// Column budget for a dataset of `samples` rows.
+    fn budget_capacity(samples: usize) -> usize {
         // ~32 MiB of u8 columns per hot generation (double that
         // transiently across generations).
         const BUDGET_BYTES: usize = 32 << 20;
-        let capacity = (BUDGET_BYTES / samples.max(1)).clamp(128, 1 << 15);
-        Self::new(capacity)
+        (BUDGET_BYTES / samples.max(1)).clamp(128, 1 << 15)
     }
 
     fn lock<'a, K: std::hash::Hash + Eq + Clone, V: Clone>(
@@ -146,15 +290,46 @@ impl NeuronColumnCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Snapshot the counters.
+    /// The shard a fingerprint maps to. Top bits: `FxHasher` finishes
+    /// with a multiply, so the high bits are its best-mixed.
+    fn shard_of(&self, fingerprint: u64) -> &Shard {
+        let count = self.shards.len();
+        let index = if count == 1 {
+            0
+        } else {
+            (fingerprint >> (64 - count.trailing_zeros())) as usize
+        };
+        &self.shards[index]
+    }
+
+    /// Snapshot the aggregated counters.
     #[must_use]
     pub fn stats(&self) -> ColumnCacheStats {
-        let entries = Self::lock(&self.hidden).len();
-        ColumnCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries,
+        let mut stats = ColumnCacheStats {
+            shards: self.shards.len(),
+            ..ColumnCacheStats::default()
+        };
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.contended += shard.contended.load(Ordering::Relaxed);
+            stats.entries += shard.lock().len();
         }
+        stats
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                contended: shard.contended.load(Ordering::Relaxed),
+                entries: shard.lock().len(),
+            })
+            .collect()
     }
 
     /// A hidden neuron's post-QReLU column: served from the cache, or
@@ -182,6 +357,13 @@ impl NeuronColumnCache {
         neuron: &AxNeuron,
         compute: impl FnOnce() -> Arc<[u8]>,
     ) -> Arc<[u8]> {
+        // One hash pass over the whole coordinate set + neuron spec:
+        // this fingerprint picks the shard *and* is the only input the
+        // shard map's hasher sees.
+        let mut hasher = FxHasher::default();
+        (layer as u32, signature, input_bits, qrelu, device, position).hash(&mut hasher);
+        neuron.hash(&mut hasher);
+        let fingerprint = hasher.finish();
         let key = HiddenKey {
             layer: layer as u32,
             signature,
@@ -189,17 +371,20 @@ impl NeuronColumnCache {
             qrelu,
             device,
             position,
-            fingerprint: fx_hash_of(neuron),
+            fingerprint,
         };
-        if let Some((stored, col)) = Self::lock(&self.hidden).get(&key) {
+        let shard = self.shard_of(fingerprint);
+        if let Some((stored, col)) = shard.lock().get(&key) {
             if *stored == *neuron {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return col;
             }
         }
         let col = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Self::lock(&self.hidden).insert(key, (Arc::new(neuron.clone()), col.clone()));
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .insert(key, (Arc::new(neuron.clone()), col.clone()));
         col
     }
 
@@ -215,18 +400,23 @@ impl NeuronColumnCache {
         qrelu: QReluCfg,
         neurons: &[AxNeuron],
     ) -> u64 {
+        let mut hasher = FxHasher::default();
+        (layer as u32, signature, qrelu).hash(&mut hasher);
+        neurons.hash(&mut hasher);
         let key = LayerKey {
             layer: layer as u32,
             signature,
             qrelu,
-            neurons: neurons.to_vec(),
+            fingerprint: hasher.finish(),
         };
         let mut layers = Self::lock(&self.layers);
-        if let Some(id) = layers.get(&key) {
-            return id;
+        if let Some((stored, id)) = layers.get(&key) {
+            if *stored == *neurons {
+                return id;
+            }
         }
         let id = self.next_signature.fetch_add(1, Ordering::Relaxed);
-        layers.insert(key, id);
+        layers.insert(key, (Arc::from(neurons), id));
         id
     }
 }
@@ -315,6 +505,54 @@ mod tests {
         assert_eq!(p2, p2_again);
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn every_shard_count_serves_the_same_columns() {
+        // Shard count is a concurrency knob, not a semantic: for any
+        // count, every key hits after its first miss and distinct keys
+        // never alias.
+        for shards in [1usize, 2, 4, 16, 256] {
+            let cache = NeuronColumnCache::with_shards(512, shards);
+            assert_eq!(cache.stats().shards, shards);
+            for bias in 0..32 {
+                let expect = [bias as u8; 3];
+                let col = cache.hidden_column(0, ROOT_SIGNATURE, 4, Q, 0, 0, &neuron(bias), || {
+                    Arc::from(expect.as_slice())
+                });
+                assert_eq!(&col[..], &expect[..], "shards {shards} bias {bias}");
+            }
+            for bias in 0..32 {
+                let expect = [bias as u8; 3];
+                let col = cache.hidden_column(
+                    0,
+                    ROOT_SIGNATURE,
+                    4,
+                    Q,
+                    0,
+                    0,
+                    &neuron(bias),
+                    || unreachable!(),
+                );
+                assert_eq!(&col[..], &expect[..], "shards {shards} bias {bias}");
+            }
+            let stats = cache.stats();
+            assert_eq!((stats.hits, stats.misses), (32, 32), "shards {shards}");
+            assert_eq!(stats.entries, 32);
+            // Per-shard counters reconcile with the aggregate.
+            let per: Vec<ShardStats> = cache.shard_stats();
+            assert_eq!(per.len(), shards);
+            assert_eq!(per.iter().map(|s| s.hits).sum::<u64>(), stats.hits);
+            assert_eq!(per.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+            assert_eq!(per.iter().map(|s| s.entries).sum::<usize>(), stats.entries);
+        }
+    }
+
+    #[test]
+    fn shard_counts_clamp_to_powers_of_two() {
+        assert_eq!(NeuronColumnCache::with_shards(64, 0).stats().shards, 1);
+        assert_eq!(NeuronColumnCache::with_shards(64, 3).stats().shards, 4);
+        assert_eq!(NeuronColumnCache::with_shards(64, 1000).stats().shards, 256);
     }
 
     #[test]

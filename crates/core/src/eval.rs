@@ -40,6 +40,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use pe_arith::cache::FxBuildHasher;
 use pe_arith::BoundedCache;
 use pe_nsga::{Evaluation, IntProblem};
 
@@ -235,7 +236,7 @@ impl<P: IntProblem + Sync> IntProblem for CachedEvaluator<P> {
         // `miss_of[genome]` is the index into `miss_rows`/`computed`
         // for every genome the inner problem has to score.
         let mut miss_rows: Vec<usize> = Vec::new();
-        let mut miss_of: HashMap<&[u32], usize> = HashMap::new();
+        let mut miss_of: HashMap<&[u32], usize, FxBuildHasher> = HashMap::default();
         {
             let mut cache = self.lock_cache();
             for (i, genome) in genomes.iter().enumerate() {
@@ -319,6 +320,8 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
             column_hits: columns.hits,
             column_misses: columns.misses,
             column_entries: columns.entries,
+            column_contended: columns.contended,
+            column_shards: columns.shards,
             cost_hits: problem.cost_hits,
             cost_misses: problem.cost_misses,
             store_ingested: problem.store.ingested,

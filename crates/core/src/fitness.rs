@@ -233,6 +233,23 @@ impl AxTrainProblem {
         self
     }
 
+    /// Replace the neuron-column cache with one split across an
+    /// explicit shard count (see
+    /// [`NeuronColumnCache::with_shards`]). A concurrency knob only —
+    /// any shard count yields byte-identical evaluations, which the
+    /// sharded-cache determinism test pins down. The default cache
+    /// follows the `PE_CACHE_SHARDS` environment variable.
+    ///
+    /// Call before evaluations start: the fresh cache begins cold.
+    #[must_use]
+    pub fn with_column_shards(mut self, shards: usize) -> Self {
+        self.col_cache = Arc::new(NeuronColumnCache::for_samples_with_shards(
+            self.rows.len(),
+            shards,
+        ));
+        self
+    }
+
     /// Estimated power in mW of `area_ge` gate equivalents at the
     /// scenario's operating supply — the per-cell GE→mW roll-up the
     /// fast cost layer uses for the power constraint.
@@ -391,30 +408,42 @@ impl AxTrainProblem {
         let device = trial as u32 + 1;
         let model = &robust.model;
         let cache = &*self.col_cache;
+        let kernel = columnar::kernel_mode();
         let mut signature = ROOT_SIGNATURE;
         let mut pending_signature: Option<(&[pe_mlp::AxNeuron], pe_mlp::QReluCfg)> = None;
-        let mut act: Vec<Arc<[u8]>> = Vec::new();
+        let ColumnarEvalScratch {
+            acc,
+            narrow,
+            col,
+            out_accs,
+            best_value,
+            best_index,
+            act,
+            next_act,
+            kernel: kscratch,
+            ..
+        } = scratch;
+        act.clear();
+        // The trial's segment of every extended feature column, built
+        // once per trial; deeper layers pass their `Arc` column storage
+        // to the (generic) kernels directly.
+        let refs: Vec<&[u8]> = (0..robust.columns.width())
+            .map(|f| &robust.columns.col(f)[base..base + n])
+            .collect();
         let mut first = true;
         for (li, layer) in mlp.layers.iter().enumerate() {
-            let refs: Vec<&[u8]> = if first {
-                (0..robust.columns.width())
-                    .map(|f| &robust.columns.col(f)[base..base + n])
-                    .collect()
-            } else {
-                act.iter().map(|c| &c[..]).collect()
-            };
             match layer.qrelu {
                 Some(q) => {
                     if let Some((prev, prev_q)) = pending_signature.take() {
                         signature = cache.layer_signature(li - 1, signature, prev_q, prev);
                     }
-                    let mut out = Vec::with_capacity(layer.neurons.len());
+                    next_act.clear();
                     for (ni, neuron) in layer.neurons.iter().enumerate() {
                         let draw = model.device_draw(tseed, li, ni, layer.input_bits);
                         // The draw above depends on `ni`, so the cache
                         // key must too: identical specs at different
                         // positions are *different* perturbed columns.
-                        out.push(cache.hidden_column(
+                        next_act.push(cache.hidden_column(
                             li,
                             signature,
                             layer.input_bits,
@@ -423,70 +452,74 @@ impl AxTrainProblem {
                             ni as u32,
                             neuron,
                             || {
-                                columnar::accumulate_neuron_column(
-                                    neuron,
-                                    &refs,
-                                    n,
-                                    &mut scratch.acc,
-                                    &mut scratch.narrow,
-                                );
+                                if first {
+                                    columnar::accumulate_neuron_column_kernel(
+                                        kernel, neuron, &refs, n, acc, narrow, kscratch,
+                                    );
+                                } else {
+                                    columnar::accumulate_neuron_column_kernel(
+                                        kernel,
+                                        neuron,
+                                        &act[..],
+                                        n,
+                                        acc,
+                                        narrow,
+                                        kscratch,
+                                    );
+                                }
                                 if !draw.is_identity() {
-                                    for a in scratch.acc.iter_mut() {
+                                    for a in acc.iter_mut() {
                                         *a = draw.apply(*a);
                                     }
                                 }
-                                columnar::qrelu_column(q, &scratch.acc, &mut scratch.col);
-                                Arc::from(scratch.col.as_slice())
+                                columnar::qrelu_column(q, acc, col);
+                                Arc::from(col.as_slice())
                             },
                         ));
                     }
                     pending_signature = Some((&layer.neurons, q));
-                    drop(refs);
-                    act = out;
+                    std::mem::swap(act, next_act);
                     first = false;
                 }
                 None => {
                     let count = layer.neurons.len();
-                    scratch.out_accs.resize(count, Vec::new());
-                    for (ni, (neuron, out)) in layer
-                        .neurons
-                        .iter()
-                        .zip(scratch.out_accs.iter_mut())
-                        .enumerate()
+                    out_accs.resize(count, Vec::new());
+                    for (ni, (neuron, out)) in
+                        layer.neurons.iter().zip(out_accs.iter_mut()).enumerate()
                     {
-                        columnar::accumulate_neuron_column(
-                            neuron,
-                            &refs,
-                            n,
-                            &mut scratch.acc,
-                            &mut scratch.narrow,
-                        );
+                        if first {
+                            columnar::accumulate_neuron_column_kernel(
+                                kernel, neuron, &refs, n, acc, narrow, kscratch,
+                            );
+                        } else {
+                            columnar::accumulate_neuron_column_kernel(
+                                kernel,
+                                neuron,
+                                &act[..],
+                                n,
+                                acc,
+                                narrow,
+                                kscratch,
+                            );
+                        }
                         let draw = model.device_draw(tseed, li, ni, layer.input_bits);
                         if !draw.is_identity() {
-                            for a in scratch.acc.iter_mut() {
+                            for a in acc.iter_mut() {
                                 *a = draw.apply(*a);
                             }
                         }
-                        std::mem::swap(&mut scratch.acc, out);
+                        std::mem::swap(acc, out);
                     }
-                    return argmax_hits(
-                        &scratch.out_accs[..count],
-                        &self.labels,
-                        &mut scratch.best_index,
-                        &mut scratch.best_value,
-                    );
+                    return argmax_hits(&out_accs[..count], &self.labels, best_index, best_value);
                 }
             }
         }
         // Trailing-QReLU topology: argmax over the final activations.
-        let refs: Vec<&[u8]> = if first {
-            (0..robust.columns.width())
-                .map(|f| &robust.columns.col(f)[base..base + n])
-                .collect()
+        let preds = if first {
+            columnar::argmax_columns(&refs, n)
         } else {
-            act.iter().map(|c| &c[..]).collect()
+            columnar::argmax_columns(&act[..], n)
         };
-        let preds = columnar::argmax_columns(&refs, n);
         preds
             .iter()
             .zip(&self.labels)
@@ -505,28 +538,44 @@ impl AxTrainProblem {
             return 0.0; // the workspace-wide empty-data convention
         }
         let cache = &*self.col_cache;
+        let kernel = columnar::kernel_mode();
         let mut signature = ROOT_SIGNATURE;
         // The previous *hidden* layer's neurons, not yet interned: the
         // signature is only needed to key columns of a deeper hidden
         // layer, so interning is deferred until one actually appears
         // (the ubiquitous one-hidden-layer topology never pays for it).
         let mut pending_signature: Option<(&[pe_mlp::AxNeuron], pe_mlp::QReluCfg)> = None;
-        let mut act: Vec<Arc<[u8]>> = Vec::new();
+        let ColumnarEvalScratch {
+            acc,
+            narrow,
+            col,
+            out_accs,
+            out_narrow,
+            best_value,
+            best_narrow,
+            best_index,
+            act,
+            next_act,
+            kernel: kscratch,
+            ..
+        } = scratch;
+        act.clear();
+        // Layer 0's input columns, built once per evaluation into a
+        // small ref vector; deeper layers pass their `Arc` column
+        // storage to the (generic) kernels directly — no per-layer ref
+        // vector at all.
+        let mut refs: Vec<&[u8]> = Vec::with_capacity(self.columns.width());
+        self.columns.col_refs_into(&mut refs);
         let mut first = true;
         for (li, layer) in mlp.layers.iter().enumerate() {
-            let refs: Vec<&[u8]> = if first {
-                self.columns.col_refs()
-            } else {
-                act.iter().map(|c| &c[..]).collect()
-            };
             match layer.qrelu {
                 Some(q) => {
                     if let Some((prev, prev_q)) = pending_signature.take() {
                         signature = cache.layer_signature(li - 1, signature, prev_q, prev);
                     }
-                    let mut out = Vec::with_capacity(layer.neurons.len());
+                    next_act.clear();
                     for neuron in &layer.neurons {
-                        out.push(cache.hidden_column(
+                        next_act.push(cache.hidden_column(
                             li,
                             signature,
                             layer.input_bits,
@@ -535,21 +584,29 @@ impl AxTrainProblem {
                             0, // …whose columns are position-independent
                             neuron,
                             || {
-                                columnar::accumulate_neuron_column(
-                                    neuron,
-                                    &refs,
-                                    n,
-                                    &mut scratch.acc,
-                                    &mut scratch.narrow,
-                                );
-                                columnar::qrelu_column(q, &scratch.acc, &mut scratch.col);
-                                Arc::from(scratch.col.as_slice())
+                                if first {
+                                    columnar::hidden_column_kernel(
+                                        kernel, neuron, &refs, n, q, acc, narrow, kscratch, col,
+                                    );
+                                } else {
+                                    columnar::hidden_column_kernel(
+                                        kernel,
+                                        neuron,
+                                        &act[..],
+                                        n,
+                                        q,
+                                        acc,
+                                        narrow,
+                                        kscratch,
+                                        col,
+                                    );
+                                }
+                                Arc::from(col.as_slice())
                             },
                         ));
                     }
                     pending_signature = Some((&layer.neurons, q));
-                    drop(refs);
-                    act = out;
+                    std::mem::swap(act, next_act);
                     first = false;
                 }
                 None => {
@@ -563,41 +620,52 @@ impl AxTrainProblem {
                     // bit-exact, and twice the SIMD lanes.
                     let count = layer.neurons.len();
                     let hits = if layer.neurons.iter().all(columnar::fits_i32) {
-                        scratch.out_narrow.resize(count, Vec::new());
-                        for (neuron, out) in layer.neurons.iter().zip(scratch.out_narrow.iter_mut())
-                        {
-                            columnar::accumulate_neuron_column_narrow(
-                                neuron,
-                                &refs,
-                                n,
-                                &mut scratch.narrow,
-                            );
-                            std::mem::swap(&mut scratch.narrow, out);
+                        out_narrow.resize(count, Vec::new());
+                        for (neuron, out) in layer.neurons.iter().zip(out_narrow.iter_mut()) {
+                            if first {
+                                columnar::accumulate_neuron_column_narrow_kernel(
+                                    kernel, neuron, &refs, n, narrow, kscratch,
+                                );
+                            } else {
+                                columnar::accumulate_neuron_column_narrow_kernel(
+                                    kernel,
+                                    neuron,
+                                    &act[..],
+                                    n,
+                                    narrow,
+                                    kscratch,
+                                );
+                            }
+                            std::mem::swap(narrow, out);
                         }
-                        argmax_hits(
-                            &scratch.out_narrow[..count],
+                        argmax_hits_narrow(
+                            kernel,
+                            &out_narrow[..count],
                             &self.labels,
-                            &mut scratch.best_index,
-                            &mut scratch.best_narrow,
+                            best_index,
+                            best_narrow,
                         )
                     } else {
-                        scratch.out_accs.resize(count, Vec::new());
-                        for (neuron, out) in layer.neurons.iter().zip(scratch.out_accs.iter_mut()) {
-                            columnar::accumulate_neuron_column(
-                                neuron,
-                                &refs,
-                                n,
-                                &mut scratch.acc,
-                                &mut scratch.narrow,
-                            );
-                            std::mem::swap(&mut scratch.acc, out);
+                        out_accs.resize(count, Vec::new());
+                        for (neuron, out) in layer.neurons.iter().zip(out_accs.iter_mut()) {
+                            if first {
+                                columnar::accumulate_neuron_column_kernel(
+                                    kernel, neuron, &refs, n, acc, narrow, kscratch,
+                                );
+                            } else {
+                                columnar::accumulate_neuron_column_kernel(
+                                    kernel,
+                                    neuron,
+                                    &act[..],
+                                    n,
+                                    acc,
+                                    narrow,
+                                    kscratch,
+                                );
+                            }
+                            std::mem::swap(acc, out);
                         }
-                        argmax_hits(
-                            &scratch.out_accs[..count],
-                            &self.labels,
-                            &mut scratch.best_index,
-                            &mut scratch.best_value,
-                        )
+                        argmax_hits(&out_accs[..count], &self.labels, best_index, best_value)
                     };
                     return hits as f64 / n as f64;
                 }
@@ -605,12 +673,11 @@ impl AxTrainProblem {
         }
         // A network whose last layer has a QReLU (unusual): argmax over
         // the final activation columns, mirroring the row oracle.
-        let refs: Vec<&[u8]> = if first {
-            self.columns.col_refs()
+        let preds = if first {
+            columnar::argmax_columns(&refs, n)
         } else {
-            act.iter().map(|c| &c[..]).collect()
+            columnar::argmax_columns(&act[..], n)
         };
-        let preds = columnar::argmax_columns(&refs, n);
         let hits = preds
             .iter()
             .zip(&self.labels)
@@ -666,7 +733,11 @@ impl AxTrainProblem {
     /// searches the record additionally carries the nominal accuracy
     /// (one extra cached columnar pass per unique design).
     fn evaluate_with(&self, genes: &[u32], scratch: &mut ColumnarEvalScratch) -> Evaluation {
-        let mlp = self.spec.decode(genes);
+        // Decode in place into the scratch-owned network (taken out for
+        // the duration of the call so `scratch`'s buffers stay free to
+        // borrow), then hand the allocations back for the next genome.
+        let mut mlp = std::mem::take(&mut scratch.decoded);
+        self.spec.decode_into(genes, &mut mlp);
         let accuracy = self.fitness_accuracy(&mlp, scratch);
         let area = self.area_of(&mlp);
         if let Some(sink) = &self.sink {
@@ -677,6 +748,7 @@ impl AxTrainProblem {
             };
             sink.record_evaluation(&mlp, nominal, robust, area);
         }
+        scratch.decoded = mlp;
         self.evaluation_of(accuracy, area)
     }
 
@@ -716,6 +788,11 @@ impl AxTrainProblem {
             for n in &layer.neurons {
                 n.to_arith_spec_into(layer.input_bits, &mut spec);
                 spec.bias -= i64::from(bias_shift);
+                // Pruned weights are wired out of the hardware, so the
+                // estimate ignores them — dropping them here makes the
+                // memo key canonical: drifting a don't-care gene of a
+                // masked-out weight no longer misses the cost cache.
+                spec.weights.retain(|w| w.mask != 0);
                 let counts = self.estimator.counts(&spec);
                 // The single pe-arith → pe-hw gate-count conversion.
                 ge += tech.ge_total(&pe_hw::CellCounts::from(&counts));
@@ -754,7 +831,11 @@ fn has_constant_hidden_neuron(mlp: &pe_mlp::AxMlp) -> bool {
 
 /// Reusable buffers for the cached columnar scoring path (LUT,
 /// accumulator column, activation column). One per worker thread / per
-/// batch; grows to the dataset size once.
+/// batch; grows to the dataset size once. `act`/`next_act` are the
+/// batch-scoped arena for the per-wave activation column sets: the
+/// `Arc` handles are cheap clones of cached columns, and keeping the
+/// two `Vec`s here means the layer walk stops allocating a fresh
+/// column-set vector per layer per genome.
 #[derive(Debug, Default)]
 struct ColumnarEvalScratch {
     acc: Vec<i64>,
@@ -765,6 +846,12 @@ struct ColumnarEvalScratch {
     best_value: Vec<i64>,
     best_narrow: Vec<i32>,
     best_index: Vec<u32>,
+    act: Vec<Arc<[u8]>>,
+    next_act: Vec<Arc<[u8]>>,
+    kernel: columnar::KernelScratch,
+    /// Decode-in-place network, reused across genomes so the decode
+    /// step allocates nothing in steady state.
+    decoded: pe_mlp::AxMlp,
 }
 
 /// Per-sample argmax over neuron-major accumulator columns, ties to
@@ -800,6 +887,36 @@ fn argmax_hits<T: Copy + PartialOrd>(
         .zip(labels)
         .filter(|&(&b, &l)| b as usize == l)
         .count()
+}
+
+/// [`argmax_hits`] over narrow (`i32`) columns: under the explicit
+/// SIMD kernel the per-column update runs vectorized (bit-exact —
+/// same strictly-greater rule, same column order); every other kernel
+/// mode, and hosts without the vector path, take the scalar sweep.
+fn argmax_hits_narrow(
+    kernel: pe_mlp::KernelKind,
+    accs: &[Vec<i32>],
+    labels: &[usize],
+    best_index: &mut Vec<u32>,
+    best_value: &mut Vec<i32>,
+) -> usize {
+    if kernel == pe_mlp::KernelKind::Simd {
+        best_value.clear();
+        best_value.extend_from_slice(&accs[0]);
+        best_index.clear();
+        best_index.resize(labels.len(), 0);
+        let vectored = accs.iter().enumerate().skip(1).all(|(j, acc)| {
+            pe_mlp::simd::argmax_update_narrow(j as u32, acc, best_index, best_value)
+        });
+        if vectored {
+            return best_index
+                .iter()
+                .zip(labels)
+                .filter(|&(&b, &l)| b as usize == l)
+                .count();
+        }
+    }
+    argmax_hits(accs, labels, best_index, best_value)
 }
 
 impl IntProblem for AxTrainProblem {

@@ -110,6 +110,22 @@ impl GenomeSpec {
     /// Panics if `genes` has the wrong length or violates the bounds.
     #[must_use]
     pub fn decode(&self, genes: &[u32]) -> AxMlp {
+        let mut out = AxMlp::default();
+        self.decode_into(genes, &mut out);
+        out
+    }
+
+    /// [`decode`](Self::decode) into a caller-owned network, reusing
+    /// its layer/neuron/weight allocations — the GA evaluation loop
+    /// decodes one genome per fitness call, and with a per-thread
+    /// scratch network the decode performs zero allocations in steady
+    /// state. Any previous contents of `out` (including a different
+    /// shape) are fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len()` disagrees with the spec's gene count.
+    pub fn decode_into(&self, genes: &[u32], out: &mut AxMlp) {
         assert_eq!(genes.len(), self.bounds.len(), "genome length mismatch");
         let bias_offset = 1i64 << (self.bias_bits - 1);
         let mut cursor = 0usize;
@@ -119,40 +135,43 @@ impl GenomeSpec {
             cursor += 1;
             g
         };
-        let layers = self
-            .layers
-            .iter()
-            .map(|l| {
-                let mask_bound = 1u32 << l.input_bits;
-                let neurons = (0..l.neurons)
-                    .map(|_| {
-                        let weights = (0..l.fan_in)
-                            .map(|_| {
-                                let mask = take(mask_bound) as u16;
-                                let negative = take(2) == 1;
-                                let shift = take(self.weight_bits - 1) as u8;
-                                AxWeight {
-                                    mask,
-                                    shift,
-                                    negative,
-                                }
-                            })
-                            .collect();
-                        let bias_gene = i64::from(take(1u32 << self.bias_bits));
-                        AxNeuron {
-                            weights,
-                            bias: (bias_gene - bias_offset) as i32,
-                        }
-                    })
-                    .collect();
-                AxLayer {
+        out.layers.truncate(self.layers.len());
+        for (li, l) in self.layers.iter().enumerate() {
+            let mask_bound = 1u32 << l.input_bits;
+            if li == out.layers.len() {
+                out.layers.push(AxLayer {
                     input_bits: l.input_bits,
-                    neurons,
+                    neurons: Vec::with_capacity(l.neurons),
                     qrelu: l.qrelu,
+                });
+            }
+            let layer = &mut out.layers[li];
+            layer.input_bits = l.input_bits;
+            layer.qrelu = l.qrelu;
+            layer.neurons.truncate(l.neurons);
+            for ni in 0..l.neurons {
+                if ni == layer.neurons.len() {
+                    layer.neurons.push(AxNeuron {
+                        weights: Vec::with_capacity(l.fan_in),
+                        bias: 0,
+                    });
                 }
-            })
-            .collect();
-        AxMlp { layers }
+                let neuron = &mut layer.neurons[ni];
+                neuron.weights.clear();
+                for _ in 0..l.fan_in {
+                    let mask = take(mask_bound) as u16;
+                    let negative = take(2) == 1;
+                    let shift = take(self.weight_bits - 1) as u8;
+                    neuron.weights.push(AxWeight {
+                        mask,
+                        shift,
+                        negative,
+                    });
+                }
+                let bias_gene = i64::from(take(1u32 << self.bias_bits));
+                neuron.bias = (bias_gene - bias_offset) as i32;
+            }
+        }
     }
 
     /// Encode an approximate MLP back into genes (inverse of

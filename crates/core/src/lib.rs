@@ -101,7 +101,7 @@ pub mod robust;
 pub mod store;
 pub mod train;
 
-pub use columns::{ColumnCacheStats, NeuronColumnCache};
+pub use columns::{ColumnCacheStats, NeuronColumnCache, ShardStats, DEFAULT_SHARDS};
 pub use config::AxTrainConfig;
 pub use engine::{
     fingerprint_json, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine, SearchOutcome,

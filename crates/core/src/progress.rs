@@ -143,6 +143,11 @@ pub enum ProgressEvent {
         column_misses: u64,
         /// Neuron columns currently resident in the column cache.
         column_entries: usize,
+        /// Column-cache probes that found their shard lock held by
+        /// another thread (lock contention, aggregated over shards).
+        column_contended: u64,
+        /// Shards the column cache is split across.
+        column_shards: usize,
         /// Neuron gate-count lookups served from the cost-model memo.
         cost_hits: u64,
         /// Neuron gate-count computations the cost model ran.

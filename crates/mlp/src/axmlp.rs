@@ -123,7 +123,11 @@ pub struct AxLayer {
 }
 
 /// The complete approximate printed MLP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Default` is the empty network — the seed state for decode-in-place
+/// scratch buffers that are filled by `GenomeSpec::decode_into` before
+/// every use.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AxMlp {
     /// Layers, first hidden layer first.
     pub layers: Vec<AxLayer>,

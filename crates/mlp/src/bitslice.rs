@@ -1,0 +1,246 @@
+//! Portable SWAR bit-sliced column accumulation: 8 samples per `u64`.
+//!
+//! Activations are bytes (4-bit in the paper, at most 8 bits anywhere
+//! in the workspace), and a weight's contribution is
+//! `±((x & mask) << shift)`. Loading 8 consecutive samples of a column
+//! as one little-endian `u64` lets a single AND against the
+//! byte-broadcast mask evaluate `x & mask` for all 8 lanes at once.
+//! The masked word is then split into even and odd bytes, widening
+//! each byte into its own 16-bit lane, and the whole word is shifted
+//! left by the weight's `shift` — one shift applies to all lanes
+//! simultaneously, carry-free as long as each lane stays within its
+//! 16 bits.
+//!
+//! Positive and negative weights accumulate into separate lane planes
+//! (subtraction would need borrows across lanes); a running worst-case
+//! bound per lane decides when to flush the 16-bit lanes into the
+//! `i32` accumulator *before* any lane could overflow. Because
+//! [`fits_i32`](crate::columnar::fits_i32) already bounds the total
+//! sum, every partial sum is exact, and integer addition is
+//! order-agnostic — so the result is bit-exact with the scalar
+//! reference, which the proptest parity suite pins down.
+//!
+//! Samples beyond the last full 8-lane chunk run through a scalar
+//! tail. Pure safe code; no `std::arch`, so this mode works on every
+//! target ([`KernelKind::BitSliced`](crate::columnar::KernelKind)).
+
+use crate::axmlp::AxNeuron;
+
+/// Low byte of each 16-bit lane pair: selects the even-index samples
+/// of a masked 8-byte word (odd samples after a `>> 8`).
+const EVEN_BYTES: u64 = 0x00FF_00FF_00FF_00FF;
+/// Broadcasts one byte to all 8 byte lanes of a `u64`.
+const BROADCAST: u64 = 0x0101_0101_0101_0101;
+/// Worst-case value a 16-bit lane may reach before it must be flushed
+/// into the `i32` accumulator.
+const LANE_MAX: u32 = 0xFFFF;
+
+/// Whether the bit-sliced kernel can evaluate `neuron` exactly: the
+/// accumulator must fit `i32` (the flush target) and every active
+/// weight's single-sample contribution `(x & mask) << shift` must fit
+/// one 16-bit lane. Genome-encodable weights (4-bit masked
+/// activations, small shifts) pass comfortably; hand-built extremes
+/// fall back to the scalar kernel.
+#[must_use]
+pub fn supported(neuron: &AxNeuron) -> bool {
+    crate::columnar::fits_i32(neuron)
+        && neuron
+            .weights
+            .iter()
+            .filter(|w| w.mask != 0)
+            .all(|w| w.shift <= 8 && (u32::from(w.mask & 0xFF) << w.shift) <= LANE_MAX)
+}
+
+/// Add a positive (`negative == false`) or subtract a negative plane's
+/// 16-bit lanes into the scalar accumulator and zero the plane.
+/// `planes[2c]` holds the even samples of chunk `c` (lane `j` =
+/// sample `8c + 2j`), `planes[2c + 1]` the odd ones.
+fn flush(planes: &mut [u64], acc: &mut [i32], negative: bool) {
+    for (c, pair) in planes.chunks_exact_mut(2).enumerate() {
+        let chunk = &mut acc[c * 8..c * 8 + 8];
+        let (even, odd) = (pair[0], pair[1]);
+        for j in 0..4 {
+            let lane_e = ((even >> (16 * j)) & 0xFFFF) as i32;
+            let lane_o = ((odd >> (16 * j)) & 0xFFFF) as i32;
+            if negative {
+                chunk[2 * j] -= lane_e;
+                chunk[2 * j + 1] -= lane_o;
+            } else {
+                chunk[2 * j] += lane_e;
+                chunk[2 * j + 1] += lane_o;
+            }
+        }
+        pair[0] = 0;
+        pair[1] = 0;
+    }
+}
+
+/// Bit-sliced [`accumulate_neuron_column_narrow`]: same contract, same
+/// results, 8 samples per `u64` word.
+///
+/// `planes` is the reusable lane-accumulator scratch (grown to
+/// `2 × ⌊samples/8⌋` words per polarity on first use).
+///
+/// [`accumulate_neuron_column_narrow`]: crate::columnar::accumulate_neuron_column_narrow
+///
+/// # Panics
+///
+/// Panics if `inputs` and the weights disagree in count, an active
+/// weight's column length differs from `samples`, or [`supported`] is
+/// violated (debug).
+pub fn accumulate_neuron_column_bitsliced<C: AsRef<[u8]>>(
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i32>,
+    planes: &mut Vec<u64>,
+) {
+    debug_assert!(supported(neuron), "unsupported neuron for bit-slicing");
+    assert_eq!(
+        inputs.len(),
+        neuron.weights.len(),
+        "input column count mismatch"
+    );
+    acc.clear();
+    acc.resize(samples, neuron.bias);
+    let chunks = samples / 8;
+    let words = 2 * chunks;
+    planes.clear();
+    planes.resize(2 * words, 0);
+    let (pos, neg) = planes.split_at_mut(words);
+    // Worst case any single 16-bit lane of each polarity may hold so
+    // far; exceeded bounds trigger a flush *before* the weight lands.
+    let (mut pos_bound, mut neg_bound) = (0u32, 0u32);
+    for (w, col) in neuron.weights.iter().zip(inputs) {
+        if w.mask == 0 {
+            continue;
+        }
+        let col = col.as_ref();
+        assert_eq!(col.len(), samples, "column length mismatch");
+        let mask8 = u64::from(w.mask & 0xFF);
+        let broadcast = mask8 * BROADCAST;
+        let term_max = (mask8 as u32) << w.shift;
+        let (target, bound) = if w.negative {
+            (&mut *neg, &mut neg_bound)
+        } else {
+            (&mut *pos, &mut pos_bound)
+        };
+        if *bound + term_max > LANE_MAX {
+            flush(target, acc, w.negative);
+            *bound = 0;
+        }
+        *bound += term_max;
+        for (c, chunk) in col[..chunks * 8].chunks_exact(8).enumerate() {
+            let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let m = x & broadcast;
+            target[2 * c] += (m & EVEN_BYTES) << w.shift;
+            target[2 * c + 1] += ((m >> 8) & EVEN_BYTES) << w.shift;
+        }
+        // Scalar tail over the samples past the last full chunk.
+        let mask = (w.mask & 0xFF) as u8;
+        let tail = acc[chunks * 8..].iter_mut().zip(&col[chunks * 8..]);
+        if w.negative {
+            for (a, &x) in tail {
+                *a -= i32::from(x & mask) << w.shift;
+            }
+        } else {
+            for (a, &x) in tail {
+                *a += i32::from(x & mask) << w.shift;
+            }
+        }
+    }
+    flush(pos, acc, false);
+    flush(neg, acc, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axmlp::AxWeight;
+    use crate::columnar::{accumulate_neuron_column_narrow, ColumnMatrix, QuantMatrix};
+
+    fn weight(mask: u16, shift: u8, negative: bool) -> AxWeight {
+        AxWeight {
+            mask,
+            shift,
+            negative,
+        }
+    }
+
+    fn columns(width: usize, samples: usize, seed: u8) -> ColumnMatrix {
+        let rows: Vec<Vec<u8>> = (0..samples)
+            .map(|s| {
+                (0..width)
+                    .map(|f| ((s * 7 + f * 13 + usize::from(seed) * 31) % 16) as u8)
+                    .collect()
+            })
+            .collect();
+        QuantMatrix::from_rows(&rows).columns()
+    }
+
+    #[test]
+    fn matches_the_scalar_narrow_kernel() {
+        let neuron = AxNeuron {
+            weights: vec![
+                weight(0b1011, 3, true),
+                weight(0b0101, 1, false),
+                weight(0, 7, true),
+                weight(0b1111, 0, false),
+            ],
+            bias: -23,
+        };
+        assert!(supported(&neuron));
+        // Sample counts straddling the 8-lane chunk boundary.
+        for samples in [0usize, 1, 7, 8, 9, 16, 100, 257] {
+            let cols = columns(neuron.weights.len(), samples, 5);
+            let refs = if samples == 0 {
+                vec![&[][..]; neuron.weights.len()]
+            } else {
+                cols.col_refs()
+            };
+            let (mut want, mut got, mut planes) = (Vec::new(), Vec::new(), Vec::new());
+            accumulate_neuron_column_narrow(&neuron, &refs, samples, &mut want);
+            accumulate_neuron_column_bitsliced(&neuron, &refs, samples, &mut got, &mut planes);
+            assert_eq!(got, want, "samples {samples}");
+        }
+    }
+
+    #[test]
+    fn forced_lane_flushes_stay_exact() {
+        // Many max-magnitude weights of one polarity: each contributes
+        // up to 255 << 8 = 0xFF00 per lane, so every weight beyond the
+        // first forces a flush — the flush path runs repeatedly.
+        let neuron = AxNeuron {
+            weights: (0..6)
+                .map(|i| weight(0xFF, 8, i % 2 == 0))
+                .collect::<Vec<_>>(),
+            bias: 1000,
+        };
+        assert!(supported(&neuron));
+        let rows: Vec<Vec<u8>> = (0..33usize)
+            .map(|s| (0..6).map(|f| ((s * 5 + f * 11) % 256) as u8).collect())
+            .collect();
+        let cols = QuantMatrix::from_rows(&rows).columns();
+        let refs = cols.col_refs();
+        let (mut want, mut got, mut planes) = (Vec::new(), Vec::new(), Vec::new());
+        accumulate_neuron_column_narrow(&neuron, &refs, 33, &mut want);
+        accumulate_neuron_column_bitsliced(&neuron, &refs, 33, &mut got, &mut planes);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rejects_lane_overflowing_weights() {
+        // (0xFF << 9) exceeds a 16-bit lane: must fall back.
+        let wide = AxNeuron {
+            weights: vec![weight(0xFF, 9, false)],
+            bias: 0,
+        };
+        assert!(!supported(&wide));
+        // Mask 0 deactivates the weight, making the same shift fine.
+        let inactive = AxNeuron {
+            weights: vec![weight(0, 9, false)],
+            bias: 0,
+        };
+        assert!(supported(&inactive));
+    }
+}

@@ -31,6 +31,32 @@
 //! argmax-ties-to-lowest — which the test-suite proves exhaustively and
 //! by property tests; the per-row API stays available as the reference
 //! oracle.
+//!
+//! # Kernel modes
+//!
+//! The per-weight accumulation itself comes in four interchangeable
+//! [`KernelKind`]s, all bit-exact with each other (integer sums
+//! without overflow are representation-agnostic, which the proptest
+//! parity suite pins down):
+//!
+//! * [`KernelKind::Scalar`] — the analytic AND/shift/add loop above,
+//!   left to the auto-vectorizer. The reference.
+//! * [`KernelKind::Lut`] — the literal `acc[s] += lut[x[s]]` gather
+//!   over tables compiled by [`weight_lut`] into one scratch reused
+//!   across weights and neurons ([`KernelScratch`]).
+//! * [`KernelKind::BitSliced`] — portable SWAR ([`crate::bitslice`]):
+//!   8 samples per `u64`, the LUT entry evaluated with AND/shift/add
+//!   across 16-bit lanes.
+//! * [`KernelKind::Simd`] — explicit `std::arch` x86_64 SSE2/AVX2
+//!   ([`crate::simd`]), runtime feature-detected, with the scalar
+//!   kernel as the fallback everywhere else.
+//!
+//! [`kernel_mode`] picks the process-wide default (the `PE_KERNEL`
+//! environment variable, `auto` preferring SIMD where available);
+//! [`predictions_columns_with_kernel`] and the `*_kernel` accumulators
+//! accept an explicit kind for benches and parity tests.
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -260,7 +286,17 @@ impl ColumnMatrix {
     /// All columns, in feature order.
     #[must_use]
     pub fn col_refs(&self) -> Vec<&[u8]> {
-        (0..self.width).map(|f| self.col(f)).collect()
+        let mut refs = Vec::new();
+        self.col_refs_into(&mut refs);
+        refs
+    }
+
+    /// All columns, in feature order, into a reused buffer — the
+    /// allocation-free variant the fitness path uses (`out` is cleared
+    /// first; its capacity survives across calls).
+    pub fn col_refs_into<'a>(&'a self, out: &mut Vec<&'a [u8]>) {
+        out.clear();
+        out.extend((0..self.width).map(|f| self.col(f)));
     }
 }
 
@@ -309,13 +345,17 @@ pub fn weight_lut(w: AxWeight, input_bits: u32, lut: &mut Vec<i32>) {
 ///
 /// Bit-exact with running [`AxNeuron::accumulate`] on every sample.
 ///
+/// Input columns are anything slice-like (`&[u8]`, `Vec<u8>`,
+/// `Arc<[u8]>`), so callers can pass their column storage directly
+/// without building a `Vec<&[u8]>` per layer.
+///
 /// # Panics
 ///
 /// Panics if `inputs` and the weights disagree in count, or a column's
 /// length differs from `samples`.
-pub fn accumulate_neuron_column(
+pub fn accumulate_neuron_column<C: AsRef<[u8]>>(
     neuron: &AxNeuron,
-    inputs: &[&[u8]],
+    inputs: &[C],
     samples: usize,
     acc: &mut Vec<i64>,
     narrow: &mut Vec<i32>,
@@ -338,7 +378,7 @@ pub fn accumulate_neuron_column(
         "input column count mismatch"
     );
     for col in inputs {
-        assert_eq!(col.len(), samples, "column length mismatch");
+        assert_eq!(col.as_ref().len(), samples, "column length mismatch");
     }
     acc.clear();
     acc.resize(samples, i64::from(neuron.bias));
@@ -346,14 +386,15 @@ pub fn accumulate_neuron_column(
         if w.mask == 0 {
             continue;
         }
+        let col = col.as_ref();
         let mask = (w.mask & 0xFF) as u8;
         let shift = w.shift;
         if w.negative {
-            for (a, &x) in acc.iter_mut().zip(*col) {
+            for (a, &x) in acc.iter_mut().zip(col) {
                 *a -= i64::from(x & mask) << shift;
             }
         } else {
-            for (a, &x) in acc.iter_mut().zip(*col) {
+            for (a, &x) in acc.iter_mut().zip(col) {
                 *a += i64::from(x & mask) << shift;
             }
         }
@@ -389,9 +430,9 @@ pub fn fits_i32(neuron: &AxNeuron) -> bool {
 ///
 /// Panics if `inputs` and the weights disagree in count, a column's
 /// length differs from `samples`, or `fits_i32` is violated (debug).
-pub fn accumulate_neuron_column_narrow(
+pub fn accumulate_neuron_column_narrow<C: AsRef<[u8]>>(
     neuron: &AxNeuron,
-    inputs: &[&[u8]],
+    inputs: &[C],
     samples: usize,
     acc: &mut Vec<i32>,
 ) {
@@ -409,6 +450,7 @@ pub fn accumulate_neuron_column_narrow(
         if w.mask == 0 {
             continue;
         }
+        let col = col.as_ref();
         assert_eq!(col.len(), samples, "column length mismatch");
         let mask = (w.mask & 0xFF) as u8;
         let shift = w.shift;
@@ -418,12 +460,12 @@ pub fn accumulate_neuron_column_narrow(
                 acc.extend(col.iter().map(|&x| bias + (i32::from(x & mask) << shift)));
             }
             (false, true) => {
-                for (a, &x) in acc.iter_mut().zip(*col) {
+                for (a, &x) in acc.iter_mut().zip(col) {
                     *a -= i32::from(x & mask) << shift;
                 }
             }
             (false, false) => {
-                for (a, &x) in acc.iter_mut().zip(*col) {
+                for (a, &x) in acc.iter_mut().zip(col) {
                     *a += i32::from(x & mask) << shift;
                 }
             }
@@ -434,11 +476,256 @@ pub fn accumulate_neuron_column_narrow(
     }
 }
 
+/// Which accumulation kernel evaluates Eq. (4) columns. All four are
+/// bit-exact with each other (proven by the proptest parity suite);
+/// they differ only in how the per-weight LUT entry is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// The analytic AND/shift/add loop, left to the auto-vectorizer
+    /// ([`accumulate_neuron_column_narrow`]). The reference kernel.
+    Scalar,
+    /// The literal LUT gather `acc[s] += lut[x[s]]` over tables
+    /// compiled by [`weight_lut`] ([`accumulate_neuron_column_lut`]).
+    Lut,
+    /// Portable SWAR bit-slicing, 8 samples per `u64`
+    /// ([`crate::bitslice`]).
+    BitSliced,
+    /// Explicit `std::arch` x86_64 SSE2/AVX2 ([`crate::simd`]),
+    /// runtime feature-detected; falls back to [`KernelKind::Scalar`]
+    /// where unavailable.
+    Simd,
+}
+
+impl KernelKind {
+    /// Parse a `PE_KERNEL` value (`scalar` / `lut` / `bitsliced` /
+    /// `simd`); anything else is `None` (= auto).
+    #[must_use]
+    pub fn parse(value: &str) -> Option<KernelKind> {
+        match value {
+            "scalar" => Some(KernelKind::Scalar),
+            "lut" => Some(KernelKind::Lut),
+            "bitsliced" => Some(KernelKind::BitSliced),
+            "simd" => Some(KernelKind::Simd),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (the `PE_KERNEL` spelling).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Lut => "lut",
+            KernelKind::BitSliced => "bitsliced",
+            KernelKind::Simd => "simd",
+        }
+    }
+}
+
+/// The process-wide kernel mode: the `PE_KERNEL` environment variable
+/// (`scalar` / `lut` / `bitsliced` / `simd`), or — unset or `auto` —
+/// [`KernelKind::Simd`] where the explicit kernels are available and
+/// [`KernelKind::Scalar`] everywhere else. Read once and cached: the
+/// mode is a performance knob only — every kernel is bit-exact with
+/// every other, so artifacts never depend on it.
+#[must_use]
+pub fn kernel_mode() -> KernelKind {
+    static MODE: OnceLock<KernelKind> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("PE_KERNEL")
+            .ok()
+            .as_deref()
+            .and_then(KernelKind::parse)
+            .unwrap_or_else(|| {
+                if crate::simd::available() {
+                    KernelKind::Simd
+                } else {
+                    KernelKind::Scalar
+                }
+            })
+    })
+}
+
+/// Reusable buffers of the non-scalar kernels, plumbed through the
+/// evaluation loop like `to_arith_spec_into`'s spec buffer: the
+/// per-weight LUT is compiled into one `Vec<i32>` reused across
+/// weights *and* neurons instead of regrown per weight, and the SWAR
+/// lane accumulators persist across neurons the same way.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    /// [`weight_lut`] output, shared across every weight and neuron
+    /// scored through this scratch.
+    pub(crate) lut: Vec<i32>,
+    /// 16-bit SWAR lane accumulators of [`crate::bitslice`].
+    pub(crate) planes: Vec<u64>,
+}
+
+impl KernelScratch {
+    /// A fresh (empty) scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`accumulate_neuron_column`] through the process-wide
+/// [`kernel_mode`]: the entry point of the fitness hot path. Identical
+/// results to the scalar reference for every mode.
+pub fn accumulate_neuron_column_auto<C: AsRef<[u8]>>(
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i64>,
+    narrow: &mut Vec<i32>,
+    scratch: &mut KernelScratch,
+) {
+    accumulate_neuron_column_kernel(kernel_mode(), neuron, inputs, samples, acc, narrow, scratch);
+}
+
+/// [`accumulate_neuron_column`] through an explicit [`KernelKind`].
+/// The wide (`i64`) result lands in `acc` exactly like the reference;
+/// kernels that cannot handle the neuron (a non-[`fits_i32`] extreme,
+/// SIMD off-target, a bit-slice lane overflow) fall back to the scalar
+/// reference — bit-exact either way.
+pub fn accumulate_neuron_column_kernel<C: AsRef<[u8]>>(
+    kernel: KernelKind,
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i64>,
+    narrow: &mut Vec<i32>,
+    scratch: &mut KernelScratch,
+) {
+    if fits_i32(neuron) {
+        accumulate_neuron_column_narrow_kernel(kernel, neuron, inputs, samples, narrow, scratch);
+        acc.clear();
+        acc.extend(narrow.iter().map(|&a| i64::from(a)));
+        return;
+    }
+    // Hand-built extremes beyond i32: always the scalar i64 reference.
+    accumulate_neuron_column(neuron, inputs, samples, acc, narrow);
+}
+
+/// [`accumulate_neuron_column_narrow`] through an explicit
+/// [`KernelKind`], with per-neuron fallback to the scalar reference
+/// when the chosen kernel cannot serve this neuron. Requires
+/// [`fits_i32`] like the scalar narrow path.
+pub fn accumulate_neuron_column_narrow_kernel<C: AsRef<[u8]>>(
+    kernel: KernelKind,
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i32>,
+    scratch: &mut KernelScratch,
+) {
+    match kernel {
+        KernelKind::Scalar => accumulate_neuron_column_narrow(neuron, inputs, samples, acc),
+        KernelKind::Lut => {
+            accumulate_neuron_column_lut(neuron, inputs, samples, acc, &mut scratch.lut);
+        }
+        KernelKind::BitSliced => {
+            if crate::bitslice::supported(neuron) {
+                crate::bitslice::accumulate_neuron_column_bitsliced(
+                    neuron,
+                    inputs,
+                    samples,
+                    acc,
+                    &mut scratch.planes,
+                );
+            } else {
+                accumulate_neuron_column_narrow(neuron, inputs, samples, acc);
+            }
+        }
+        KernelKind::Simd => {
+            if !crate::simd::accumulate_neuron_column_simd(neuron, inputs, samples, acc) {
+                accumulate_neuron_column_narrow(neuron, inputs, samples, acc);
+            }
+        }
+    }
+}
+
+/// The literal LUT-gather kernel: per weight, compile the activation
+/// table with [`weight_lut`] into the shared `lut` scratch (reused
+/// across weights and neurons — never regrown per weight) and run
+/// `acc[s] += lut[x[s]]` over the contiguous column. Tables are
+/// compiled at full `u8` width, so the gather is exact for any
+/// activation stream. Requires [`fits_i32`]; bit-exact with the
+/// analytic kernels.
+///
+/// # Panics
+///
+/// Panics if `inputs` and the weights disagree in count or an active
+/// weight's column length differs from `samples`.
+pub fn accumulate_neuron_column_lut<C: AsRef<[u8]>>(
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i32>,
+    lut: &mut Vec<i32>,
+) {
+    debug_assert!(fits_i32(neuron), "narrow accumulation would overflow");
+    assert_eq!(
+        inputs.len(),
+        neuron.weights.len(),
+        "input column count mismatch"
+    );
+    acc.clear();
+    acc.resize(samples, neuron.bias);
+    for (w, col) in neuron.weights.iter().zip(inputs) {
+        if w.mask == 0 {
+            continue;
+        }
+        let col = col.as_ref();
+        assert_eq!(col.len(), samples, "column length mismatch");
+        weight_lut(*w, 8, lut);
+        let idx_mask = lut.len() - 1;
+        for (a, &x) in acc.iter_mut().zip(col) {
+            *a += lut[usize::from(x) & idx_mask];
+        }
+    }
+}
+
 /// Apply a QReLU to a whole accumulator column (into a reused buffer).
 pub fn qrelu_column(q: QReluCfg, acc: &[i64], out: &mut Vec<u8>) {
     let kernel = q.kernel();
     out.clear();
     out.extend(acc.iter().map(|&a| kernel.apply(a)));
+}
+
+/// [`qrelu_column`] straight off a narrow (`i32`) accumulator column.
+/// Bit-exact with widening first: `clamp(a >> s, 0, max)` commutes
+/// with the sign extension because `>>` is arithmetic at both widths.
+pub fn qrelu_column_narrow(q: QReluCfg, acc: &[i32], out: &mut Vec<u8>) {
+    let kernel = q.kernel();
+    out.clear();
+    out.extend(acc.iter().map(|&a| kernel.apply(i64::from(a))));
+}
+
+/// One hidden column end to end: accumulate through `kernel`, then
+/// QReLU into `out` — staying at `i32` lane width whenever the narrow
+/// precondition holds, so the widening pass the wide path would run
+/// (one full `i64` store per sample) is skipped entirely.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel dispatchers: scratch buffers are explicit
+pub fn hidden_column_kernel<C: AsRef<[u8]>>(
+    kernel: KernelKind,
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    q: QReluCfg,
+    acc: &mut Vec<i64>,
+    narrow: &mut Vec<i32>,
+    scratch: &mut KernelScratch,
+    out: &mut Vec<u8>,
+) {
+    if fits_i32(neuron) {
+        accumulate_neuron_column_narrow_kernel(kernel, neuron, inputs, samples, narrow, scratch);
+        if kernel != KernelKind::Simd || !crate::simd::qrelu_column_narrow_simd(q, narrow, out) {
+            qrelu_column_narrow(q, narrow, out);
+        }
+    } else {
+        accumulate_neuron_column_kernel(kernel, neuron, inputs, samples, acc, narrow, scratch);
+        qrelu_column(q, acc, out);
+    }
 }
 
 /// Column-major argmax with ties to the lowest index — the hardware
@@ -447,19 +734,22 @@ pub fn qrelu_column(q: QReluCfg, acc: &[i64], out: &mut Vec<u8>) {
 /// # Panics
 ///
 /// Panics if `columns` is empty or lengths disagree with `samples`.
-pub fn argmax_columns<T: Copy + PartialOrd>(columns: &[&[T]], samples: usize) -> Vec<usize> {
+pub fn argmax_columns<T: Copy + PartialOrd, C: AsRef<[T]>>(
+    columns: &[C],
+    samples: usize,
+) -> Vec<usize> {
     assert!(!columns.is_empty(), "argmax over zero neurons");
     for col in columns {
-        assert_eq!(col.len(), samples, "column length mismatch");
+        assert_eq!(col.as_ref().len(), samples, "column length mismatch");
     }
     // Neuron-major sweep with a running best *value* per sample: each
     // pass is a linear walk over two contiguous arrays (no indexed
     // loads through the winner's column), and strictly-greater keeps
     // ties at the lowest index.
     let mut best = vec![0usize; samples];
-    let mut best_value: Vec<T> = columns[0].to_vec();
+    let mut best_value: Vec<T> = columns[0].as_ref().to_vec();
     for (j, col) in columns.iter().enumerate().skip(1) {
-        for ((b, v), &x) in best.iter_mut().zip(best_value.iter_mut()).zip(*col) {
+        for ((b, v), &x) in best.iter_mut().zip(best_value.iter_mut()).zip(col.as_ref()) {
             if x > *v {
                 *b = j;
                 *v = x;
@@ -479,6 +769,7 @@ pub struct ColumnarScratch {
     act: Vec<Vec<u8>>,
     next: Vec<Vec<u8>>,
     out_accs: Vec<Vec<i64>>,
+    kernel: KernelScratch,
 }
 
 impl ColumnarScratch {
@@ -490,7 +781,8 @@ impl ColumnarScratch {
 }
 
 /// Per-sample class predictions of `mlp` over a column-major dataset,
-/// written into `preds` — the allocation-free batch entry point.
+/// written into `preds` — the allocation-free batch entry point,
+/// through the process-wide [`kernel_mode`].
 ///
 /// Bit-exact with [`AxMlp::predict_with`] per row (same accumulators,
 /// same QReLU, argmax ties to the lowest class).
@@ -504,6 +796,23 @@ pub fn predictions_columns_with(
     scratch: &mut ColumnarScratch,
     preds: &mut Vec<usize>,
 ) {
+    predictions_columns_with_kernel(mlp, cols, scratch, preds, kernel_mode());
+}
+
+/// [`predictions_columns_with`] through an explicit [`KernelKind`] —
+/// the parity tests and kernel benches drive each mode directly
+/// through this entry point. Bit-exact across modes.
+///
+/// # Panics
+///
+/// Panics if the dataset width disagrees with the first layer's fan-in.
+pub fn predictions_columns_with_kernel(
+    mlp: &AxMlp,
+    cols: &ColumnMatrix,
+    scratch: &mut ColumnarScratch,
+    preds: &mut Vec<usize>,
+    kernel: KernelKind,
+) {
     let samples = cols.samples();
     preds.clear();
     if samples == 0 {
@@ -515,33 +824,61 @@ pub fn predictions_columns_with(
         act,
         next,
         out_accs,
+        kernel: kscratch,
     } = scratch;
+    let mut refs: Vec<&[u8]> = Vec::new();
     let mut first = true;
     for layer in &mlp.layers {
-        let refs: Vec<&[u8]> = if first {
-            cols.col_refs()
-        } else {
-            act.iter().map(Vec::as_slice).collect()
-        };
+        if first {
+            cols.col_refs_into(&mut refs);
+        }
         match layer.qrelu {
             Some(q) => {
                 next.resize(layer.neurons.len(), Vec::new());
                 for (neuron, out) in layer.neurons.iter().zip(next.iter_mut()) {
-                    accumulate_neuron_column(neuron, &refs, samples, acc, narrow);
-                    qrelu_column(q, acc, out);
+                    if first {
+                        hidden_column_kernel(
+                            kernel, neuron, &refs, samples, q, acc, narrow, kscratch, out,
+                        );
+                    } else {
+                        hidden_column_kernel(
+                            kernel,
+                            neuron,
+                            &act[..],
+                            samples,
+                            q,
+                            acc,
+                            narrow,
+                            kscratch,
+                            out,
+                        );
+                    }
                 }
-                drop(refs);
+                refs.clear();
                 std::mem::swap(act, next);
                 first = false;
             }
             None => {
                 out_accs.resize(layer.neurons.len(), Vec::new());
                 for (neuron, out) in layer.neurons.iter().zip(out_accs.iter_mut()) {
-                    accumulate_neuron_column(neuron, &refs, samples, acc, narrow);
+                    if first {
+                        accumulate_neuron_column_kernel(
+                            kernel, neuron, &refs, samples, acc, narrow, kscratch,
+                        );
+                    } else {
+                        accumulate_neuron_column_kernel(
+                            kernel,
+                            neuron,
+                            &act[..],
+                            samples,
+                            acc,
+                            narrow,
+                            kscratch,
+                        );
+                    }
                     std::mem::swap(acc, out);
                 }
-                let acc_refs: Vec<&[i64]> = out_accs.iter().map(Vec::as_slice).collect();
-                *preds = argmax_columns(&acc_refs, samples);
+                *preds = argmax_columns(&out_accs[..layer.neurons.len()], samples);
                 return;
             }
         }
@@ -549,12 +886,12 @@ pub fn predictions_columns_with(
     // A network whose last layer has a QReLU (unusual): argmax over the
     // final activation columns, mirroring the row-major path. With no
     // layers at all, the argmax runs over the inputs themselves.
-    let refs: Vec<&[u8]> = if first {
-        cols.col_refs()
+    if first {
+        cols.col_refs_into(&mut refs);
+        *preds = argmax_columns(&refs, samples);
     } else {
-        act.iter().map(Vec::as_slice).collect()
-    };
-    *preds = argmax_columns(&refs, samples);
+        *preds = argmax_columns(&act[..], samples);
+    }
 }
 
 /// [`predictions_columns_with`] with a fresh scratch, returning the

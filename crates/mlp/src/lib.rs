@@ -33,20 +33,25 @@
 //! assert_eq!(doped.layers.len(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module needs `std::arch` intrinsics
+// and opts back in with a module-scoped allow; everything else in the
+// crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod axmlp;
+pub mod bitslice;
 pub mod columnar;
 pub mod dense;
 pub mod hardware;
 pub mod metrics;
 pub mod quant;
+pub mod simd;
 pub mod topology;
 pub mod train;
 
 pub use axmlp::{fold_constants, AxLayer, AxMlp, AxNeuron, AxWeight, InferenceScratch};
-pub use columnar::{ColumnMatrix, ColumnarScratch, QuantMatrix};
+pub use columnar::{ColumnMatrix, ColumnarScratch, KernelKind, KernelScratch, QuantMatrix};
 pub use dense::{argmax, DenseMlp};
 pub use hardware::{ax_to_hardware, fixed_to_hardware};
 pub use quant::{FixedLayer, FixedMlp, QReluCfg, QReluKernel, QuantConfig};

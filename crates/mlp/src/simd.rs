@@ -1,0 +1,536 @@
+//! Explicit `std::arch` x86_64 kernels for the narrow (`i32`) column
+//! accumulation, runtime feature-detected.
+//!
+//! The scalar kernel in [`crate::columnar`] already auto-vectorizes
+//! well, but the compiler must keep the `u8 → i32` widening, the AND
+//! and the variable shift composable for any weight; writing the loop
+//! directly against the ISA pins the exact instruction mix: load 8
+//! column bytes, widen to 8 × `i32` lanes (`vpmovzxbd`), AND against
+//! the broadcast mask, shift all lanes by the weight's scalar shift
+//! count (`vpslld`), and add into (or subtract from) the accumulator
+//! vector. One pass per weight over its contiguous column, exactly
+//! like the scalar kernel — same order, same widths, so the sums are
+//! identical bit for bit (the proptest parity suite pins this).
+//!
+//! AVX2 processes 8 samples per step, the SSE2 fallback 4 (SSE2 is
+//! part of the x86_64 baseline, so that path needs no runtime check).
+//! On other architectures — or with the `simd` cargo feature off —
+//! [`accumulate_neuron_column_simd`] reports `false` and callers fall
+//! back to the scalar kernel, keeping every target green without
+//! `cfg` soup at the call sites.
+
+use crate::axmlp::AxNeuron;
+use crate::quant::QReluCfg;
+
+/// Whether the explicit SIMD kernels can run on this host (compiled
+/// in *and* the ISA baseline present). `false` means
+/// [`accumulate_neuron_column_simd`] always declines and the caller's
+/// scalar fallback serves.
+#[must_use]
+pub fn available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        true
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// [`accumulate_neuron_column_narrow`] via explicit `std::arch`
+/// intrinsics where available. Returns `true` when the kernel ran
+/// (results in `acc`, bit-exact with the scalar reference) and `false`
+/// when the caller must fall back — off-target builds, the `simd`
+/// feature disabled, or a neuron outside the narrow precondition.
+///
+/// [`accumulate_neuron_column_narrow`]: crate::columnar::accumulate_neuron_column_narrow
+pub fn accumulate_neuron_column_simd<C: AsRef<[u8]>>(
+    neuron: &AxNeuron,
+    inputs: &[C],
+    samples: usize,
+    acc: &mut Vec<i32>,
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if !crate::columnar::fits_i32(neuron) {
+            return false;
+        }
+        x86::accumulate(neuron, inputs, samples, acc);
+        true
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (neuron, inputs, samples, acc);
+        false
+    }
+}
+
+/// Vectorized QReLU over a narrow accumulator column: shift, clamp to
+/// `[0, 2^out_bits − 1]`, narrow to `u8` — bit-exact with the scalar
+/// [`qrelu_column_narrow`]. Returns `true` when the vector path ran;
+/// `false` (off-target, `simd` feature off, AVX2 absent, or
+/// `out_bits > 8` where the scalar `as u8` narrowing could wrap) means
+/// the caller must fall back.
+///
+/// [`qrelu_column_narrow`]: crate::columnar::qrelu_column_narrow
+pub fn qrelu_column_narrow_simd(q: QReluCfg, acc: &[i32], out: &mut Vec<u8>) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if q.out_bits > 8 || q.shift >= 32 || !x86::has_avx2() {
+            return false;
+        }
+        x86::qrelu(q, acc, out);
+        true
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (q, acc, out);
+        false
+    }
+}
+
+/// One argmax column update, vectorized: for every sample `i` with
+/// `col[i] > best_value[i]`, set `best_value[i] = col[i]` and
+/// `best_index[i] = j`. Strictly-greater keeps ties at the lowest
+/// index, exactly like the scalar sweep. Returns `false` when the
+/// caller must run its scalar fallback.
+///
+/// # Panics
+///
+/// Panics if the three slices disagree in length.
+pub fn argmax_update_narrow(
+    j: u32,
+    col: &[i32],
+    best_index: &mut [u32],
+    best_value: &mut [i32],
+) -> bool {
+    assert_eq!(col.len(), best_value.len(), "column length mismatch");
+    assert_eq!(col.len(), best_index.len(), "column length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if !x86::has_avx2() {
+            return false;
+        }
+        x86::argmax_update(j, col, best_index, best_value);
+        true
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (j, col, best_index, best_value);
+        false
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod x86 {
+    //! The x86_64 lowering. `unsafe` is confined to this module: the
+    //! intrinsics themselves (safe on any x86_64 for SSE2; gated by
+    //! `is_x86_feature_detected!` for AVX2) and the
+    //! `#[target_feature]` call boundary.
+
+    use std::arch::x86_64::{
+        __m128i, _mm256_add_epi32, _mm256_and_si256, _mm256_blendv_epi8, _mm256_cmpgt_epi32,
+        _mm256_cvtepu8_epi32, _mm256_loadu_si256, _mm256_max_epi32, _mm256_min_epi32,
+        _mm256_packus_epi16, _mm256_packus_epi32, _mm256_permutevar8x32_epi32, _mm256_set1_epi32,
+        _mm256_set_epi32, _mm256_setzero_si256, _mm256_sll_epi32, _mm256_sra_epi32,
+        _mm256_storeu_si256, _mm256_sub_epi32, _mm_add_epi32, _mm_and_si128, _mm_cvtsi32_si128,
+        _mm_loadl_epi64, _mm_loadu_si128, _mm_set1_epi32, _mm_setzero_si128, _mm_sll_epi32,
+        _mm_storeu_si128, _mm_sub_epi32, _mm_unpackhi_epi16, _mm_unpacklo_epi16, _mm_unpacklo_epi8,
+    };
+    use std::sync::OnceLock;
+
+    use crate::axmlp::AxNeuron;
+    use crate::quant::QReluCfg;
+
+    /// Runtime AVX2 detection, probed once per process.
+    pub(super) fn has_avx2() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+
+    /// Shift–clamp–narrow one column, 32 samples per step.
+    /// Preconditions (checked by the caller): AVX2 present,
+    /// `out_bits <= 8`, `shift < 32`.
+    pub(super) fn qrelu(q: QReluCfg, acc: &[i32], out: &mut Vec<u8>) {
+        let samples = acc.len();
+        out.clear();
+        out.resize(samples, 0);
+        let chunks = samples / 32;
+        // SAFETY: AVX2 was confirmed by the caller; every pointer stays
+        // below `chunks * 32 <= samples` on both buffers.
+        unsafe { qrelu_avx2(q, acc, out, chunks) };
+        let kernel = q.kernel();
+        for (o, &a) in out[chunks * 32..].iter_mut().zip(&acc[chunks * 32..]) {
+            *o = kernel.apply(i64::from(a));
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must ensure the host supports AVX2 and that both
+    /// slices hold at least `chunks * 32` elements.
+    #[target_feature(enable = "avx2")]
+    unsafe fn qrelu_avx2(q: QReluCfg, acc: &[i32], out: &mut [u8], chunks: usize) {
+        let count = _mm_cvtsi32_si128(q.shift as i32);
+        let zero = _mm256_setzero_si256();
+        let ceil = _mm256_set1_epi32((1 << q.out_bits) - 1);
+        // packus interleaves 128-bit lanes; this dword order undoes it.
+        let order = _mm256_set_epi32(7, 3, 6, 2, 5, 1, 4, 0);
+        for c in 0..chunks {
+            // SAFETY: `c * 32 + 32 <= samples` bounds the four loads
+            // and the 32-byte store.
+            unsafe {
+                let at = |k: usize| -> std::arch::x86_64::__m256i {
+                    let v = _mm256_loadu_si256(acc.as_ptr().add(c * 32 + k * 8).cast());
+                    _mm256_min_epi32(_mm256_max_epi32(_mm256_sra_epi32(v, count), zero), ceil)
+                };
+                let lo = _mm256_packus_epi32(at(0), at(1));
+                let hi = _mm256_packus_epi32(at(2), at(3));
+                let bytes = _mm256_packus_epi16(lo, hi);
+                let fixed = _mm256_permutevar8x32_epi32(bytes, order);
+                _mm256_storeu_si256(out.as_mut_ptr().add(c * 32).cast(), fixed);
+            }
+        }
+    }
+
+    /// One argmax column update pass at 8 lanes per step.
+    /// Precondition (checked by the caller): AVX2 present, equal slice
+    /// lengths.
+    pub(super) fn argmax_update(
+        j: u32,
+        col: &[i32],
+        best_index: &mut [u32],
+        best_value: &mut [i32],
+    ) {
+        let chunks = col.len() / 8;
+        // SAFETY: AVX2 was confirmed by the caller; all pointers stay
+        // below `chunks * 8 <= len` on all three equal-length buffers.
+        unsafe { argmax_update_avx2(j, col, best_index, best_value, chunks) };
+        for i in chunks * 8..col.len() {
+            if col[i] > best_value[i] {
+                best_value[i] = col[i];
+                best_index[i] = j;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must ensure the host supports AVX2 and that all three
+    /// slices hold at least `chunks * 8` elements.
+    #[target_feature(enable = "avx2")]
+    unsafe fn argmax_update_avx2(
+        j: u32,
+        col: &[i32],
+        best_index: &mut [u32],
+        best_value: &mut [i32],
+        chunks: usize,
+    ) {
+        let jv = _mm256_set1_epi32(j as i32);
+        for c in 0..chunks {
+            // SAFETY: `c * 8 + 8 <= len` bounds every load and store.
+            unsafe {
+                let x = _mm256_loadu_si256(col.as_ptr().add(c * 8).cast());
+                let vs = best_value.as_mut_ptr().add(c * 8).cast();
+                let is = best_index.as_mut_ptr().add(c * 8).cast();
+                let v = _mm256_loadu_si256(vs);
+                let take = _mm256_cmpgt_epi32(x, v);
+                _mm256_storeu_si256(vs, _mm256_blendv_epi8(v, x, take));
+                let idx = _mm256_loadu_si256(is);
+                _mm256_storeu_si256(is, _mm256_blendv_epi8(idx, jv, take));
+            }
+        }
+    }
+
+    /// Dispatch one neuron's accumulation to the widest available ISA.
+    /// Precondition (checked by the caller): `fits_i32(neuron)`.
+    pub(super) fn accumulate<C: AsRef<[u8]>>(
+        neuron: &AxNeuron,
+        inputs: &[C],
+        samples: usize,
+        acc: &mut Vec<i32>,
+    ) {
+        assert_eq!(
+            inputs.len(),
+            neuron.weights.len(),
+            "input column count mismatch"
+        );
+        acc.clear();
+        acc.resize(samples, neuron.bias);
+        if has_avx2() {
+            // SAFETY: AVX2 confirmed present by `has_avx2`; the
+            // target-feature function only requires that.
+            unsafe { neuron_avx2(neuron, inputs, acc) };
+            return;
+        }
+        for (w, col) in neuron.weights.iter().zip(inputs) {
+            if w.mask == 0 {
+                continue;
+            }
+            let col = col.as_ref();
+            assert_eq!(col.len(), samples, "column length mismatch");
+            weight_sse2(
+                col,
+                acc,
+                i32::from(w.mask & 0xFF),
+                u32::from(w.shift),
+                w.negative,
+            );
+        }
+    }
+
+    /// How many weights one AVX2 stripe pass fuses: the accumulator
+    /// vector stays in a register across the whole block, so the
+    /// per-weight accumulator load/store of a weight-outer loop is
+    /// paid once per block instead of once per weight.
+    const BLOCK: usize = 8;
+
+    /// The whole neuron at 8 `i32` lanes per step (AVX2), active
+    /// weights processed in blocks of [`BLOCK`]. Per sample the
+    /// weights contribute in their original order, so the wrapping
+    /// `i32` sums are bit-identical with the weight-outer scalar
+    /// kernel's.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn neuron_avx2<C: AsRef<[u8]>>(neuron: &AxNeuron, inputs: &[C], acc: &mut [i32]) {
+        let samples = acc.len();
+        let chunks = samples / 8;
+        let mut cols: [&[u8]; BLOCK] = [&[]; BLOCK];
+        let mut mask_v = [_mm256_setzero_si256(); BLOCK];
+        let mut count_v = [_mm_setzero_si128(); BLOCK];
+        let mut masks = [0i32; BLOCK];
+        let mut shifts = [0u32; BLOCK];
+        let mut negs = [false; BLOCK];
+        let mut active = neuron
+            .weights
+            .iter()
+            .zip(inputs)
+            .filter(|(w, _)| w.mask != 0);
+        loop {
+            let mut len = 0;
+            while len < BLOCK {
+                let Some((w, col)) = active.next() else { break };
+                let col = col.as_ref();
+                assert_eq!(col.len(), samples, "column length mismatch");
+                cols[len] = col;
+                masks[len] = i32::from(w.mask & 0xFF);
+                shifts[len] = u32::from(w.shift);
+                negs[len] = w.negative;
+                mask_v[len] = _mm256_set1_epi32(masks[len]);
+                count_v[len] = _mm_cvtsi32_si128(shifts[len] as i32);
+                len += 1;
+            }
+            if len == 0 {
+                break;
+            }
+            for c in 0..chunks {
+                // SAFETY: `c * 8 + 8 <= samples` bounds the unaligned
+                // loads and the store; loadl reads exactly 8 bytes.
+                unsafe {
+                    let slot = acc.as_mut_ptr().add(c * 8).cast();
+                    let mut cur = _mm256_loadu_si256(slot);
+                    for j in 0..len {
+                        let bytes: __m128i = _mm_loadl_epi64(cols[j].as_ptr().add(c * 8).cast());
+                        let lanes = _mm256_cvtepu8_epi32(bytes);
+                        let term = _mm256_sll_epi32(_mm256_and_si256(lanes, mask_v[j]), count_v[j]);
+                        cur = if negs[j] {
+                            _mm256_sub_epi32(cur, term)
+                        } else {
+                            _mm256_add_epi32(cur, term)
+                        };
+                    }
+                    _mm256_storeu_si256(slot, cur);
+                }
+            }
+            for j in 0..len {
+                weight_tail(cols[j], acc, chunks * 8, masks[j], shifts[j], negs[j]);
+            }
+            if len < BLOCK {
+                break;
+            }
+        }
+    }
+
+    /// One weight's pass at 4 `i32` lanes per step (SSE2 — the x86_64
+    /// baseline, always safe to call).
+    fn weight_sse2(col: &[u8], acc: &mut [i32], mask: i32, shift: u32, negative: bool) {
+        let samples = acc.len();
+        let chunks = samples / 8;
+        // SAFETY: SSE2 is unconditionally part of the x86_64 baseline;
+        // all pointer arithmetic stays below `chunks * 8 <= samples`.
+        unsafe {
+            let mask_v = _mm_set1_epi32(mask);
+            let count = _mm_cvtsi32_si128(shift as i32);
+            let zero = _mm_setzero_si128();
+            for c in 0..chunks {
+                let bytes = _mm_loadl_epi64(col.as_ptr().add(c * 8).cast());
+                // u8 → u16 → two u32 quads, zero-extended.
+                let w16 = _mm_unpacklo_epi8(bytes, zero);
+                let lo = _mm_unpacklo_epi16(w16, zero);
+                let hi = _mm_unpackhi_epi16(w16, zero);
+                for (q, lanes) in [lo, hi].into_iter().enumerate() {
+                    let term = _mm_sll_epi32(_mm_and_si128(lanes, mask_v), count);
+                    let slot = acc.as_mut_ptr().add(c * 8 + q * 4).cast();
+                    let cur = _mm_loadu_si128(slot);
+                    let next = if negative {
+                        _mm_sub_epi32(cur, term)
+                    } else {
+                        _mm_add_epi32(cur, term)
+                    };
+                    _mm_storeu_si128(slot, next);
+                }
+            }
+        }
+        weight_tail(col, acc, chunks * 8, mask, shift, negative);
+    }
+
+    /// Scalar tail past the last full vector chunk.
+    fn weight_tail(
+        col: &[u8],
+        acc: &mut [i32],
+        from: usize,
+        mask: i32,
+        shift: u32,
+        negative: bool,
+    ) {
+        let mask8 = mask as u8;
+        let tail = acc[from..].iter_mut().zip(&col[from..]);
+        if negative {
+            for (a, &x) in tail {
+                *a -= i32::from(x & mask8) << shift;
+            }
+        } else {
+            for (a, &x) in tail {
+                *a += i32::from(x & mask8) << shift;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axmlp::AxWeight;
+    use crate::columnar::{accumulate_neuron_column_narrow, QuantMatrix};
+
+    #[test]
+    fn simd_matches_the_scalar_narrow_kernel_when_available() {
+        let neuron = AxNeuron {
+            weights: vec![
+                AxWeight {
+                    mask: 0b1011,
+                    shift: 3,
+                    negative: true,
+                },
+                AxWeight {
+                    mask: 0xFF,
+                    shift: 11,
+                    negative: false,
+                },
+                AxWeight {
+                    mask: 0,
+                    shift: 1,
+                    negative: false,
+                },
+            ],
+            bias: -412,
+        };
+        for samples in [0usize, 1, 5, 8, 13, 64, 200] {
+            let rows: Vec<Vec<u8>> = (0..samples)
+                .map(|s| (0..3).map(|f| ((s * 3 + f * 17) % 256) as u8).collect())
+                .collect();
+            let cols = QuantMatrix::from_rows(&rows).columns();
+            let refs = if samples == 0 {
+                vec![&[][..]; 3]
+            } else {
+                cols.col_refs()
+            };
+            let (mut want, mut got) = (Vec::new(), Vec::new());
+            accumulate_neuron_column_narrow(&neuron, &refs, samples, &mut want);
+            let ran = accumulate_neuron_column_simd(&neuron, &refs, samples, &mut got);
+            assert_eq!(ran, available());
+            if ran {
+                assert_eq!(got, want, "samples {samples}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_qrelu_matches_the_scalar_kernel_when_available() {
+        let q = QReluCfg {
+            out_bits: 5,
+            shift: 2,
+        };
+        // 77 = 2 full 32-lane chunks + a 13-sample tail; values cover
+        // negative, in-range and saturating accumulators.
+        let acc: Vec<i32> = (0..77).map(|i| (i - 38) * 7 + (i % 5) * 1000).collect();
+        let mut got = Vec::new();
+        if qrelu_column_narrow_simd(q, &acc, &mut got) {
+            assert!(available());
+            let want: Vec<u8> = acc.iter().map(|&a| q.apply(i64::from(a))).collect();
+            assert_eq!(got, want);
+        }
+        // Wider-than-u8 stages must decline (the scalar `as u8` wraps).
+        let wide = QReluCfg {
+            out_bits: 9,
+            shift: 0,
+        };
+        assert!(!qrelu_column_narrow_simd(wide, &acc, &mut got));
+    }
+
+    #[test]
+    fn vector_argmax_update_matches_the_scalar_sweep_when_available() {
+        let cols: Vec<Vec<i32>> = (0..4)
+            .map(|j| (0..27).map(|i| ((i * 7 + j * 13) % 29) - 11).collect())
+            .collect();
+        let mut value = cols[0].clone();
+        let mut index = vec![0u32; 27];
+        let mut ran = true;
+        for (j, col) in cols.iter().enumerate().skip(1) {
+            if !argmax_update_narrow(j as u32, col, &mut index, &mut value) {
+                ran = false;
+                break;
+            }
+        }
+        if ran {
+            assert!(available());
+            let mut want_value = cols[0].clone();
+            let mut want_index = vec![0u32; 27];
+            for (j, col) in cols.iter().enumerate().skip(1) {
+                for ((b, v), &x) in want_index.iter_mut().zip(&mut want_value).zip(col) {
+                    if x > *v {
+                        *b = j as u32;
+                        *v = x;
+                    }
+                }
+            }
+            assert_eq!(value, want_value);
+            assert_eq!(index, want_index, "ties must stay at the lowest index");
+        }
+    }
+
+    #[test]
+    fn simd_declines_non_narrow_neurons() {
+        let extreme = AxNeuron {
+            weights: vec![AxWeight {
+                mask: 0xFF,
+                shift: 40,
+                negative: false,
+            }],
+            bias: 0,
+        };
+        let col = [0u8; 4];
+        let mut acc = Vec::new();
+        assert!(!accumulate_neuron_column_simd(
+            &extreme,
+            &[&col[..]],
+            4,
+            &mut acc
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! Kernel parity: every [`KernelKind`] must be **bit-exact** with the
+//! scalar reference kernel, for random 4-bit networks and for neurons
+//! driven straight at the per-column accumulators — including masks up
+//! to the full `u16` range, shifts past the `i32`-safety cutoff (the
+//! wide `i64` path), and weights sitting exactly on the bit-sliced
+//! 16-bit lane boundary and the `i32` worst-case-bound boundary.
+//!
+//! The scalar kernel is itself pinned against the per-row oracle
+//! elsewhere (`columnar.rs` unit tests and the core crate's
+//! `columnar_parity` suite), so scalar equality here transitively pins
+//! every mode to the paper's Eq. (4) semantics.
+
+use proptest::prelude::*;
+
+use pe_mlp::columnar::{
+    accumulate_neuron_column, accumulate_neuron_column_kernel, fits_i32,
+    predictions_columns_with_kernel,
+};
+use pe_mlp::{
+    AxLayer, AxMlp, AxNeuron, AxWeight, ColumnarScratch, InferenceScratch, KernelKind,
+    KernelScratch, QReluCfg, QuantMatrix,
+};
+
+const KERNELS: [KernelKind; 4] = [
+    KernelKind::Scalar,
+    KernelKind::Lut,
+    KernelKind::BitSliced,
+    KernelKind::Simd,
+];
+
+/// A weight drawn to stress the interesting regimes: plain 4/8-bit
+/// masks, fully-masked (pruned) connections, masks with bits above the
+/// 8-bit activation range, small shifts (the bit-sliceable regime) and
+/// shifts past 22 (forcing the wide `i64` path).
+fn weight() -> impl Strategy<Value = AxWeight> {
+    let mask = prop_oneof![
+        0u16..=0xFF,
+        0u16..=0xFF,
+        Just(0u16),
+        Just(0xFFu16),
+        0u16..=0xFFFF,
+    ];
+    let shift = prop_oneof![0u8..=8, 0u8..=8, Just(8u8), 0u8..=24];
+    (mask, shift, any::<bool>()).prop_map(|(mask, shift, negative)| AxWeight {
+        mask,
+        shift,
+        negative,
+    })
+}
+
+fn neuron(max_fan_in: usize) -> impl Strategy<Value = AxNeuron> {
+    (
+        proptest::collection::vec(weight(), 1..=max_fan_in),
+        -100_000i32..=100_000,
+    )
+        .prop_map(|(weights, bias)| AxNeuron { weights, bias })
+}
+
+/// Per-weight input columns (`fan_in × samples`), full `u8` range.
+fn columns(fan_in: usize, samples: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), samples..=samples),
+        fan_in..=fan_in,
+    )
+}
+
+/// The scalar reference accumulation, widened to `i64`.
+fn reference(neuron: &AxNeuron, inputs: &[Vec<u8>], samples: usize) -> Vec<i64> {
+    let mut acc = Vec::new();
+    let mut narrow = Vec::new();
+    accumulate_neuron_column(neuron, inputs, samples, &mut acc, &mut narrow);
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Single neuron, every kernel, random weights/inputs: the per-
+    /// column accumulators must match the scalar reference bit-exactly
+    /// in both the narrow (`i32`) and wide (`i64`) regimes.
+    #[test]
+    fn every_kernel_matches_the_scalar_accumulator(
+        (neuron, inputs, samples) in (neuron(10), 0usize..=67).prop_flat_map(|(n, samples)| {
+            let fan_in = n.weights.len();
+            (Just(n), columns(fan_in, samples), Just(samples))
+        }),
+    ) {
+        let expected = reference(&neuron, &inputs, samples);
+        let mut scratch = KernelScratch::new();
+        for kernel in KERNELS {
+            let mut acc = Vec::new();
+            let mut narrow = Vec::new();
+            accumulate_neuron_column_kernel(
+                kernel, &neuron, &inputs, samples, &mut acc, &mut narrow, &mut scratch,
+            );
+            prop_assert_eq!(&acc, &expected, "kernel {:?} diverged", kernel);
+        }
+    }
+
+    /// Whole random two-hidden-layer 4-bit networks: every kernel's
+    /// predictions must equal the per-row oracle's, sample for sample.
+    #[test]
+    fn every_kernel_matches_the_per_row_oracle_on_full_networks(
+        l1_raw in proptest::collection::vec(neuron(5), 1..=6),
+        l2_raw in proptest::collection::vec(neuron(6), 1..=5),
+        out_raw in proptest::collection::vec(neuron(5), 2..=4),
+        rows_raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 5..=5), 0..=41),
+        shift1 in 0u32..=3,
+        shift2 in 0u32..=3,
+    ) {
+        let fit = |mut ns: Vec<AxNeuron>, fan_in: usize| -> Vec<AxNeuron> {
+            for n in &mut ns {
+                let base = n.weights.clone();
+                n.weights = (0..fan_in).map(|i| base[i % base.len()]).collect();
+            }
+            ns
+        };
+        let w1 = l1_raw.len();
+        let w2 = l2_raw.len();
+        let l1 = fit(l1_raw, 5);
+        let l2 = fit(l2_raw, w1);
+        let out = fit(out_raw, w2);
+        let mlp = AxMlp {
+            layers: vec![
+                AxLayer {
+                    input_bits: 4,
+                    neurons: l1,
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: shift1 }),
+                },
+                AxLayer {
+                    input_bits: 8,
+                    neurons: l2,
+                    qrelu: Some(QReluCfg { out_bits: 8, shift: shift2 }),
+                },
+                AxLayer {
+                    input_bits: 8,
+                    neurons: out,
+                    qrelu: None,
+                },
+            ],
+        };
+        let rows: Vec<Vec<u8>> =
+            rows_raw.iter().map(|r| r.iter().map(|&x| x & 0xF).collect()).collect();
+        let cols = QuantMatrix::from_rows(&rows).columns();
+
+        let mut oracle_scratch = InferenceScratch::new();
+        let oracle: Vec<usize> =
+            rows.iter().map(|r| mlp.predict_with(r, &mut oracle_scratch)).collect();
+
+        let mut scratch = ColumnarScratch::new();
+        let mut preds = Vec::new();
+        for kernel in KERNELS {
+            predictions_columns_with_kernel(&mlp, &cols, &mut scratch, &mut preds, kernel);
+            prop_assert_eq!(&preds, &oracle, "kernel {:?} diverged", kernel);
+        }
+    }
+}
+
+/// Deterministic saturation boundaries: one weight set just inside the
+/// `i32` worst-case bound (narrow path) and one just past it (wide
+/// path), plus the bit-sliced lane boundary `(0xFF << 8) == 0xFF00`.
+#[test]
+fn kernels_agree_on_both_sides_of_the_i32_boundary() {
+    let big = AxWeight {
+        mask: 0xFF,
+        shift: 22,
+        negative: false,
+    };
+    let narrow = AxNeuron {
+        weights: vec![big, big],
+        bias: 5,
+    };
+    let wide = AxNeuron {
+        weights: vec![big, big, big],
+        bias: 5,
+    };
+    assert!(fits_i32(&narrow));
+    assert!(!fits_i32(&wide));
+    let lane_edge = AxNeuron {
+        weights: vec![
+            AxWeight {
+                mask: 0xFF,
+                shift: 8,
+                negative: false,
+            };
+            6
+        ],
+        bias: -3,
+    };
+    assert!(fits_i32(&lane_edge));
+
+    let samples = 33;
+    let mut scratch = KernelScratch::new();
+    for neuron in [&narrow, &wide, &lane_edge] {
+        let inputs: Vec<Vec<u8>> = (0..neuron.weights.len())
+            .map(|w| {
+                (0..samples)
+                    .map(|s| ((s * 37 + w * 11) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let expected = reference(neuron, &inputs, samples);
+        for kernel in KERNELS {
+            let mut acc = Vec::new();
+            let mut narrow_acc = Vec::new();
+            accumulate_neuron_column_kernel(
+                kernel,
+                neuron,
+                &inputs,
+                samples,
+                &mut acc,
+                &mut narrow_acc,
+                &mut scratch,
+            );
+            assert_eq!(acc, expected, "kernel {kernel:?} diverged at a boundary");
+        }
+    }
+}
