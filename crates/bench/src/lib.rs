@@ -18,8 +18,9 @@
 //! feasibility, plus the [`ablation`] studies, the
 //! multi-technology / multi-voltage cost [`sweep`]
 //! (`BENCH_cost.json`), the nominal-vs-robust variation
-//! comparison [`robust`] (`BENCH_robust.json`) and the design-store
-//! ingest/query benchmark [`store_query`] (`BENCH_store.json`).
+//! comparison [`robust`] (`BENCH_robust.json`), the design-store
+//! ingest/query benchmark [`store_query`] (`BENCH_store.json`) and the
+//! crash/resume [`fault_drill`] (`BENCH_fault.json`).
 //!
 //! Everything executes through `printed-axc`'s staged pipeline:
 //! [`study::run_studies`] fans the five datasets out over a worker pool
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod fault_drill;
 pub mod fig4;
 pub mod fig5;
 pub mod format;

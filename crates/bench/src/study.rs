@@ -258,10 +258,16 @@ pub fn run_studies(budget: BudgetPreset, master_seed: u64) -> Vec<DatasetStudy> 
 /// core; `1` forces sequential execution — the output is byte-identical
 /// either way). The same budget governs the within-study batch
 /// evaluator, so one knob controls every pool the bench bins spin up.
+///
+/// `PE_CACHE_DIR` attaches a stage-cache directory: stage artifacts
+/// (and the search stage's crash-safety checkpoints) persist there, so
+/// a killed bench run resumes instead of restarting — with
+/// byte-identical outputs either way.
 #[must_use]
 pub fn run_many_options() -> RunManyOptions {
     let mut opts = RunManyOptions::with_threads(printed_axc::eval::thread_budget());
     opts.store = env_store();
+    opts.cache_dir = std::env::var_os("PE_CACHE_DIR").map(std::path::PathBuf::from);
     opts
 }
 
@@ -270,14 +276,30 @@ pub fn run_many_options() -> RunManyOptions {
 ///
 /// Ingest-only: designs are recorded as a pure side channel, never
 /// warm-started, so every artifact a `PE_STORE`-enabled bench run
-/// emits is byte-identical to a storeless run's. A store that cannot
-/// be opened is reported to stderr and skipped — a broken store file
-/// must never fail a bench run.
+/// emits is byte-identical to a storeless run's. A corrupt store is
+/// reopened through [`pe_store::StoreWriter::open_salvaged`] — a torn
+/// trailing line (the signature a killed append leaves behind) is
+/// truncated away with a report to stderr, keeping every intact
+/// record. A store that still cannot be opened is reported and
+/// skipped — a broken store file must never fail a bench run.
 #[must_use]
 pub fn env_store() -> Option<Arc<pe_store::StoreWriter>> {
-    let path = std::env::var_os("PE_STORE")?;
-    match pe_store::StoreWriter::open(std::path::PathBuf::from(path)) {
+    let path = std::path::PathBuf::from(std::env::var_os("PE_STORE")?);
+    match pe_store::StoreWriter::open(&path) {
         Ok(writer) => Some(Arc::new(writer)),
+        Err(err @ pe_store::StoreError::Corrupt { .. }) => {
+            eprintln!("warning: PE_STORE store is corrupt ({err}); attempting salvage");
+            match pe_store::StoreWriter::open_salvaged(&path) {
+                Ok((writer, report)) => {
+                    eprintln!("PE_STORE salvage: {report}");
+                    Some(Arc::new(writer))
+                }
+                Err(err) => {
+                    eprintln!("warning: PE_STORE ignored (salvage failed): {err}");
+                    None
+                }
+            }
+        }
         Err(err) => {
             eprintln!("warning: PE_STORE ignored: {err}");
             None

@@ -1,0 +1,300 @@
+//! Crash-safe search checkpointing for the pipeline's search stage.
+//!
+//! A GA search is by far the longest stage of a study, and until this
+//! module existed a kill (OOM, SIGKILL, power loss) threw the whole
+//! stage away. The pieces here wire `pe_nsga`'s generation-level
+//! [`SearchCheckpoint`] protocol into the staged pipeline:
+//!
+//! * [`CheckpointSpec`] names *where* a search persists its checkpoint
+//!   and *how often* (every `every` completed generations, plus a final
+//!   flush on completion or cancellation).
+//! * `FileSink` (crate-internal) is the [`CheckpointSink`] that writes
+//!   each snapshot through
+//!   [`pe_store::atomic_write`] — a torn checkpoint write can never
+//!   destroy the previous good checkpoint — and reports a
+//!   [`ProgressEvent::Checkpoint`] per flush.
+//! * `load` (crate-internal) reads a checkpoint back, validating it
+//!   against the run's configuration and genome bounds; anything stale,
+//!   torn or foreign loads as `None` and the search starts fresh.
+//!
+//! The cadence is pure durability policy: it is **not** part of any
+//! stage-cache key, and a resumed run reproduces the uninterrupted
+//! run's artifacts byte for byte (the RNG stream, population
+//! annotations and evaluation counters are all part of the snapshot).
+
+use std::path::PathBuf;
+
+use pe_nsga::{CheckpointSink, NsgaConfig, SearchCheckpoint};
+
+use crate::progress::{ProgressEvent, RunControl};
+
+/// Default checkpoint cadence in completed generations (the
+/// `PE_CHECKPOINT_EVERY` fallback).
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 5;
+
+/// Checkpoint cadence from the `PE_CHECKPOINT_EVERY` environment
+/// variable: unset or unparsable means [`DEFAULT_CHECKPOINT_EVERY`];
+/// `0` disables checkpointing; any other value is the cadence in
+/// completed generations.
+#[must_use]
+pub fn checkpoint_every() -> usize {
+    std::env::var("PE_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
+}
+
+/// Where and how often a search persists its generation checkpoint.
+///
+/// Built by [`Pipeline::search`](crate::Pipeline::search) next to the
+/// `Searched` stage-cache entry; direct engine callers can carry their
+/// own spec through
+/// [`SearchContext::checkpoint`](crate::SearchContext::checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file (written atomically, deleted once the stage's
+    /// artifact is safely cached).
+    pub path: PathBuf,
+    /// Flush cadence in completed generations (`0` disables periodic
+    /// flushes; completion/cancellation still flushes nothing because
+    /// the whole plan is skipped — use [`checkpoint_every`] defaults
+    /// instead of `0` unless checkpointing is meant to be off).
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec writing to `path` at the environment-configured cadence.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: checkpoint_every(),
+        }
+    }
+
+    /// Whether this spec asks for checkpointing at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.every > 0
+    }
+}
+
+/// Load and validate the checkpoint at `spec.path`.
+///
+/// Returns `None` — and the caller starts a fresh search — when the
+/// file is missing, unparsable (torn writes cannot happen thanks to
+/// [`pe_store::atomic_write`], but hand-edited or foreign files can),
+/// or fails [`SearchCheckpoint::validate`] against this run's
+/// configuration and bounds. An invalid-but-present file is reported
+/// to stderr so silently ignored checkpoints are diagnosable.
+#[must_use]
+pub(crate) fn load(
+    spec: &CheckpointSpec,
+    config: &NsgaConfig,
+    bounds: &[u32],
+) -> Option<SearchCheckpoint> {
+    let text = std::fs::read_to_string(&spec.path).ok()?;
+    let Ok(checkpoint) = serde_json::from_str::<SearchCheckpoint>(&text) else {
+        eprintln!(
+            "warning: ignoring unreadable search checkpoint {}",
+            spec.path.display()
+        );
+        return None;
+    };
+    match checkpoint.validate(config, bounds) {
+        Ok(()) => Some(checkpoint),
+        Err(reason) => {
+            eprintln!(
+                "warning: ignoring stale search checkpoint {}: {reason}",
+                spec.path.display()
+            );
+            None
+        }
+    }
+}
+
+/// The pipeline's [`CheckpointSink`]: snapshots go to disk through
+/// [`pe_store::atomic_write`] and each flush is reported as a
+/// [`ProgressEvent::Checkpoint`]. Write failures are warnings — a full
+/// disk degrades durability, it does not kill the search.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FileSink<'a> {
+    path: &'a std::path::Path,
+    ctl: &'a RunControl<'a>,
+}
+
+impl<'a> FileSink<'a> {
+    pub(crate) fn new(path: &'a std::path::Path, ctl: &'a RunControl<'a>) -> Self {
+        Self { path, ctl }
+    }
+}
+
+impl CheckpointSink for FileSink<'_> {
+    fn save(&self, checkpoint: &SearchCheckpoint) {
+        match serde_json::to_string(checkpoint) {
+            Ok(json) => {
+                if let Err(e) = pe_store::atomic_write(self.path, json.as_bytes()) {
+                    eprintln!(
+                        "warning: cannot write checkpoint {}: {e}",
+                        self.path.display()
+                    );
+                    return;
+                }
+                self.ctl.emit(&ProgressEvent::Checkpoint {
+                    generation: checkpoint.generation,
+                    evaluations: checkpoint.evaluations,
+                });
+            }
+            Err(e) => eprintln!("warning: cannot serialize checkpoint: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_nsga::{CheckpointPlan, IntProblem, Nsga2};
+
+    fn scratch(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "pe-core-ckpt-{}-{tag}-{unique}.json",
+            std::process::id()
+        ))
+    }
+
+    struct Sphere;
+    impl IntProblem for Sphere {
+        fn bounds(&self) -> &[u32] {
+            &[32, 32, 32]
+        }
+        fn evaluate(&self, genes: &[u32]) -> pe_nsga::Evaluation {
+            let s: f64 = genes.iter().map(|&g| f64::from(g) * f64::from(g)).sum();
+            pe_nsga::Evaluation::feasible(vec![s, 96.0 - s])
+        }
+    }
+
+    fn config() -> NsgaConfig {
+        NsgaConfig {
+            population: 8,
+            generations: 6,
+            seed: 11,
+            ..NsgaConfig::default()
+        }
+    }
+
+    #[test]
+    fn file_sink_round_trips_through_load() {
+        let path = scratch("roundtrip");
+        let spec = CheckpointSpec {
+            path: path.clone(),
+            every: 2,
+        };
+        let ctl = RunControl::NONE;
+        let sink = FileSink::new(&spec.path, &ctl);
+        let nsga = Nsga2::new(config());
+        let plan = CheckpointPlan {
+            every: spec.every,
+            sink: &sink,
+        };
+        let uninterrupted = nsga.run_checkpointed(&Sphere, Vec::new(), None, None, |_| true);
+        let _ = nsga.run_checkpointed(&Sphere, Vec::new(), None, Some(plan), |_| true);
+
+        let loaded = load(&spec, &config(), Sphere.bounds()).expect("checkpoint loads");
+        assert_eq!(loaded.generation, 6);
+        // Resuming from the final flush reproduces the full run.
+        let resumed = nsga.run_checkpointed(&Sphere, Vec::new(), Some(loaded), None, |_| true);
+        assert_eq!(resumed.pareto_front, uninterrupted.pareto_front);
+        assert_eq!(resumed.evaluations, uninterrupted.evaluations);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_missing_torn_and_foreign_checkpoints() {
+        let missing = CheckpointSpec {
+            path: scratch("missing"),
+            every: 2,
+        };
+        assert!(load(&missing, &config(), Sphere.bounds()).is_none());
+
+        let torn = CheckpointSpec {
+            path: scratch("torn"),
+            every: 2,
+        };
+        std::fs::write(&torn.path, "{\"generation\": 3, \"trunc").expect("write");
+        assert!(load(&torn, &config(), Sphere.bounds()).is_none());
+        let _ = std::fs::remove_file(&torn.path);
+
+        // A valid checkpoint from a *different* configuration must not
+        // resume this one.
+        let path = scratch("foreign");
+        let spec = CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+        };
+        let ctl = RunControl::NONE;
+        let sink = FileSink::new(&spec.path, &ctl);
+        let nsga = Nsga2::new(config());
+        let _ = nsga.run_checkpointed(
+            &Sphere,
+            Vec::new(),
+            None,
+            Some(CheckpointPlan {
+                every: 1,
+                sink: &sink,
+            }),
+            |_| true,
+        );
+        let other = NsgaConfig {
+            seed: 999,
+            ..config()
+        };
+        assert!(load(&spec, &other, Sphere.bounds()).is_none());
+        assert!(load(&spec, &config(), Sphere.bounds()).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn env_cadence_is_a_positive_default() {
+        const { assert!(DEFAULT_CHECKPOINT_EVERY > 0) }
+        let spec = CheckpointSpec {
+            path: scratch("active"),
+            every: 0,
+        };
+        assert!(!spec.is_active());
+    }
+
+    #[test]
+    fn sink_reports_progress_per_flush() {
+        use std::sync::Mutex;
+        let path = scratch("events");
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let observer = |e: &ProgressEvent| events.lock().expect("unpoisoned").push(e.clone());
+        let ctl = RunControl::new(Some(&observer), None);
+        let sink = FileSink::new(&path, &ctl);
+        let nsga = Nsga2::new(config());
+        let _ = nsga.run_checkpointed(
+            &Sphere,
+            Vec::new(),
+            None,
+            Some(CheckpointPlan {
+                every: 3,
+                sink: &sink,
+            }),
+            |_| true,
+        );
+        let generations: Vec<usize> = events
+            .lock()
+            .expect("unpoisoned")
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::Checkpoint { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(generations, [3, 6]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -103,6 +103,15 @@ pub struct SearchContext<'a> {
     /// (fronts are byte-identical either way); engines that don't
     /// understand stores simply ignore it.
     pub store: Option<&'a crate::store::StoreSink>,
+    /// Crash-safety checkpoint request
+    /// ([`Study::checkpoint_every`](crate::Study::checkpoint_every)).
+    /// `None` — the default every
+    /// [`search_context`](crate::pipeline::BaselineCosted::search_context)
+    /// starts from — runs without durability, exactly as before.
+    /// Checkpointing never steers the search: a resumed run is
+    /// byte-identical to an uninterrupted one, so engines that ignore
+    /// this field are merely not crash-safe, never wrong.
+    pub checkpoint: Option<&'a crate::checkpoint::CheckpointSpec>,
 }
 
 impl SearchContext<'_> {
@@ -123,6 +132,7 @@ impl std::fmt::Debug for SearchContext<'_> {
             .field("eval_threads", &self.eval_threads)
             .field("variation", &self.variation)
             .field("store", &self.store)
+            .field("checkpoint", &self.checkpoint)
             .finish_non_exhaustive()
     }
 }
@@ -204,6 +214,7 @@ impl SearchEngine for NsgaEngine {
             .with_eval_threads(ctx.eval_threads)
             .with_variation(ctx.variation.copied())
             .with_store(ctx.store.cloned())
+            .with_checkpoint(ctx.checkpoint.cloned())
             .train_controlled(
                 ctx.baseline,
                 ctx.baseline_train_accuracy,
@@ -276,6 +287,7 @@ impl SearchEngine for PlainGaEngine {
             ctl,
             &mut history,
             &|| None,
+            ctx.checkpoint,
         );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;

@@ -230,6 +230,15 @@ impl<P: IntProblem + Sync> IntProblem for CachedEvaluator<P> {
     }
 
     fn evaluate_batch(&self, genomes: &[Vec<u32>]) -> Vec<Evaluation> {
+        // `PE_FAULT` drill site: one arrival per evaluation wave. Free
+        // (one initialization check) when no plan is armed.
+        match pe_store::fault::check(pe_store::fault::SITE_EVAL_BATCH) {
+            Some(pe_store::FaultAction::Kill) => pe_store::fault::kill_now(),
+            Some(pe_store::FaultAction::Err) => {
+                panic!("injected fault: eval_batch")
+            }
+            None => {}
+        }
         let mut results: Vec<Option<Evaluation>> = vec![None; genomes.len()];
 
         // Phase 1 — one cache pass: resolve hits, deduplicate misses.
@@ -291,6 +300,17 @@ impl<P: IntProblem + Sync> IntProblem for CachedEvaluator<P> {
 /// neuron-column cache and the cost layer's gate-count memo — for the
 /// [`ProgressEvent::EvalCache`] event (`None` for problems without
 /// them, e.g. the plain GA — those counters report zero).
+///
+/// `checkpoint` makes the run crash-safe: a valid snapshot at the
+/// spec's path resumes the GA mid-stream (RNG state, population
+/// annotations and counters restored bit-exactly — the resumed run is
+/// byte-identical to an uninterrupted one), and new snapshots are
+/// flushed through [`pe_store::atomic_write`] every `spec.every`
+/// generations plus once on completion or cancellation. `None` keeps
+/// the historical single-shot behavior.
+// Internal plumbing shared by exactly two engines; a parameter struct
+// would only move the argument list one level up.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     nsga: &pe_nsga::Nsga2,
     problem: &P,
@@ -299,11 +319,40 @@ pub(crate) fn run_ga_cached<P: IntProblem + Sync>(
     ctl: &crate::progress::RunControl<'_>,
     history: &mut Vec<pe_nsga::GenerationStats>,
     problem_stats: &(dyn Fn() -> Option<ProblemCacheStats> + Sync),
+    checkpoint: Option<&crate::checkpoint::CheckpointSpec>,
 ) -> pe_nsga::NsgaResult {
     use crate::progress::ProgressEvent;
     let generations = nsga.config().generations;
     let evaluator = CachedEvaluator::with_options(problem, GENOME_CACHE_CAPACITY, eval_threads);
-    nsga.run_controlled(&evaluator, seeds, |s| {
+
+    let checkpoint = checkpoint.filter(|spec| spec.is_active());
+    let resume =
+        checkpoint.and_then(|spec| crate::checkpoint::load(spec, nsga.config(), problem.bounds()));
+    if let Some(cp) = &resume {
+        // The observer below only sees the *new* generations; the
+        // already-run prefix comes straight from the snapshot so the
+        // outcome's history matches an uninterrupted run exactly.
+        history.extend(cp.history.iter().cloned());
+    }
+    let sink = checkpoint.map(|spec| crate::checkpoint::FileSink::new(&spec.path, ctl));
+    let plan = checkpoint
+        .zip(sink.as_ref())
+        .map(|(spec, sink)| pe_nsga::CheckpointPlan {
+            every: spec.every,
+            sink,
+        });
+
+    nsga.run_checkpointed(&evaluator, seeds, resume, plan, |s| {
+        // `PE_FAULT` drill site: one arrival per completed generation,
+        // *before* this generation's checkpoint can flush — a kill here
+        // loses at most `every` generations of work, never durability.
+        match pe_store::fault::check(pe_store::fault::SITE_SEARCHED_GENERATION) {
+            Some(pe_store::FaultAction::Kill) => pe_store::fault::kill_now(),
+            Some(pe_store::FaultAction::Err) => {
+                panic!("injected fault: searched_generation")
+            }
+            None => {}
+        }
         history.push(s.clone());
         ctl.emit(&ProgressEvent::GaGeneration {
             generation: s.generation,

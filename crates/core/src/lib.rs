@@ -39,6 +39,10 @@
 //!   any `IntProblem` with a bounded genome memo and a deterministic
 //!   thread-pool batch path (results in input order, byte-identical to
 //!   serial), and [`thread_budget`] centralizes the `PE_THREADS` knob.
+//! * [`checkpoint`] — crash-safe search checkpointing: the pipeline
+//!   persists a generation-level GA snapshot (atomically, next to the
+//!   `Searched` stage artifact) and resumes a killed or cancelled
+//!   search from it, byte-identical to an uninterrupted run.
 //! * [`robust`] — Monte-Carlo variation-aware evaluation: the
 //!   trial-major extended dataset behind the batched robust fitness
 //!   path and the uncached [`robust::mc_accuracy`] reference oracle
@@ -85,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod columns;
 pub mod config;
 pub mod engine;
@@ -101,6 +106,7 @@ pub mod robust;
 pub mod store;
 pub mod train;
 
+pub use checkpoint::{checkpoint_every, CheckpointSpec, DEFAULT_CHECKPOINT_EVERY};
 pub use columns::{ColumnCacheStats, NeuronColumnCache, ShardStats, DEFAULT_SHARDS};
 pub use config::AxTrainConfig;
 pub use engine::{

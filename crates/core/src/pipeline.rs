@@ -125,6 +125,7 @@ impl BaselineCosted {
             // nominal bit for bit.
             variation: None,
             store: None,
+            checkpoint: None,
         }
     }
 }
@@ -229,6 +230,7 @@ pub struct Study {
     design_store: Option<PathBuf>,
     store_writer: Option<Arc<pe_store::StoreWriter>>,
     warm_start: bool,
+    checkpoint_every: Option<usize>,
 }
 
 impl Study {
@@ -252,6 +254,7 @@ impl Study {
             design_store: None,
             store_writer: None,
             warm_start: false,
+            checkpoint_every: None,
         }
     }
 
@@ -405,6 +408,23 @@ impl Study {
         self
     }
 
+    /// Flush a crash-safety checkpoint of the search stage every
+    /// `every` completed GA generations (default: the
+    /// `PE_CHECKPOINT_EVERY` environment knob, falling back to
+    /// [`DEFAULT_CHECKPOINT_EVERY`](crate::checkpoint::DEFAULT_CHECKPOINT_EVERY);
+    /// `0` disables checkpointing). Requires a
+    /// [`cache_dir`](Self::cache_dir) — the checkpoint lives next to
+    /// the `Searched` stage artifact and is deleted once that artifact
+    /// is safely on disk. A killed or cancelled pipeline then resumes
+    /// the search from its last checkpoint instead of generation zero,
+    /// and produces byte-identical artifacts either way. The cadence
+    /// is pure durability policy: it is not part of any stage-cache
+    /// key.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
     /// Validate the configuration and build the [`Pipeline`].
     ///
     /// # Errors
@@ -547,6 +567,9 @@ impl Study {
             cache_dir: self.cache_dir,
             eval_threads: self.eval_threads,
             store_sink,
+            checkpoint_every: self
+                .checkpoint_every
+                .unwrap_or_else(crate::checkpoint::checkpoint_every),
         })
     }
 }
@@ -569,6 +592,7 @@ pub struct Pipeline {
     cache_dir: Option<PathBuf>,
     eval_threads: Option<usize>,
     store_sink: Option<crate::store::StoreSink>,
+    checkpoint_every: usize,
 }
 
 impl Pipeline {
@@ -743,6 +767,23 @@ impl Pipeline {
             stage: StageKind::Searched,
         });
         let model = self.cost_model();
+        // A checkpoint needs a home and a cadence; without a cache_dir
+        // (or with cadence 0) the stage runs exactly as before. The
+        // checkpoint file sits next to the `Searched` artifact and
+        // shares its config-keyed prefix, so differently-configured
+        // runs can never resume each other's snapshots (the loader
+        // validates the config again regardless).
+        let checkpoint = self.checkpoint_path().map(|path| {
+            if let Some(parent) = path.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("warning: cannot create {}: {e}", parent.display());
+                }
+            }
+            crate::checkpoint::CheckpointSpec {
+                path,
+                every: self.checkpoint_every,
+            }
+        });
         let outcome = {
             let mut ctx = costed.search_context(&model, self.config.accuracy_loss_budget);
             if let Some(threads) = self.eval_threads {
@@ -750,6 +791,7 @@ impl Pipeline {
             }
             ctx.variation = self.config.variation.as_ref();
             ctx.store = self.store_sink.as_ref();
+            ctx.checkpoint = checkpoint.as_ref();
             self.engine.search(&ctx, &ctl)?
         };
         ctl.emit(&ProgressEvent::StageFinished {
@@ -853,7 +895,7 @@ impl Pipeline {
     ///
     /// As [`search`](Self::search).
     pub fn searched(&self) -> Result<Searched, FlowError> {
-        self.cached(
+        let searched = self.cached(
             StageKind::Searched,
             |v: &Searched| {
                 v.engine == self.engine.name() && self.stage_is_ours(&v.costed.float.prepared)
@@ -862,7 +904,16 @@ impl Pipeline {
                 let costed = self.baseline_costed()?;
                 self.search(costed)
             },
-        )
+        )?;
+        // The checkpoint's job ends once the stage artifact is on disk
+        // (`cached` stored it just above); deleting it only after that
+        // write means a kill at *any* point leaves something to resume
+        // from. Best-effort: a leftover checkpoint is merely re-read
+        // and re-deleted next run.
+        if let Some(path) = self.checkpoint_path() {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(searched)
     }
 
     /// Stage 5 through the cache (computing earlier stages as needed).
@@ -940,6 +991,18 @@ impl Pipeline {
         )))
     }
 
+    /// Where the search stage's crash-safety checkpoint lives: next to
+    /// the `Searched` artifact, under the same config-keyed prefix
+    /// (`{short}-{key:016x}-searched.ckpt.json`). `None` without a
+    /// cache directory or with checkpointing disabled.
+    fn checkpoint_path(&self) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        let path = self.stage_path(StageKind::Searched)?;
+        Some(path.with_extension("ckpt.json"))
+    }
+
     /// Per-stage cache key: hashes only the inputs the stage chain up
     /// to `stage` consumes, so changing a late-stage-only parameter
     /// (the loss budget, the GA budget, the engine) keeps the expensive
@@ -1008,6 +1071,10 @@ impl Pipeline {
     /// Stage files are compact JSON — each stage embeds its full
     /// upstream chain (that's what makes a single file resumable on its
     /// own), so pretty-printing would multiply already-redundant bytes.
+    /// Writes go through [`pe_store::atomic_write`], so a kill mid-write
+    /// can never leave a torn artifact for the next run to load (a torn
+    /// cache entry would fail to parse and silently recompute, but an
+    /// atomically-replaced one keeps its previous good contents).
     fn store_stage<T: Serialize>(&self, stage: StageKind, value: &T) {
         let Some(path) = self.stage_path(stage) else {
             return;
@@ -1020,7 +1087,7 @@ impl Pipeline {
         }
         match serde_json::to_string(value) {
             Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
+                if let Err(e) = pe_store::atomic_write(&path, json.as_bytes()) {
                     eprintln!("warning: cannot write {}: {e}", path.display());
                 }
             }

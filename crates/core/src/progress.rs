@@ -160,6 +160,16 @@ pub enum ProgressEvent {
         /// Bytes this search has appended to the design store file.
         store_bytes: u64,
     },
+    /// A search checkpoint was persisted to disk (see
+    /// [`Study::checkpoint_every`](crate::Study::checkpoint_every)): a
+    /// killed or cancelled run can now resume from this generation
+    /// instead of generation zero.
+    Checkpoint {
+        /// Completed generations captured by the checkpoint (1-based).
+        generation: usize,
+        /// Chromosome evaluations captured by the checkpoint.
+        evaluations: u64,
+    },
 }
 
 /// A shared, thread-safe progress observer (what

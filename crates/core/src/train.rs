@@ -46,6 +46,7 @@ pub struct HwAwareTrainer {
     eval_threads: Option<usize>,
     variation: Option<pe_hw::VariationConfig>,
     store: Option<crate::store::StoreSink>,
+    checkpoint: Option<crate::checkpoint::CheckpointSpec>,
 }
 
 impl HwAwareTrainer {
@@ -57,6 +58,7 @@ impl HwAwareTrainer {
             eval_threads: None,
             variation: None,
             store: None,
+            checkpoint: None,
         }
     }
 
@@ -92,6 +94,20 @@ impl HwAwareTrainer {
     #[must_use]
     pub fn with_store(mut self, store: Option<crate::store::StoreSink>) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Make the GA loop crash-safe: resume from a valid checkpoint at
+    /// the spec's path and flush new checkpoints at its cadence (see
+    /// [`crate::checkpoint`]). Checkpointing is pure durability — a
+    /// resumed run reproduces the uninterrupted run's outcome byte for
+    /// byte. `None` (the default) keeps the single-shot behavior.
+    #[must_use]
+    pub fn with_checkpoint(
+        mut self,
+        checkpoint: Option<crate::checkpoint::CheckpointSpec>,
+    ) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -251,6 +267,7 @@ impl HwAwareTrainer {
                     store: problem.store_stats(),
                 })
             },
+            self.checkpoint.as_ref(),
         );
         let ga_wall = started.elapsed();
         ctl.ensure_live(StageKind::Searched)?;

@@ -77,6 +77,128 @@ pub struct NsgaResult {
     pub generations: usize,
 }
 
+/// A serializable snapshot of a run taken right after a completed
+/// generation. Restoring it (see [`Nsga2::run_checkpointed`]) resumes
+/// the evolution bit-exactly: the population, the RNG stream position
+/// and the evaluation counter all continue where the snapshot left off,
+/// so a killed-and-resumed run is byte-identical to an uninterrupted
+/// one.
+///
+/// The population's rank/crowding annotations are part of the snapshot
+/// and are restored verbatim: survivors carry annotations computed
+/// over the full (μ+λ) selection pool, which the μ survivors alone
+/// cannot reproduce, and the next generation's tournaments depend on
+/// them. The one JSON wrinkle — front-boundary points' `+∞` crowding
+/// renders as `null` — is reversed on resume (crowding is never NaN
+/// and never `-∞`, so the mapping is lossless).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// The configuration of the run that produced this snapshot. A
+    /// checkpoint only resumes a run with an identical configuration.
+    pub config: NsgaConfig,
+    /// Generations completed when the snapshot was taken (1-based:
+    /// after generation index `g` completes this is `g + 1`).
+    pub generation: usize,
+    /// xoshiro256\*\* stream state at the snapshot point.
+    pub rng_state: [u64; 4],
+    /// Candidate evaluations performed so far.
+    pub evaluations: u64,
+    /// The surviving population after `generation` generations.
+    pub population: Vec<Individual>,
+    /// Per-generation stats emitted so far (one per completed
+    /// generation), so observers of a resumed run can reconstruct the
+    /// full history.
+    pub history: Vec<GenerationStats>,
+}
+
+impl SearchCheckpoint {
+    /// Check that this snapshot can resume a run of `config` over a
+    /// problem with the given `bounds`. Returns a human-readable reason
+    /// when it cannot (mismatched configuration, wrong population
+    /// shape, inconsistent counters, torn data).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first integrity violation found.
+    pub fn validate(&self, config: &NsgaConfig, bounds: &[u32]) -> Result<(), String> {
+        if self.config != *config {
+            return Err("checkpoint was taken under a different configuration".into());
+        }
+        if self.generation == 0 || self.generation > config.generations {
+            return Err(format!(
+                "checkpoint generation {} outside 1..={}",
+                self.generation, config.generations
+            ));
+        }
+        if self.population.len() != config.population {
+            return Err(format!(
+                "checkpoint population {} != configured {}",
+                self.population.len(),
+                config.population
+            ));
+        }
+        for ind in &self.population {
+            if ind.genes.len() != bounds.len() {
+                return Err(format!(
+                    "checkpoint genome length {} != problem arity {}",
+                    ind.genes.len(),
+                    bounds.len()
+                ));
+            }
+            if ind.genes.iter().zip(bounds).any(|(&g, &b)| g >= b) {
+                return Err("checkpoint genome exceeds problem bounds".into());
+            }
+        }
+        if self.rng_state == [0; 4] {
+            return Err("checkpoint RNG state is degenerate (all zero)".into());
+        }
+        if self.history.len() != self.generation {
+            return Err(format!(
+                "checkpoint history length {} != generation {}",
+                self.history.len(),
+                self.generation
+            ));
+        }
+        let expected_evals = (self.generation as u64 + 1) * config.population as u64;
+        if self.evaluations != expected_evals {
+            return Err(format!(
+                "checkpoint evaluations {} != expected {expected_evals}",
+                self.evaluations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Destination for [`SearchCheckpoint`]s emitted mid-run (a file, a
+/// test buffer, …). Implementations must not assume they are called at
+/// any particular cadence.
+pub trait CheckpointSink {
+    /// Persist one snapshot. Failures must be handled internally —
+    /// checkpointing is best-effort durability and must never abort the
+    /// search itself.
+    fn save(&self, checkpoint: &SearchCheckpoint);
+}
+
+/// Cadence and destination for mid-run checkpointing.
+#[derive(Clone, Copy)]
+pub struct CheckpointPlan<'a> {
+    /// Emit a snapshot every this many completed generations (`0`
+    /// disables cadence-driven snapshots; a stop requested by the
+    /// observer and the final generation still flush one).
+    pub every: usize,
+    /// Where snapshots go.
+    pub sink: &'a dyn CheckpointSink,
+}
+
+impl std::fmt::Debug for CheckpointPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointPlan")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The NSGA-II optimizer.
 #[derive(Debug, Clone)]
 pub struct Nsga2 {
@@ -141,32 +263,84 @@ impl Nsga2 {
         &self,
         problem: &P,
         seeds: Vec<Vec<u32>>,
+        observer: F,
+    ) -> NsgaResult {
+        self.run_checkpointed(problem, seeds, None, None, observer)
+    }
+
+    /// Like [`run_controlled`](Self::run_controlled), plus crash-safe
+    /// checkpointing: when `resume` carries a [`SearchCheckpoint`] the
+    /// run skips the already-completed generations and continues the
+    /// RNG stream, population and evaluation counter exactly where the
+    /// snapshot was taken — the resumed run is bit-identical to an
+    /// uninterrupted one. When `plan` is set, a snapshot is emitted
+    /// through its sink every `plan.every` completed generations, after
+    /// the final generation, and whenever the observer requests a stop
+    /// (so a cancelled run resumes where it stopped).
+    ///
+    /// The observer only sees generations actually executed in this
+    /// call; replayed history is available in `resume.history`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population size is below 2, a seed genome has the
+    /// wrong length, or `resume` fails [`SearchCheckpoint::validate`]
+    /// against this configuration and problem (callers wanting
+    /// fallback-to-fresh behaviour should validate before passing it).
+    pub fn run_checkpointed<P: IntProblem, F: FnMut(&GenerationStats) -> bool>(
+        &self,
+        problem: &P,
+        seeds: Vec<Vec<u32>>,
+        resume: Option<SearchCheckpoint>,
+        plan: Option<CheckpointPlan<'_>>,
         mut observer: F,
     ) -> NsgaResult {
         let cfg = &self.config;
         assert!(cfg.population >= 2, "population must be at least 2");
         let bounds = problem.bounds().to_vec();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6c62_272e_07bb_0142);
-        let mut evaluations = 0u64;
 
-        // Initial population: seeds first, random fill after. All
-        // genomes are generated first, then scored as one batch — the
-        // RNG stream (and therefore the run) is identical to scoring
-        // them one by one, but problems with a fast bulk path (see
-        // [`IntProblem::evaluate_batch`]) get the whole wave at once.
-        let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
-        for genes in seeds.into_iter().take(cfg.population) {
-            assert_eq!(genes.len(), bounds.len(), "seed genome length mismatch");
-            genomes.push(genes);
-        }
-        while genomes.len() < cfg.population {
-            genomes.push(random_genome(&bounds, &mut rng));
-        }
-        let mut pop = evaluate_wave(problem, genomes, &mut evaluations);
-        annotate(&mut pop);
+        let (mut pop, mut rng, mut evaluations, mut history, start);
+        if let Some(cp) = resume {
+            cp.validate(cfg, &bounds)
+                .unwrap_or_else(|reason| panic!("invalid checkpoint: {reason}"));
+            rng = StdRng::from_state(cp.rng_state);
+            evaluations = cp.evaluations;
+            start = cp.generation;
+            history = cp.history;
+            pop = cp.population;
+            for ind in &mut pop {
+                // A front-boundary point's +∞ crowding renders as JSON
+                // null and deserializes as NaN; map it back so the
+                // restored annotations equal the snapshot's exactly.
+                if ind.crowding.is_nan() {
+                    ind.crowding = f64::INFINITY;
+                }
+            }
+        } else {
+            rng = StdRng::seed_from_u64(cfg.seed ^ 0x6c62_272e_07bb_0142);
+            evaluations = 0u64;
+            start = 0;
+            history = Vec::new();
 
-        let mut executed = 0usize;
-        for generation in 0..cfg.generations {
+            // Initial population: seeds first, random fill after. All
+            // genomes are generated first, then scored as one batch — the
+            // RNG stream (and therefore the run) is identical to scoring
+            // them one by one, but problems with a fast bulk path (see
+            // [`IntProblem::evaluate_batch`]) get the whole wave at once.
+            let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
+            for genes in seeds.into_iter().take(cfg.population) {
+                assert_eq!(genes.len(), bounds.len(), "seed genome length mismatch");
+                genomes.push(genes);
+            }
+            while genomes.len() < cfg.population {
+                genomes.push(random_genome(&bounds, &mut rng));
+            }
+            pop = evaluate_wave(problem, genomes, &mut evaluations);
+            annotate(&mut pop);
+        }
+
+        let mut executed = start;
+        for generation in start..cfg.generations {
             // Offspring via binary tournaments + crossover + mutation;
             // the wave is bred first, then evaluated as one batch.
             let mut offspring_genomes: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
@@ -213,12 +387,28 @@ impl Nsga2 {
                 })
                 .collect();
             executed = generation + 1;
-            let keep_going = observer(&GenerationStats {
+            let stats = GenerationStats {
                 generation,
                 front_size,
                 best_objectives,
                 evaluations,
-            });
+            };
+            history.push(stats.clone());
+            let keep_going = observer(&stats);
+            if let Some(plan) = plan {
+                let due = plan.every > 0 && executed % plan.every == 0;
+                let stopping = !keep_going || executed == cfg.generations;
+                if due || stopping {
+                    plan.sink.save(&SearchCheckpoint {
+                        config: cfg.clone(),
+                        generation: executed,
+                        rng_state: rng.state(),
+                        evaluations,
+                        population: pop.clone(),
+                        history: history.clone(),
+                    });
+                }
+            }
             if !keep_going {
                 break;
             }
@@ -422,6 +612,169 @@ mod tests {
             full_gen3.expect("generation 3 observed").evaluations,
             result.evaluations
         );
+    }
+
+    /// Test sink: captures every snapshot in order.
+    #[derive(Default)]
+    struct Capture(std::cell::RefCell<Vec<SearchCheckpoint>>);
+
+    impl CheckpointSink for Capture {
+        fn save(&self, checkpoint: &SearchCheckpoint) {
+            self.0.borrow_mut().push(checkpoint.clone());
+        }
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_matches_the_uninterrupted_run() {
+        let problem = TwoHumps { bounds: vec![101] };
+        let cfg = NsgaConfig {
+            population: 12,
+            generations: 9,
+            ..NsgaConfig::default()
+        };
+        let sink = Capture::default();
+        let plan = CheckpointPlan {
+            every: 1,
+            sink: &sink,
+        };
+        let baseline = Nsga2::new(cfg.clone()).run_checkpointed(
+            &problem,
+            Vec::new(),
+            None,
+            Some(plan),
+            |_| true,
+        );
+        let checkpoints = sink.0.into_inner();
+        assert_eq!(checkpoints.len(), cfg.generations);
+
+        for cp in checkpoints {
+            // Round-trip through JSON: the persisted form (with its
+            // null-ed infinite crowding values) must resume exactly.
+            let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+            let restored: SearchCheckpoint = serde_json::from_str(&json).expect("round-trips");
+            restored
+                .validate(&cfg, &[101])
+                .expect("round-tripped checkpoint is valid");
+            let resumed = Nsga2::new(cfg.clone()).run_checkpointed(
+                &problem,
+                Vec::new(),
+                Some(restored),
+                None,
+                |_| true,
+            );
+            assert_eq!(resumed.population, baseline.population);
+            assert_eq!(resumed.pareto_front, baseline.pareto_front);
+            assert_eq!(resumed.evaluations, baseline.evaluations);
+            assert_eq!(resumed.generations, baseline.generations);
+        }
+    }
+
+    #[test]
+    fn observer_stop_flushes_a_final_checkpoint() {
+        let problem = TwoHumps { bounds: vec![101] };
+        let cfg = NsgaConfig {
+            population: 10,
+            generations: 50,
+            ..NsgaConfig::default()
+        };
+        // Cadence would fire at 10, 20, …; the stop after generation
+        // index 2 must flush a snapshot anyway.
+        let sink = Capture::default();
+        let plan = CheckpointPlan {
+            every: 10,
+            sink: &sink,
+        };
+        let stopped =
+            Nsga2::new(cfg.clone())
+                .run_checkpointed(&problem, Vec::new(), None, Some(plan), |s| s.generation < 2);
+        assert_eq!(stopped.generations, 3);
+        let checkpoints = sink.0.into_inner();
+        assert_eq!(checkpoints.len(), 1);
+        let cp = checkpoints.into_iter().next().expect("one checkpoint");
+        assert_eq!(cp.generation, 3);
+        assert_eq!(cp.history.len(), 3);
+        assert_eq!(cp.evaluations, stopped.evaluations);
+
+        // Resuming the flushed snapshot completes the run identically
+        // to an uninterrupted one.
+        let resumed =
+            Nsga2::new(cfg.clone())
+                .run_checkpointed(&problem, Vec::new(), Some(cp), None, |_| true);
+        let uninterrupted = Nsga2::new(cfg).run(&problem);
+        assert_eq!(resumed.population, uninterrupted.population);
+        assert_eq!(resumed.evaluations, uninterrupted.evaluations);
+    }
+
+    #[test]
+    fn the_final_generation_flushes_a_checkpoint() {
+        let problem = TwoHumps { bounds: vec![101] };
+        let cfg = NsgaConfig {
+            population: 10,
+            generations: 7,
+            ..NsgaConfig::default()
+        };
+        // `every: 3` fires at generations 3 and 6; generation 7 is the
+        // final one and flushes regardless of cadence.
+        let sink = Capture::default();
+        let plan = CheckpointPlan {
+            every: 3,
+            sink: &sink,
+        };
+        let _ = Nsga2::new(cfg.clone()).run_checkpointed(
+            &problem,
+            Vec::new(),
+            None,
+            Some(plan),
+            |_| true,
+        );
+        let generations: Vec<usize> = sink.0.into_inner().iter().map(|c| c.generation).collect();
+        assert_eq!(generations, vec![3, 6, 7]);
+    }
+
+    #[test]
+    fn validate_rejects_torn_or_mismatched_checkpoints() {
+        let problem = TwoHumps { bounds: vec![101] };
+        let cfg = NsgaConfig {
+            population: 8,
+            generations: 6,
+            ..NsgaConfig::default()
+        };
+        let sink = Capture::default();
+        let plan = CheckpointPlan {
+            every: 2,
+            sink: &sink,
+        };
+        let _ = Nsga2::new(cfg.clone()).run_checkpointed(
+            &problem,
+            Vec::new(),
+            None,
+            Some(plan),
+            |_| true,
+        );
+        let cp = sink.0.into_inner().into_iter().next().expect("checkpoint");
+        assert!(cp.validate(&cfg, &[101]).is_ok());
+
+        let mut other_cfg = cfg.clone();
+        other_cfg.seed ^= 1;
+        assert!(cp.validate(&other_cfg, &[101]).is_err());
+        assert!(cp.validate(&cfg, &[101, 101]).is_err());
+        assert!(cp.validate(&cfg, &[5]).is_err());
+
+        let mut torn = cp.clone();
+        torn.population.pop();
+        assert!(torn.validate(&cfg, &[101]).is_err());
+
+        let mut torn = cp.clone();
+        torn.history.pop();
+        assert!(torn.validate(&cfg, &[101]).is_err());
+
+        let mut torn = cp.clone();
+        torn.evaluations += 1;
+        assert!(torn.validate(&cfg, &[101]).is_err());
+
+        let mut torn = cp;
+        torn.rng_state = [0; 4];
+        assert!(torn.validate(&cfg, &[101]).is_err());
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod operators;
 pub mod problem;
 pub mod sort;
 
-pub use algorithm::{GenerationStats, Nsga2, NsgaConfig, NsgaResult};
+pub use algorithm::{
+    CheckpointPlan, CheckpointSink, GenerationStats, Nsga2, NsgaConfig, NsgaResult,
+    SearchCheckpoint,
+};
 pub use individual::Individual;
 pub use operators::{crossover, mutate, random_genome, CrossoverKind};
 pub use problem::{constrained_dominates, Evaluation, IntProblem};

@@ -1,0 +1,122 @@
+//! Crash-safe file writes.
+//!
+//! [`atomic_write`] is the single write path for every artifact that
+//! must never be observed half-written: stage-cache JSON, search
+//! checkpoints, salvage backups. The contract is the classic
+//! write-to-temp / fsync / rename dance — at any kill point the
+//! destination either holds its previous contents or the complete new
+//! contents, never a torn mix.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::fault::{self, FaultAction, SITE_ATOMIC_WRITE};
+
+/// Write `bytes` to `path` atomically: the full contents go to a
+/// sibling temp file, are fsynced, and replace `path` via `rename` (an
+/// atomic operation on POSIX filesystems when source and destination
+/// share a directory). A crash at any point leaves `path` untouched or
+/// fully replaced.
+///
+/// Under an armed `PE_FAULT` rule for the `atomic_write` site, `err`
+/// surfaces an injected [`io::Error`] and `kill` aborts the process
+/// after half the bytes reached the temp file — the drill that proves
+/// the destination survives torn temp writes.
+///
+/// # Errors
+///
+/// Any underlying filesystem error, with the temp file cleaned up on a
+/// best-effort basis.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("atomic_write: no file name in {path:?}")))?;
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let fault = fault::check(SITE_ATOMIC_WRITE);
+    if fault == Some(FaultAction::Err) {
+        return Err(io::Error::other("injected fault: atomic_write"));
+    }
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        if fault == Some(FaultAction::Kill) {
+            // Torn-write drill: half the payload reaches the temp
+            // file, then the process dies. The destination must be
+            // unaffected.
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+            let _ = file.sync_all();
+            fault::kill_now();
+        }
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable. Directory fsync is
+        // platform-dependent; failures here cannot un-rename, so they
+        // are not surfaced.
+        if let Ok(dir_handle) = File::open(dir) {
+            let _ = dir_handle.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "pe-store-io-{}-{tag}-{unique}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("replace");
+        atomic_write(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"first");
+        atomic_write(&path, b"second, longer contents").expect("rewrite");
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            b"second, longer contents"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = scratch("tmpdir");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        atomic_write(&dir.join("artifact.json"), b"{}").expect("write");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.json".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_directory_is_a_clean_error() {
+        let path = scratch("ghost").join("nested").join("artifact.json");
+        assert!(atomic_write(&path, b"{}").is_err());
+    }
+}

@@ -33,6 +33,16 @@
 //! * [`query`] — [`ScenarioQuery`]: re-cost stored designs under an
 //!   arbitrary scenario through the memoized fast cost model.
 //!
+//! Two durability helpers ride along: [`io`] provides the
+//! [`atomic_write`] temp-file/fsync/rename helper every crash-safe
+//! artifact write in the workspace goes through, and [`fault`] is the
+//! deterministic `PE_FAULT` fault-injection plan the crash-recovery
+//! drills use to kill or fail I/O at seeded, reproducible points.
+//! Store appends take advisory file locks (with bounded
+//! retry-with-backoff), so concurrent multi-process writers share one
+//! file safely, and [`DesignStore::open_salvaged`] repairs the torn
+//! trailing line a killed append leaves behind.
+//!
 //! The search-side integration (the `StoreSink` eval hook, warm-start
 //! seeding and Pareto-front selection over stored designs) lives in
 //! `printed-axc`, which reuses its own `pareto` machinery on top of
@@ -41,10 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+pub mod io;
 pub mod query;
 pub mod record;
 pub mod store;
 
+pub use fault::{FaultAction, FaultPlan};
+pub use io::atomic_write;
 pub use query::{CostedRecord, ScenarioQuery};
 pub use record::{counts_of_spec, fingerprint_of, DesignRecord};
-pub use store::{DesignStore, IngestOutcome, StoreError, StoreStats, StoreWriter};
+pub use store::{DesignStore, IngestOutcome, SalvageReport, StoreError, StoreStats, StoreWriter};

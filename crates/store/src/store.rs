@@ -18,12 +18,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::{File, OpenOptions};
+use std::fs::{File, OpenOptions, TryLockError};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
+use crate::fault::{self, FaultAction, SITE_STORE_APPEND};
 use crate::record::{fingerprint_of, DesignRecord};
 
 /// Why a store file could not be opened, read or appended to.
@@ -134,11 +136,151 @@ impl Table {
     }
 }
 
+/// What [`StoreWriter::open_salvaged`] / [`DesignStore::open_salvaged`]
+/// did to make the file loadable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SalvageReport {
+    /// Unique designs loaded after salvage.
+    pub kept: usize,
+    /// Trailing unparseable lines dropped (0 when the file was clean).
+    pub dropped_lines: usize,
+    /// Bytes truncated off the end of the file.
+    pub dropped_bytes: u64,
+    /// Where the pre-salvage file contents were preserved (`None` when
+    /// nothing was dropped).
+    pub backup: Option<PathBuf>,
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped_lines == 0 {
+            write!(f, "store was clean ({} designs)", self.kept)
+        } else {
+            write!(
+                f,
+                "dropped {} trailing torn line(s), {} bytes; kept {} designs (backup: {})",
+                self.dropped_lines,
+                self.dropped_bytes,
+                self.kept,
+                self.backup
+                    .as_deref()
+                    .map_or_else(|| "none".into(), |p| p.display().to_string()),
+            )
+        }
+    }
+}
+
 fn io_error(path: &Path, err: &std::io::Error) -> StoreError {
     StoreError::Io {
         path: path.to_path_buf(),
         reason: err.to_string(),
     }
+}
+
+/// Acquire an advisory lock on `file` with bounded retry-with-backoff,
+/// so concurrent multi-process writers serialize their appends instead
+/// of failing or interleaving. Advisory locks are released by the OS
+/// when the holder dies, so a killed writer never wedges the store.
+fn lock_with_retry(file: &File, path: &Path, exclusive: bool) -> Result<(), StoreError> {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..12 {
+        let attempt = if exclusive {
+            file.try_lock()
+        } else {
+            file.try_lock_shared()
+        };
+        match attempt {
+            Ok(()) => return Ok(()),
+            Err(TryLockError::WouldBlock) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+            Err(TryLockError::Error(err)) => return Err(io_error(path, &err)),
+        }
+    }
+    Err(StoreError::Io {
+        path: path.to_path_buf(),
+        reason: "timed out waiting for the store file lock".into(),
+    })
+}
+
+/// Scan the file for corruption and, when every bad line is trailing
+/// (nothing valid follows the first unparseable line), truncate the
+/// file back to the last good record, preserving the original bytes in
+/// a `.bak` sibling. Returns how many lines/bytes were dropped, or
+/// `Ok(None)`-equivalent zeros when the file was already clean or
+/// absent.
+///
+/// Mid-file corruption — a valid record *after* a bad line — is not
+/// salvageable by truncation and stays a hard [`StoreError::Corrupt`].
+fn salvage_trailing(path: &Path) -> Result<SalvageReport, StoreError> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(SalvageReport::default())
+        }
+        Err(err) => return Err(io_error(path, &err)),
+    };
+    let mut pos = 0usize;
+    let mut line_no = 0usize;
+    let mut truncate_at: Option<(usize, usize)> = None; // (byte offset, line number)
+    let mut dropped_lines = 0usize;
+    while pos < data.len() {
+        let end = data[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(data.len(), |i| pos + i + 1);
+        line_no += 1;
+        let parsed = std::str::from_utf8(&data[pos..end]).ok().map(str::trim);
+        match parsed {
+            Some("") => {} // blank lines are ignored by the loader
+            Some(line)
+                if serde_json::from_str::<DesignRecord>(line)
+                    .is_ok_and(|r| r.fingerprint == fingerprint_of(&r.mlp)) =>
+            {
+                if let Some((_, bad_line)) = truncate_at {
+                    return Err(StoreError::Corrupt {
+                        path: path.to_path_buf(),
+                        line: bad_line,
+                        reason: format!(
+                            "valid records follow the corrupt line (line {line_no} parses); \
+                             truncation cannot salvage mid-file corruption"
+                        ),
+                    });
+                }
+            }
+            _ => {
+                if truncate_at.is_none() {
+                    truncate_at = Some((pos, line_no));
+                }
+                dropped_lines += 1;
+            }
+        }
+        pos = end;
+    }
+    let Some((offset, _)) = truncate_at else {
+        return Ok(SalvageReport::default());
+    };
+    // Preserve the original bytes, then truncate in place. The backup
+    // goes through atomic_write so a crash mid-salvage cannot leave a
+    // torn backup next to a truncated store.
+    let mut backup_name = path.as_os_str().to_owned();
+    backup_name.push(".bak");
+    let backup = PathBuf::from(backup_name);
+    crate::io::atomic_write(&backup, &data).map_err(|err| io_error(&backup, &err))?;
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|err| io_error(path, &err))?;
+    file.set_len(offset as u64)
+        .and_then(|()| file.sync_all())
+        .map_err(|err| io_error(path, &err))?;
+    Ok(SalvageReport {
+        kept: 0, // filled in by the caller once the remainder loads
+        dropped_lines,
+        dropped_bytes: (data.len() - offset) as u64,
+        backup: Some(backup),
+    })
 }
 
 /// Parse every line of a store file into records, verifying each
@@ -215,15 +357,20 @@ impl StoreWriter {
                 std::fs::create_dir_all(parent).map_err(|err| io_error(&path, &err))?;
             }
         }
-        let mut table = Table::default();
-        for record in load_lines(&path, true)? {
-            let _ = table.merge(record);
-        }
         let file = OpenOptions::new()
             .append(true)
             .create(true)
             .open(&path)
             .map_err(|err| io_error(&path, &err))?;
+        // Load under a shared lock so a concurrent writer's in-flight
+        // append cannot be observed half-written.
+        lock_with_retry(&file, &path, false)?;
+        let loaded = load_lines(&path, true);
+        let _ = file.unlock();
+        let mut table = Table::default();
+        for record in loaded? {
+            let _ = table.merge(record);
+        }
         Ok(Self {
             path,
             inner: Mutex::new(Inner { file, table }),
@@ -231,6 +378,26 @@ impl StoreWriter {
             deduplicated: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
         })
+    }
+
+    /// [`open`](Self::open), but a store whose only corruption is a
+    /// trailing torn line (the signature of a killed append) is
+    /// repaired first: the file is truncated back to the last good
+    /// record, the original bytes are kept in a `.bak` sibling, and
+    /// the report says what was dropped. Mid-file corruption still
+    /// fails hard.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures;
+    /// [`StoreError::Corrupt`] when valid records follow the first
+    /// corrupt line (truncation would lose good data).
+    pub fn open_salvaged(path: impl Into<PathBuf>) -> Result<(Self, SalvageReport), StoreError> {
+        let path = path.into();
+        let mut report = salvage_trailing(&path)?;
+        let writer = Self::open(path)?;
+        report.kept = writer.len();
+        Ok((writer, report))
     }
 
     /// The store file this writer appends to.
@@ -243,11 +410,19 @@ impl StoreWriter {
     /// append a JSON line when the record is new or carries new
     /// information about a stored design.
     ///
+    /// The append itself happens under an advisory file lock (acquired
+    /// with bounded retry-with-backoff), so several processes can
+    /// share one store file without interleaving their lines; the lock
+    /// is released by the OS if the holder dies mid-append, and the
+    /// torn tail such a death leaves behind is what
+    /// [`open_salvaged`](Self::open_salvaged) repairs.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the append fails. The in-memory index
-    /// is updated first, so a failed append degrades to a
-    /// memory-only record rather than inconsistent state.
+    /// [`StoreError::Io`] when the append fails (or when a `PE_FAULT`
+    /// rule for the `store_append` site injects a failure). The
+    /// in-memory index is updated first, so a failed append degrades
+    /// to a memory-only record rather than inconsistent state.
     pub fn ingest(&self, record: DesignRecord) -> Result<IngestOutcome, StoreError> {
         let line = serde_json::to_string(&record).map_err(|err| StoreError::Io {
             path: self.path.clone(),
@@ -262,13 +437,32 @@ impl StoreWriter {
                 bytes: 0,
             });
         }
-        inner
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|()| inner.file.write_all(b"\n"))
-            .map_err(|err| io_error(&self.path, &err))?;
+        let mut payload = line.into_bytes();
+        payload.push(b'\n');
+        lock_with_retry(&inner.file, &self.path, true)?;
+        match fault::check(SITE_STORE_APPEND) {
+            Some(FaultAction::Err) => {
+                let _ = inner.file.unlock();
+                return Err(StoreError::Io {
+                    path: self.path.clone(),
+                    reason: "injected fault: store_append".into(),
+                });
+            }
+            Some(FaultAction::Kill) => {
+                // Crash drill: half a line reaches the file, then the
+                // process dies holding the lock — the exact torn tail
+                // salvage must repair (and the OS must release).
+                let _ = inner.file.write_all(&payload[..payload.len() / 2]);
+                let _ = inner.file.sync_all();
+                fault::kill_now();
+            }
+            None => {}
+        }
+        let appended = inner.file.write_all(&payload);
+        let _ = inner.file.unlock();
+        appended.map_err(|err| io_error(&self.path, &err))?;
         drop(inner);
-        let bytes = line.len() as u64 + 1;
+        let bytes = payload.len() as u64;
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         let new_design = matches!(merge, Merge::Inserted);
         if new_design {
@@ -343,6 +537,26 @@ impl DesignStore {
             let _ = table.merge(record);
         }
         Ok(Self { path, table })
+    }
+
+    /// [`load`](Self::load), but a trailing torn line (the signature
+    /// of a crash mid-append) is truncated back to the last good
+    /// record first, with the original bytes preserved in a `.bak`
+    /// sibling. The report says what (if anything) was dropped;
+    /// mid-file corruption still fails hard.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read or repaired
+    /// (including when it does not exist);
+    /// [`StoreError::Corrupt`] when valid records follow the first
+    /// corrupt line (truncation would lose good data).
+    pub fn open_salvaged(path: impl Into<PathBuf>) -> Result<(Self, SalvageReport), StoreError> {
+        let path = path.into();
+        let mut report = salvage_trailing(&path)?;
+        let store = Self::load(path)?;
+        report.kept = store.len();
+        Ok((store, report))
     }
 
     /// The file this snapshot was loaded from.
@@ -547,6 +761,119 @@ mod tests {
         std::fs::write(&path, text).expect("write");
         let err = DesignStore::load(&path).expect_err("bad fingerprint must not load");
         assert!(matches!(err, StoreError::Corrupt { line: 2, .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_truncates_a_trailing_torn_line() {
+        let path = scratch_path("salvage-tail");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(1)).expect("ingest");
+            let _ = writer.ingest(record(2)).expect("ingest");
+        }
+        let clean = std::fs::read(&path).expect("read");
+        // Simulate a killed append: a half-written third record.
+        let torn_line = serde_json::to_string(&record(3)).expect("serialize");
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&torn_line.as_bytes()[..torn_line.len() / 2]);
+        std::fs::write(&path, &torn).expect("write torn");
+
+        assert!(DesignStore::load(&path).is_err(), "strict load refuses");
+        let (store, report) = DesignStore::open_salvaged(&path).expect("salvage");
+        assert_eq!(store.len(), 2);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.dropped_lines, 1);
+        assert_eq!(report.dropped_bytes, (torn.len() - clean.len()) as u64);
+        let backup = report.backup.expect("backup kept");
+        assert_eq!(std::fs::read(&backup).expect("read backup"), torn);
+        // The repaired file is byte-identical to the pre-crash state
+        // and appendable again.
+        assert_eq!(std::fs::read(&path).expect("read"), clean);
+        let (writer, report) = StoreWriter::open_salvaged(&path).expect("reopen");
+        assert_eq!(report.dropped_lines, 0, "already repaired");
+        assert!(writer.ingest(record(3)).expect("append resumes").new_design);
+        assert_eq!(DesignStore::load(&path).expect("load").len(), 3);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+    }
+
+    #[test]
+    fn salvage_reports_a_clean_file_untouched() {
+        let path = scratch_path("salvage-clean");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(4)).expect("ingest");
+        }
+        let before = std::fs::read(&path).expect("read");
+        let (store, report) = DesignStore::open_salvaged(&path).expect("salvage");
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            report,
+            SalvageReport {
+                kept: 1,
+                ..SalvageReport::default()
+            }
+        );
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_refuses_mid_file_corruption() {
+        let path = scratch_path("salvage-mid");
+        {
+            let writer = StoreWriter::open(&path).expect("open");
+            let _ = writer.ingest(record(1)).expect("ingest");
+            let _ = writer.ingest(record(2)).expect("ingest");
+        }
+        // Corrupt the FIRST line: a later line still parses, so
+        // truncation would destroy good data and must be refused.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = lines[0][..lines[0].len() / 2].to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write");
+        let err = DesignStore::open_salvaged(&path).expect_err("must refuse");
+        assert!(matches!(err, StoreError::Corrupt { line: 1, .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_of_a_wholly_torn_file_yields_an_empty_store() {
+        let path = scratch_path("salvage-all");
+        std::fs::write(&path, "{\"half\":").expect("write");
+        let (writer, report) = StoreWriter::open_salvaged(&path).expect("salvage");
+        assert!(writer.is_empty());
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.dropped_lines, 1);
+        assert!(writer.ingest(record(1)).expect("ingest").new_design);
+        let backup = report.backup.expect("backup kept");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_file_lose_no_records() {
+        // Two independent writers (as two processes would open them)
+        // interleave appends on one path; every record must survive
+        // and the merged load must see the union.
+        let path = scratch_path("two-writers");
+        let a = StoreWriter::open(&path).expect("open a");
+        let b = StoreWriter::open(&path).expect("open b");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for bias in 0..20 {
+                    let _ = a.ingest(record(bias)).expect("a ingests");
+                }
+            });
+            scope.spawn(|| {
+                for bias in 10..30 {
+                    let _ = b.ingest(record(bias)).expect("b ingests");
+                }
+            });
+        });
+        let loaded = DesignStore::load(&path).expect("interleaved file loads");
+        assert_eq!(loaded.len(), 30, "the union of both writers survives");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -261,6 +261,75 @@ fn cancellation_aborts_the_float_training_stage() {
 }
 
 #[test]
+fn cancelled_search_flushes_a_checkpoint_and_resumes_byte_identically() {
+    let dir = fresh_dir("cancel-resume");
+    let seed = 47;
+
+    // Cancel mid-GA. The stop-flush must leave a search checkpoint in
+    // the stage-cache directory even though the cadence (5 > the 4
+    // micro-config generations) never fired on its own.
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let cancelled = Study::for_dataset(Dataset::BreastCancer)
+        .config(micro_config(seed))
+        .tech(TechLibrary::egfet())
+        .progress(move |e| {
+            if matches!(e, ProgressEvent::GaGeneration { generation: 1, .. }) {
+                trip.cancel();
+            }
+        })
+        .cancel_token(token)
+        .cache_dir(&dir)
+        .checkpoint_every(5)
+        .finish()
+        .expect("valid micro config");
+    match cancelled.run() {
+        Err(FlowError::Cancelled { stage }) => assert_eq!(stage, StageKind::Searched),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    let checkpoint_file = |dir: &std::path::Path| {
+        std::fs::read_dir(dir).ok().and_then(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .find(|p| p.to_string_lossy().ends_with(".ckpt.json"))
+        })
+    };
+    let flushed = checkpoint_file(&dir).expect("cancellation must flush a search checkpoint");
+    let checkpoint: printed_mlps::nsga::SearchCheckpoint =
+        serde_json::from_str(&std::fs::read_to_string(&flushed).expect("checkpoint reads"))
+            .expect("checkpoint parses");
+    assert_eq!(
+        checkpoint.generation, 2,
+        "cancelling at generation index 1 snapshots two completed generations"
+    );
+
+    // A fresh pipeline over the same cache resumes the cancelled
+    // search: only the remaining generations run.
+    let (resumed, resumed_events) = recording_pipeline(Dataset::BreastCancer, seed, Some(&dir));
+    let resumed_selected = resumed.run().expect("resumed run");
+    assert_eq!(
+        ga_generations(&resumed_events),
+        micro_config(seed).ga.nsga.generations - checkpoint.generation,
+        "the resumed search must skip the checkpointed generations"
+    );
+    assert!(
+        checkpoint_file(&dir).is_none(),
+        "a completed search must clean its checkpoint up"
+    );
+
+    // And the result is byte-identical to an uninterrupted run's.
+    let (uninterrupted, _) = recording_pipeline(Dataset::BreastCancer, seed, None);
+    let baseline_selected = uninterrupted.run().expect("uninterrupted run");
+    assert_eq!(
+        serde_json::to_string(&untimed(resumed_selected)).expect("serialize"),
+        serde_json::to_string(&untimed(baseline_selected)).expect("serialize"),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cancellation_aborts_the_search_stage_mid_ga() {
     let token = CancelToken::new();
     let trip = token.clone();
