@@ -19,8 +19,9 @@
 //! multi-technology / multi-voltage cost [`sweep`]
 //! (`BENCH_cost.json`), the nominal-vs-robust variation
 //! comparison [`robust`] (`BENCH_robust.json`), the design-store
-//! ingest/query benchmark [`store_query`] (`BENCH_store.json`) and the
-//! crash/resume [`fault_drill`] (`BENCH_fault.json`).
+//! ingest/query benchmark [`store_query`] (`BENCH_store.json`), the
+//! crash/resume [`fault_drill`] (`BENCH_fault.json`) and the
+//! island-model scaling sweep [`island`] (`BENCH_islands.json`).
 //!
 //! Everything executes through `printed-axc`'s staged pipeline:
 //! [`study::run_studies`] fans the five datasets out over a worker pool
@@ -35,6 +36,7 @@ pub mod fault_drill;
 pub mod fig4;
 pub mod fig5;
 pub mod format;
+pub mod island;
 pub mod robust;
 pub mod store_query;
 pub mod study;

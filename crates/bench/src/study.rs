@@ -42,9 +42,15 @@ impl BudgetPreset {
 /// The study configuration used by every experiment at the given
 /// budget. One master seed governs the whole flow (each dataset runs at
 /// a seed derived from it), so tables regenerate bit-identically.
+///
+/// The island-search knobs (`PE_ISLANDS`, `PE_MIGRATE_EVERY`) are
+/// applied on top via [`StudyConfig::with_env_islands`], so every bench
+/// bin honors them uniformly. Unset, the configuration keeps the
+/// single-population engine — and its byte-identical artifacts and
+/// cache keys.
 #[must_use]
 pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
-    match budget {
+    let config = match budget {
         BudgetPreset::Quick => StudyConfig {
             seed,
             ga: AxTrainConfig {
@@ -78,7 +84,8 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
             sgd_epochs_scale: 1.0,
             ..StudyConfig::default()
         },
-    }
+    };
+    config.with_env_islands()
 }
 
 /// Accumulates the per-generation
@@ -89,9 +96,18 @@ pub fn study_config(budget: BudgetPreset, seed: u64) -> StudyConfig {
 /// attaches a store. Robust to several GA runs
 /// per dataset (each search's cumulative counters restart at zero; a
 /// decrease folds the finished run into the total).
+///
+/// Island runs stream two disjoint counter families: each island tags
+/// its genome-memo counters with [`ProgressEvent::Island`] (tallied
+/// under `(dataset, Some(island))`), while the coordinator's untagged
+/// per-epoch events carry only the shared problem-level counters
+/// (tallied under `(dataset, None)`). Keying by island keeps the
+/// per-run restart detection sound — island streams restart
+/// independently — and summing every key recovers the run-wide totals
+/// without double counting.
 #[derive(Debug, Default)]
 pub struct EvalCacheSummary {
-    tallies: Mutex<HashMap<Dataset, CacheTally>>,
+    tallies: Mutex<HashMap<(Dataset, Option<usize>), CacheTally>>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -134,12 +150,21 @@ impl EvalCacheSummary {
     /// `generation == 0` marks the start of a new GA run (its
     /// cumulative counters restart), so the previous run's totals are
     /// folded deterministically; a component-wise decrease is kept as
-    /// a backstop for engines that skip the marker.
+    /// a backstop for engines that skip the marker. Island-tagged
+    /// events are unwrapped and tallied under their island id.
     pub fn observe(&self, dataset: Dataset, event: &ProgressEvent) {
+        if let ProgressEvent::Island { island, event } = event {
+            self.observe_keyed(dataset, Some(*island), event);
+        } else {
+            self.observe_keyed(dataset, None, event);
+        }
+    }
+
+    fn observe_keyed(&self, dataset: Dataset, island: Option<usize>, event: &ProgressEvent) {
         let current = match *event {
             ProgressEvent::GaGeneration { generation: 0, .. } => {
                 let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
-                tallies.entry(dataset).or_default().fold_last();
+                tallies.entry((dataset, island)).or_default().fold_last();
                 return;
             }
             ProgressEvent::EvalCache {
@@ -174,7 +199,7 @@ impl EvalCacheSummary {
         };
         let (current, shards) = current;
         let mut tallies = self.tallies.lock().unwrap_or_else(|e| e.into_inner());
-        let tally = tallies.entry(dataset).or_default();
+        let tally = tallies.entry((dataset, island)).or_default();
         if current.iter().zip(&tally.last).any(|(c, l)| c < l) {
             tally.fold_last(); // backstop: counters restarted unannounced
         }
@@ -347,5 +372,39 @@ mod tests {
         let f = study_config(BudgetPreset::Full, 0);
         assert!(q.ga.nsga.generations < f.ga.nsga.generations);
         assert!(q.sgd_epochs_scale < f.sgd_epochs_scale);
+    }
+
+    #[test]
+    fn island_tagged_counters_fold_separately() {
+        let summary = EvalCacheSummary::default();
+        let eval = |hits| ProgressEvent::EvalCache {
+            hits,
+            misses: 1,
+            entries: 0,
+            column_hits: 0,
+            column_misses: 0,
+            column_entries: 0,
+            column_contended: 0,
+            column_shards: 0,
+            cost_hits: 0,
+            cost_misses: 0,
+            store_ingested: 0,
+            store_deduplicated: 0,
+            store_bytes: 0,
+        };
+        let tag = |island, event: ProgressEvent| ProgressEvent::Island {
+            island,
+            event: Box::new(event),
+        };
+        // Two islands stream cumulative memo counters independently
+        // (island 0 reports twice — only its latest value may count),
+        // while the coordinator's untagged stream tallies on its own
+        // key. Totals are the sum of the three latest values.
+        summary.observe(Dataset::BreastCancer, &tag(0, eval(10)));
+        summary.observe(Dataset::BreastCancer, &tag(1, eval(7)));
+        summary.observe(Dataset::BreastCancer, &tag(0, eval(12)));
+        summary.observe(Dataset::BreastCancer, &eval(5));
+        let line = summary.render();
+        assert!(line.contains("genome memo 24 hits / 3 misses"), "{line}");
     }
 }

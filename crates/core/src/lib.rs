@@ -110,12 +110,13 @@ pub use checkpoint::{checkpoint_every, CheckpointSpec, DEFAULT_CHECKPOINT_EVERY}
 pub use columns::{ColumnCacheStats, NeuronColumnCache, ShardStats, DEFAULT_SHARDS};
 pub use config::AxTrainConfig;
 pub use engine::{
-    fingerprint_json, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine, SearchOutcome,
+    fingerprint_json, IslandEngine, NsgaEngine, PlainGaEngine, SearchContext, SearchEngine,
+    SearchOutcome,
 };
 pub use error::FlowError;
 pub use eval::{thread_budget, CachedEvaluator, EvalCacheStats};
 pub use fitness::{AreaObjective, AxTrainProblem};
-pub use flow::{DatasetStudy, StudyConfig};
+pub use flow::{islands_from_env, migrate_every_from_env, DatasetStudy, StudyConfig};
 pub use genome::{GenomeSpec, LayerGenomeSpec};
 pub use init::{doped_seeds, doped_seeds_calibrated, doped_seeds_refined, refine_doped};
 pub use pareto::{

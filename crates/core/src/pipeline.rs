@@ -36,7 +36,7 @@ use pe_hw::{
 };
 use pe_mlp::{fixed_to_hardware, train_best_of_observed, DenseMlp, FixedMlp, QuantConfig};
 
-use crate::engine::{NsgaEngine, SearchContext, SearchEngine, SearchOutcome};
+use crate::engine::{IslandEngine, NsgaEngine, SearchContext, SearchEngine, SearchOutcome};
 use crate::error::FlowError;
 use crate::fitness::AreaObjective;
 use crate::flow::{DatasetStudy, StudyConfig};
@@ -231,6 +231,9 @@ pub struct Study {
     store_writer: Option<Arc<pe_store::StoreWriter>>,
     warm_start: bool,
     checkpoint_every: Option<usize>,
+    islands: Option<usize>,
+    migration_every: Option<usize>,
+    migrants: Option<usize>,
 }
 
 impl Study {
@@ -255,6 +258,9 @@ impl Study {
             store_writer: None,
             warm_start: false,
             checkpoint_every: None,
+            islands: None,
+            migration_every: None,
+            migrants: None,
         }
     }
 
@@ -425,6 +431,42 @@ impl Study {
         self
     }
 
+    /// Search with an island-model archipelago of `n` sub-populations
+    /// instead of one NSGA-II loop: the same evaluation budget (the
+    /// configured population splits across the islands, all running
+    /// the full generation count) with deterministic seeded ring
+    /// migration every [`migration_every`](Self::migration_every)
+    /// generations, merged through one final non-dominated sort — and
+    /// island legs scheduled concurrently over the worker budget (see
+    /// `crate::eval::run_ga_islands`). `0` or `1` keeps the
+    /// single-population [`NsgaEngine`] and its cache keys byte for
+    /// byte; ≥ 2 selects [`IslandEngine`], whose name and fingerprint
+    /// re-key the `Searched`/`Selected` stage caches. Results are
+    /// byte-identical at any `PE_THREADS`. Overrides the island count
+    /// inside a [`config`](Self::config), if both are given.
+    pub fn islands(mut self, n: usize) -> Self {
+        self.islands = Some(n);
+        self
+    }
+
+    /// Migration cadence of an [`islands`](Self::islands) search, in
+    /// completed generations (`0` restores the
+    /// [`pe_nsga::DEFAULT_MIGRATION_EVERY`] default). Overrides the
+    /// cadence inside a [`config`](Self::config), if both are given.
+    pub fn migration_every(mut self, every: usize) -> Self {
+        self.migration_every = Some(every);
+        self
+    }
+
+    /// Elites each island emits per migration epoch of an
+    /// [`islands`](Self::islands) search (`0` restores the
+    /// [`pe_nsga::DEFAULT_MIGRANTS`] default). Overrides the count
+    /// inside a [`config`](Self::config), if both are given.
+    pub fn migrants(mut self, migrants: usize) -> Self {
+        self.migrants = Some(migrants);
+        self
+    }
+
     /// Validate the configuration and build the [`Pipeline`].
     ///
     /// # Errors
@@ -479,6 +521,15 @@ impl Study {
             if let Some(variation) = &mut config.variation {
                 variation.statistic = statistic;
             }
+        }
+        if let Some(islands) = self.islands {
+            config.islands = islands;
+        }
+        if let Some(every) = self.migration_every {
+            config.migration_every = every;
+        }
+        if let Some(migrants) = self.migrants {
+            config.migrants = migrants;
         }
 
         let invalid = |reason: String| Err(FlowError::InvalidConfig { reason });
@@ -536,6 +587,27 @@ impl Study {
                 return invalid(format!("invalid variation config: {reason}"));
             }
         }
+        // ≥ 2 islands swaps in the island engine (0/1 keeps the
+        // single-population path and its cache keys untouched); zero
+        // cadence/migrants knobs resolve to the pe-nsga defaults here,
+        // so the engine fingerprint always names concrete values.
+        let island_topology = (config.islands >= 2).then(|| pe_nsga::IslandConfig {
+            nsga: config.ga.nsga.clone(),
+            islands: config.islands,
+            migration_every: match config.migration_every {
+                0 => pe_nsga::DEFAULT_MIGRATION_EVERY,
+                every => every,
+            },
+            migrants: match config.migrants {
+                0 => pe_nsga::DEFAULT_MIGRANTS,
+                migrants => migrants,
+            },
+        });
+        if let Some(topology) = &island_topology {
+            if let Err(reason) = topology.validate() {
+                return invalid(format!("invalid island topology: {reason}"));
+            }
+        }
         let store = match (self.design_store, self.store_writer) {
             (Some(_), Some(_)) => {
                 return invalid(
@@ -555,9 +627,15 @@ impl Study {
             crate::store::StoreSink::new(writer, self.dataset.spec().name, self.warm_start)
         });
 
-        let engine = self
-            .engine
-            .unwrap_or_else(|| Arc::new(NsgaEngine::new(config.ga.clone())));
+        let engine = self.engine.unwrap_or_else(|| match &island_topology {
+            Some(topology) => Arc::new(IslandEngine::new(
+                config.ga.clone(),
+                topology.islands,
+                topology.migration_every,
+                topology.migrants,
+            )) as Arc<dyn SearchEngine + Send + Sync>,
+            None => Arc::new(NsgaEngine::new(config.ga.clone())),
+        });
         Ok(Pipeline {
             dataset: self.dataset,
             config,

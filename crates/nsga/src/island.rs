@@ -1,0 +1,805 @@
+//! Island-model NSGA-II: N independent sub-populations with seeded
+//! ring migration and one final merged non-dominated front.
+//!
+//! The island model parallelizes a GA without giving up determinism:
+//! the total population splits into N islands, each evolving its own
+//! (μ+λ) loop on its own xoshiro256\*\* stream (seeds derived from the
+//! master seed by the same splitmix64-over-FNV discipline the pipeline
+//! uses for per-dataset streams). Every `migration_every` generations
+//! the islands pause at a common barrier and exchange elites around a
+//! ring — the selection of emigrants and the choice of replaced locals
+//! are both drawn from the islands' own recorded RNG streams, so
+//! migration checkpoints and resumes bit-exactly like any other part
+//! of the evolution. After the final generation the island populations
+//! merge through one non-dominated sort into a single front.
+//!
+//! The evaluation budget is conserved: island populations sum to the
+//! configured total and every island runs the full generation count,
+//! so an N-island run performs exactly as many candidate evaluations
+//! as the single-population run it replaces. With `islands == 1` the
+//! model *is* the single-population run, bit for bit: island 0 keeps
+//! the master seed and migration never touches the stream.
+//!
+//! Epoch checkpoints ([`IslandCheckpoint`]) snapshot every island
+//! right after a migration barrier; the per-island legs between
+//! barriers can additionally flush ordinary [`SearchCheckpoint`]s
+//! through [`IslandModel::run_island_to`]'s forwarding plan, so a
+//! killed run resumes mid-epoch without repeating completed work.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::{
+    CheckpointPlan, CheckpointSink, GenerationStats, Nsga2, NsgaConfig, NsgaResult,
+    SearchCheckpoint,
+};
+use crate::individual::Individual;
+use crate::problem::IntProblem;
+use crate::sort::{assign_crowding, fast_non_dominated_sort};
+
+/// Default migration cadence in generations (the `PE_MIGRATE_EVERY`
+/// fallback upstream).
+pub const DEFAULT_MIGRATION_EVERY: usize = 5;
+
+/// Default number of elites each island emits per migration epoch.
+pub const DEFAULT_MIGRANTS: usize = 2;
+
+/// FNV-1a over the island tag — the same stream-naming hash the
+/// pipeline uses for per-dataset seed derivation.
+fn fnv1a64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: decorrelates the per-island seeds so sibling
+/// islands never share a stream prefix.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed of island `island` under master seed `master`.
+///
+/// Island 0 keeps the master seed unchanged — that is what makes a
+/// one-island model bit-identical to the plain single-population run.
+/// Every other island gets `splitmix64(master ^ fnv1a64("island{i}"))`,
+/// the exact discipline `derive_seed` applies to dataset names.
+#[must_use]
+pub fn island_seed(master: u64, island: usize) -> u64 {
+    if island == 0 {
+        master
+    } else {
+        splitmix64(master ^ fnv1a64(&format!("island{island}")))
+    }
+}
+
+/// Island-model hyperparameters: the total search budget plus the
+/// island topology laid over it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandConfig {
+    /// The *total* search budget: `population` is the combined size of
+    /// all islands and `seed` is the master seed the per-island
+    /// streams derive from. Operator rates apply to every island.
+    pub nsga: NsgaConfig,
+    /// Number of islands (≥ 1; `1` reproduces the plain run exactly).
+    pub islands: usize,
+    /// Migration cadence in completed generations (≥ 1).
+    pub migration_every: usize,
+    /// Elites each island emits per migration epoch (1 ..= the
+    /// smallest island population).
+    pub migrants: usize,
+}
+
+impl IslandConfig {
+    /// Check the topology is coherent: at least one island, at least
+    /// one generation, every island at least 2 individuals, a positive
+    /// migration cadence, and a migrant count every island can honor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint, human-readable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.islands == 0 {
+            return Err("islands must be at least 1".into());
+        }
+        if self.nsga.generations == 0 {
+            return Err("generations must be at least 1".into());
+        }
+        if self.nsga.population < 2 * self.islands {
+            return Err(format!(
+                "population {} cannot split into {} islands of at least 2",
+                self.nsga.population, self.islands
+            ));
+        }
+        let base = self.nsga.population / self.islands;
+        if self.migration_every == 0 {
+            return Err("migration_every must be at least 1".into());
+        }
+        if self.migrants == 0 || self.migrants > base {
+            return Err(format!(
+                "migrants {} outside 1..={base} (the smallest island population)",
+                self.migrants
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-island [`NsgaConfig`]s: the total population split as
+    /// evenly as possible (the first `population % islands` islands
+    /// take the remainder, one each), the same generation count and
+    /// operator rates everywhere, and [`island_seed`]-derived seeds.
+    #[must_use]
+    pub fn island_configs(&self) -> Vec<NsgaConfig> {
+        let n = self.islands;
+        let base = self.nsga.population / n;
+        let extra = self.nsga.population % n;
+        (0..n)
+            .map(|i| NsgaConfig {
+                population: base + usize::from(i < extra),
+                seed: island_seed(self.nsga.seed, i),
+                ..self.nsga.clone()
+            })
+            .collect()
+    }
+
+    /// The epoch barrier generations, in order: every multiple of
+    /// `migration_every` below the generation count, then the final
+    /// generation. Migration fires at every target except the last
+    /// (nothing evolves after the final generation, so a final
+    /// exchange would only scramble the merged front).
+    #[must_use]
+    pub fn epoch_targets(&self) -> Vec<usize> {
+        let generations = self.nsga.generations;
+        let mut targets: Vec<usize> = (1..)
+            .map(|epoch| epoch * self.migration_every)
+            .take_while(|&t| t < generations)
+            .collect();
+        targets.push(generations);
+        targets
+    }
+}
+
+/// A snapshot of every island right after a common epoch barrier —
+/// by contract taken *after* that barrier's migration, so resuming
+/// from it never replays the exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandCheckpoint {
+    /// Generations every island had completed at the barrier.
+    pub generation: usize,
+    /// One [`SearchCheckpoint`] per island, in island order.
+    pub islands: Vec<SearchCheckpoint>,
+}
+
+impl IslandCheckpoint {
+    /// Check this snapshot can resume a run of `config` over a problem
+    /// with the given `bounds`: per-island validity against the
+    /// derived island configurations plus a uniform generation across
+    /// islands (epochs are common barriers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first integrity violation found.
+    pub fn validate(&self, config: &IslandConfig, bounds: &[u32]) -> Result<(), String> {
+        config.validate()?;
+        let island_configs = config.island_configs();
+        if self.islands.len() != island_configs.len() {
+            return Err(format!(
+                "island checkpoint holds {} islands, configuration has {}",
+                self.islands.len(),
+                island_configs.len()
+            ));
+        }
+        for (index, (state, island_config)) in self.islands.iter().zip(&island_configs).enumerate()
+        {
+            state
+                .validate(island_config, bounds)
+                .map_err(|reason| format!("island {index}: {reason}"))?;
+            if state.generation != self.generation {
+                return Err(format!(
+                    "island {index} at generation {} but the epoch barrier is {}",
+                    state.generation, self.generation
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Destination for [`IslandCheckpoint`]s emitted at epoch barriers.
+/// Like [`CheckpointSink`], implementations handle failures internally.
+pub trait IslandCheckpointSink {
+    /// Persist one epoch snapshot.
+    fn save(&self, checkpoint: &IslandCheckpoint);
+}
+
+/// Capture-and-forward sink for one island leg: remembers the latest
+/// snapshot (the leg's return value) and optionally forwards every
+/// flush to the caller's durable sink.
+struct Tee<'a> {
+    last: RefCell<Option<SearchCheckpoint>>,
+    forward: Option<&'a dyn CheckpointSink>,
+}
+
+impl CheckpointSink for Tee<'_> {
+    fn save(&self, checkpoint: &SearchCheckpoint) {
+        if let Some(sink) = self.forward {
+            sink.save(checkpoint);
+        }
+        *self.last.borrow_mut() = Some(checkpoint.clone());
+    }
+}
+
+/// The island-model runner. See the [module docs](self) for the
+/// topology and determinism contract.
+#[derive(Debug, Clone)]
+pub struct IslandModel {
+    config: IslandConfig,
+    islands: Vec<NsgaConfig>,
+}
+
+impl IslandModel {
+    /// A model over a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`IslandConfig::validate`]
+    /// (callers wanting friendly errors should validate first).
+    #[must_use]
+    pub fn new(config: IslandConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|reason| panic!("invalid island configuration: {reason}"));
+        let islands = config.island_configs();
+        Self { config, islands }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &IslandConfig {
+        &self.config
+    }
+
+    /// The derived per-island configurations, in island order.
+    #[must_use]
+    pub fn island_configs(&self) -> &[NsgaConfig] {
+        &self.islands
+    }
+
+    /// Advance one island to `target` completed generations and return
+    /// its state there (or earlier, if `observer` stops the leg).
+    ///
+    /// `state` is the island's current snapshot (`None` starts fresh
+    /// with `seeds`); a state already at or past `target` is returned
+    /// unchanged. When `forward` is set, its sink receives every
+    /// cadence flush *and* the leg's final state — that is how the
+    /// pipeline keeps per-island files durable between epoch barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Nsga2::run_checkpointed`] does (bad seeds, a state
+    /// that fails validation against this island's configuration).
+    // The leg is fully described by these eight values; a parameter
+    // struct would only re-group them one call level up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_island_to<P: IntProblem>(
+        &self,
+        island: usize,
+        problem: &P,
+        seeds: Vec<Vec<u32>>,
+        state: Option<SearchCheckpoint>,
+        target: usize,
+        forward: Option<CheckpointPlan<'_>>,
+        observer: &mut dyn FnMut(&GenerationStats) -> bool,
+    ) -> SearchCheckpoint {
+        if let Some(st) = state.as_ref() {
+            if st.generation >= target {
+                return state.expect("checked above");
+            }
+        }
+        let tee = Tee {
+            last: RefCell::new(None),
+            forward: forward.as_ref().map(|plan| plan.sink),
+        };
+        let plan = CheckpointPlan {
+            every: forward.map_or(0, |plan| plan.every),
+            sink: &tee,
+        };
+        let _ = Nsga2::new(self.islands[island].clone()).run_checkpointed(
+            problem,
+            seeds,
+            state,
+            Some(plan),
+            |stats| observer(stats) && stats.generation + 1 < target,
+        );
+        tee.last
+            .into_inner()
+            .expect("an epoch leg always flushes its final state")
+    }
+
+    /// One deterministic ring-migration epoch over the island states,
+    /// in place. Two seeded phases, both drawn from (and recorded back
+    /// into) each island's own RNG stream:
+    ///
+    /// 1. every island picks `migrants` distinct members of its first
+    ///    front (a seeded partial shuffle; fewer if the front is
+    ///    smaller) as emigrants;
+    /// 2. around the ring (island `i` receives from `i - 1 mod n`),
+    ///    each migrant replaces a seeded choice among the receiver's
+    ///    *dominated* members (rank > 0) — elites are never displaced,
+    ///    and if no dominated members remain the rest of the batch is
+    ///    dropped. Receivers re-annotate ranks and crowding.
+    ///
+    /// A single island (or `migrants == 0`) is a strict no-op: the RNG
+    /// streams are not touched, keeping the one-island model
+    /// bit-identical to the plain run.
+    pub fn migrate(&self, states: &mut [SearchCheckpoint]) {
+        let n = states.len();
+        if n < 2 || self.config.migrants == 0 {
+            return;
+        }
+        // Phase 1: seeded emigrant selection, island order.
+        let mut outgoing: Vec<Vec<Individual>> = Vec::with_capacity(n);
+        for state in states.iter_mut() {
+            let mut rng = StdRng::from_state(state.rng_state);
+            let mut front: Vec<usize> = state
+                .population
+                .iter()
+                .enumerate()
+                .filter(|(_, ind)| ind.rank == 0)
+                .map(|(index, _)| index)
+                .collect();
+            let emigrants = self.config.migrants.min(front.len());
+            for slot in 0..emigrants {
+                let pick = rng.gen_range(slot..front.len());
+                front.swap(slot, pick);
+            }
+            outgoing.push(
+                front[..emigrants]
+                    .iter()
+                    .map(|&index| state.population[index].clone())
+                    .collect(),
+            );
+            state.rng_state = rng.state();
+        }
+        // Phase 2: ring delivery into seeded dominated slots, island
+        // order again (the two passes keep each island's draws in one
+        // contiguous, resumable stream segment per phase).
+        for island in 0..n {
+            let incoming = outgoing[(island + n - 1) % n].clone();
+            let state = &mut states[island];
+            let mut rng = StdRng::from_state(state.rng_state);
+            let mut dominated: Vec<usize> = state
+                .population
+                .iter()
+                .enumerate()
+                .filter(|(_, ind)| ind.rank != 0)
+                .map(|(index, _)| index)
+                .collect();
+            for migrant in incoming {
+                if dominated.is_empty() {
+                    break;
+                }
+                let pick = rng.gen_range(0..dominated.len());
+                let slot = dominated.swap_remove(pick);
+                state.population[slot] = migrant;
+            }
+            state.rng_state = rng.state();
+            let fronts = fast_non_dominated_sort(&mut state.population);
+            for front in &fronts {
+                assign_crowding(&mut state.population, front);
+            }
+        }
+    }
+
+    /// Merge final island states into one result: populations
+    /// concatenate in island order, one non-dominated sort annotates
+    /// the union, and the merged first front is the Pareto front.
+    /// Evaluations sum across islands. A single island passes through
+    /// untouched — its stored (μ+λ)-pool annotations are exactly what
+    /// the plain run reports, and re-sorting the μ survivors alone
+    /// could not reproduce them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty state slice.
+    #[must_use]
+    pub fn merge(&self, states: &[SearchCheckpoint]) -> NsgaResult {
+        assert!(!states.is_empty(), "merge needs at least one island");
+        if states.len() == 1 {
+            let state = &states[0];
+            let pareto_front: Vec<Individual> = state
+                .population
+                .iter()
+                .filter(|ind| ind.rank == 0)
+                .cloned()
+                .collect();
+            return NsgaResult {
+                population: state.population.clone(),
+                pareto_front,
+                evaluations: state.evaluations,
+                generations: state.generation,
+            };
+        }
+        let mut population: Vec<Individual> = states
+            .iter()
+            .flat_map(|state| state.population.iter().cloned())
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut population);
+        for front in &fronts {
+            assign_crowding(&mut population, front);
+        }
+        let pareto_front: Vec<Individual> = population
+            .iter()
+            .filter(|ind| ind.rank == 0)
+            .cloned()
+            .collect();
+        NsgaResult {
+            evaluations: states.iter().map(|state| state.evaluations).sum(),
+            generations: states
+                .iter()
+                .map(|state| state.generation)
+                .max()
+                .unwrap_or(0),
+            population,
+            pareto_front,
+        }
+    }
+
+    /// The serial reference driver: run every island epoch by epoch
+    /// with migration at each interior barrier, then merge.
+    ///
+    /// `seeds` are dealt round-robin (seed `j` joins island `j mod N`),
+    /// so doped initialization spreads over the archipelago. `resume`
+    /// continues from an epoch snapshot — post-migration by contract,
+    /// so the barrier it names is never re-migrated. `epoch_sink`
+    /// receives one [`IslandCheckpoint`] per completed barrier
+    /// (including the final generation). The observer sees every
+    /// executed generation tagged with its island index and may stop
+    /// the run cooperatively, exactly like
+    /// [`Nsga2::run_controlled`]'s observer.
+    ///
+    /// Parallel callers schedule the same epoch legs over threads via
+    /// [`run_island_to`](Self::run_island_to) /
+    /// [`migrate`](Self::migrate) / [`merge`](Self::merge); this
+    /// serial composition is the behavioral reference they must match
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume` fails [`IslandCheckpoint::validate`], or as
+    /// [`Nsga2::run_checkpointed`] does.
+    pub fn run<P: IntProblem, F: FnMut(usize, &GenerationStats) -> bool>(
+        &self,
+        problem: &P,
+        seeds: Vec<Vec<u32>>,
+        resume: Option<IslandCheckpoint>,
+        epoch_sink: Option<&dyn IslandCheckpointSink>,
+        mut observer: F,
+    ) -> NsgaResult {
+        let n = self.islands.len();
+        let mut island_seeds: Vec<Vec<Vec<u32>>> = (0..n).map(|_| Vec::new()).collect();
+        for (index, genome) in seeds.into_iter().enumerate() {
+            island_seeds[index % n].push(genome);
+        }
+
+        let mut migrated_through = 0;
+        let mut states: Vec<Option<SearchCheckpoint>> = (0..n).map(|_| None).collect();
+        if let Some(checkpoint) = resume {
+            checkpoint
+                .validate(&self.config, problem.bounds())
+                .unwrap_or_else(|reason| panic!("invalid island checkpoint: {reason}"));
+            migrated_through = checkpoint.generation;
+            states = checkpoint.islands.into_iter().map(Some).collect();
+        }
+
+        let mut stopped = false;
+        for target in self.config.epoch_targets() {
+            if target <= migrated_through {
+                continue;
+            }
+            for island in 0..n {
+                let state = states[island].take();
+                let leg_seeds = std::mem::take(&mut island_seeds[island]);
+                let mut cancelled = false;
+                let state = self.run_island_to(
+                    island,
+                    problem,
+                    leg_seeds,
+                    state,
+                    target,
+                    None,
+                    &mut |stats| {
+                        let keep = observer(island, stats);
+                        cancelled |= !keep;
+                        keep
+                    },
+                );
+                states[island] = Some(state);
+                if cancelled {
+                    stopped = true;
+                    break;
+                }
+            }
+            if stopped {
+                break;
+            }
+            if target < self.config.nsga.generations {
+                let mut barrier: Vec<SearchCheckpoint> = states
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("every island reached the barrier"))
+                    .collect();
+                self.migrate(&mut barrier);
+                migrated_through = target;
+                for (slot, state) in states.iter_mut().zip(barrier) {
+                    *slot = Some(state);
+                }
+            }
+            if let Some(sink) = epoch_sink {
+                sink.save(&IslandCheckpoint {
+                    generation: target,
+                    islands: states
+                        .iter()
+                        .map(|slot| slot.clone().expect("every island reached the barrier"))
+                        .collect(),
+                });
+            }
+        }
+
+        // A cooperative stop can leave later islands of the first
+        // epoch unstarted; a cancelled run merges whatever exists
+        // (uncancelled runs always hold all N states).
+        let finals: Vec<SearchCheckpoint> = states.into_iter().flatten().collect();
+        self.merge(&finals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    /// Minimize (x - 30)² and (x - 70)² over a single gene — the same
+    /// trade-off the algorithm tests use, big enough fronts to migrate.
+    struct TwoHumps;
+
+    impl IntProblem for TwoHumps {
+        fn bounds(&self) -> &[u32] {
+            const B: [u32; 1] = [101];
+            &B
+        }
+        fn evaluate(&self, genes: &[u32]) -> Evaluation {
+            let x = f64::from(genes[0]);
+            Evaluation::feasible(vec![(x - 30.0).powi(2), (x - 70.0).powi(2)])
+        }
+    }
+
+    fn config(islands: usize) -> IslandConfig {
+        IslandConfig {
+            nsga: NsgaConfig {
+                population: 24,
+                generations: 10,
+                seed: 42,
+                ..NsgaConfig::default()
+            },
+            islands,
+            migration_every: 3,
+            migrants: 2,
+        }
+    }
+
+    #[test]
+    fn island_seeds_are_pinned() {
+        // island 0 keeps the master seed (one island ≡ the plain run);
+        // the rest follow splitmix64(master ^ fnv1a64("island{i}")),
+        // pinned so the derivation can never drift silently.
+        assert_eq!(island_seed(0, 0), 0);
+        assert_eq!(island_seed(7, 0), 7);
+        assert_eq!(island_seed(0, 1), 0x81d9_54a7_b2a7_6f04);
+        assert_eq!(island_seed(0, 2), 0x6eae_d8d9_98ce_0051);
+        assert_eq!(island_seed(0, 3), 0x5a1b_615f_0bee_b315);
+        assert_eq!(island_seed(7, 1), 0xf5a1_d8b6_a348_df1f);
+        assert_eq!(island_seed(7, 2), 0xb9a5_e978_58a1_916f);
+    }
+
+    #[test]
+    fn validation_catches_incoherent_topologies() {
+        assert!(config(1).validate().is_ok());
+        assert!(config(4).validate().is_ok());
+        let mut bad = config(0);
+        assert!(bad.validate().is_err());
+        bad = config(13); // 24 cannot split into 13 islands of ≥ 2
+        assert!(bad.validate().is_err());
+        bad = config(2);
+        bad.migration_every = 0;
+        assert!(bad.validate().is_err());
+        bad = config(2);
+        bad.migrants = 0;
+        assert!(bad.validate().is_err());
+        bad = config(2);
+        bad.migrants = 13; // smallest island holds 12
+        assert!(bad.validate().is_err());
+        bad = config(2);
+        bad.nsga.generations = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn budget_splits_evenly_and_epochs_cover_the_run() {
+        let cfg = IslandConfig {
+            nsga: NsgaConfig {
+                population: 23,
+                generations: 10,
+                seed: 5,
+                ..NsgaConfig::default()
+            },
+            islands: 4,
+            migration_every: 4,
+            migrants: 1,
+        };
+        let islands = cfg.island_configs();
+        let sizes: Vec<usize> = islands.iter().map(|c| c.population).collect();
+        assert_eq!(sizes, [6, 6, 6, 5]);
+        assert_eq!(islands[0].seed, 5);
+        assert!(islands.iter().skip(1).all(|c| c.seed != 5));
+        assert_eq!(cfg.epoch_targets(), [4, 8, 10]);
+        let one_epoch = IslandConfig {
+            migration_every: 50,
+            ..cfg
+        };
+        assert_eq!(one_epoch.epoch_targets(), [10]);
+    }
+
+    #[test]
+    fn one_island_is_the_plain_run_bit_for_bit() {
+        let cfg = config(1);
+        let plain = Nsga2::new(cfg.nsga.clone()).run(&TwoHumps);
+        let merged = IslandModel::new(cfg).run(&TwoHumps, Vec::new(), None, None, |_, _| true);
+        assert_eq!(merged, plain);
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_budget_conserving() {
+        let cfg = config(3);
+        let model = IslandModel::new(cfg.clone());
+        let a = model.run(&TwoHumps, Vec::new(), None, None, |_, _| true);
+        let b = model.run(&TwoHumps, Vec::new(), None, None, |_, _| true);
+        assert_eq!(a, b);
+        // Same budget as the single-population run: init + G waves
+        // over the total population.
+        let expected = (cfg.nsga.generations as u64 + 1) * cfg.nsga.population as u64;
+        assert_eq!(a.evaluations, expected);
+        assert_eq!(a.population.len(), cfg.nsga.population);
+        assert!(!a.pareto_front.is_empty());
+        assert!(a.pareto_front.iter().all(|ind| ind.rank == 0));
+    }
+
+    #[test]
+    fn migration_preserves_checkpoint_invariants() {
+        let cfg = config(3);
+        let model = IslandModel::new(cfg.clone());
+        // Drive every island to the first barrier by hand.
+        let mut states: Vec<SearchCheckpoint> = (0..cfg.islands)
+            .map(|island| {
+                model.run_island_to(
+                    island,
+                    &TwoHumps,
+                    Vec::new(),
+                    None,
+                    cfg.migration_every,
+                    None,
+                    &mut |_| true,
+                )
+            })
+            .collect();
+        let before: Vec<[u64; 4]> = states.iter().map(|s| s.rng_state).collect();
+        model.migrate(&mut states);
+        let checkpoint = IslandCheckpoint {
+            generation: cfg.migration_every,
+            islands: states.clone(),
+        };
+        checkpoint
+            .validate(&cfg, TwoHumps.bounds())
+            .expect("migrated states stay valid");
+        // Migration consumed RNG on every island…
+        for (state, old) in states.iter().zip(&before) {
+            assert_ne!(state.rng_state, *old);
+        }
+        // …and a single island consumes nothing at all.
+        let solo = IslandModel::new(config(1));
+        let mut one =
+            vec![solo.run_island_to(0, &TwoHumps, Vec::new(), None, 3, None, &mut |_| true)];
+        let old = one[0].rng_state;
+        solo.migrate(&mut one);
+        assert_eq!(one[0].rng_state, old);
+    }
+
+    /// Epoch sink capturing every barrier snapshot in order.
+    #[derive(Default)]
+    struct CaptureEpochs(RefCell<Vec<IslandCheckpoint>>);
+
+    impl IslandCheckpointSink for CaptureEpochs {
+        fn save(&self, checkpoint: &IslandCheckpoint) {
+            self.0.borrow_mut().push(checkpoint.clone());
+        }
+    }
+
+    #[test]
+    fn resume_from_every_epoch_checkpoint_matches_the_uninterrupted_run() {
+        let cfg = config(3);
+        let model = IslandModel::new(cfg.clone());
+        let sink = CaptureEpochs::default();
+        let baseline = model.run(&TwoHumps, Vec::new(), None, Some(&sink), |_, _| true);
+        let epochs = sink.0.into_inner();
+        assert_eq!(
+            epochs.iter().map(|e| e.generation).collect::<Vec<_>>(),
+            cfg.epoch_targets()
+        );
+        for epoch in epochs {
+            // Round-trip through JSON like the on-disk epoch file.
+            let json = serde_json::to_string(&epoch).expect("epoch serializes");
+            let restored: IslandCheckpoint = serde_json::from_str(&json).expect("epoch parses");
+            restored
+                .validate(&cfg, TwoHumps.bounds())
+                .expect("round-tripped epoch is valid");
+            let resumed = model.run(&TwoHumps, Vec::new(), Some(restored), None, |_, _| true);
+            assert_eq!(resumed, baseline);
+        }
+    }
+
+    #[test]
+    fn observer_tags_islands_and_can_stop_the_run() {
+        let cfg = config(2);
+        let model = IslandModel::new(cfg.clone());
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let full = model.run(&TwoHumps, Vec::new(), None, None, |island, stats| {
+            seen.push((island, stats.generation));
+            true
+        });
+        assert_eq!(full.generations, cfg.nsga.generations);
+        // Every island reports every generation exactly once.
+        for island in 0..cfg.islands {
+            let gens: Vec<usize> = seen
+                .iter()
+                .filter(|(i, _)| *i == island)
+                .map(|(_, g)| *g)
+                .collect();
+            assert_eq!(gens, (0..cfg.nsga.generations).collect::<Vec<_>>());
+        }
+        // A stop inside the first epoch ends the run early.
+        let stopped = model.run(&TwoHumps, Vec::new(), None, None, |island, stats| {
+            !(island == 0 && stats.generation == 1)
+        });
+        assert!(stopped.generations < cfg.nsga.generations);
+    }
+
+    #[test]
+    fn seeds_spread_round_robin_and_survive_elitism() {
+        let cfg = IslandConfig {
+            nsga: NsgaConfig {
+                population: 8,
+                generations: 1,
+                mutation_prob: 0.0,
+                crossover_prob: 0.0,
+                seed: 9,
+                ..NsgaConfig::default()
+            },
+            islands: 2,
+            migration_every: 5,
+            migrants: 1,
+        };
+        // One strong seed per island: gene 0 minimizes objective 0, so
+        // both must survive their island's elitist selection.
+        let merged =
+            IslandModel::new(cfg).run(&TwoHumps, vec![vec![30], vec![30]], None, None, |_, _| true);
+        assert!(merged.population.iter().filter(|i| i.genes == [30]).count() >= 2);
+    }
+}

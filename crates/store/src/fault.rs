@@ -8,7 +8,7 @@
 //!   panic through the site's normal failure path).
 //! * `site` — a named instrumentation point: [`SITE_ATOMIC_WRITE`],
 //!   [`SITE_STORE_APPEND`], [`SITE_SEARCHED_GENERATION`],
-//!   [`SITE_EVAL_BATCH`].
+//!   [`SITE_EVAL_BATCH`], [`SITE_ISLAND_MIGRATION`].
 //! * `trigger` — which arrival at the site fires the rule: a literal
 //!   1-based occurrence (`3`), or a seeded draw `s<seed>/<span>` that
 //!   picks one occurrence uniformly from `1..=span`. The draw is
@@ -46,6 +46,9 @@ pub const SITE_STORE_APPEND: &str = "store_append";
 pub const SITE_SEARCHED_GENERATION: &str = "searched_generation";
 /// Site name: one batch evaluation wave of the search stage.
 pub const SITE_EVAL_BATCH: &str = "eval_batch";
+/// Site name: an island-model migration barrier, right before the
+/// elite exchange and its epoch checkpoint.
+pub const SITE_ISLAND_MIGRATION: &str = "island_migration";
 
 /// One parsed `action@site:trigger` rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
